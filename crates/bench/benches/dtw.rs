@@ -1,0 +1,32 @@
+//! DTW cost across series lengths, full versus Sakoe–Chiba banded.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use srtd_timeseries::Dtw;
+
+fn series(n: usize, phase: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| (i as f64 * 0.11 + phase).sin() * 5.0)
+        .collect()
+}
+
+fn bench_dtw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dtw");
+    for &n in &[50usize, 200, 800] {
+        let a = series(n, 0.0);
+        let b = series(n, 0.8);
+        group.bench_with_input(BenchmarkId::new("full", n), &(&a, &b), |bench, (a, b)| {
+            bench.iter(|| Dtw::new().distance(black_box(a), black_box(b)));
+        });
+        group.bench_with_input(BenchmarkId::new("band16", n), &(&a, &b), |bench, (a, b)| {
+            bench.iter(|| {
+                Dtw::new()
+                    .with_band(16)
+                    .distance(black_box(a), black_box(b))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dtw);
+criterion_main!(benches);

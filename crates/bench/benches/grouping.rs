@@ -1,0 +1,36 @@
+//! Account grouping cost: the three methods on paper-scale and larger
+//! campaigns.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use srtd_core::{AccountGrouping, AgFp, AgTr, AgTs};
+use srtd_sensing::{Scenario, ScenarioConfig};
+
+fn scenario(num_legit: usize) -> Scenario {
+    let cfg = ScenarioConfig {
+        num_legit,
+        ..ScenarioConfig::paper_default()
+    }
+    .with_seed(5);
+    Scenario::generate(&cfg)
+}
+
+fn bench_grouping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grouping");
+    group.sample_size(20);
+    for &n in &[8usize, 24, 64] {
+        let s = scenario(n);
+        group.bench_with_input(BenchmarkId::new("ag_fp", n), &s, |b, s| {
+            b.iter(|| AgFp::default().group(black_box(&s.data), &s.fingerprints));
+        });
+        group.bench_with_input(BenchmarkId::new("ag_ts", n), &s, |b, s| {
+            b.iter(|| AgTs::default().group(black_box(&s.data), &s.fingerprints));
+        });
+        group.bench_with_input(BenchmarkId::new("ag_tr", n), &s, |b, s| {
+            b.iter(|| AgTr::default().group(black_box(&s.data), &s.fingerprints));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grouping);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! k-means and elbow-method cost on fingerprint-dimensional data.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use srtd_cluster::{elbow, KMeans, KMeansConfig};
+
+fn blobs(n_points: usize, dim: usize, clusters: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_points)
+        .map(|i| {
+            let center = (i % clusters) as f64 * 10.0;
+            (0..dim)
+                .map(|_| center + rng.gen_range(-1.0..1.0))
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans");
+    for &n in &[20usize, 100, 400] {
+        let points = blobs(n, 80, 5, 42);
+        group.bench_with_input(BenchmarkId::new("fit_k5", n), &points, |b, p| {
+            b.iter(|| KMeans::new(KMeansConfig::new(5)).fit(black_box(p)));
+        });
+    }
+    // Elbow on the paper-scale problem: 18 fingerprints, k = 1..18.
+    let points = blobs(18, 80, 13, 7);
+    group.bench_function("elbow_paper_scale", |b| {
+        b.iter(|| elbow(black_box(&points), 18, KMeansConfig::new(1)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kmeans);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Truth discovery algorithm cost on growing campaigns.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use srtd_sensing::{Scenario, ScenarioConfig};
+use srtd_truth::{Catd, Crh, Gtm, MedianVote, SensingData, TruthDiscovery};
+
+fn campaign(num_legit: usize) -> SensingData {
+    let cfg = ScenarioConfig {
+        num_legit,
+        num_tasks: 20,
+        ..ScenarioConfig::paper_default()
+    }
+    .with_seed(99);
+    Scenario::generate(&cfg).data
+}
+
+fn bench_truth_discovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("truth_discovery");
+    for &n in &[8usize, 32, 128] {
+        let data = campaign(n);
+        group.bench_with_input(BenchmarkId::new("crh", n), &data, |b, d| {
+            b.iter(|| Crh::default().discover(black_box(d)));
+        });
+        group.bench_with_input(BenchmarkId::new("catd", n), &data, |b, d| {
+            b.iter(|| Catd::default().discover(black_box(d)));
+        });
+        group.bench_with_input(BenchmarkId::new("gtm", n), &data, |b, d| {
+            b.iter(|| Gtm::default().discover(black_box(d)));
+        });
+        group.bench_with_input(BenchmarkId::new("median", n), &data, |b, d| {
+            b.iter(|| MedianVote.discover(black_box(d)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_truth_discovery);
+criterion_main!(benches);

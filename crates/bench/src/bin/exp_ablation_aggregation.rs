@@ -1,0 +1,100 @@
+//! Ablation: the Eq. 3 group-aggregation variants.
+//!
+//! Eq. 3 as printed is degenerate (its denominator is identically zero; see
+//! `DESIGN.md`), so the framework offers three well-defined readings. This
+//! ablation compares their MAE under the full-activeness attack with each
+//! grouping method.
+//!
+//! Run with: `cargo run -p srtd-bench --release --bin exp_ablation_aggregation [seeds]`
+
+use srtd_bench::table::Table;
+use srtd_core::{AgFp, AgTr, AgTs, FrameworkConfig, GroupAggregation, SybilResistantTd};
+use srtd_metrics::mae;
+use srtd_sensing::{Scenario, ScenarioConfig};
+
+const AGGREGATIONS: [(GroupAggregation, &str); 3] = [
+    (GroupAggregation::Mean, "mean"),
+    (GroupAggregation::Median, "median"),
+    (
+        GroupAggregation::AbsoluteDeviationWeighted,
+        "abs-dev (Eq.3)",
+    ),
+];
+
+fn run(seeds: u64, make_mae: impl Fn(&Scenario, GroupAggregation) -> f64) -> Vec<f64> {
+    AGGREGATIONS
+        .iter()
+        .map(|&(agg, _)| {
+            (0..seeds)
+                .map(|seed| {
+                    let s = Scenario::generate(&ScenarioConfig::paper_default().with_seed(seed));
+                    make_mae(&s, agg)
+                })
+                .sum::<f64>()
+                / seeds as f64
+        })
+        .collect()
+}
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    println!("Ablation — Eq. 3 group aggregation variants ({seeds} seeds)\n");
+
+    let mut t = Table::new(
+        ["grouping", "mean", "median", "abs-dev (Eq.3)"]
+            .map(String::from)
+            .to_vec(),
+    );
+    let config = |agg| FrameworkConfig {
+        aggregation: agg,
+        ..FrameworkConfig::default()
+    };
+    let rows: Vec<(&str, Vec<f64>)> = vec![
+        (
+            "TD-FP",
+            run(seeds, |s, agg| {
+                let r = SybilResistantTd::with_config(AgFp::default(), config(agg))
+                    .discover(&s.data, &s.fingerprints);
+                mae(&r.truths_or(0.0), &s.ground_truth).expect("lengths")
+            }),
+        ),
+        (
+            "TD-TS",
+            run(seeds, |s, agg| {
+                let r = SybilResistantTd::with_config(AgTs::default(), config(agg))
+                    .discover(&s.data, &s.fingerprints);
+                mae(&r.truths_or(0.0), &s.ground_truth).expect("lengths")
+            }),
+        ),
+        (
+            "TD-TR",
+            run(seeds, |s, agg| {
+                let r = SybilResistantTd::with_config(AgTr::default(), config(agg))
+                    .discover(&s.data, &s.fingerprints);
+                mae(&r.truths_or(0.0), &s.ground_truth).expect("lengths")
+            }),
+        ),
+    ];
+    for (name, values) in &rows {
+        let mut row = vec![name.to_string()];
+        row.extend(values.iter().map(|v| format!("{v:.2}")));
+        t.add_row(row);
+    }
+    println!("{}", t.render());
+    println!("expected shape: when grouping is accurate (TD-TR row) the choice");
+    println!("does not matter — attacker claims are near-identical, so every");
+    println!("aggregate collapses to ~-50 and the variants coincide. The choice");
+    println!("only moves the needle for inaccurate groupings (TD-FP/TD-TS rows),");
+    println!("where a merged mixed group's aggregate depends on the rule; the");
+    println!("median can then swing either way depending on who holds the");
+    println!("within-group majority.");
+    for (name, values) in &rows {
+        for v in values {
+            assert!(v.is_finite(), "{name} produced a non-finite MAE");
+        }
+    }
+    println!("\n[ablation complete]");
+}

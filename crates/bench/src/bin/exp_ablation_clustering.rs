@@ -1,0 +1,92 @@
+//! Ablation: AG-FP's clustering backend — k-means + elbow (§IV-C) versus
+//! agglomerative clustering cut at a distance threshold.
+//!
+//! The elbow method must guess the device count from the SSE curve; the
+//! agglomerative alternative instead needs a merge threshold, which is
+//! comparatively stable on standardized fingerprint features. Measures
+//! device-grouping ARI on the paper-scale scenario.
+//!
+//! Run with: `cargo run -p srtd-bench --release --bin exp_ablation_clustering [seeds]`
+
+use srtd_bench::table::Table;
+use srtd_cluster::Linkage;
+use srtd_core::{AccountGrouping, AgFp, FpClustering};
+use srtd_metrics::adjusted_rand_index;
+use srtd_sensing::{Scenario, ScenarioConfig};
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    println!("Ablation — AG-FP clustering backend ({seeds} seeds, device-label ARI)\n");
+    let scenarios: Vec<Scenario> = (0..seeds)
+        .map(|seed| Scenario::generate(&ScenarioConfig::paper_default().with_seed(seed)))
+        .collect();
+    let n = scenarios.len() as f64;
+
+    let mut variants: Vec<(String, AgFp)> = vec![
+        ("kmeans + elbow (paper)".into(), AgFp::default()),
+        ("kmeans, known k".into(), AgFp::default().with_known_k(13)),
+    ];
+    for threshold in [6.0, 8.0, 10.0, 12.0, 14.0] {
+        variants.push((
+            format!("agglomerative avg, t={threshold}"),
+            AgFp::default().with_clustering(FpClustering::Hierarchical {
+                threshold,
+                linkage: Linkage::Average,
+            }),
+        ));
+    }
+
+    let mut t = Table::new(
+        ["backend", "device ARI", "mean groups"]
+            .map(String::from)
+            .to_vec(),
+    );
+    let mut results = Vec::new();
+    for (name, ag) in &variants {
+        let mut ari = 0.0;
+        let mut groups = 0.0;
+        for s in &scenarios {
+            let g = ag.group(&s.data, &s.fingerprints);
+            ari += adjusted_rand_index(g.labels(), s.device_labels());
+            groups += g.len() as f64;
+        }
+        results.push((name.clone(), ari / n, groups / n));
+        t.add_row(vec![
+            name.clone(),
+            format!("{:.3}", ari / n),
+            format!("{:.1}", groups / n),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("ground truth: 13 devices over 18 accounts (the Attack-I device");
+    println!("carries 5 accounts, the two Attack-II devices carry 2-3 each).");
+    println!("expected shape: a well-chosen agglomerative threshold matches or");
+    println!("beats the elbow pipeline without needing a cluster count, and");
+    println!("degrades on both sides of the sweet spot. Note that *knowing* k");
+    println!("does not guarantee a better ARI: same-model devices are not");
+    println!("separable, so forcing k = 13 makes k-means shred those blobs,");
+    println!("while the elbow's merged clusters score higher — the same effect");
+    println!("behind the paper's Fig. 8 discussion.");
+
+    let elbow_ari = results[0].1;
+    let best_hac = results[2..]
+        .iter()
+        .map(|r| r.1)
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        best_hac > elbow_ari - 0.1,
+        "best agglomerative ARI ({best_hac}) should be competitive with elbow ({elbow_ari})"
+    );
+    // The threshold curve is unimodal-ish: the extremes are worse than the
+    // best interior threshold.
+    let first_hac = results[2].1;
+    let last_hac = results.last().expect("non-empty").1;
+    assert!(
+        best_hac > first_hac && best_hac > last_hac,
+        "threshold extremes should underperform the sweet spot"
+    );
+    println!("\n[ablation complete]");
+}

@@ -1,0 +1,93 @@
+//! Extension experiment: combining the grouping methods (the paper's
+//! stated future work, §IV-C "we leave the combination of them for our
+//! future work").
+//!
+//! Compares the three single methods against their lattice combinations:
+//! the join (union of grouping evidence — catches anything any method
+//! catches) and the meet (intersection — keeps only unanimous merges),
+//! on ARI and end-to-end MAE.
+//!
+//! Run with: `cargo run -p srtd-bench --release --bin exp_combined [seeds]`
+
+use srtd_bench::table::Table;
+use srtd_core::{
+    AccountGrouping, AgFp, AgTr, AgTs, CombineMode, CombinedGrouping, SybilResistantTd,
+};
+use srtd_metrics::{adjusted_rand_index, mae};
+use srtd_sensing::{Scenario, ScenarioConfig};
+
+fn boxed_methods() -> Vec<Box<dyn AccountGrouping + Send + Sync>> {
+    vec![
+        Box::new(AgFp::default()),
+        Box::new(AgTs::default()),
+        Box::new(AgTr::default()),
+    ]
+}
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    println!("Extension — combined account grouping ({seeds} seeds, activeness 0.5/0.5)\n");
+
+    // Activeness 0.5/0.5: the regime where each single method has both
+    // hits and misses, so combination has something to add.
+    let scenarios: Vec<Scenario> = (0..seeds)
+        .map(|seed| {
+            Scenario::generate(
+                &ScenarioConfig::paper_default()
+                    .with_seed(seed)
+                    .with_activeness(0.5, 0.5),
+            )
+        })
+        .collect();
+    let n = scenarios.len() as f64;
+
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    let singles: Vec<(Box<dyn AccountGrouping + Send + Sync>, &str)> = vec![
+        (Box::new(AgFp::default()), "AG-FP"),
+        (Box::new(AgTs::default()), "AG-TS"),
+        (Box::new(AgTr::default()), "AG-TR"),
+    ];
+    for (method, name) in &singles {
+        let (mut ari, mut err) = (0.0, 0.0);
+        for s in &scenarios {
+            let g = method.group(&s.data, &s.fingerprints);
+            ari += adjusted_rand_index(g.labels(), &s.owners);
+            let r = SybilResistantTd::new(AgTr::default()).discover_with_grouping(&s.data, g);
+            err += mae(&r.truths_or(0.0), &s.ground_truth).expect("lengths");
+        }
+        rows.push((name.to_string(), ari / n, err / n));
+    }
+    for mode in [CombineMode::Join, CombineMode::Meet] {
+        let (mut ari, mut err) = (0.0, 0.0);
+        for s in &scenarios {
+            let combined = CombinedGrouping::new(boxed_methods(), mode);
+            let g = combined.group(&s.data, &s.fingerprints);
+            ari += adjusted_rand_index(g.labels(), &s.owners);
+            let r = SybilResistantTd::new(AgTr::default()).discover_with_grouping(&s.data, g);
+            err += mae(&r.truths_or(0.0), &s.ground_truth).expect("lengths");
+        }
+        let name = match mode {
+            CombineMode::Join => "join(FP,TS,TR)",
+            CombineMode::Meet => "meet(FP,TS,TR)",
+        };
+        rows.push((name.to_string(), ari / n, err / n));
+    }
+
+    let mut t = Table::new(["grouping", "ARI", "MAE"].map(String::from).to_vec());
+    for (name, ari, err) in &rows {
+        t.add_row(vec![name.clone(), format!("{ari:.3}"), format!("{err:.2}")]);
+    }
+    println!("{}", t.render());
+    println!("expected shape: the join inherits AG-TR's recall and adds AG-FP's");
+    println!("device evidence, at the cost of accumulating AG-FP's same-model");
+    println!("false positives; the meet is the most conservative (highest");
+    println!("precision, lower recall). Neither silently collapses: all MAE");
+    println!("values stay below the unguarded CRH (~19 at this setting).");
+    for (name, _, err) in &rows {
+        assert!(*err < 19.0, "{name} worse than unguarded CRH: {err}");
+    }
+    println!("\n[experiment complete]");
+}

@@ -1,0 +1,66 @@
+//! Experiment `fig5` — the POI map. The paper's Fig. 5 is a campus photo
+//! with 10 measurement POIs; our substitute campus is synthetic, so this
+//! binary renders its layout as ASCII together with each POI's
+//! ground-truth RSSI.
+//!
+//! Run with: `cargo run -p srtd-bench --bin exp_fig5 [seed]`
+
+use srtd_bench::table::Table;
+use srtd_sensing::{PoiMap, WifiWorld};
+
+const COLS: usize = 60;
+const ROWS: usize = 18;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    println!(
+        "Fig. 5 — POIs for Wi-Fi signal strength measurement (synthetic campus, seed {seed})\n"
+    );
+    let map = PoiMap::campus(10, seed);
+    let world = WifiWorld::generate(&map, seed);
+
+    let mut grid = vec![vec![b'.'; COLS]; ROWS];
+    for poi in map.pois() {
+        let c = ((poi.x / 400.0) * (COLS - 1) as f64).round() as usize;
+        let r = ((poi.y / 300.0) * (ROWS - 1) as f64).round() as usize;
+        let label = if poi.id < 9 {
+            b'1' + poi.id as u8
+        } else {
+            b'0' // POI 10
+        };
+        grid[r.min(ROWS - 1)][c.min(COLS - 1)] = label;
+    }
+    println!("+{}+", "-".repeat(COLS));
+    for row in &grid {
+        println!("|{}|", String::from_utf8_lossy(row));
+    }
+    println!("+{}+", "-".repeat(COLS));
+    println!("(400 m x 300 m; digits are POI ids, '0' = POI 10)\n");
+
+    let mut t = Table::new(
+        ["POI", "x (m)", "y (m)", "ground-truth RSSI (dBm)"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for poi in map.pois() {
+        t.add_row(vec![
+            format!("{}", poi.id + 1),
+            format!("{:.0}", poi.x),
+            format!("{:.0}", poi.y),
+            format!("{:.1}", world.ground_truth(poi.id)),
+        ]);
+    }
+    println!("{}", t.render());
+    // Shape checks: 10 POIs spread over the campus, realistic RSSI band.
+    assert_eq!(map.len(), 10);
+    for poi in map.pois() {
+        assert!((0.0..=400.0).contains(&poi.x));
+        assert!((0.0..=300.0).contains(&poi.y));
+        let rssi = world.ground_truth(poi.id);
+        assert!((-92.0..=-58.0).contains(&rssi));
+    }
+    println!("[layout check passed]");
+}

@@ -1,0 +1,95 @@
+//! Experiment `fig8` — reproduces Fig. 8: fingerprint centers of all 11
+//! Table-IV smartphones in the first two principal components' space.
+//!
+//! The paper's observation: centers of same-model units sit very close
+//! (hard to differentiate), while models separate.
+//!
+//! Run with: `cargo run -p srtd-bench --bin exp_fig8`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use srtd_bench::table::Table;
+use srtd_cluster::{squared_distance, Pca};
+use srtd_fingerprint::{catalog, fingerprint_features, CaptureConfig};
+use srtd_signal::features::standardize;
+
+const CAPTURES_PER_UNIT: usize = 5;
+
+fn main() {
+    println!("Fig. 8 — fingerprint centers of the 11 Table-IV smartphones\n");
+    let mut rng = StdRng::seed_from_u64(0xF168);
+    let cfg = CaptureConfig::paper_default();
+
+    // Manufacture the full Table IV fleet and capture each unit.
+    let mut unit_names = Vec::new();
+    let mut model_of_unit = Vec::new();
+    let mut features = Vec::new();
+    let mut unit_of_capture = Vec::new();
+    for (model_idx, entry) in catalog::standard_catalog().iter().enumerate() {
+        for unit in 0..entry.quantity {
+            let device = entry.model.manufacture(&mut rng);
+            let unit_idx = unit_names.len();
+            unit_names.push(format!("{} #{}", entry.model.name, unit + 1));
+            model_of_unit.push(model_idx);
+            for _ in 0..CAPTURES_PER_UNIT {
+                features.push(fingerprint_features(&device.capture(&cfg, &mut rng)));
+                unit_of_capture.push(unit_idx);
+            }
+        }
+    }
+    let units = unit_names.len();
+    assert_eq!(units, 11);
+
+    let (standardized, _) = standardize(&features);
+    let pca = Pca::fit(&standardized, 2);
+    let projected = pca.project_all(&standardized);
+
+    // Per-unit centers in PC space.
+    let mut centers = vec![[0.0f64; 2]; units];
+    let mut counts = vec![0usize; units];
+    for (p, &u) in projected.iter().zip(&unit_of_capture) {
+        centers[u][0] += p[0];
+        centers[u][1] += p[1];
+        counts[u] += 1;
+    }
+    for (c, &n) in centers.iter_mut().zip(&counts) {
+        c[0] /= n as f64;
+        c[1] /= n as f64;
+    }
+
+    let mut t = Table::new(["unit", "PC1", "PC2"].map(String::from).to_vec());
+    for (u, name) in unit_names.iter().enumerate() {
+        t.add_row(vec![
+            name.clone(),
+            format!("{:.2}", centers[u][0]),
+            format!("{:.2}", centers[u][1]),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Same-model vs. cross-model center distances.
+    let mut same = Vec::new();
+    let mut cross = Vec::new();
+    for i in 0..units {
+        for j in i + 1..units {
+            let d = squared_distance(&centers[i], &centers[j]).sqrt();
+            if model_of_unit[i] == model_of_unit[j] {
+                same.push(d);
+            } else {
+                cross.push(d);
+            }
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let (same_mean, cross_mean) = (mean(&same), mean(&cross));
+    println!("mean center distance, same model : {same_mean:.2}");
+    println!("mean center distance, cross model: {cross_mean:.2}");
+    println!();
+    println!("expected shape (paper): same-model centers are very close and");
+    println!("hard to differentiate; different models separate clearly.");
+    assert!(
+        cross_mean > 2.0 * same_mean,
+        "same-model units should be much closer: {same_mean} vs {cross_mean}"
+    );
+    println!("\n[shape check passed]");
+}

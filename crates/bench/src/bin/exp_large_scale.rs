@@ -1,0 +1,108 @@
+//! Extension experiment: the large-scale simulation the paper could not
+//! run.
+//!
+//! §V-A argues the 2-attacker experiment "can still represent the
+//! scenario when an MCS system is under a large scale of the Sybil
+//! attack since the percentage of the Sybil accounts is larger than that
+//! of the legitimate users". With a simulator we can test that claim
+//! directly: scale the campaign up (40 legitimate users) and sweep the
+//! Sybil *intensity* — accounts per attacker — measuring CRH and TD-TR
+//! MAE plus AG-TR pair diagnostics.
+//!
+//! Run with: `cargo run -p srtd-bench --release --bin exp_large_scale [seeds]`
+
+use srtd_bench::table::Table;
+use srtd_core::{AccountGrouping, AgTr, SybilResistantTd};
+use srtd_metrics::{mae, PairDiagnostics};
+use srtd_sensing::{AttackerSpec, Scenario, ScenarioConfig};
+use srtd_truth::{Crh, TruthDiscovery};
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    println!("Extension — large-scale Sybil pressure ({seeds} seeds, 40 legit users, 20 tasks)\n");
+
+    let mut t = Table::new(
+        [
+            "accounts/attacker",
+            "sybil share",
+            "CRH MAE",
+            "TD-TR MAE",
+            "pair precision",
+            "pair recall",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    let mut crh_curve = Vec::new();
+    let mut tr_curve = Vec::new();
+    for accounts_per_attacker in [2usize, 5, 10, 20, 40] {
+        let mut crh_sum = 0.0;
+        let mut tr_sum = 0.0;
+        let mut precision = 0.0;
+        let mut recall = 0.0;
+        let mut share = 0.0;
+        for seed in 0..seeds {
+            let attackers = vec![
+                AttackerSpec {
+                    accounts: accounts_per_attacker,
+                    ..AttackerSpec::paper_attack_i()
+                },
+                AttackerSpec {
+                    accounts: accounts_per_attacker,
+                    ..AttackerSpec::paper_attack_ii()
+                },
+            ];
+            let cfg = ScenarioConfig {
+                num_legit: 40,
+                num_tasks: 20,
+                attackers,
+                ..ScenarioConfig::paper_default()
+            }
+            .with_seed(seed);
+            let s = Scenario::generate(&cfg);
+            share += s.is_sybil.iter().filter(|&&x| x).count() as f64 / s.num_accounts() as f64;
+            crh_sum += mae(
+                &Crh::default().discover(&s.data).truths_or(0.0),
+                &s.ground_truth,
+            )
+            .expect("lengths");
+            let r = SybilResistantTd::new(AgTr::default()).discover(&s.data, &s.fingerprints);
+            tr_sum += mae(&r.truths_or(0.0), &s.ground_truth).expect("lengths");
+            let g = AgTr::default().group(&s.data, &s.fingerprints);
+            let d = PairDiagnostics::from_labels(g.labels(), &s.owners);
+            precision += d.precision();
+            recall += d.recall();
+        }
+        let n = seeds as f64;
+        crh_curve.push(crh_sum / n);
+        tr_curve.push(tr_sum / n);
+        t.add_row(vec![
+            accounts_per_attacker.to_string(),
+            format!("{:.0}%", 100.0 * share / n),
+            format!("{:.2}", crh_sum / n),
+            format!("{:.2}", tr_sum / n),
+            format!("{:.3}", precision / n),
+            format!("{:.3}", recall / n),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("expected shape: CRH degrades monotonically as the Sybil share");
+    println!("grows (per-task majorities flip around 50%); TD-TR stays flat —");
+    println!("any number of same-walk accounts still collapses to one group");
+    println!("voice — confirming the paper's claim that the Sybil *share*,");
+    println!("not the absolute attacker count, is what matters.");
+    assert!(
+        crh_curve.last().expect("rows") > crh_curve.first().expect("rows"),
+        "CRH should degrade with Sybil pressure"
+    );
+    let tr_worst = tr_curve.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let crh_worst = crh_curve.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        tr_worst < 0.3 * crh_worst,
+        "TD-TR ({tr_worst}) should stay far below CRH ({crh_worst})"
+    );
+    println!("\n[shape checks passed]");
+}

@@ -1,0 +1,75 @@
+//! Experiment `scaling` — the §IV-C efficiency claim: "the running time
+//! of the elbow method is linear in the number of users … AG-FP is
+//! efficient in practice", plus the cost of the other pipeline stages as
+//! campaigns grow.
+//!
+//! Measures wall time of each grouping method and of end-to-end TD-TR on
+//! campaigns of growing size.
+//!
+//! Run with: `cargo run -p srtd-bench --release --bin exp_scaling`
+
+use srtd_bench::table::Table;
+use srtd_core::{AccountGrouping, AgFp, AgTr, AgTs, SybilResistantTd};
+use srtd_sensing::{Scenario, ScenarioConfig};
+use std::time::Instant;
+
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+fn main() {
+    println!("Scaling — grouping and framework cost vs. campaign size\n");
+    let mut t = Table::new(
+        [
+            "legit users",
+            "accounts",
+            "AG-FP ms",
+            "AG-TS ms",
+            "AG-TR ms",
+            "TD-TR ms",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    let sizes = [8usize, 16, 32, 64, 128];
+    let mut fp_times = Vec::new();
+    for &n in &sizes {
+        let cfg = ScenarioConfig {
+            num_legit: n,
+            num_tasks: 20,
+            ..ScenarioConfig::paper_default()
+        }
+        .with_seed(77);
+        let s = Scenario::generate(&cfg);
+        let (_, fp_ms) = timed(|| AgFp::default().group(&s.data, &s.fingerprints));
+        let (_, ts_ms) = timed(|| AgTs::default().group(&s.data, &s.fingerprints));
+        let (_, tr_ms) = timed(|| AgTr::default().group(&s.data, &s.fingerprints));
+        let (_, td_ms) =
+            timed(|| SybilResistantTd::new(AgTr::default()).discover(&s.data, &s.fingerprints));
+        fp_times.push(fp_ms);
+        t.add_row(vec![
+            n.to_string(),
+            s.num_accounts().to_string(),
+            format!("{fp_ms:.1}"),
+            format!("{ts_ms:.1}"),
+            format!("{tr_ms:.1}"),
+            format!("{td_ms:.1}"),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("expected shape: AG-TS and AG-TR stay well under a second even at");
+    println!("128 users (quadratic in accounts, tiny constants); AG-FP dominates");
+    println!("the cost — its elbow sweep runs k-means for every candidate k");
+    println!("(k-means itself is O(nkdi), §IV-C) — yet remains interactive at");
+    println!("the 'number of selected users per task is usually limited' scales");
+    println!("the paper argues for.");
+    // Sanity: the largest campaign still groups in interactive time.
+    let largest = *fp_times.last().expect("non-empty");
+    assert!(
+        largest < 30_000.0,
+        "AG-FP took {largest} ms at 128 users — not 'efficient in practice'"
+    );
+    println!("\n[scaling check passed]");
+}

@@ -1,0 +1,126 @@
+//! Extension experiment: the §IV-C Remark — budgeted user selection
+//! alleviates behavioural-grouping false positives.
+//!
+//! Runs the paper-scale campaign at α = 0.5/0.5 with and without greedy
+//! max-coverage selection (the allocation rule inside the incentive
+//! mechanisms the paper cites) and measures the false-positive pairs of
+//! AG-TS / AG-TR among *legitimate* accounts, plus end-to-end MAE.
+//!
+//! Run with: `cargo run -p srtd-bench --release --bin exp_selection [seeds]`
+
+use srtd_bench::table::Table;
+use srtd_core::{AccountGrouping, AgTr, AgTs, SybilResistantTd};
+use srtd_metrics::mae;
+use srtd_sensing::{CoverageSelection, Scenario, ScenarioConfig};
+use srtd_truth::SensingData;
+
+/// False-positive merged pairs among legitimate accounts only (the
+/// Remark's concern: two honest users mistaken for a Sybil pair).
+fn legit_false_positive_pairs(grouping: &srtd_core::Grouping, scenario: &Scenario) -> usize {
+    let n = scenario.num_accounts();
+    let mut fp = 0;
+    for i in 0..n {
+        for j in i + 1..n {
+            if scenario.is_sybil[i] || scenario.is_sybil[j] {
+                continue;
+            }
+            if grouping.group_of(i) == grouping.group_of(j)
+                && scenario.owners[i] != scenario.owners[j]
+            {
+                fp += 1;
+            }
+        }
+    }
+    fp
+}
+
+fn run_case(data: &SensingData, scenario: &Scenario) -> (usize, usize, f64) {
+    let g_ts = AgTs::default().group(data, &scenario.fingerprints);
+    let g_tr = AgTr::default().group(data, &scenario.fingerprints);
+    let fp_ts = legit_false_positive_pairs(&g_ts, scenario);
+    let fp_tr = legit_false_positive_pairs(&g_tr, scenario);
+    let r = SybilResistantTd::new(AgTr::default()).discover_with_grouping(data, g_tr);
+    let err = mae(&r.truths_or(0.0), &scenario.ground_truth).expect("lengths");
+    (fp_ts, fp_tr, err)
+}
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+    println!("Extension — §IV-C Remark: selection vs. grouping false positives");
+    println!("({seeds} seeds, activeness 0.5/0.5, denser 16-user campaign)\n");
+
+    let mut no_sel = (0usize, 0usize, 0.0f64);
+    let mut with_sel = (0usize, 0usize, 0.0f64);
+    let mut kept_sybil = 0usize;
+    let mut kept_total = 0usize;
+    for seed in 0..seeds {
+        // A denser campaign than the paper's (16 legit users over 10
+        // tasks) so that behavioural near-twins actually occur.
+        let cfg = ScenarioConfig {
+            num_legit: 16,
+            ..ScenarioConfig::paper_default()
+        }
+        .with_seed(seed)
+        .with_activeness(0.5, 0.5);
+        let s = Scenario::generate(&cfg);
+        let base = run_case(&s.data, &s);
+        no_sel = (no_sel.0 + base.0, no_sel.1 + base.1, no_sel.2 + base.2);
+
+        let (filtered, selected) = CoverageSelection::new(3).filter_scenario(&s);
+        let sel = run_case(&filtered, &s);
+        with_sel = (with_sel.0 + sel.0, with_sel.1 + sel.1, with_sel.2 + sel.2);
+        kept_total += selected.len();
+        kept_sybil += selected.iter().filter(|&&a| s.is_sybil[a]).count();
+    }
+    let n = seeds as f64;
+    let mut t = Table::new(
+        [
+            "setting",
+            "AG-TS legit FP pairs",
+            "AG-TR legit FP pairs",
+            "TD-TR MAE",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    t.add_row(vec![
+        "no selection".into(),
+        format!("{:.2}", no_sel.0 as f64 / n),
+        format!("{:.2}", no_sel.1 as f64 / n),
+        format!("{:.2}", no_sel.2 / n),
+    ]);
+    t.add_row(vec![
+        "coverage selection (quota 3)".into(),
+        format!("{:.2}", with_sel.0 as f64 / n),
+        format!("{:.2}", with_sel.1 as f64 / n),
+        format!("{:.2}", with_sel.2 / n),
+    ]);
+    println!("{}", t.render());
+    println!(
+        "selected accounts/run: {:.1}, of which Sybil: {:.1}",
+        kept_total as f64 / n,
+        kept_sybil as f64 / n
+    );
+    println!();
+    println!("expected shape: selection removes redundant (near-duplicate)");
+    println!("accounts, so behavioural false positives among legitimate users");
+    println!("drop (the Remark's claim) — and, as a side effect, most Sybil");
+    println!("accounts are *also* deprioritized because they duplicate each");
+    println!("other's coverage, so the selected campaign is doubly safer.");
+    assert!(
+        with_sel.0 <= no_sel.0,
+        "selection should not increase AG-TS false positives"
+    );
+    assert!(
+        with_sel.1 <= no_sel.1,
+        "selection should not increase AG-TR false positives"
+    );
+    assert!(
+        (kept_sybil as f64 / n) < 10.0,
+        "selection should drop some of the 10 Sybil accounts"
+    );
+    println!("\n[shape checks passed]");
+}

@@ -1,0 +1,94 @@
+//! Extension experiment: the whole truth-discovery family under the Sybil
+//! attack — including robust (weighted-median) aggregation — versus the
+//! grouping framework.
+//!
+//! The point: robustness alone (median, RobustCRH) survives only while
+//! the Sybil accounts hold a weight *minority*; once attacker activeness
+//! gives them per-task majorities, every account-level method falls and
+//! only group-level discovery stands. This locates the paper's
+//! contribution inside the broader robust-aggregation design space.
+//!
+//! Run with: `cargo run -p srtd-bench --release --bin exp_td_family [seeds]`
+
+use srtd_bench::table::Table;
+use srtd_bench::ATTACKER_ACTIVENESS_GRID;
+use srtd_core::{AgTr, SybilResistantTd};
+use srtd_metrics::mae;
+use srtd_sensing::{Scenario, ScenarioConfig};
+use srtd_truth::{Catd, Crh, Gtm, MeanVote, MedianVote, RobustCrh, TruthDiscovery};
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    println!("Extension — TD family under attack ({seeds} seeds, legit activeness 1.0)\n");
+
+    let algorithms: Vec<Box<dyn TruthDiscovery>> = vec![
+        Box::new(MeanVote),
+        Box::new(MedianVote),
+        Box::new(Crh::default()),
+        Box::new(Catd::default()),
+        Box::new(Gtm::default()),
+        Box::new(RobustCrh::default()),
+    ];
+    let mut header = vec!["attacker activeness".to_string()];
+    header.extend(algorithms.iter().map(|a| a.name().to_string()));
+    header.push("TD-TR".into());
+    let mut t = Table::new(header);
+
+    let mut curves: Vec<Vec<f64>> = vec![Vec::new(); algorithms.len() + 1];
+    for &alpha in &ATTACKER_ACTIVENESS_GRID {
+        let mut row_vals = vec![0.0f64; algorithms.len() + 1];
+        for seed in 0..seeds {
+            let s = Scenario::generate(
+                &ScenarioConfig::paper_default()
+                    .with_seed(seed)
+                    .with_activeness(1.0, alpha),
+            );
+            for (i, algo) in algorithms.iter().enumerate() {
+                let estimates = algo.discover(&s.data).truths_or(0.0);
+                row_vals[i] += mae(&estimates, &s.ground_truth).expect("lengths");
+            }
+            let r = SybilResistantTd::new(AgTr::default()).discover(&s.data, &s.fingerprints);
+            row_vals[algorithms.len()] += mae(&r.truths_or(0.0), &s.ground_truth).expect("lengths");
+        }
+        let mut row = vec![format!("{alpha:.1}")];
+        for (i, v) in row_vals.iter().enumerate() {
+            let avg = v / seeds as f64;
+            curves[i].push(avg);
+            row.push(format!("{avg:.2}"));
+        }
+        t.add_row(row);
+    }
+    println!("{}", t.render());
+    println!("expected shape: at low attacker activeness the Sybil accounts");
+    println!("are a minority per task, so the median-based methods hold up;");
+    println!("as activeness rises they gain per-task majorities (10 Sybil vs");
+    println!("8 legit claims) and every account-level method — robust or not —");
+    println!("is dragged toward -50 dBm. TD-TR stays flat: grouping removes");
+    println!("the majority itself.");
+
+    let last = ATTACKER_ACTIVENESS_GRID.len() - 1;
+    // Median family beats the mean family early on.
+    assert!(
+        curves[1][0] < curves[0][0],
+        "median should beat mean under a minority attack"
+    );
+    // At full activeness, every account-level method is far off...
+    for (i, algo_curve) in curves[..curves.len() - 1].iter().enumerate() {
+        assert!(
+            algo_curve[last] > 8.0,
+            "account-level method {i} unexpectedly survived: {}",
+            algo_curve[last]
+        );
+    }
+    // ...while the framework stays accurate.
+    let td_tr = &curves[curves.len() - 1];
+    assert!(
+        td_tr[last] < 4.0,
+        "TD-TR should stay accurate: {}",
+        td_tr[last]
+    );
+    println!("\n[shape checks passed]");
+}

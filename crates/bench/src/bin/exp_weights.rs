@@ -1,0 +1,123 @@
+//! Extension experiment: where the weights go — the mechanism behind
+//! Table I.
+//!
+//! §III-C's vulnerability argument is about *weights*: truth discovery
+//! "assigns higher weights to the users whose data are closer to the
+//! estimated truth", so once a Sybil block drags the estimate, its
+//! accounts look reliable and honest users look like outliers. This
+//! experiment makes that mechanism visible: the mean CRH weight of Sybil
+//! vs. legitimate accounts as attacker activeness grows, next to the
+//! framework's group weights.
+//!
+//! Run with: `cargo run -p srtd-bench --release --bin exp_weights [seeds]`
+
+use srtd_bench::table::Table;
+use srtd_bench::ATTACKER_ACTIVENESS_GRID;
+use srtd_core::{AgTr, SybilResistantTd};
+use srtd_sensing::{Scenario, ScenarioConfig};
+use srtd_truth::{Crh, TruthDiscovery};
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    println!("Extension — weight flows under attack ({seeds} seeds, legit activeness 1.0)\n");
+    let mut t = Table::new(
+        [
+            "attacker activeness",
+            "CRH w(legit)",
+            "CRH w(sybil)",
+            "framework w(legit grp)",
+            "framework w(sybil grp)",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    let mut crh_sybil_curve = Vec::new();
+    let mut fw_sybil_curve = Vec::new();
+    for &alpha in &ATTACKER_ACTIVENESS_GRID {
+        let mut crh_legit = 0.0;
+        let mut crh_sybil = 0.0;
+        let mut fw_legit = 0.0;
+        let mut fw_sybil = 0.0;
+        for seed in 0..seeds {
+            let s = Scenario::generate(
+                &ScenarioConfig::paper_default()
+                    .with_seed(seed)
+                    .with_activeness(1.0, alpha),
+            );
+            let crh = Crh::default().discover(&s.data);
+            crh_legit += mean(
+                (0..s.num_accounts())
+                    .filter(|&a| !s.is_sybil[a])
+                    .map(|a| crh.weights[a]),
+            );
+            crh_sybil += mean(
+                (0..s.num_accounts())
+                    .filter(|&a| s.is_sybil[a])
+                    .map(|a| crh.weights[a]),
+            );
+            let fw = SybilResistantTd::new(AgTr::default()).discover(&s.data, &s.fingerprints);
+            // A group is "sybil" if any member is (grouping is near-exact
+            // at these settings).
+            let sybil_group: Vec<bool> = fw
+                .grouping
+                .groups()
+                .iter()
+                .map(|g| g.iter().any(|&a| s.is_sybil[a]))
+                .collect();
+            fw_legit += mean(
+                fw.group_weights
+                    .iter()
+                    .zip(&sybil_group)
+                    .filter(|(_, &sy)| !sy)
+                    .map(|(&w, _)| w),
+            );
+            fw_sybil += mean(
+                fw.group_weights
+                    .iter()
+                    .zip(&sybil_group)
+                    .filter(|(_, &sy)| sy)
+                    .map(|(&w, _)| w),
+            );
+        }
+        let n = seeds as f64;
+        crh_sybil_curve.push((crh_sybil / n, crh_legit / n));
+        fw_sybil_curve.push((fw_sybil / n, fw_legit / n));
+        t.add_row(vec![
+            format!("{alpha:.1}"),
+            format!("{:.2}", crh_legit / n),
+            format!("{:.2}", crh_sybil / n),
+            format!("{:.2}", fw_legit / n),
+            format!("{:.2}", fw_sybil / n),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("expected shape: under CRH, Sybil accounts *gain* weight as their");
+    println!("activeness grows — they drag the estimate, then look reliable");
+    println!("against it (the §III-C mechanism). In the framework the Sybil");
+    println!("groups' weights stay pinned low: their single aggregated voice");
+    println!("sits far from the group-level consensus at every activeness.");
+
+    let (sybil_hi, legit_hi) = *crh_sybil_curve.last().expect("rows");
+    assert!(
+        sybil_hi > legit_hi,
+        "at full attack CRH should trust Sybil accounts more: {sybil_hi} vs {legit_hi}"
+    );
+    for &(sybil_w, legit_w) in &fw_sybil_curve {
+        assert!(
+            sybil_w < legit_w,
+            "framework should always down-weight Sybil groups: {sybil_w} vs {legit_w}"
+        );
+    }
+    println!("\n[shape checks passed]");
+}

@@ -1,0 +1,135 @@
+//! Fixed-width ASCII tables for experiment output.
+
+/// A simple right-aligned ASCII table builder.
+///
+/// # Examples
+///
+/// ```
+/// use srtd_bench::table::Table;
+///
+/// let mut t = Table::new(vec!["method".into(), "MAE".into()]);
+/// t.add_row(vec!["CRH".into(), "20.06".into()]);
+/// let rendered = t.render();
+/// assert!(rendered.contains("CRH"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        Self {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn add_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} does not match {} columns",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Renders the table with a separator under the header.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats an f64 with `digits` decimals, or `"x"` for `None` — the
+/// paper's marker for missing reports.
+pub fn cell(value: Option<f64>, digits: usize) -> String {
+    match value {
+        Some(v) => format!("{v:.digits$}"),
+        None => "x".into(),
+    }
+}
+
+/// Renders a square matrix with row/column labels (the Fig. 3/4 style).
+pub fn matrix(labels: &[&str], values: &[Vec<f64>], digits: usize) -> String {
+    let mut t = Table::new(
+        std::iter::once(String::new())
+            .chain(labels.iter().map(|l| l.to_string()))
+            .collect(),
+    );
+    for (i, row) in values.iter().enumerate() {
+        t.add_row(
+            std::iter::once(labels[i].to_string())
+                .chain(row.iter().map(|v| format!("{v:.digits$}")))
+                .collect(),
+        );
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a".into(), "bbbb".into()]);
+        t.add_row(vec!["123".into(), "1".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    fn cell_marks_missing_values() {
+        assert_eq!(cell(None, 2), "x");
+        assert_eq!(cell(Some(1.5), 2), "1.50");
+    }
+
+    #[test]
+    fn matrix_includes_labels() {
+        let m = matrix(&["p", "q"], &[vec![0.0, 1.0], vec![1.0, 0.0]], 1);
+        assert!(m.contains('p'));
+        assert!(m.contains("1.0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_row_width_panics() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.add_row(vec!["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,191 @@
+//! The elbow method for estimating the number of clusters.
+//!
+//! §IV-C of the paper: run k-means for `k = 1..n`, record the SSE for each
+//! `k`, and "choose the value of k at which SSE starts to diminish". This
+//! module locates that knee with the discrete maximum-curvature criterion
+//! (the largest drop in successive SSE improvements), which is the standard
+//! formalization of the eyeball rule the paper cites (Kodinariya & Makwana
+//! 2013).
+
+use crate::kmeans::{KMeans, KMeansConfig};
+
+/// Outcome of an elbow sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElbowResult {
+    /// The estimated number of clusters.
+    pub k: usize,
+    /// SSE per candidate `k`, starting at `k = 1`.
+    pub sse_curve: Vec<f64>,
+}
+
+/// Estimates the number of clusters in `points` by the elbow method.
+///
+/// Runs k-means for every `k` in `1..=max_k` (clamped to the number of
+/// points) and picks the knee of the SSE curve. `base` supplies shared
+/// k-means settings (seed, restarts); its `k` field is overridden by the
+/// sweep.
+///
+/// # Panics
+///
+/// Panics if `points` is empty or `max_k == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use srtd_cluster::{elbow, KMeansConfig};
+///
+/// let points = vec![
+///     vec![0.0], vec![0.1], vec![0.2],
+///     vec![10.0], vec![10.1], vec![10.2],
+///     vec![20.0], vec![20.1], vec![20.2],
+/// ];
+/// let result = elbow(&points, 6, KMeansConfig::new(1));
+/// assert_eq!(result.k, 3);
+/// ```
+pub fn elbow(points: &[Vec<f64>], max_k: usize, base: KMeansConfig) -> ElbowResult {
+    assert!(
+        !points.is_empty(),
+        "cannot estimate k for an empty point set"
+    );
+    assert!(max_k > 0, "max_k must be positive");
+    let max_k = max_k.min(points.len());
+    let sse_curve: Vec<f64> = (1..=max_k)
+        .map(|k| {
+            let cfg = KMeansConfig { k, ..base };
+            KMeans::new(cfg).fit(points).sse
+        })
+        .collect();
+    ElbowResult {
+        k: knee_of(&sse_curve),
+        sse_curve,
+    }
+}
+
+/// Index (1-based `k`) of the knee of a non-increasing SSE curve.
+///
+/// Uses the distance-to-chord criterion (the "Kneedle" idea): normalize the
+/// curve to the unit square, draw the chord from the first to the last
+/// point, and pick the `k` whose point lies farthest below the chord. This
+/// matches the visual "where the curve starts to diminish" reading the
+/// paper describes, and unlike discrete curvature it lands on the last
+/// significant drop for evenly separated clusters.
+///
+/// Degenerate curves fall back sensibly: flat curves (including all-zero
+/// ones) mean one blob (`k = 1`); a two-point curve returns 2 only if the
+/// second cluster removed at least 90% of the variance.
+pub fn knee_of(sse: &[f64]) -> usize {
+    match sse.len() {
+        0 | 1 => 1,
+        2 => {
+            if sse[0] > 0.0 && sse[1] < 0.1 * sse[0] {
+                2
+            } else {
+                1
+            }
+        }
+        _ => {
+            let first = sse[0];
+            let last = *sse.last().expect("len >= 3");
+            let total_drop = first - last;
+            // A flat curve (no meaningful drop anywhere) means one blob.
+            if total_drop <= 0.05 * first.max(f64::MIN_POSITIVE) {
+                return 1;
+            }
+            let n = sse.len();
+            let mut best_k = 1;
+            let mut best_gap = f64::NEG_INFINITY;
+            for (i, &s) in sse.iter().enumerate() {
+                let x = i as f64 / (n - 1) as f64;
+                let chord = first + (last - first) * x;
+                let gap = (chord - s) / total_drop;
+                if gap > best_gap {
+                    best_gap = gap;
+                    best_k = i + 1;
+                }
+            }
+            best_k
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(center: &[f64], spread: f64, n: usize, out: &mut Vec<Vec<f64>>) {
+        for i in 0..n {
+            let jitter = spread * ((i as f64 * 0.77).sin());
+            out.push(center.iter().map(|c| c + jitter).collect());
+        }
+    }
+
+    #[test]
+    fn finds_three_blobs() {
+        let mut pts = Vec::new();
+        blob(&[0.0, 0.0], 0.2, 8, &mut pts);
+        blob(&[10.0, 0.0], 0.2, 8, &mut pts);
+        blob(&[0.0, 10.0], 0.2, 8, &mut pts);
+        let r = elbow(&pts, 8, KMeansConfig::new(1));
+        assert_eq!(r.k, 3);
+        assert_eq!(r.sse_curve.len(), 8);
+    }
+
+    #[test]
+    fn single_blob_estimates_at_most_two() {
+        // Max-curvature knees over-split smooth single-cluster SSE curves
+        // by at most one; anything beyond k = 2 would be a regression.
+        let mut pts = Vec::new();
+        blob(&[5.0, 5.0], 0.3, 12, &mut pts);
+        let r = elbow(&pts, 6, KMeansConfig::new(1));
+        assert!(r.k <= 2, "single blob split into {} clusters", r.k);
+    }
+
+    #[test]
+    fn identical_points_estimate_one() {
+        let pts = vec![vec![4.0, 2.0]; 10];
+        let r = elbow(&pts, 5, KMeansConfig::new(1));
+        assert_eq!(r.k, 1);
+    }
+
+    #[test]
+    fn two_blobs_estimate_two() {
+        let mut pts = Vec::new();
+        blob(&[0.0], 0.1, 10, &mut pts);
+        blob(&[100.0], 0.1, 10, &mut pts);
+        let r = elbow(&pts, 6, KMeansConfig::new(1));
+        assert_eq!(r.k, 2);
+    }
+
+    #[test]
+    fn knee_of_degenerate_curves() {
+        assert_eq!(knee_of(&[]), 1);
+        assert_eq!(knee_of(&[5.0]), 1);
+        assert_eq!(knee_of(&[5.0, 4.9]), 1);
+        assert_eq!(knee_of(&[5.0, 0.01]), 2);
+        assert_eq!(knee_of(&[0.0, 0.0, 0.0]), 1);
+    }
+
+    #[test]
+    fn sse_curve_is_nonincreasing() {
+        let mut pts = Vec::new();
+        blob(&[0.0, 1.0], 0.5, 10, &mut pts);
+        blob(&[4.0, 2.0], 0.5, 10, &mut pts);
+        let r = elbow(&pts, 6, KMeansConfig::new(1).with_restarts(16));
+        for w in r.sse_curve.windows(2) {
+            assert!(w[1] <= w[0] + 1e-6, "curve not monotone: {:?}", r.sse_curve);
+        }
+    }
+
+    #[test]
+    fn max_k_clamped_to_point_count() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let r = elbow(&pts, 10, KMeansConfig::new(1));
+        assert_eq!(r.sse_curve.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty point set")]
+    fn empty_points_panic() {
+        elbow(&[], 3, KMeansConfig::new(1));
+    }
+}

@@ -1,0 +1,250 @@
+//! Agglomerative hierarchical clustering with distance-threshold cutting.
+//!
+//! An alternative to k-means + elbow for fingerprint grouping: instead of
+//! estimating the cluster *count*, merge the closest clusters until the
+//! next merge would exceed a distance threshold. This sidesteps the elbow
+//! method's over-estimation bias on smooth SSE curves at the cost of a
+//! threshold parameter (which standardized fingerprint features make
+//! fairly stable across campaigns). The `exp_ablation_clustering`
+//! experiment compares both pipelines.
+
+use crate::squared_distance;
+
+/// Linkage criterion: how the distance between two clusters is defined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Linkage {
+    /// Smallest pairwise point distance (chains easily).
+    Single,
+    /// Largest pairwise point distance (compact clusters).
+    Complete,
+    /// Unweighted average of all pairwise distances (UPGMA).
+    #[default]
+    Average,
+}
+
+/// Result of an agglomerative clustering run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierarchicalResult {
+    /// Cluster index per input point (dense, `0..num_clusters`).
+    pub assignments: Vec<usize>,
+    /// Number of clusters after cutting.
+    pub num_clusters: usize,
+    /// Distances at which successive merges happened (sorted ascending by
+    /// construction), useful for threshold diagnostics.
+    pub merge_distances: Vec<f64>,
+}
+
+/// Agglomerative clustering cut at a Euclidean distance threshold.
+///
+/// Starts from singletons and repeatedly merges the closest pair of
+/// clusters (under `linkage`) while that distance is `<= threshold`.
+/// `O(n³)` worst case with the naive matrix implementation — fingerprint
+/// sets are small (tens of accounts), so simplicity wins over a heap.
+///
+/// # Panics
+///
+/// Panics if `points` is empty, rows have inconsistent lengths, or the
+/// threshold is negative/NaN.
+///
+/// # Examples
+///
+/// ```
+/// use srtd_cluster::hierarchical::{agglomerative, Linkage};
+///
+/// let points = vec![vec![0.0], vec![0.1], vec![5.0], vec![5.1]];
+/// let result = agglomerative(&points, 1.0, Linkage::Average);
+/// assert_eq!(result.num_clusters, 2);
+/// assert_eq!(result.assignments[0], result.assignments[1]);
+/// assert_ne!(result.assignments[0], result.assignments[2]);
+/// ```
+#[allow(clippy::needless_range_loop)] // live-pair scan over an index-stable arena
+pub fn agglomerative(points: &[Vec<f64>], threshold: f64, linkage: Linkage) -> HierarchicalResult {
+    assert!(!points.is_empty(), "cannot cluster an empty point set");
+    let dim = points[0].len();
+    assert!(
+        points.iter().all(|p| p.len() == dim),
+        "points must share one dimensionality"
+    );
+    assert!(
+        threshold >= 0.0 && !threshold.is_nan(),
+        "threshold must be non-negative"
+    );
+    let n = points.len();
+    // clusters[i] = Some(member indices); None once merged away.
+    let mut clusters: Vec<Option<Vec<usize>>> = (0..n).map(|i| Some(vec![i])).collect();
+    // Pairwise point distances, precomputed.
+    let mut point_dist = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let d = squared_distance(&points[i], &points[j]).sqrt();
+            point_dist[i][j] = d;
+            point_dist[j][i] = d;
+        }
+    }
+    let cluster_dist = |a: &[usize], b: &[usize], dist: &Vec<Vec<f64>>| -> f64 {
+        let mut acc: f64 = match linkage {
+            Linkage::Single => f64::INFINITY,
+            Linkage::Complete => 0.0,
+            Linkage::Average => 0.0,
+        };
+        for &x in a {
+            for &y in b {
+                let d = dist[x][y];
+                acc = match linkage {
+                    Linkage::Single => acc.min(d),
+                    Linkage::Complete => acc.max(d),
+                    Linkage::Average => acc + d,
+                };
+            }
+        }
+        if linkage == Linkage::Average {
+            acc / (a.len() * b.len()) as f64
+        } else {
+            acc
+        }
+    };
+    let mut merge_distances = Vec::new();
+    loop {
+        // Find the closest live pair.
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..n {
+            let Some(a) = &clusters[i] else { continue };
+            for j in i + 1..n {
+                let Some(b) = &clusters[j] else { continue };
+                let d = cluster_dist(a, b, &point_dist);
+                if best.is_none_or(|(_, _, bd)| d < bd) {
+                    best = Some((i, j, d));
+                }
+            }
+        }
+        match best {
+            Some((i, j, d)) if d <= threshold => {
+                let b = clusters[j].take().expect("checked live");
+                clusters[i].as_mut().expect("checked live").extend(b);
+                merge_distances.push(d);
+            }
+            _ => break,
+        }
+    }
+    let mut assignments = vec![0usize; n];
+    let mut num_clusters = 0;
+    for members in clusters.iter().flatten() {
+        for &m in members {
+            assignments[m] = num_clusters;
+        }
+        num_clusters += 1;
+    }
+    HierarchicalResult {
+        assignments,
+        num_clusters,
+        merge_distances,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 0.0],
+            vec![0.2, 0.1],
+            vec![0.1, -0.1],
+            vec![8.0, 8.0],
+            vec![8.1, 7.9],
+        ]
+    }
+
+    #[test]
+    fn separates_two_blobs_at_moderate_threshold() {
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let r = agglomerative(&blobs(), 2.0, linkage);
+            assert_eq!(r.num_clusters, 2, "{linkage:?}");
+            assert_eq!(r.assignments[0], r.assignments[1]);
+            assert_eq!(r.assignments[3], r.assignments[4]);
+            assert_ne!(r.assignments[0], r.assignments[3]);
+        }
+    }
+
+    #[test]
+    fn zero_threshold_keeps_singletons() {
+        let r = agglomerative(&blobs(), 0.0, Linkage::Average);
+        assert_eq!(r.num_clusters, 5);
+        assert!(r.merge_distances.is_empty());
+    }
+
+    #[test]
+    fn huge_threshold_merges_everything() {
+        let r = agglomerative(&blobs(), 1e9, Linkage::Complete);
+        assert_eq!(r.num_clusters, 1);
+        assert_eq!(r.merge_distances.len(), 4);
+    }
+
+    #[test]
+    fn duplicate_points_merge_at_zero() {
+        let pts = vec![vec![1.0], vec![1.0], vec![9.0]];
+        let r = agglomerative(&pts, 0.0, Linkage::Single);
+        assert_eq!(r.num_clusters, 2);
+        assert_eq!(r.assignments[0], r.assignments[1]);
+    }
+
+    #[test]
+    fn single_linkage_chains_where_complete_does_not() {
+        // A chain of points 1 apart: single linkage at 1.1 merges all;
+        // complete linkage stops early.
+        let pts: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let single = agglomerative(&pts, 1.1, Linkage::Single);
+        let complete = agglomerative(&pts, 1.1, Linkage::Complete);
+        assert_eq!(single.num_clusters, 1);
+        assert!(complete.num_clusters > 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty point set")]
+    fn empty_points_panic() {
+        agglomerative(&[], 1.0, Linkage::Average);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_threshold_panics() {
+        agglomerative(&[vec![0.0]], -1.0, Linkage::Average);
+    }
+
+    proptest! {
+        /// Assignments are always a dense partition, and the cluster count
+        /// decreases monotonically in the threshold.
+        #[test]
+        fn partition_and_monotonicity(
+            xs in proptest::collection::vec(-50f64..50.0, 2..15),
+            t1 in 0.0f64..20.0,
+            t2 in 0.0f64..20.0,
+        ) {
+            let pts: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+            let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+            let a = agglomerative(&pts, lo, Linkage::Average);
+            let b = agglomerative(&pts, hi, Linkage::Average);
+            prop_assert!(b.num_clusters <= a.num_clusters);
+            for r in [&a, &b] {
+                let max = *r.assignments.iter().max().expect("non-empty");
+                prop_assert_eq!(max + 1, r.num_clusters);
+            }
+        }
+
+        /// Merge distances are reported in non-decreasing order for
+        /// average and complete linkage (reducibility holds).
+        #[test]
+        fn merge_distances_sorted(
+            xs in proptest::collection::vec(-50f64..50.0, 2..12),
+        ) {
+            let pts: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+            for linkage in [Linkage::Average, Linkage::Complete] {
+                let r = agglomerative(&pts, f64::MAX, linkage);
+                for w in r.merge_distances.windows(2) {
+                    prop_assert!(w[1] + 1e-9 >= w[0], "{:?}: {:?}", linkage, r.merge_distances);
+                }
+            }
+        }
+    }
+}

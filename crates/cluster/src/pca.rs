@@ -1,0 +1,221 @@
+//! Principal component analysis over fingerprint feature vectors.
+
+use crate::linalg::{jacobi_eigen, Matrix};
+
+/// A fitted PCA model.
+///
+/// The paper projects fingerprint feature vectors onto the first two
+/// principal components to visualize device separability (Figs. 2 and 8);
+/// [`Pca::project`] reproduces exactly that projection.
+///
+/// # Examples
+///
+/// ```
+/// use srtd_cluster::Pca;
+///
+/// // Points on a line: one dominant component.
+/// let pts: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+/// let pca = Pca::fit(&pts, 2);
+/// let ratio = pca.explained_variance_ratio();
+/// assert!(ratio[0] > 0.99);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pca {
+    mean: Vec<f64>,
+    components: Vec<Vec<f64>>,
+    eigenvalues: Vec<f64>,
+    total_variance: f64,
+}
+
+impl Pca {
+    /// Fits a PCA with up to `n_components` components.
+    ///
+    /// Centers the data, forms the covariance matrix and eigendecomposes it
+    /// with the Jacobi solver. The number of returned components is clamped
+    /// to the data dimensionality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty, rows have inconsistent lengths, or
+    /// `n_components == 0`.
+    pub fn fit(points: &[Vec<f64>], n_components: usize) -> Self {
+        assert!(!points.is_empty(), "cannot fit PCA on an empty point set");
+        assert!(n_components > 0, "need at least one component");
+        let dim = points[0].len();
+        assert!(
+            points.iter().all(|p| p.len() == dim),
+            "points must share one dimensionality"
+        );
+        let n = points.len() as f64;
+        let mean: Vec<f64> = (0..dim)
+            .map(|j| points.iter().map(|p| p[j]).sum::<f64>() / n)
+            .collect();
+        let mut cov = Matrix::zeros(dim, dim);
+        for p in points {
+            for i in 0..dim {
+                let di = p[i] - mean[i];
+                for j in i..dim {
+                    let dj = p[j] - mean[j];
+                    let v = cov.get(i, j) + di * dj / n;
+                    cov.set(i, j, v);
+                    if i != j {
+                        cov.set(j, i, v);
+                    }
+                }
+            }
+        }
+        let eig = jacobi_eigen(&cov);
+        let keep = n_components.min(dim);
+        let total_variance: f64 = eig.values.iter().map(|&v| v.max(0.0)).sum();
+        Self {
+            mean,
+            components: eig.vectors.into_iter().take(keep).collect(),
+            eigenvalues: eig.values.into_iter().take(keep).collect(),
+            total_variance,
+        }
+    }
+
+    /// Number of retained components.
+    pub fn n_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// The retained principal axes (unit vectors, rows).
+    pub fn components(&self) -> &[Vec<f64>] {
+        &self.components
+    }
+
+    /// Variance captured by each retained component.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Fraction of total variance captured by each retained component.
+    pub fn explained_variance_ratio(&self) -> Vec<f64> {
+        if self.total_variance <= 0.0 {
+            return vec![0.0; self.eigenvalues.len()];
+        }
+        self.eigenvalues
+            .iter()
+            .map(|&v| (v.max(0.0) / self.total_variance).clamp(0.0, 1.0))
+            .collect()
+    }
+
+    /// Projects one point into the component space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len()` differs from the training dimensionality.
+    pub fn project(&self, point: &[f64]) -> Vec<f64> {
+        assert_eq!(point.len(), self.mean.len(), "dimension mismatch");
+        self.components
+            .iter()
+            .map(|axis| {
+                axis.iter()
+                    .zip(point.iter().zip(&self.mean))
+                    .map(|(a, (x, m))| a * (x - m))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Projects a batch of points.
+    pub fn project_all(&self, points: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        points.iter().map(|p| self.project(p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn line_data_has_single_dominant_component() {
+        let pts: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, 3.0 * i as f64 + 1.0])
+            .collect();
+        let pca = Pca::fit(&pts, 2);
+        let ratio = pca.explained_variance_ratio();
+        assert!(ratio[0] > 0.999);
+        // First axis is parallel to (1, 3)/√10.
+        let axis = &pca.components()[0];
+        let expected = [1.0 / 10f64.sqrt(), 3.0 / 10f64.sqrt()];
+        let dot: f64 = axis.iter().zip(&expected).map(|(a, b)| a * b).sum();
+        assert!((dot.abs() - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn projection_of_mean_is_origin() {
+        let pts = vec![vec![1.0, 2.0], vec![3.0, 6.0], vec![5.0, 4.0]];
+        let pca = Pca::fit(&pts, 2);
+        let mean = [3.0, 4.0];
+        let proj = pca.project(&mean);
+        assert!(proj.iter().all(|v| v.abs() < 1e-10));
+    }
+
+    #[test]
+    fn components_clamped_to_dimension() {
+        let pts = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let pca = Pca::fit(&pts, 5);
+        assert_eq!(pca.n_components(), 1);
+    }
+
+    #[test]
+    fn constant_data_yields_zero_ratios() {
+        let pts = vec![vec![2.0, 2.0]; 4];
+        let pca = Pca::fit(&pts, 2);
+        let ratio = pca.explained_variance_ratio();
+        assert!(ratio.iter().all(|&r| r == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty point set")]
+    fn empty_points_panic() {
+        Pca::fit(&[], 2);
+    }
+
+    proptest! {
+        /// Projection preserves pairwise distances when all components are
+        /// kept (PCA is a rotation).
+        #[test]
+        fn full_projection_is_isometric(seed in 0u64..100) {
+            let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as f64 / (1u64 << 31) as f64 - 0.5
+            };
+            let pts: Vec<Vec<f64>> =
+                (0..12).map(|_| (0..3).map(|_| next() * 10.0).collect()).collect();
+            let pca = Pca::fit(&pts, 3);
+            let proj = pca.project_all(&pts);
+            for i in 0..pts.len() {
+                for j in 0..pts.len() {
+                    let d0 = crate::squared_distance(&pts[i], &pts[j]);
+                    let d1 = crate::squared_distance(&proj[i], &proj[j]);
+                    prop_assert!((d0 - d1).abs() < 1e-6 * d0.max(1.0));
+                }
+            }
+        }
+
+        /// Explained variance ratios are a sub-probability vector sorted
+        /// descending.
+        #[test]
+        fn ratios_sorted_and_bounded(seed in 0u64..100) {
+            let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(7);
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as f64 / (1u64 << 31) as f64 - 0.5
+            };
+            let pts: Vec<Vec<f64>> =
+                (0..10).map(|_| (0..4).map(|_| next() * 3.0).collect()).collect();
+            let pca = Pca::fit(&pts, 4);
+            let ratio = pca.explained_variance_ratio();
+            let sum: f64 = ratio.iter().sum();
+            prop_assert!(sum <= 1.0 + 1e-9);
+            for w in ratio.windows(2) {
+                prop_assert!(w[0] + 1e-9 >= w[1]);
+            }
+        }
+    }
+}

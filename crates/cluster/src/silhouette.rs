@@ -1,0 +1,117 @@
+//! Silhouette score — an internal clustering-quality index.
+
+use crate::squared_distance;
+
+/// Mean silhouette coefficient of a clustering, in `[-1, 1]`.
+///
+/// For each point, `s = (b − a) / max(a, b)` where `a` is the mean distance
+/// to its own cluster and `b` the smallest mean distance to another
+/// cluster. Points in singleton clusters contribute `0`, the scikit-learn
+/// convention. Returns `0.0` when fewer than two clusters exist (the score
+/// is undefined there, and `0.0` keeps sweep code total).
+///
+/// Distances are Euclidean.
+///
+/// # Panics
+///
+/// Panics if `points` and `assignments` have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use srtd_cluster::silhouette_score;
+///
+/// let points = vec![vec![0.0], vec![0.1], vec![10.0], vec![10.1]];
+/// let good = silhouette_score(&points, &[0, 0, 1, 1]);
+/// let bad = silhouette_score(&points, &[0, 1, 0, 1]);
+/// assert!(good > 0.9);
+/// assert!(bad < 0.0);
+/// ```
+pub fn silhouette_score(points: &[Vec<f64>], assignments: &[usize]) -> f64 {
+    assert_eq!(
+        points.len(),
+        assignments.len(),
+        "each point needs exactly one cluster assignment"
+    );
+    let n = points.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let k = assignments.iter().copied().max().map_or(0, |m| m + 1);
+    let mut cluster_sizes = vec![0usize; k];
+    for &a in assignments {
+        cluster_sizes[a] += 1;
+    }
+    if cluster_sizes.iter().filter(|&&s| s > 0).count() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for (i, p) in points.iter().enumerate() {
+        let own = assignments[i];
+        if cluster_sizes[own] <= 1 {
+            continue; // contributes 0
+        }
+        // Mean distance to each cluster.
+        let mut sums = vec![0.0f64; k];
+        for (q, &a) in points.iter().zip(assignments) {
+            sums[a] += squared_distance(p, q).sqrt();
+        }
+        let a_score = sums[own] / (cluster_sizes[own] - 1) as f64;
+        let b_score = (0..k)
+            .filter(|&c| c != own && cluster_sizes[c] > 0)
+            .map(|c| sums[c] / cluster_sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        let denom = a_score.max(b_score);
+        if denom > 0.0 {
+            total += (b_score - a_score) / denom;
+        }
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_separation_scores_high() {
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![100.0, 0.0],
+            vec![100.1, 0.0],
+        ];
+        assert!(silhouette_score(&pts, &[0, 0, 1, 1]) > 0.99);
+    }
+
+    #[test]
+    fn single_cluster_is_zero() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        assert_eq!(silhouette_score(&pts, &[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn singletons_contribute_zero() {
+        let pts = vec![vec![0.0], vec![5.0], vec![10.0]];
+        let s = silhouette_score(&pts, &[0, 1, 2]);
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        assert_eq!(silhouette_score(&[], &[]), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn score_is_bounded(
+            data in proptest::collection::vec((0.0f64..10.0, 0usize..3), 2..30)
+        ) {
+            let pts: Vec<Vec<f64>> = data.iter().map(|d| vec![d.0]).collect();
+            let labels: Vec<usize> = data.iter().map(|d| d.1).collect();
+            let s = silhouette_score(&pts, &labels);
+            prop_assert!((-1.0..=1.0).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Group-level data aggregation (Eq. 3) and initial group weights (Eq. 4).
+
+/// How a group's reports for one task collapse into the single value
+/// `d̃_j^k` of Eq. 3.
+///
+/// Eq. 3 as printed,
+///
+/// ```text
+/// d̃_j^k = Σ_i (d_j^i − d̄_j^k) d_j^i / Σ_i (d_j^i − d̄_j^k),
+/// ```
+///
+/// has an identically-zero denominator (deviations from the arithmetic
+/// mean always sum to zero), so it cannot be evaluated literally. The
+/// paper's own prose says the group aggregate "will be closed to the
+/// average of the data submitted by" the group's members (§V-B), so
+/// [`GroupAggregation::Mean`] is the default. [`GroupAggregation::Median`]
+/// is more robust when a Sybil group absorbed a legitimate account
+/// (false positive), and
+/// [`GroupAggregation::AbsoluteDeviationWeighted`] is the closest
+/// well-defined reading of the printed formula (deviations taken in
+/// absolute value). The ablation experiment `exp_ablation_aggregation`
+/// compares all three.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GroupAggregation {
+    /// Arithmetic mean of the group's values (the paper's described
+    /// behaviour).
+    #[default]
+    Mean,
+    /// Median of the group's values.
+    Median,
+    /// `Σ |d − d̄| d / Σ |d − d̄|` — Eq. 3 with absolute deviations; falls
+    /// back to the mean when all values coincide.
+    AbsoluteDeviationWeighted,
+}
+
+impl GroupAggregation {
+    /// Aggregates one group's values for one task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty — the framework only aggregates groups
+    /// that reported the task.
+    pub fn aggregate(self, values: &[f64]) -> f64 {
+        assert!(!values.is_empty(), "cannot aggregate an empty group");
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        match self {
+            GroupAggregation::Mean => mean,
+            GroupAggregation::Median => {
+                let mut sorted = values.to_vec();
+                sorted.sort_by(f64::total_cmp);
+                let mid = sorted.len() / 2;
+                if sorted.len() % 2 == 1 {
+                    sorted[mid]
+                } else {
+                    0.5 * (sorted[mid - 1] + sorted[mid])
+                }
+            }
+            GroupAggregation::AbsoluteDeviationWeighted => {
+                let denom: f64 = values.iter().map(|v| (v - mean).abs()).sum();
+                if denom <= f64::EPSILON * values.len() as f64 {
+                    return mean;
+                }
+                values.iter().map(|v| (v - mean).abs() * v).sum::<f64>() / denom
+            }
+        }
+    }
+}
+
+/// Eq. 4: the initial weight of group `g_k` for task `τ_j`,
+/// `w̃_k = 1 − |g_k| / |U_j|`, where `|g_k|` counts the group's members
+/// *reporting this task* and `|U_j|` all accounts reporting it.
+///
+/// Large groups — the signature of a Sybil attacker — start with low
+/// weight; a group containing every reporter starts at zero. The count is
+/// restricted to reporting members so that groups larger than `U_j`
+/// (members busy on other tasks) cannot produce negative weights.
+///
+/// # Panics
+///
+/// Panics if `reporting_members > task_reporters` or `task_reporters == 0`.
+pub fn initial_group_weight(reporting_members: usize, task_reporters: usize) -> f64 {
+    assert!(task_reporters > 0, "task has no reporters");
+    assert!(
+        reporting_members <= task_reporters,
+        "group cannot have more reporters than the task ({reporting_members} > {task_reporters})"
+    );
+    1.0 - reporting_members as f64 / task_reporters as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_and_median_basics() {
+        assert_eq!(GroupAggregation::Mean.aggregate(&[1.0, 2.0, 6.0]), 3.0);
+        assert_eq!(GroupAggregation::Median.aggregate(&[1.0, 2.0, 6.0]), 2.0);
+        assert_eq!(GroupAggregation::Median.aggregate(&[1.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn identical_values_aggregate_to_that_value() {
+        for agg in [
+            GroupAggregation::Mean,
+            GroupAggregation::Median,
+            GroupAggregation::AbsoluteDeviationWeighted,
+        ] {
+            assert_eq!(agg.aggregate(&[-50.0; 5]), -50.0, "{agg:?}");
+        }
+    }
+
+    #[test]
+    fn abs_dev_weighted_is_finite_and_in_hull() {
+        let v = GroupAggregation::AbsoluteDeviationWeighted.aggregate(&[1.0, 2.0, 9.0]);
+        assert!(v.is_finite());
+        assert!((1.0..=9.0).contains(&v));
+    }
+
+    #[test]
+    fn single_member_group_passes_through() {
+        for agg in [
+            GroupAggregation::Mean,
+            GroupAggregation::Median,
+            GroupAggregation::AbsoluteDeviationWeighted,
+        ] {
+            assert_eq!(agg.aggregate(&[-72.3]), -72.3, "{agg:?}");
+        }
+    }
+
+    #[test]
+    fn eq4_weights() {
+        // A singleton among 6 reporters: high weight.
+        assert!((initial_group_weight(1, 6) - 5.0 / 6.0).abs() < 1e-12);
+        // A 5-account Sybil group among 6 reporters: low weight.
+        assert!((initial_group_weight(5, 6) - 1.0 / 6.0).abs() < 1e-12);
+        // A group holding every reporter: zero.
+        assert_eq!(initial_group_weight(4, 4), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty group")]
+    fn empty_group_panics() {
+        GroupAggregation::Mean.aggregate(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no reporters")]
+    fn zero_reporters_panics() {
+        initial_group_weight(0, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn aggregates_stay_in_hull(
+            values in proptest::collection::vec(-100f64..100.0, 1..20)
+        ) {
+            let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            for agg in [
+                GroupAggregation::Mean,
+                GroupAggregation::Median,
+                GroupAggregation::AbsoluteDeviationWeighted,
+            ] {
+                let v = agg.aggregate(&values);
+                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{:?} gave {}", agg, v);
+            }
+        }
+
+        #[test]
+        fn eq4_weight_in_unit_interval(members in 0usize..50, extra in 0usize..50) {
+            let reporters = members + extra.max(1);
+            let w = initial_group_weight(members, reporters);
+            prop_assert!((0.0..=1.0).contains(&w));
+        }
+    }
+}

@@ -1,0 +1,455 @@
+//! Algorithm 2: the Sybil-resistant truth discovery framework.
+
+use crate::aggregate::{initial_group_weight, GroupAggregation};
+use crate::grouping::{AccountGrouping, Grouping};
+use srtd_truth::{ConvergenceCriterion, SensingData};
+
+/// How the iterative stage updates truths from group aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TruthUpdate {
+    /// Algorithm 2's weighted mean over group aggregates (the default).
+    #[default]
+    WeightedMean,
+    /// Weighted median over group aggregates — a robust extension layered
+    /// on top of grouping: even if one merged group still carries an
+    /// attacker majority *inside* it, the cross-group median resists a
+    /// minority of poisoned group aggregates.
+    WeightedMedian,
+}
+
+/// Configuration of the group-level truth discovery stage.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FrameworkConfig {
+    /// How each group's reports collapse to one value per task (Eq. 3).
+    pub aggregation: GroupAggregation,
+    /// How truths are re-estimated from group aggregates each iteration.
+    pub truth_update: TruthUpdate,
+    /// Convergence control of the iterative stage.
+    pub convergence: ConvergenceCriterion,
+}
+
+/// The Sybil-resistant truth discovery framework (Algorithm 2),
+/// parameterized by an account grouping method.
+///
+/// See the [crate docs](crate) for the pipeline; construct with one of
+/// [`crate::AgFp`], [`crate::AgTs`], [`crate::AgTr`] (the paper's TD-FP /
+/// TD-TS / TD-TR variants) or [`crate::PerfectGrouping`] for the oracle
+/// ceiling.
+#[derive(Debug, Clone)]
+pub struct SybilResistantTd<G> {
+    grouping: G,
+    config: FrameworkConfig,
+}
+
+/// Output of the framework.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameworkResult {
+    /// Estimated truth per task; `None` for unreported tasks.
+    pub truths: Vec<Option<f64>>,
+    /// The account grouping the framework worked with.
+    pub grouping: Grouping,
+    /// Final per-group weights (parallel to `grouping.groups()`).
+    pub group_weights: Vec<f64>,
+    /// Iterations of the weight/truth loop.
+    pub iterations: usize,
+    /// Whether the convergence criterion fired before the cap.
+    pub converged: bool,
+}
+
+impl FrameworkResult {
+    /// Truths with `default` substituted for unreported tasks.
+    pub fn truths_or(&self, default: f64) -> Vec<f64> {
+        self.truths.iter().map(|t| t.unwrap_or(default)).collect()
+    }
+}
+
+impl<G: AccountGrouping> SybilResistantTd<G> {
+    /// Creates the framework with default configuration (mean aggregation,
+    /// weighted-mean updates, 1000-iteration cap, 1e-6 tolerance).
+    pub fn new(grouping: G) -> Self {
+        Self {
+            grouping,
+            config: FrameworkConfig::default(),
+        }
+    }
+
+    /// Creates the framework with an explicit configuration.
+    pub fn with_config(grouping: G, config: FrameworkConfig) -> Self {
+        Self { grouping, config }
+    }
+
+    /// The grouping method in use.
+    pub fn grouping_method(&self) -> &G {
+        &self.grouping
+    }
+
+    /// A display name of the framework variant: `"TD-"` plus the grouping
+    /// method's suffix (TD-FP, TD-TS, TD-TR as in §V-C).
+    pub fn variant_name(&self) -> String {
+        match self.grouping.name() {
+            name if name.starts_with("AG-") => format!("TD-{}", &name[3..]),
+            other => format!("TD({other})"),
+        }
+    }
+
+    /// Runs Algorithm 2 on a campaign.
+    ///
+    /// `fingerprints` carries one feature vector per account for
+    /// fingerprint-based grouping methods; pass `&[]` for methods that do
+    /// not use them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grouping method requires fingerprints that are
+    /// missing (see the method's own documentation).
+    pub fn discover(&self, data: &SensingData, fingerprints: &[Vec<f64>]) -> FrameworkResult {
+        // Line 1: account grouping.
+        let grouping = self.grouping.group(data, fingerprints);
+        self.discover_with_grouping(data, grouping)
+    }
+
+    /// Runs the data-grouping and truth-estimation stages on a precomputed
+    /// grouping (lines 2–16 of Algorithm 2). Useful for ablations that
+    /// reuse one grouping across configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grouping` does not cover exactly the accounts of `data`.
+    pub fn discover_with_grouping(
+        &self,
+        data: &SensingData,
+        grouping: Grouping,
+    ) -> FrameworkResult {
+        assert_eq!(
+            grouping.num_accounts(),
+            data.num_accounts(),
+            "grouping must cover every account"
+        );
+        let m = data.num_tasks();
+        let l = grouping.len();
+
+        // Lines 2–6: per task, aggregate each group's data (Eq. 3) and
+        // compute the size-based seed weight (Eq. 4).
+        // per_task[j]: (group, aggregated value, seed weight).
+        let mut per_task: Vec<Vec<(usize, f64, f64)>> = Vec::with_capacity(m);
+        for j in 0..m {
+            let reports = data.reports_for_task(j);
+            if reports.is_empty() {
+                per_task.push(Vec::new());
+                continue;
+            }
+            let reporters = reports.len();
+            let mut by_group: Vec<Vec<f64>> = vec![Vec::new(); l];
+            for r in &reports {
+                by_group[grouping.group_of(r.account)].push(r.value);
+            }
+            let entries = by_group
+                .iter()
+                .enumerate()
+                .filter(|(_, vals)| !vals.is_empty())
+                .map(|(k, vals)| {
+                    let aggregated = self.config.aggregation.aggregate(vals);
+                    let seed = initial_group_weight(vals.len(), reporters);
+                    (k, aggregated, seed)
+                })
+                .collect();
+            per_task.push(entries);
+        }
+
+        let estimate =
+            |entries: &[(usize, f64, f64)], weight_of: &dyn Fn(usize, f64) -> f64| match self
+                .config
+                .truth_update
+            {
+                TruthUpdate::WeightedMean => {
+                    weighted_truth(entries.iter().map(|&(k, v, seed)| (v, weight_of(k, seed))))
+                }
+                TruthUpdate::WeightedMedian => {
+                    let mut pairs: Vec<(f64, f64)> = entries
+                        .iter()
+                        .map(|&(k, v, seed)| (v, weight_of(k, seed)))
+                        .collect();
+                    srtd_truth::weighted_median(&mut pairs)
+                }
+            };
+
+        // Line 7: initialize truths by Eq. 5 with the seed weights.
+        let mut truths: Vec<Option<f64>> = per_task
+            .iter()
+            .map(|entries| estimate(entries, &|_, seed| seed))
+            .collect();
+
+        if per_task.iter().all(Vec::is_empty) || l == 0 {
+            return FrameworkResult {
+                truths,
+                grouping,
+                group_weights: vec![0.0; l],
+                iterations: 0,
+                converged: true,
+            };
+        }
+
+        // Per-task normalization scale: std of the group aggregates.
+        let scales: Vec<f64> = per_task
+            .iter()
+            .map(|entries| {
+                if entries.len() < 2 {
+                    return 1.0;
+                }
+                let mean = entries.iter().map(|&(_, v, _)| v).sum::<f64>() / entries.len() as f64;
+                let var = entries
+                    .iter()
+                    .map(|&(_, v, _)| (v - mean) * (v - mean))
+                    .sum::<f64>()
+                    / entries.len() as f64;
+                var.sqrt().max(1e-9)
+            })
+            .collect();
+
+        // Lines 8–15: iterate group weight estimation (CRH-style W over
+        // the distances of group aggregates to current truths) and truth
+        // estimation.
+        let mut weights = vec![1.0f64; l];
+        let mut iterations = 0;
+        let mut converged = false;
+        for iter in 0..self.config.convergence.max_iterations {
+            iterations = iter + 1;
+            // Group weight update.
+            let mut losses = vec![0.0f64; l];
+            for (j, entries) in per_task.iter().enumerate() {
+                let Some(truth) = truths[j] else { continue };
+                for &(k, value, _) in entries {
+                    let e = (value - truth) / scales[j];
+                    losses[k] += e * e;
+                }
+            }
+            let total: f64 = losses.iter().sum();
+            for (w, &loss) in weights.iter_mut().zip(&losses) {
+                *w = (total.max(1e-12) / loss.max(1e-12)).ln().max(0.0);
+            }
+            if weights.iter().all(|&w| w == 0.0) {
+                weights.fill(1.0);
+            }
+            // Truth update.
+            let next: Vec<Option<f64>> = per_task
+                .iter()
+                .map(|entries| estimate(entries, &|k, _| weights[k]))
+                .collect();
+            let done = self.config.convergence.is_converged(&truths, &next);
+            truths = next;
+            if done {
+                converged = true;
+                break;
+            }
+        }
+
+        FrameworkResult {
+            truths,
+            grouping,
+            group_weights: weights,
+            iterations,
+            converged,
+        }
+    }
+}
+
+/// Weighted average with a mean fallback when all weights vanish (e.g. a
+/// task reported by a single group whose Eq. 4 seed is zero).
+fn weighted_truth(entries: impl Iterator<Item = (f64, f64)> + Clone) -> Option<f64> {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    let mut count = 0usize;
+    let mut sum = 0.0;
+    for (value, weight) in entries.clone() {
+        num += weight * value;
+        den += weight;
+        sum += value;
+        count += 1;
+    }
+    if count == 0 {
+        None
+    } else if den > 0.0 {
+        Some(num / den)
+    } else {
+        Some(sum / count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::{AgTr, AgTs, PerfectGrouping};
+    use srtd_truth::{Crh, TruthDiscovery};
+
+    /// Table I with the Table III timestamps (accounts 0..6 = the paper's
+    /// 1, 2, 3, 4', 4'', 4''').
+    fn table_i_attacked() -> SensingData {
+        let mut d = SensingData::new(4);
+        let ts = |m: f64, s: f64| 10.0 * 3600.0 + m * 60.0 + s;
+        d.add_report(0, 0, -84.48, ts(0.0, 35.0));
+        d.add_report(0, 1, -82.11, ts(2.0, 42.0));
+        d.add_report(0, 2, -75.16, ts(10.0, 22.0));
+        d.add_report(0, 3, -72.71, ts(13.0, 41.0));
+        d.add_report(1, 1, -72.27, ts(4.0, 15.0));
+        d.add_report(1, 2, -77.21, ts(6.0, 1.0));
+        d.add_report(2, 0, -72.41, ts(1.0, 21.0));
+        d.add_report(2, 1, -91.49, ts(4.0, 5.0));
+        d.add_report(2, 3, -73.55, ts(8.0, 28.0));
+        d.add_report(3, 0, -50.0, ts(1.0, 10.0));
+        d.add_report(3, 2, -50.0, ts(15.0, 24.0));
+        d.add_report(3, 3, -50.0, ts(20.0, 6.0));
+        d.add_report(4, 0, -50.0, ts(1.0, 34.0));
+        d.add_report(4, 2, -50.0, ts(16.0, 8.0));
+        d.add_report(4, 3, -50.0, ts(21.0, 25.0));
+        d.add_report(5, 0, -50.0, ts(2.0, 35.0));
+        d.add_report(5, 2, -50.0, ts(17.0, 35.0));
+        d.add_report(5, 3, -50.0, ts(22.0, 2.0));
+        d
+    }
+
+    #[test]
+    fn oracle_grouping_defeats_the_table_i_attack() {
+        let data = table_i_attacked();
+        let oracle = PerfectGrouping::new(vec![0, 1, 2, 3, 3, 3]);
+        let framework = SybilResistantTd::new(oracle);
+        let result = framework.discover(&data, &[]);
+        // Attacked tasks (0, 2, 3): the Sybil trio collapses to one voice
+        // at -50 with low weight; estimates must move back toward the
+        // legitimate readings (CRH alone lands near -55).
+        let crh = Crh::default().discover(&data);
+        for t in [0usize, 2, 3] {
+            let ours = result.truths[t].unwrap();
+            let baseline = crh.truths[t].unwrap();
+            assert!(
+                ours < baseline - 5.0,
+                "task {t}: framework {ours} not better than CRH {baseline}"
+            );
+            assert!(ours < -62.0, "task {t}: {ours} still dragged to -50");
+        }
+    }
+
+    #[test]
+    fn ag_tr_variant_matches_oracle_on_table_i() {
+        let data = table_i_attacked();
+        let by_oracle = SybilResistantTd::new(PerfectGrouping::new(vec![0, 1, 2, 3, 3, 3]))
+            .discover(&data, &[]);
+        let by_tr = SybilResistantTd::new(AgTr::default()).discover(&data, &[]);
+        // AG-TR finds the same Sybil component on this example, so the
+        // estimates agree.
+        for t in 0..4 {
+            let a = by_oracle.truths[t].unwrap();
+            let b = by_tr.truths[t].unwrap();
+            assert!((a - b).abs() < 1.0, "task {t}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn ag_ts_variant_also_diminishes_the_attack() {
+        let data = table_i_attacked();
+        let crh = Crh::default().discover(&data);
+        let by_ts = SybilResistantTd::new(AgTs::default()).discover(&data, &[]);
+        for t in [0usize, 2, 3] {
+            assert!(by_ts.truths[t].unwrap() < crh.truths[t].unwrap() - 3.0);
+        }
+    }
+
+    #[test]
+    fn singleton_grouping_behaves_like_account_level_td() {
+        let mut d = SensingData::new(2);
+        d.add_report(0, 0, 1.0, 0.0);
+        d.add_report(1, 0, 3.0, 1.0);
+        d.add_report(0, 1, 5.0, 2.0);
+        d.add_report(1, 1, 7.0, 3.0);
+        let singletons = PerfectGrouping::new(vec![0, 1]);
+        let r = SybilResistantTd::new(singletons).discover(&d, &[]);
+        // Symmetric inputs: truths are the means.
+        assert!((r.truths[0].unwrap() - 2.0).abs() < 0.5);
+        assert!((r.truths[1].unwrap() - 6.0).abs() < 0.5);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn sybil_majority_task_survives() {
+        // A task where the attacker holds 5 of 6 reports: account-level TD
+        // is lost, group-level TD still recovers something sane because the
+        // group counts once and its Eq. 4 seed weight is low.
+        let mut d = SensingData::new(2);
+        d.add_report(0, 0, -80.0, 0.0);
+        d.add_report(0, 1, -75.0, 10.0);
+        for a in 1..=5 {
+            d.add_report(a, 0, -50.0, 100.0 + a as f64 * 30.0);
+            d.add_report(a, 1, -50.0, 400.0 + a as f64 * 30.0);
+        }
+        let oracle = PerfectGrouping::new(vec![0, 1, 1, 1, 1, 1]);
+        let r = SybilResistantTd::new(oracle).discover(&d, &[]);
+        let crh = Crh::default().discover(&d);
+        assert!(r.truths[0].unwrap() < crh.truths[0].unwrap());
+        assert!(r.truths[0].unwrap() <= -65.0, "{:?}", r.truths);
+    }
+
+    #[test]
+    fn unreported_tasks_are_none() {
+        let mut d = SensingData::new(3);
+        d.add_report(0, 0, 1.0, 0.0);
+        let r = SybilResistantTd::new(PerfectGrouping::new(vec![0])).discover(&d, &[]);
+        assert_eq!(r.truths[0], Some(1.0));
+        assert_eq!(r.truths[1], None);
+        assert_eq!(r.truths[2], None);
+    }
+
+    #[test]
+    fn empty_data_is_fine() {
+        let r =
+            SybilResistantTd::new(PerfectGrouping::new(vec![])).discover(&SensingData::new(2), &[]);
+        assert_eq!(r.truths, vec![None, None]);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn weighted_median_update_resists_a_poisoned_group() {
+        // Three groups claim a task: two honest group aggregates and one
+        // Sybil aggregate. The median update ignores the minority
+        // aggregate entirely even at equal weights.
+        let mut d = SensingData::new(1);
+        d.add_report(0, 0, -80.0, 0.0);
+        d.add_report(1, 0, -79.0, 10.0);
+        d.add_report(2, 0, -50.0, 20.0);
+        let grouping = PerfectGrouping::new(vec![0, 1, 2]);
+        let median_cfg = FrameworkConfig {
+            truth_update: TruthUpdate::WeightedMedian,
+            ..FrameworkConfig::default()
+        };
+        let r = SybilResistantTd::with_config(grouping, median_cfg).discover(&d, &[]);
+        let v = r.truths[0].unwrap();
+        assert!((-80.0..=-79.0).contains(&v), "median update gave {v}");
+    }
+
+    #[test]
+    fn variant_names() {
+        assert_eq!(
+            SybilResistantTd::new(AgTs::default()).variant_name(),
+            "TD-TS"
+        );
+        assert_eq!(
+            SybilResistantTd::new(AgTr::default()).variant_name(),
+            "TD-TR"
+        );
+        assert_eq!(
+            SybilResistantTd::new(PerfectGrouping::new(vec![])).variant_name(),
+            "TD(Oracle)"
+        );
+    }
+
+    #[test]
+    fn truths_stay_in_report_hull() {
+        let data = table_i_attacked();
+        let r = SybilResistantTd::new(AgTr::default()).discover(&data, &[]);
+        for t in 0..4 {
+            let vals: Vec<f64> = data.reports_for_task(t).iter().map(|r| r.value).collect();
+            let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let v = r.truths[t].unwrap();
+            assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "task {t}: {v}");
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Account grouping: partitioning accounts by suspected physical owner.
+
+mod combined;
+mod fp;
+mod tr;
+mod ts;
+mod val;
+
+pub use combined::{CombineMode, CombinedGrouping};
+pub use fp::{AgFp, FpClustering};
+pub use tr::AgTr;
+pub use ts::AgTs;
+pub use val::AgVal;
+
+use srtd_truth::SensingData;
+
+/// A partition of accounts `0..n` into groups.
+///
+/// Invariants (the paper's `g_i ∩ g_j = ∅`, `∪ g_i = U`): every account
+/// appears in exactly one group, groups are non-empty, members are sorted,
+/// and groups are ordered by smallest member.
+///
+/// # Examples
+///
+/// ```
+/// use srtd_core::Grouping;
+///
+/// let g = Grouping::from_labels(&[0, 1, 0, 2]);
+/// assert_eq!(g.len(), 3);
+/// assert_eq!(g.groups()[0], vec![0, 2]);
+/// assert_eq!(g.group_of(3), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grouping {
+    groups: Vec<Vec<usize>>,
+    labels: Vec<usize>,
+}
+
+impl Grouping {
+    /// Builds a grouping from group member lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lists are not a partition of `0..n` (duplicate,
+    /// missing or out-of-range accounts, or empty groups).
+    pub fn new(mut groups: Vec<Vec<usize>>) -> Self {
+        assert!(
+            groups.iter().all(|g| !g.is_empty()),
+            "groups must be non-empty"
+        );
+        for g in &mut groups {
+            g.sort_unstable();
+        }
+        groups.sort_by_key(|g| g[0]);
+        let n: usize = groups.iter().map(Vec::len).sum();
+        let mut labels = vec![usize::MAX; n];
+        for (k, g) in groups.iter().enumerate() {
+            for &a in g {
+                assert!(a < n, "account {a} out of range for {n} accounts");
+                assert!(
+                    labels[a] == usize::MAX,
+                    "account {a} appears in more than one group"
+                );
+                labels[a] = k;
+            }
+        }
+        // All n slots filled <=> partition (counts already match).
+        Self { groups, labels }
+    }
+
+    /// Builds a grouping from per-account labels (arbitrary values).
+    pub fn from_labels(labels: &[usize]) -> Self {
+        let mut seen: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for (a, &l) in labels.iter().enumerate() {
+            let next = groups.len();
+            let k = *seen.entry(l).or_insert(next);
+            if k == groups.len() {
+                groups.push(Vec::new());
+            }
+            groups[k].push(a);
+        }
+        Self::new(groups)
+    }
+
+    /// The all-singletons partition over `n` accounts (no grouping —
+    /// reduces the framework to plain account-level truth discovery).
+    pub fn singletons(n: usize) -> Self {
+        Self::new((0..n).map(|a| vec![a]).collect())
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Returns `true` when there are no accounts at all.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Number of accounts covered.
+    pub fn num_accounts(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The group member lists, sorted as documented on the type.
+    pub fn groups(&self) -> &[Vec<usize>] {
+        &self.groups
+    }
+
+    /// The group index of an account.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `account` is out of range.
+    pub fn group_of(&self, account: usize) -> usize {
+        self.labels[account]
+    }
+
+    /// Per-account group labels (dense, `0..len()`).
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+}
+
+/// An account grouping method (`AG(D, F)` in Algorithm 2).
+///
+/// Implementations receive the full report matrix and the per-account
+/// device fingerprints; each method uses the part it needs (AG-FP only the
+/// fingerprints, AG-TS/AG-TR only the reports).
+pub trait AccountGrouping {
+    /// Partitions the accounts of `data`.
+    ///
+    /// `fingerprints` holds one feature vector per account (may be empty
+    /// for methods that do not use fingerprints). Implementations must
+    /// return a partition of `0..data.num_accounts()`.
+    fn group(&self, data: &SensingData, fingerprints: &[Vec<f64>]) -> Grouping;
+
+    /// Short name for result tables (e.g. `"AG-FP"`).
+    fn name(&self) -> &'static str;
+}
+
+/// An oracle grouping that returns a fixed partition — used to evaluate
+/// the framework's ceiling (perfect grouping) and as a test double.
+#[derive(Debug, Clone)]
+pub struct PerfectGrouping {
+    labels: Vec<usize>,
+}
+
+impl PerfectGrouping {
+    /// Creates the oracle from true owner labels.
+    pub fn new(labels: Vec<usize>) -> Self {
+        Self { labels }
+    }
+}
+
+impl AccountGrouping for PerfectGrouping {
+    fn group(&self, data: &SensingData, _fingerprints: &[Vec<f64>]) -> Grouping {
+        assert_eq!(
+            self.labels.len(),
+            data.num_accounts(),
+            "oracle labels must cover every account"
+        );
+        Grouping::from_labels(&self.labels)
+    }
+
+    fn name(&self) -> &'static str {
+        "Oracle"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_labels_compacts_arbitrary_ids() {
+        let g = Grouping::from_labels(&[7, 7, 3, 9]);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.groups(), &[vec![0, 1], vec![2], vec![3]]);
+        assert_eq!(g.group_of(1), 0);
+    }
+
+    #[test]
+    fn singletons_cover_everyone() {
+        let g = Grouping::singletons(4);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.num_accounts(), 4);
+    }
+
+    #[test]
+    fn groups_sorted_by_smallest_member() {
+        let g = Grouping::new(vec![vec![3, 1], vec![2, 0]]);
+        assert_eq!(g.groups(), &[vec![0, 2], vec![1, 3]]);
+    }
+
+    #[test]
+    fn empty_grouping() {
+        let g = Grouping::from_labels(&[]);
+        assert!(g.is_empty());
+        assert_eq!(g.num_accounts(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than one group")]
+    fn overlapping_groups_rejected() {
+        Grouping::new(vec![vec![0, 1], vec![1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gap_in_partition_rejected() {
+        // Accounts {0, 2}: 2 is out of range for n = 2.
+        Grouping::new(vec![vec![0], vec![2]]);
+    }
+
+    #[test]
+    fn oracle_returns_given_partition() {
+        let mut data = SensingData::new(1);
+        data.add_report(0, 0, 1.0, 0.0);
+        data.add_report(1, 0, 2.0, 0.0);
+        data.add_report(2, 0, 3.0, 0.0);
+        let oracle = PerfectGrouping::new(vec![0, 0, 1]);
+        let g = oracle.group(&data, &[]);
+        assert_eq!(g.groups(), &[vec![0, 1], vec![2]]);
+        assert_eq!(oracle.name(), "Oracle");
+    }
+}

@@ -1,0 +1,309 @@
+//! AG-TR: account grouping by trajectory (Eqs. 7–8).
+
+use crate::grouping::{AccountGrouping, Grouping};
+use srtd_graph::Graph;
+use srtd_timeseries::Dtw;
+use srtd_truth::SensingData;
+
+/// Account grouping by trajectory dissimilarity.
+///
+/// Each account's submissions, ordered by time, form two series: the task
+/// indices `X_i` and the timestamps `Y_i`. The dissimilarity is Eq. 8,
+///
+/// ```text
+/// D_ij = DTW(X_i, X_j) + DTW(Y_i, Y_j)
+/// ```
+///
+/// with the DTW distance of Eq. 7. Pairs with `D_ij < φ` are connected and
+/// connected components become groups: the accounts of one Sybil attacker
+/// replay a single physical walk, so both their task order and their
+/// timing pattern nearly coincide.
+///
+/// Timestamps are rescaled by [`AgTr::timestamp_unit`] (default: hours)
+/// before DTW so that `φ` is dimensionless-ish; the paper's worked example
+/// tabulates timestamp DTW values well below 1 for same-walk accounts.
+///
+/// # Examples
+///
+/// ```
+/// use srtd_core::{AccountGrouping, AgTr};
+/// use srtd_truth::SensingData;
+///
+/// let mut data = SensingData::new(3);
+/// // Two accounts replaying one walk 30 s apart...
+/// for (acct, off) in [(0, 0.0), (1, 30.0)] {
+///     data.add_report(acct, 0, 1.0, 100.0 + off);
+///     data.add_report(acct, 2, 1.0, 400.0 + off);
+/// }
+/// // ...and an account on a different route hours later.
+/// data.add_report(2, 1, 1.0, 9_000.0);
+/// data.add_report(2, 2, 1.0, 9_700.0);
+/// let grouping = AgTr::default().group(&data, &[]);
+/// assert_eq!(grouping.group_of(0), grouping.group_of(1));
+/// assert_ne!(grouping.group_of(0), grouping.group_of(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgTr {
+    phi: f64,
+    timestamp_unit: f64,
+    dtw: Dtw,
+}
+
+impl Default for AgTr {
+    /// `φ = 1` with timestamps in hours and *raw* cumulative DTW cost.
+    ///
+    /// The paper's worked example (Fig. 4) tabulates the raw cumulative
+    /// cost, under which task-index series of different task sets are at
+    /// least 1 apart (integer indices, squared distances), so `φ = 1`
+    /// cleanly separates different-walk accounts while same-walk accounts
+    /// differ only by their small timestamp offsets. Use
+    /// [`AgTr::with_dtw`] to switch to Eq. 7's path-normalized form.
+    fn default() -> Self {
+        Self {
+            phi: 1.0,
+            timestamp_unit: 3600.0,
+            dtw: Dtw::new().raw(),
+        }
+    }
+}
+
+impl AgTr {
+    /// Creates AG-TR with dissimilarity threshold `phi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phi` is not finite and positive.
+    pub fn new(phi: f64) -> Self {
+        assert!(phi.is_finite() && phi > 0.0, "threshold must be positive");
+        Self {
+            phi,
+            ..Self::default()
+        }
+    }
+
+    /// The dissimilarity threshold φ.
+    pub fn phi(&self) -> f64 {
+        self.phi
+    }
+
+    /// Seconds per timestamp unit used in `Y` series (default 3600 —
+    /// hours).
+    pub fn timestamp_unit(&self) -> f64 {
+        self.timestamp_unit
+    }
+
+    /// Replaces the timestamp unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds_per_unit` is not positive.
+    pub fn with_timestamp_unit(mut self, seconds_per_unit: f64) -> Self {
+        assert!(
+            seconds_per_unit.is_finite() && seconds_per_unit > 0.0,
+            "timestamp unit must be positive"
+        );
+        self.timestamp_unit = seconds_per_unit;
+        self
+    }
+
+    /// Uses a configured DTW (e.g. raw mode for the Fig. 4 worked example,
+    /// or banded for long trajectories).
+    pub fn with_dtw(mut self, dtw: Dtw) -> Self {
+        self.dtw = dtw;
+        self
+    }
+
+    /// Extracts the `(X_i, Y_i)` trajectory series of every account.
+    pub fn trajectories(&self, data: &SensingData) -> Vec<(Vec<f64>, Vec<f64>)> {
+        (0..data.num_accounts())
+            .map(|a| {
+                let traj = data.trajectory_of(a);
+                let x: Vec<f64> = traj.iter().map(|r| r.task as f64).collect();
+                let y: Vec<f64> = traj
+                    .iter()
+                    .map(|r| r.timestamp / self.timestamp_unit)
+                    .collect();
+                (x, y)
+            })
+            .collect()
+    }
+
+    /// The full pairwise dissimilarity matrix (Fig. 4(c)); diagonal is 0.
+    /// Accounts with no reports are infinitely far from everyone —
+    /// including each other: two inactive accounts share no behavioural
+    /// evidence, so they must stay singletons rather than merge at
+    /// distance zero.
+    #[allow(clippy::needless_range_loop)] // symmetric matrix fill
+    pub fn dissimilarity_matrix(&self, data: &SensingData) -> Vec<Vec<f64>> {
+        let trajectories = self.trajectories(data);
+        let n = trajectories.len();
+        let mut matrix = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in i + 1..n {
+                let (xi, yi) = &trajectories[i];
+                let (xj, yj) = &trajectories[j];
+                let d = if xi.is_empty() || xj.is_empty() {
+                    f64::INFINITY
+                } else {
+                    self.dtw.distance(xi, xj) + self.dtw.distance(yi, yj)
+                };
+                matrix[i][j] = d;
+                matrix[j][i] = d;
+            }
+        }
+        matrix
+    }
+}
+
+impl AccountGrouping for AgTr {
+    #[allow(clippy::needless_range_loop)] // symmetric matrix fill
+    fn group(&self, data: &SensingData, _fingerprints: &[Vec<f64>]) -> Grouping {
+        let n = data.num_accounts();
+        if n == 0 {
+            return Grouping::from_labels(&[]);
+        }
+        let matrix = self.dissimilarity_matrix(data);
+        let mut graph = Graph::new(n);
+        for i in 0..n {
+            for j in i + 1..n {
+                if matrix[i][j] < self.phi {
+                    graph.add_edge(i, j, matrix[i][j]);
+                }
+            }
+        }
+        Grouping::new(graph.connected_components().into_groups())
+    }
+
+    fn name(&self) -> &'static str {
+        "AG-TR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table III (same data as the AG-TS tests; see `ts.rs`).
+    fn table_iii_data() -> SensingData {
+        let mut d = SensingData::new(4);
+        let ts = |m: f64, s: f64| 10.0 * 3600.0 + m * 60.0 + s;
+        d.add_report(0, 0, -84.48, ts(0.0, 35.0));
+        d.add_report(0, 1, -82.11, ts(2.0, 42.0));
+        d.add_report(0, 2, -75.16, ts(10.0, 22.0));
+        d.add_report(0, 3, -72.71, ts(13.0, 41.0));
+        d.add_report(1, 1, -72.27, ts(4.0, 15.0));
+        d.add_report(1, 2, -77.21, ts(6.0, 1.0));
+        d.add_report(2, 0, -72.41, ts(1.0, 21.0));
+        d.add_report(2, 1, -91.49, ts(4.0, 5.0));
+        d.add_report(2, 3, -73.55, ts(8.0, 28.0));
+        d.add_report(3, 0, -50.0, ts(1.0, 10.0));
+        d.add_report(3, 2, -50.0, ts(15.0, 24.0));
+        d.add_report(3, 3, -50.0, ts(20.0, 6.0));
+        d.add_report(4, 0, -50.0, ts(1.0, 34.0));
+        d.add_report(4, 2, -50.0, ts(16.0, 8.0));
+        d.add_report(4, 3, -50.0, ts(21.0, 25.0));
+        d.add_report(5, 0, -50.0, ts(2.0, 35.0));
+        d.add_report(5, 2, -50.0, ts(17.0, 35.0));
+        d.add_report(5, 3, -50.0, ts(22.0, 2.0));
+        d
+    }
+
+    #[test]
+    fn table_iii_reproduces_fig4_grouping() {
+        // Fig. 4(d): the Sybil accounts {4', 4'', 4'''} form the single
+        // component; 1, 2, 3 are singletons. AG-TR avoids AG-TS's
+        // account-1 false positive because the timestamp series of account
+        // 1 diverges from the attacker's.
+        let g = AgTr::default().group(&table_iii_data(), &[]);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.group_of(3), g.group_of(4));
+        assert_eq!(g.group_of(4), g.group_of(5));
+        for a in 0..3 {
+            assert_eq!(g.groups()[g.group_of(a)].len(), 1, "account {a}");
+        }
+    }
+
+    #[test]
+    fn dissimilarity_matrix_structure() {
+        let d = table_iii_data();
+        let m = AgTr::default().dissimilarity_matrix(&d);
+        // Symmetric with zero diagonal.
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 0.0);
+            for (j, v) in row.iter().enumerate() {
+                assert!((v - m[j][i]).abs() < 1e-12);
+            }
+        }
+        // Sybil pairs are much closer than any legit pair.
+        let sybil_max = m[3][4].max(m[3][5]).max(m[4][5]);
+        let legit_min = m[0][1].min(m[0][2]).min(m[1][2]);
+        assert!(
+            sybil_max < legit_min,
+            "sybil pairs ({sybil_max}) should be closer than legit pairs ({legit_min})"
+        );
+    }
+
+    #[test]
+    fn raw_dtw_reproduces_fig4a_task_series_values() {
+        // Fig. 4(a) tabulates raw cumulative DTW over the task series with
+        // 1-based task ids; with 0-based ids the distances are identical
+        // because DTW is shift-invariant only through the values — both
+        // series shift together, so differences are unchanged.
+        let d = table_iii_data();
+        let ag = AgTr::default().with_dtw(Dtw::new().raw());
+        let trajectories = ag.trajectories(&d);
+        let dtw = Dtw::new().raw();
+        let dx = |i: usize, j: usize| dtw.distance(&trajectories[i].0, &trajectories[j].0);
+        assert_eq!(dx(0, 1), 2.0); // DTW(X_1, X_2)
+        assert_eq!(dx(0, 3), 1.0); // DTW(X_1, X_4')
+        assert_eq!(dx(3, 4), 0.0); // identical task series
+        assert_eq!(dx(1, 3), 2.0); // DTW(X_2, X_4')
+    }
+
+    #[test]
+    fn threshold_controls_merging() {
+        let d = table_iii_data();
+        // A huge threshold merges everyone into one component.
+        let all = AgTr::new(1e6).group(&d, &[]);
+        assert_eq!(all.len(), 1);
+        // A tiny threshold keeps everyone separate (sybil timestamp gaps
+        // are ~25–85 s ≈ 0.01–0.02 h, so φ = 1e-4 splits even them).
+        let none = AgTr::new(1e-4).group(&d, &[]);
+        assert_eq!(none.len(), 6);
+    }
+
+    #[test]
+    fn accounts_without_reports_stay_singletons() {
+        let mut d = SensingData::new(2);
+        d.add_report(0, 0, 1.0, 10.0);
+        d.add_report(2, 0, 1.0, 12.0);
+        let g = AgTr::default().group(&d, &[]);
+        let solo = g.group_of(1);
+        assert_eq!(g.groups()[solo], vec![1]);
+    }
+
+    #[test]
+    fn two_inactive_accounts_do_not_merge_with_each_other() {
+        // Accounts 1 and 2 never reported; with the naive empty-vs-empty
+        // DTW convention (distance 0) they would merge — they must not.
+        let mut d = SensingData::new(1);
+        d.add_report(0, 0, 1.0, 5.0);
+        d.add_report(3, 0, 1.5, 4_000.0);
+        d.reserve_accounts(4);
+        let g = AgTr::default().group(&d, &[]);
+        assert_ne!(g.group_of(1), g.group_of(2));
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn empty_data_yields_empty_grouping() {
+        let g = AgTr::default().group(&SensingData::new(1), &[]);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn non_positive_threshold_rejected() {
+        AgTr::new(0.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! The Table IV smartphone inventory.
+
+use crate::device::{DeviceModel, DeviceOs, MemsParameters};
+
+/// One row of the Table IV inventory: a model and how many units the
+/// experiment uses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogEntry {
+    /// The smartphone model.
+    pub model: DeviceModel,
+    /// Number of physical units in the experiment.
+    pub quantity: usize,
+    /// Role annotation from Table IV: `*` = used for Attack-I,
+    /// `**` = used for Attack-II, empty = legitimate users only.
+    pub role: DeviceRole,
+}
+
+/// How a device model is used in the paper's experiment (Table IV
+/// footnotes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeviceRole {
+    /// Only legitimate users carry this model.
+    #[default]
+    Legitimate,
+    /// One unit of this model conducts Attack-I (`*`).
+    AttackI,
+    /// One unit of this model conducts Attack-II (`**`).
+    AttackII,
+}
+
+/// The 8-model, 11-unit inventory of Table IV.
+///
+/// MEMS population parameters are synthetic but chosen so that models are
+/// separable while chips within a model stay close — the structure Fig. 8
+/// reports ("the centers of the smartphones of the same model are very
+/// close"). iPhone 6S conducts Attack-I; iPhone SE and Nexus 6P conduct
+/// Attack-II.
+///
+/// # Examples
+///
+/// ```
+/// let catalog = srtd_fingerprint::catalog::standard_catalog();
+/// let units: usize = catalog.iter().map(|e| e.quantity).sum();
+/// assert_eq!(units, 11);
+/// assert_eq!(catalog.len(), 8);
+/// ```
+pub fn standard_catalog() -> Vec<CatalogEntry> {
+    let mems = |accel_bias_center: f64,
+                gyro_bias_center: f64,
+                resonance_hz: f64,
+                resonance_gain: f64| MemsParameters {
+        accel_bias_center,
+        accel_bias_spread: 0.012,
+        accel_scale_spread: 0.004,
+        accel_noise: 0.006,
+        gyro_bias_center,
+        gyro_bias_spread: 0.0035,
+        gyro_scale_spread: 0.004,
+        gyro_noise: 0.0025,
+        resonance_hz,
+        resonance_spread_hz: 0.5,
+        resonance_gain,
+    };
+    vec![
+        CatalogEntry {
+            model: DeviceModel::new("iPhone SE", DeviceOs::Ios, mems(0.055, 0.009, 14.0, 0.060)),
+            quantity: 1,
+            role: DeviceRole::AttackII,
+        },
+        CatalogEntry {
+            model: DeviceModel::new("iPhone 6", DeviceOs::Ios, mems(-0.040, -0.006, 17.5, 0.052)),
+            quantity: 1,
+            role: DeviceRole::Legitimate,
+        },
+        CatalogEntry {
+            model: DeviceModel::new("iPhone 6S", DeviceOs::Ios, mems(0.090, 0.014, 21.0, 0.068)),
+            quantity: 2,
+            role: DeviceRole::AttackI,
+        },
+        CatalogEntry {
+            model: DeviceModel::new("iPhone 7", DeviceOs::Ios, mems(-0.085, -0.012, 24.5, 0.044)),
+            quantity: 1,
+            role: DeviceRole::Legitimate,
+        },
+        CatalogEntry {
+            model: DeviceModel::new("iPhone X", DeviceOs::Ios, mems(0.020, 0.017, 28.0, 0.076)),
+            quantity: 1,
+            role: DeviceRole::Legitimate,
+        },
+        CatalogEntry {
+            model: DeviceModel::new(
+                "Nexus 6P",
+                DeviceOs::Android,
+                mems(-0.120, -0.016, 31.5, 0.084),
+            ),
+            quantity: 3,
+            role: DeviceRole::AttackII,
+        },
+        CatalogEntry {
+            model: DeviceModel::new("LG G5", DeviceOs::Android, mems(0.130, 0.021, 35.0, 0.056)),
+            quantity: 1,
+            role: DeviceRole::Legitimate,
+        },
+        CatalogEntry {
+            model: DeviceModel::new(
+                "Nexus 5",
+                DeviceOs::Android,
+                mems(-0.155, -0.021, 11.0, 0.092),
+            ),
+            quantity: 1,
+            role: DeviceRole::Legitimate,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_totals() {
+        let c = standard_catalog();
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.iter().map(|e| e.quantity).sum::<usize>(), 11);
+        let ios: usize = c
+            .iter()
+            .filter(|e| e.model.os == DeviceOs::Ios)
+            .map(|e| e.quantity)
+            .sum();
+        let android: usize = c
+            .iter()
+            .filter(|e| e.model.os == DeviceOs::Android)
+            .map(|e| e.quantity)
+            .sum();
+        assert_eq!(ios, 6);
+        assert_eq!(android, 5);
+    }
+
+    #[test]
+    fn attack_roles_match_table_iv_footnotes() {
+        let c = standard_catalog();
+        let attack1: Vec<&str> = c
+            .iter()
+            .filter(|e| e.role == DeviceRole::AttackI)
+            .map(|e| e.model.name.as_str())
+            .collect();
+        let attack2: Vec<&str> = c
+            .iter()
+            .filter(|e| e.role == DeviceRole::AttackII)
+            .map(|e| e.model.name.as_str())
+            .collect();
+        assert_eq!(attack1, vec!["iPhone 6S"]);
+        assert_eq!(attack2, vec!["iPhone SE", "Nexus 6P"]);
+    }
+
+    #[test]
+    fn model_names_and_resonances_are_unique() {
+        let c = standard_catalog();
+        for i in 0..c.len() {
+            for j in i + 1..c.len() {
+                assert_ne!(c[i].model.name, c[j].model.name);
+                assert!((c[i].model.mems.resonance_hz - c[j].model.mems.resonance_hz).abs() > 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn resonances_below_nyquist_at_100hz() {
+        for e in standard_catalog() {
+            assert!(e.model.mems.resonance_hz < 50.0);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Gaussian sampling helpers (Box–Muller) on top of any [`rand::Rng`].
+//!
+//! The approved dependency set includes `rand` but not `rand_distr`, so the
+//! normal variates used for chip imperfections and sensor noise are drawn
+//! with a plain Box–Muller transform.
+
+use rand::Rng;
+
+/// Draws one standard-normal variate.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Box–Muller; `u1` is kept away from 0 so the log is finite.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws a normal variate with the given mean and standard deviation.
+///
+/// # Panics
+///
+/// Panics if `std_dev` is negative or non-finite.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(
+        std_dev >= 0.0 && std_dev.is_finite(),
+        "standard deviation must be non-negative and finite, got {std_dev}"
+    );
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Fills a 3-vector with i.i.d. normal variates.
+pub fn normal3<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> [f64; 3] {
+    [
+        normal(rng, mean, std_dev),
+        normal(rng, mean, std_dev),
+        normal(rng, mean, std_dev),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_moments_match_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn normal_respects_parameters() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 5.0, 0.5)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn zero_std_dev_is_constant() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(normal(&mut rng, 2.5, 0.0), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "standard deviation")]
+    fn negative_std_dev_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        normal(&mut rng, 0.0, -1.0);
+    }
+
+    #[test]
+    fn normal3_components_differ() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let v = normal3(&mut rng, 0.0, 1.0);
+        assert!(v[0] != v[1] || v[1] != v[2]);
+    }
+}

@@ -1,0 +1,217 @@
+//! Connected-component discovery via iterative depth-first search.
+
+use crate::Graph;
+
+/// The result of labeling every node of a [`Graph`] with its connected
+/// component.
+///
+/// Component ids are dense (`0..len()`) and assigned in increasing order of
+/// the smallest node index in each component, which makes results
+/// deterministic and easy to assert on.
+///
+/// # Examples
+///
+/// ```
+/// use srtd_graph::Graph;
+///
+/// let g = Graph::from_edges(5, [(0, 3, 1.0), (1, 2, 1.0)]);
+/// let labeling = g.connected_components();
+/// assert_eq!(labeling.len(), 3);
+/// assert_eq!(labeling.component_of(0), labeling.component_of(3));
+/// assert_ne!(labeling.component_of(0), labeling.component_of(4));
+/// assert_eq!(labeling.members(labeling.component_of(1)), &[1, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentLabeling {
+    labels: Vec<usize>,
+    members: Vec<Vec<usize>>,
+}
+
+impl ComponentLabeling {
+    /// Runs iterative DFS over the whole graph.
+    pub(crate) fn from_graph(g: &Graph) -> Self {
+        const UNVISITED: usize = usize::MAX;
+        let n = g.node_count();
+        let mut labels = vec![UNVISITED; n];
+        let mut members: Vec<Vec<usize>> = Vec::new();
+        let mut stack: Vec<usize> = Vec::new();
+        for start in 0..n {
+            if labels[start] != UNVISITED {
+                continue;
+            }
+            let comp = members.len();
+            members.push(Vec::new());
+            labels[start] = comp;
+            stack.push(start);
+            while let Some(u) = stack.pop() {
+                members[comp].push(u);
+                for nb in g.neighbors(u) {
+                    if labels[nb.node] == UNVISITED {
+                        labels[nb.node] = comp;
+                        stack.push(nb.node);
+                    }
+                }
+            }
+            members[comp].sort_unstable();
+        }
+        Self { labels, members }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` if the underlying graph had no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The component id of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn component_of(&self, node: usize) -> usize {
+        self.labels[node]
+    }
+
+    /// The sorted member list of component `comp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `comp >= self.len()`.
+    pub fn members(&self, comp: usize) -> &[usize] {
+        &self.members[comp]
+    }
+
+    /// Per-node component labels, indexed by node.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Consumes the labeling and returns the component member lists.
+    pub fn into_groups(self) -> Vec<Vec<usize>> {
+        self.members
+    }
+
+    /// Iterates over the component member lists.
+    pub fn iter(&self) -> impl Iterator<Item = &[usize]> {
+        self.members.iter().map(Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Graph, UnionFind};
+    use proptest::prelude::*;
+
+    #[test]
+    fn isolated_nodes_are_singletons() {
+        let g = Graph::new(3);
+        let c = g.connected_components();
+        assert_eq!(c.len(), 3);
+        for i in 0..3 {
+            assert_eq!(c.members(i), &[i]);
+        }
+    }
+
+    #[test]
+    fn chain_is_one_component() {
+        let g = Graph::from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
+        let c = g.connected_components();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.members(0), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn component_ids_ordered_by_smallest_member() {
+        let g = Graph::from_edges(6, [(4, 5, 1.0), (1, 2, 1.0)]);
+        let c = g.connected_components();
+        // Components: {0}, {1,2}, {3}, {4,5} in that id order.
+        assert_eq!(c.members(0), &[0]);
+        assert_eq!(c.members(1), &[1, 2]);
+        assert_eq!(c.members(2), &[3]);
+        assert_eq!(c.members(3), &[4, 5]);
+    }
+
+    #[test]
+    fn labels_and_members_agree() {
+        let g = Graph::from_edges(5, [(0, 4, 1.0), (2, 3, 1.0)]);
+        let c = g.connected_components();
+        for (node, &label) in c.labels().iter().enumerate() {
+            assert!(c.members(label).contains(&node));
+        }
+    }
+
+    #[test]
+    fn paper_ag_ts_example_components() {
+        // Fig. 3(d): nodes 1, 4', 4'', 4''' form one component; 2 and 3 are
+        // isolated. Index map: 1->0, 2->1, 3->2, 4'->3, 4''->4, 4'''->5.
+        let edges = [
+            (0, 3, 1.8),
+            (0, 4, 1.8),
+            (0, 5, 1.8),
+            (3, 4, 1.8),
+            (3, 5, 1.8),
+            (4, 5, 1.8),
+        ];
+        let g = Graph::from_edges(6, edges);
+        let c = g.connected_components();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.members(c.component_of(0)), &[0, 3, 4, 5]);
+        assert_eq!(c.members(c.component_of(1)), &[1]);
+        assert_eq!(c.members(c.component_of(2)), &[2]);
+    }
+
+    proptest! {
+        /// DFS components must match a union-find oracle on random graphs.
+        #[test]
+        fn matches_union_find_oracle(
+            n in 1usize..40,
+            edges in proptest::collection::vec((0usize..40, 0usize..40), 0..120),
+        ) {
+            let edges: Vec<(usize, usize, f64)> = edges
+                .into_iter()
+                .filter(|&(u, v)| u < n && v < n)
+                .map(|(u, v)| (u, v, 1.0))
+                .collect();
+            let g = Graph::from_edges(n, edges.iter().copied());
+            let c = g.connected_components();
+            let mut uf = UnionFind::new(n);
+            for &(u, v, _) in &edges {
+                uf.union(u, v);
+            }
+            prop_assert_eq!(c.len(), uf.set_count());
+            for u in 0..n {
+                for v in 0..n {
+                    prop_assert_eq!(
+                        c.component_of(u) == c.component_of(v),
+                        uf.connected(u, v)
+                    );
+                }
+            }
+        }
+
+        /// Every node appears in exactly one component (partition property).
+        #[test]
+        fn members_partition_nodes(
+            n in 1usize..30,
+            edges in proptest::collection::vec((0usize..30, 0usize..30), 0..60),
+        ) {
+            let edges = edges
+                .into_iter()
+                .filter(|&(u, v)| u < n && v < n)
+                .map(|(u, v)| (u, v, 1.0));
+            let g = Graph::from_edges(n, edges);
+            let c = g.connected_components();
+            let mut seen = vec![0usize; n];
+            for comp in c.iter() {
+                for &node in comp {
+                    seen[node] += 1;
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s == 1));
+        }
+    }
+}

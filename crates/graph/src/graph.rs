@@ -1,0 +1,221 @@
+//! Adjacency-list representation of an undirected weighted graph.
+
+use crate::components::ComponentLabeling;
+
+/// An edge of an undirected weighted graph, reported with `u <= v`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Smaller endpoint.
+    pub u: usize,
+    /// Larger endpoint.
+    pub v: usize,
+    /// Edge weight (an affinity or dissimilarity score).
+    pub weight: f64,
+}
+
+/// A neighbor entry in an adjacency list.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Index of the adjacent node.
+    pub node: usize,
+    /// Weight of the connecting edge.
+    pub weight: f64,
+}
+
+/// An undirected graph with `f64` edge weights over nodes `0..n`.
+///
+/// Nodes are plain indices; the account-grouping code maps account ids to
+/// indices before building the graph. Parallel edges are permitted (the
+/// grouping methods never create them) and self-loops are ignored by
+/// [`Graph::add_edge`] since they carry no grouping information.
+///
+/// # Examples
+///
+/// ```
+/// use srtd_graph::Graph;
+///
+/// let mut g = Graph::new(3);
+/// g.add_edge(0, 2, 1.5);
+/// assert_eq!(g.degree(0), 1);
+/// assert_eq!(g.degree(1), 0);
+/// assert!(g.has_edge(2, 0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    adj: Vec<Vec<Neighbor>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            adj: vec![Vec::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Builds a graph over `n` nodes from an edge iterator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= n`.
+    pub fn from_edges<I>(n: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (usize, usize, f64)>,
+    {
+        let mut g = Self::new(n);
+        for (u, v, w) in edges {
+            g.add_edge(u, v, w);
+        }
+        g
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of (undirected) edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Adds the undirected edge `{u, v}` with the given weight.
+    ///
+    /// Self-loops (`u == v`) are silently ignored: a node is always in its
+    /// own group, so a self-edge never changes a grouping result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of bounds.
+    pub fn add_edge(&mut self, u: usize, v: usize, weight: f64) {
+        let n = self.adj.len();
+        assert!(
+            u < n && v < n,
+            "edge ({u}, {v}) out of bounds for {n} nodes"
+        );
+        if u == v {
+            return;
+        }
+        self.adj[u].push(Neighbor { node: v, weight });
+        self.adj[v].push(Neighbor { node: u, weight });
+        self.edge_count += 1;
+    }
+
+    /// Returns `true` if at least one edge connects `u` and `v`.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj
+            .get(u)
+            .is_some_and(|ns| ns.iter().any(|nb| nb.node == v))
+    }
+
+    /// Degree (number of incident edge endpoints) of node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of bounds.
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// The neighbors of node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of bounds.
+    pub fn neighbors(&self, u: usize) -> &[Neighbor] {
+        &self.adj[u]
+    }
+
+    /// Iterates over every undirected edge once, with `u <= v`.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, ns)| {
+            ns.iter().filter_map(move |nb| {
+                (u <= nb.node).then_some(Edge {
+                    u,
+                    v: nb.node,
+                    weight: nb.weight,
+                })
+            })
+        })
+    }
+
+    /// Labels each node with its connected component using an iterative DFS.
+    ///
+    /// This is the component-discovery step of the AG-TS and AG-TR grouping
+    /// methods (step 3 in the paper): every component becomes one candidate
+    /// Sybil group, and isolated nodes become singleton groups.
+    pub fn connected_components(&self) -> ComponentLabeling {
+        ComponentLabeling::from_graph(self)
+    }
+
+    /// Total weight of all edges.
+    pub fn total_weight(&self) -> f64 {
+        self.edges().map(|e| e.weight).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_graph_has_no_edges() {
+        let g = Graph::new(4);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn add_edge_is_undirected() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 2.0);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 1);
+    }
+
+    #[test]
+    fn self_loop_is_ignored() {
+        let mut g = Graph::new(2);
+        g.add_edge(1, 1, 9.0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.degree(1), 0);
+    }
+
+    #[test]
+    fn edges_iterates_each_edge_once() {
+        let g = Graph::from_edges(4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)]);
+        let es: Vec<Edge> = g.edges().collect();
+        assert_eq!(es.len(), 3);
+        assert!(es.iter().all(|e| e.u <= e.v));
+        assert!((g.total_weight() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn add_edge_out_of_bounds_panics() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 2, 1.0);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = Graph::new(0);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.connected_components().len(), 0);
+    }
+
+    #[test]
+    fn parallel_edges_counted() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(0, 1, 2.0);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(0), 2);
+    }
+}

@@ -1,0 +1,37 @@
+//! Undirected weighted graphs and connectivity algorithms.
+//!
+//! The account-grouping methods of the Sybil-resistant truth discovery
+//! framework (AG-TS and AG-TR) build an undirected graph whose nodes are
+//! accounts and whose edges connect accounts with sufficiently similar
+//! behaviour, then take each connected component as one *group* of accounts
+//! suspected to belong to the same physical user. This crate provides the
+//! graph representation and the connectivity primitives those methods use:
+//!
+//! * [`Graph`] — an adjacency-list undirected graph with `f64` edge weights,
+//! * [`Graph::connected_components`] — iterative depth-first search, as in
+//!   step 3 of both grouping methods in the paper,
+//! * [`UnionFind`] — a disjoint-set forest used as an independent oracle in
+//!   tests and by callers that build components incrementally.
+//!
+//! # Examples
+//!
+//! ```
+//! use srtd_graph::Graph;
+//!
+//! let mut g = Graph::new(5);
+//! g.add_edge(0, 1, 2.5);
+//! g.add_edge(1, 2, 0.5);
+//! let comps = g.connected_components();
+//! assert_eq!(comps.len(), 3); // {0,1,2}, {3}, {4}
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod components;
+mod graph;
+mod union_find;
+
+pub use components::ComponentLabeling;
+pub use graph::{Edge, Graph, Neighbor};
+pub use union_find::UnionFind;

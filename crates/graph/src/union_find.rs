@@ -1,0 +1,164 @@
+//! Disjoint-set forest (union-find) with path halving and union by size.
+
+/// A disjoint-set forest over elements `0..n`.
+///
+/// Used by callers that form groups incrementally (e.g. merging grouping
+/// results from several methods) and as an independent oracle for the DFS
+/// component labeling in tests.
+///
+/// # Examples
+///
+/// ```
+/// use srtd_graph::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// assert!(uf.union(0, 1));
+/// assert!(!uf.union(1, 0)); // already joined
+/// assert!(uf.connected(0, 1));
+/// assert_eq!(uf.set_count(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+            sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if the structure tracks no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Representative of the set containing `x`, with path halving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of bounds.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the sets containing `a` and `b`.
+    ///
+    /// Returns `true` if a merge happened (they were previously disjoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of bounds.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+        self.sets -= 1;
+        true
+    }
+
+    /// Returns `true` if `a` and `b` are in the same set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of bounds.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of bounds.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r]
+    }
+
+    /// Extracts the sets as sorted member lists, ordered by smallest member.
+    pub fn into_groups(mut self) -> Vec<Vec<usize>> {
+        let n = self.parent.len();
+        let mut by_root: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for x in 0..n {
+            let r = self.find(x);
+            by_root[r].push(x);
+        }
+        let mut groups: Vec<Vec<usize>> = by_root.into_iter().filter(|g| !g.is_empty()).collect();
+        groups.sort_by_key(|g| g[0]);
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_sets_are_disjoint() {
+        let mut uf = UnionFind::new(3);
+        assert_eq!(uf.set_count(), 3);
+        assert!(!uf.connected(0, 2));
+        assert_eq!(uf.set_size(1), 1);
+    }
+
+    #[test]
+    fn union_is_transitive() {
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        assert!(uf.connected(0, 2));
+        assert_eq!(uf.set_size(2), 3);
+        assert_eq!(uf.set_count(), 2);
+    }
+
+    #[test]
+    fn redundant_union_returns_false() {
+        let mut uf = UnionFind::new(2);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(0, 1));
+        assert_eq!(uf.set_count(), 1);
+    }
+
+    #[test]
+    fn into_groups_sorted_by_smallest_member() {
+        let mut uf = UnionFind::new(5);
+        uf.union(3, 4);
+        uf.union(1, 2);
+        let groups = uf.into_groups();
+        assert_eq!(groups, vec![vec![0], vec![1, 2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn empty_union_find() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.into_groups(), Vec::<Vec<usize>>::new());
+    }
+}

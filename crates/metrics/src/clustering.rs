@@ -1,0 +1,245 @@
+//! External clustering-quality indices (Rand, ARI, NMI, purity).
+
+use crate::contingency::{choose2, ContingencyTable};
+
+/// The (unadjusted) Rand index between two labelings, in `[0, 1]`.
+///
+/// Fraction of item pairs on which the two partitions agree (both together
+/// or both apart). Defined as `1.0` for fewer than two items.
+///
+/// # Panics
+///
+/// Panics if the labelings have different lengths.
+pub fn rand_index(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "labelings must cover the same items");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let t = ContingencyTable::from_labels(a, b);
+    let total_pairs = choose2(n) as i128;
+    let same_same = t.pair_agreements() as i128;
+    // Pairs split in `a`(rows) and also split in `b`: inclusion-exclusion
+    // (signed, since the intermediate sums may cross).
+    let agree_apart = total_pairs - t.row_pairs() as i128 - t.col_pairs() as i128 + same_same;
+    (same_same + agree_apart) as f64 / total_pairs as f64
+}
+
+/// The Adjusted Rand Index (Hubert & Arabie 1985) between two labelings.
+///
+/// This is the metric the paper uses to score account grouping against the
+/// true account-to-attacker assignment (§V-B). The value lies in `[-1, 1]`;
+/// `1` means identical partitions, `0` is the chance level. Degenerate cases
+/// where the expected index equals the maximum (e.g. both partitions
+/// all-singletons or both one-cluster) return `1.0` by convention.
+///
+/// # Panics
+///
+/// Panics if the labelings have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use srtd_metrics::adjusted_rand_index;
+///
+/// // Perfect grouping up to label permutation.
+/// assert!((adjusted_rand_index(&[0, 0, 1], &[7, 7, 3]) - 1.0).abs() < 1e-12);
+/// // Totally merged vs ground truth of two clusters is worse than perfect.
+/// assert!(adjusted_rand_index(&[0, 0, 0, 0], &[0, 0, 1, 1]) < 1.0);
+/// ```
+pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "labelings must cover the same items");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let t = ContingencyTable::from_labels(a, b);
+    let index = t.pair_agreements() as f64;
+    let row_pairs = t.row_pairs() as f64;
+    let col_pairs = t.col_pairs() as f64;
+    let total_pairs = choose2(n) as f64;
+    let expected = row_pairs * col_pairs / total_pairs;
+    let max_index = 0.5 * (row_pairs + col_pairs);
+    if (max_index - expected).abs() < f64::EPSILON {
+        return 1.0;
+    }
+    (index - expected) / (max_index - expected)
+}
+
+/// Normalized mutual information between two labelings, in `[0, 1]`.
+///
+/// Uses arithmetic-mean normalization `2·I(A;B)/(H(A)+H(B))`. Defined as
+/// `1.0` when both partitions are trivial (zero entropy), since they are
+/// then identical.
+///
+/// # Panics
+///
+/// Panics if the labelings have different lengths.
+pub fn normalized_mutual_information(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "labelings must cover the same items");
+    let n = a.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let t = ContingencyTable::from_labels(a, b);
+    let nf = n as f64;
+    let entropy = |sums: &[usize]| -> f64 {
+        sums.iter()
+            .filter(|&&s| s > 0)
+            .map(|&s| {
+                let p = s as f64 / nf;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let ha = entropy(t.row_sums());
+    let hb = entropy(t.col_sums());
+    if ha == 0.0 && hb == 0.0 {
+        return 1.0;
+    }
+    let mut mi = 0.0;
+    for i in 0..t.rows() {
+        for j in 0..t.cols() {
+            let nij = t.cell(i, j);
+            if nij == 0 {
+                continue;
+            }
+            let pij = nij as f64 / nf;
+            let pi = t.row_sums()[i] as f64 / nf;
+            let pj = t.col_sums()[j] as f64 / nf;
+            mi += pij * (pij / (pi * pj)).ln();
+        }
+    }
+    (2.0 * mi / (ha + hb)).clamp(0.0, 1.0)
+}
+
+/// Purity of labeling `a` with respect to reference labeling `b`, in
+/// `(0, 1]`.
+///
+/// Each cluster of `a` is credited with its best-matching reference class.
+/// Defined as `1.0` for empty inputs.
+///
+/// # Panics
+///
+/// Panics if the labelings have different lengths.
+pub fn purity(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "labelings must cover the same items");
+    if a.is_empty() {
+        return 1.0;
+    }
+    let t = ContingencyTable::from_labels(a, b);
+    let hits: usize = (0..t.rows())
+        .map(|i| (0..t.cols()).map(|j| t.cell(i, j)).max().unwrap_or(0))
+        .sum();
+    hits as f64 / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let labels = [0, 1, 1, 2, 0];
+        assert!((rand_index(&labels, &labels) - 1.0).abs() < 1e-12);
+        assert!((adjusted_rand_index(&labels, &labels) - 1.0).abs() < 1e-12);
+        assert!((normalized_mutual_information(&labels, &labels) - 1.0).abs() < 1e-12);
+        assert_eq!(purity(&labels, &labels), 1.0);
+    }
+
+    #[test]
+    fn relabeling_does_not_change_scores() {
+        let a = [0, 0, 1, 1, 2, 2];
+        let b = [5, 5, 9, 9, 1, 1];
+        assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((normalized_mutual_information(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_known_value() {
+        // Classic example: a = [0,0,1,1,1,2], b = [0,0,0,1,1,1].
+        // Contingency: rows {2,3,1}; n11 pairs: C(2,2)+C(1,2)+C(2,2)+C(1,2)=1+0+1+0=2
+        let a = [0, 0, 1, 1, 1, 2];
+        let b = [0, 0, 0, 1, 1, 1];
+        let ari = adjusted_rand_index(&a, &b);
+        // index=2, rows: C(2,2)+C(3,2)+C(1,2)=1+3+0=4, cols: C(3,2)*2=6,
+        // total=C(6,2)=15, expected=4*6/15=1.6, max=(4+6)/2=5
+        let want = (2.0 - 1.6) / (5.0 - 1.6);
+        assert!((ari - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_partitions() {
+        // Both single-cluster.
+        assert_eq!(adjusted_rand_index(&[0, 0, 0], &[1, 1, 1]), 1.0);
+        // Both all-singletons.
+        assert_eq!(adjusted_rand_index(&[0, 1, 2], &[2, 0, 1]), 1.0);
+        // Single item.
+        assert_eq!(adjusted_rand_index(&[0], &[0]), 1.0);
+        assert_eq!(rand_index(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn ari_can_be_negative() {
+        // Partitions that disagree more than chance.
+        let a = [0, 1, 0, 1];
+        let b = [0, 0, 1, 1];
+        assert!(adjusted_rand_index(&a, &b) < 0.0 + 1e-12);
+    }
+
+    #[test]
+    fn purity_rewards_fine_partitions() {
+        let truth = [0, 0, 1, 1];
+        let singletons = [0, 1, 2, 3];
+        assert_eq!(purity(&singletons, &truth), 1.0);
+        let merged = [0, 0, 0, 0];
+        assert_eq!(purity(&merged, &truth), 0.5);
+    }
+
+    proptest! {
+        #[test]
+        fn ari_bounded_and_symmetric(
+            labels in proptest::collection::vec((0usize..4, 0usize..4), 2..40)
+        ) {
+            let a: Vec<usize> = labels.iter().map(|l| l.0).collect();
+            let b: Vec<usize> = labels.iter().map(|l| l.1).collect();
+            let ab = adjusted_rand_index(&a, &b);
+            let ba = adjusted_rand_index(&b, &a);
+            prop_assert!((-1.0..=1.0 + 1e-12).contains(&ab));
+            prop_assert!((ab - ba).abs() < 1e-9);
+        }
+
+        #[test]
+        fn rand_index_bounded_and_permutation_invariant(
+            labels in proptest::collection::vec((0usize..4, 0usize..4), 2..40)
+        ) {
+            let a: Vec<usize> = labels.iter().map(|l| l.0).collect();
+            let b: Vec<usize> = labels.iter().map(|l| l.1).collect();
+            let ri = rand_index(&a, &b);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&ri));
+            // Relabel `a` by an arbitrary injective map.
+            let a2: Vec<usize> = a.iter().map(|&l| l * 13 + 7).collect();
+            prop_assert!((rand_index(&a2, &b) - ri).abs() < 1e-9);
+        }
+
+        #[test]
+        fn nmi_bounded(
+            labels in proptest::collection::vec((0usize..4, 0usize..4), 1..40)
+        ) {
+            let a: Vec<usize> = labels.iter().map(|l| l.0).collect();
+            let b: Vec<usize> = labels.iter().map(|l| l.1).collect();
+            let nmi = normalized_mutual_information(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&nmi));
+        }
+
+        #[test]
+        fn self_comparison_is_perfect(
+            a in proptest::collection::vec(0usize..5, 2..40)
+        ) {
+            prop_assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-9);
+            prop_assert!((rand_index(&a, &a) - 1.0).abs() < 1e-9);
+            prop_assert!((purity(&a, &a) - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Contingency tables between two labelings of the same items.
+
+use std::collections::HashMap;
+
+/// A contingency table between two partitions of the same item set.
+///
+/// Rows index the classes of the first labeling, columns the classes of the
+/// second. Class labels may be arbitrary `usize` values (they are compacted
+/// internally), so grouping results can be compared directly against ground
+/// truth without relabeling.
+///
+/// # Examples
+///
+/// ```
+/// use srtd_metrics::ContingencyTable;
+///
+/// let table = ContingencyTable::from_labels(&[0, 0, 1], &[5, 5, 9]);
+/// assert_eq!(table.total(), 3);
+/// assert_eq!(table.rows(), 2);
+/// assert_eq!(table.cols(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContingencyTable {
+    counts: Vec<Vec<usize>>,
+    row_sums: Vec<usize>,
+    col_sums: Vec<usize>,
+    total: usize,
+}
+
+impl ContingencyTable {
+    /// Builds the table from two parallel label slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn from_labels(a: &[usize], b: &[usize]) -> Self {
+        assert_eq!(
+            a.len(),
+            b.len(),
+            "labelings must cover the same items ({} vs {})",
+            a.len(),
+            b.len()
+        );
+        let mut a_ids: HashMap<usize, usize> = HashMap::new();
+        let mut b_ids: HashMap<usize, usize> = HashMap::new();
+        for &label in a {
+            let next = a_ids.len();
+            a_ids.entry(label).or_insert(next);
+        }
+        for &label in b {
+            let next = b_ids.len();
+            b_ids.entry(label).or_insert(next);
+        }
+        let (r, c) = (a_ids.len(), b_ids.len());
+        let mut counts = vec![vec![0usize; c]; r];
+        for (&la, &lb) in a.iter().zip(b) {
+            counts[a_ids[&la]][b_ids[&lb]] += 1;
+        }
+        let row_sums: Vec<usize> = counts.iter().map(|row| row.iter().sum()).collect();
+        let col_sums: Vec<usize> = (0..c)
+            .map(|j| counts.iter().map(|row| row[j]).sum())
+            .collect();
+        Self {
+            counts,
+            row_sums,
+            col_sums,
+            total: a.len(),
+        }
+    }
+
+    /// Number of rows (classes in the first labeling).
+    pub fn rows(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of columns (classes in the second labeling).
+    pub fn cols(&self) -> usize {
+        self.col_sums.len()
+    }
+
+    /// Total number of items.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Cell count at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn cell(&self, row: usize, col: usize) -> usize {
+        self.counts[row][col]
+    }
+
+    /// Row marginal sums.
+    pub fn row_sums(&self) -> &[usize] {
+        &self.row_sums
+    }
+
+    /// Column marginal sums.
+    pub fn col_sums(&self) -> &[usize] {
+        &self.col_sums
+    }
+
+    /// Iterates over all cells.
+    pub fn cells(&self) -> impl Iterator<Item = usize> + '_ {
+        self.counts.iter().flat_map(|row| row.iter().copied())
+    }
+
+    /// `Σ C(n_ij, 2)` over all cells — the pair-agreement count used by the
+    /// Rand family of indices.
+    pub fn pair_agreements(&self) -> u128 {
+        self.cells().map(choose2).sum()
+    }
+
+    /// `Σ C(a_i, 2)` over row sums.
+    pub fn row_pairs(&self) -> u128 {
+        self.row_sums.iter().map(|&s| choose2(s)).sum()
+    }
+
+    /// `Σ C(b_j, 2)` over column sums.
+    pub fn col_pairs(&self) -> u128 {
+        self.col_sums.iter().map(|&s| choose2(s)).sum()
+    }
+}
+
+/// `n` choose 2, as `u128` to avoid overflow on large partitions.
+pub(crate) fn choose2(n: usize) -> u128 {
+    let n = n as u128;
+    n * n.saturating_sub(1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marginals_sum_to_total() {
+        let t = ContingencyTable::from_labels(&[0, 0, 1, 2, 2, 2], &[1, 1, 1, 0, 0, 1]);
+        assert_eq!(t.total(), 6);
+        assert_eq!(t.row_sums().iter().sum::<usize>(), 6);
+        assert_eq!(t.col_sums().iter().sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn arbitrary_labels_are_compacted() {
+        let t = ContingencyTable::from_labels(&[100, 100, 7], &[42, 3, 3]);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.cell(0, 0), 1); // item 0: labels (100, 42)
+        assert_eq!(t.cell(0, 1), 1); // item 1: labels (100, 3)
+        assert_eq!(t.cell(1, 1), 1); // item 2: labels (7, 3)
+    }
+
+    #[test]
+    fn choose2_basics() {
+        assert_eq!(choose2(0), 0);
+        assert_eq!(choose2(1), 0);
+        assert_eq!(choose2(2), 1);
+        assert_eq!(choose2(5), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "same items")]
+    fn mismatched_lengths_panic() {
+        ContingencyTable::from_labels(&[0], &[0, 1]);
+    }
+
+    #[test]
+    fn empty_labelings() {
+        let t = ContingencyTable::from_labels(&[], &[]);
+        assert_eq!(t.total(), 0);
+        assert_eq!(t.rows(), 0);
+        assert_eq!(t.pair_agreements(), 0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Point-estimate error metrics for truth discovery accuracy.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when two paired slices have different lengths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LengthMismatch {
+    /// Length of the estimate slice.
+    pub estimates: usize,
+    /// Length of the ground-truth slice.
+    pub truths: usize,
+}
+
+impl fmt::Display for LengthMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "estimate and truth slices differ in length ({} vs {})",
+            self.estimates, self.truths
+        )
+    }
+}
+
+impl Error for LengthMismatch {}
+
+fn check_lengths(estimates: &[f64], truths: &[f64]) -> Result<(), LengthMismatch> {
+    if estimates.len() != truths.len() {
+        return Err(LengthMismatch {
+            estimates: estimates.len(),
+            truths: truths.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Mean absolute error `(1/m) Σ_j |d_j − d_j*|` — the paper's accuracy
+/// metric (§V).
+///
+/// Returns `0.0` for empty inputs, mirroring the convention that an empty
+/// task set incurs no error.
+///
+/// # Errors
+///
+/// Returns [`LengthMismatch`] if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// let err = srtd_metrics::mae(&[-84.0, -75.0], &[-85.0, -73.0])?;
+/// assert!((err - 1.5).abs() < 1e-12);
+/// # Ok::<(), srtd_metrics::LengthMismatch>(())
+/// ```
+pub fn mae(estimates: &[f64], truths: &[f64]) -> Result<f64, LengthMismatch> {
+    check_lengths(estimates, truths)?;
+    if estimates.is_empty() {
+        return Ok(0.0);
+    }
+    let sum: f64 = estimates
+        .iter()
+        .zip(truths)
+        .map(|(e, t)| (e - t).abs())
+        .sum();
+    Ok(sum / estimates.len() as f64)
+}
+
+/// Root mean squared error between estimates and ground truth.
+///
+/// Returns `0.0` for empty inputs.
+///
+/// # Errors
+///
+/// Returns [`LengthMismatch`] if the slices have different lengths.
+pub fn rmse(estimates: &[f64], truths: &[f64]) -> Result<f64, LengthMismatch> {
+    check_lengths(estimates, truths)?;
+    if estimates.is_empty() {
+        return Ok(0.0);
+    }
+    let sum: f64 = estimates
+        .iter()
+        .zip(truths)
+        .map(|(e, t)| (e - t) * (e - t))
+        .sum();
+    Ok((sum / estimates.len() as f64).sqrt())
+}
+
+/// Largest absolute per-task error; `0.0` for empty inputs.
+///
+/// # Errors
+///
+/// Returns [`LengthMismatch`] if the slices have different lengths.
+pub fn max_absolute_error(estimates: &[f64], truths: &[f64]) -> Result<f64, LengthMismatch> {
+    check_lengths(estimates, truths)?;
+    Ok(estimates
+        .iter()
+        .zip(truths)
+        .map(|(e, t)| (e - t).abs())
+        .fold(0.0, f64::max))
+}
+
+/// Sum of squared distances of points to a reference value.
+///
+/// This is the per-cluster term of the k-means objective; the elbow method
+/// in `srtd-cluster` sums it across clusters.
+///
+/// # Examples
+///
+/// ```
+/// let sse = srtd_metrics::sum_squared_error(&[1.0, 3.0], 2.0);
+/// assert!((sse - 2.0).abs() < 1e-12);
+/// ```
+pub fn sum_squared_error(points: &[f64], reference: f64) -> f64 {
+    points
+        .iter()
+        .map(|p| (p - reference) * (p - reference))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mae_of_identical_slices_is_zero() {
+        assert_eq!(mae(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mae_empty_is_zero() {
+        assert_eq!(mae(&[], &[]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mae_length_mismatch_is_error() {
+        let err = mae(&[1.0], &[1.0, 2.0]).unwrap_err();
+        assert_eq!(
+            err,
+            LengthMismatch {
+                estimates: 1,
+                truths: 2
+            }
+        );
+        assert!(err.to_string().contains("1 vs 2"));
+    }
+
+    #[test]
+    fn rmse_upper_bounds_mae() {
+        let e = [1.0, 5.0, -2.0];
+        let t = [0.0, 0.0, 0.0];
+        assert!(rmse(&e, &t).unwrap() >= mae(&e, &t).unwrap());
+    }
+
+    #[test]
+    fn rmse_empty_is_zero() {
+        assert_eq!(rmse(&[], &[]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn max_error_picks_worst_task() {
+        let e = [0.0, 10.0, 2.0];
+        let t = [0.0, 0.0, 0.0];
+        assert_eq!(max_absolute_error(&e, &t).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn sse_at_mean_is_minimal() {
+        let pts = [1.0, 2.0, 6.0];
+        let mean = 3.0;
+        let at_mean = sum_squared_error(&pts, mean);
+        for cand in [-1.0, 0.0, 2.0, 4.0, 10.0] {
+            assert!(at_mean <= sum_squared_error(&pts, cand) + 1e-12);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn mae_is_nonnegative_and_symmetric(
+            pairs in proptest::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 0..50)
+        ) {
+            let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let ab = mae(&a, &b).unwrap();
+            let ba = mae(&b, &a).unwrap();
+            prop_assert!(ab >= 0.0);
+            prop_assert!((ab - ba).abs() <= 1e-9 * ab.max(1.0));
+        }
+
+        #[test]
+        fn mae_le_max_error(
+            pairs in proptest::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 1..50)
+        ) {
+            let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            prop_assert!(
+                mae(&a, &b).unwrap() <= max_absolute_error(&a, &b).unwrap() + 1e-9
+            );
+        }
+
+        #[test]
+        fn rmse_between_mae_and_max(
+            pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 1..50)
+        ) {
+            let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let r = rmse(&a, &b).unwrap();
+            prop_assert!(r + 1e-9 >= mae(&a, &b).unwrap());
+            prop_assert!(r <= max_absolute_error(&a, &b).unwrap() + 1e-9);
+        }
+    }
+}

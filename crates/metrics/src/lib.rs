@@ -1,0 +1,36 @@
+//! Accuracy and clustering-quality metrics used throughout the evaluation.
+//!
+//! The paper measures two things:
+//!
+//! * **aggregation accuracy** of truth discovery, via the mean absolute
+//!   error between estimated and ground-truth task values (§V, "we use the
+//!   mean absolute error (MAE) as the metric") — see [`mae`] and friends in
+//!   [`error`];
+//! * **account-grouping quality**, via the Adjusted Rand Index between the
+//!   produced grouping and the true account-to-user assignment (§V-B) — see
+//!   [`adjusted_rand_index`] and friends in [`clustering`].
+//!
+//! # Examples
+//!
+//! ```
+//! use srtd_metrics::{adjusted_rand_index, mae};
+//!
+//! let err = mae(&[1.0, 2.0], &[1.5, 1.5]).unwrap();
+//! assert!((err - 0.5).abs() < 1e-12);
+//!
+//! let ari = adjusted_rand_index(&[0, 0, 1, 1], &[1, 1, 0, 0]);
+//! assert!((ari - 1.0).abs() < 1e-12); // identical partitions up to relabeling
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clustering;
+pub mod contingency;
+pub mod error;
+pub mod pairs;
+
+pub use clustering::{adjusted_rand_index, normalized_mutual_information, purity, rand_index};
+pub use contingency::ContingencyTable;
+pub use error::{mae, max_absolute_error, rmse, sum_squared_error, LengthMismatch};
+pub use pairs::PairDiagnostics;

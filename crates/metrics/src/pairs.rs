@@ -1,0 +1,170 @@
+//! Pair-level diagnostics of a grouping against a reference partition.
+//!
+//! ARI condenses grouping quality to one number; diagnosing *why* a
+//! grouping scores low needs the underlying pair counts: how many
+//! same-owner pairs were found (recall), and how many found pairs were
+//! real (precision). False positives here are exactly the paper's
+//! "two legitimate users … considered as accounts from a Sybil attacker"
+//! failure mode.
+
+use crate::contingency::ContingencyTable;
+
+/// Pair-level confusion counts and derived rates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairDiagnostics {
+    /// Pairs grouped together that share a reference class (hits).
+    pub true_positive_pairs: u128,
+    /// Pairs grouped together that do *not* share a reference class — the
+    /// false-positive merges the paper warns about.
+    pub false_positive_pairs: u128,
+    /// Same-class pairs the grouping failed to merge.
+    pub false_negative_pairs: u128,
+    /// Pairs correctly kept apart.
+    pub true_negative_pairs: u128,
+}
+
+impl PairDiagnostics {
+    /// Compares `predicted` grouping labels with `reference` labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the labelings have different lengths.
+    pub fn from_labels(predicted: &[usize], reference: &[usize]) -> Self {
+        assert_eq!(
+            predicted.len(),
+            reference.len(),
+            "labelings must cover the same items"
+        );
+        let t = ContingencyTable::from_labels(predicted, reference);
+        let tp = t.pair_agreements();
+        let predicted_pairs = t.row_pairs();
+        let reference_pairs = t.col_pairs();
+        let n = predicted.len() as u128;
+        let total = n * n.saturating_sub(1) / 2;
+        let fp = predicted_pairs - tp;
+        let fn_ = reference_pairs - tp;
+        let tn = total - tp - fp - fn_;
+        Self {
+            true_positive_pairs: tp,
+            false_positive_pairs: fp,
+            false_negative_pairs: fn_,
+            true_negative_pairs: tn,
+        }
+    }
+
+    /// Fraction of predicted-together pairs that are truly together;
+    /// `1.0` when nothing was merged (vacuously precise).
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positive_pairs + self.false_positive_pairs;
+        if denom == 0 {
+            return 1.0;
+        }
+        self.true_positive_pairs as f64 / denom as f64
+    }
+
+    /// Fraction of truly-together pairs the grouping found; `1.0` when the
+    /// reference has no non-trivial groups.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positive_pairs + self.false_negative_pairs;
+        if denom == 0 {
+            return 1.0;
+        }
+        self.true_positive_pairs as f64 / denom as f64
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_grouping_is_perfect() {
+        let d = PairDiagnostics::from_labels(&[0, 0, 1, 1], &[5, 5, 9, 9]);
+        assert_eq!(d.false_positive_pairs, 0);
+        assert_eq!(d.false_negative_pairs, 0);
+        assert_eq!(d.precision(), 1.0);
+        assert_eq!(d.recall(), 1.0);
+        assert_eq!(d.f1(), 1.0);
+    }
+
+    #[test]
+    fn all_singletons_have_perfect_precision_zero_recall() {
+        let d = PairDiagnostics::from_labels(&[0, 1, 2, 3], &[0, 0, 1, 1]);
+        assert_eq!(d.precision(), 1.0); // vacuous: nothing merged
+        assert_eq!(d.recall(), 0.0);
+        assert_eq!(d.f1(), 0.0);
+    }
+
+    #[test]
+    fn one_big_group_has_perfect_recall_low_precision() {
+        let d = PairDiagnostics::from_labels(&[0, 0, 0, 0], &[0, 0, 1, 1]);
+        assert_eq!(d.recall(), 1.0);
+        // 6 predicted pairs, 2 correct.
+        assert!((d.precision() - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_on_known_example() {
+        // predicted {0,1},{2,3}; truth {0,1,2},{3}.
+        let d = PairDiagnostics::from_labels(&[0, 0, 1, 1], &[0, 0, 0, 1]);
+        assert_eq!(d.true_positive_pairs, 1); // (0,1)
+        assert_eq!(d.false_positive_pairs, 1); // (2,3)
+        assert_eq!(d.false_negative_pairs, 2); // (0,2), (1,2)
+        assert_eq!(d.true_negative_pairs, 2); // (0,3), (1,3)
+    }
+
+    #[test]
+    #[should_panic(expected = "same items")]
+    fn length_mismatch_panics() {
+        PairDiagnostics::from_labels(&[0], &[0, 1]);
+    }
+
+    proptest! {
+        /// Confusion counts always partition the full pair set, and the
+        /// rates stay in [0, 1].
+        #[test]
+        fn counts_partition_all_pairs(
+            labels in proptest::collection::vec((0usize..4, 0usize..4), 0..40)
+        ) {
+            let a: Vec<usize> = labels.iter().map(|l| l.0).collect();
+            let b: Vec<usize> = labels.iter().map(|l| l.1).collect();
+            let d = PairDiagnostics::from_labels(&a, &b);
+            let n = a.len() as u128;
+            let total = n * n.saturating_sub(1) / 2;
+            prop_assert_eq!(
+                d.true_positive_pairs
+                    + d.false_positive_pairs
+                    + d.false_negative_pairs
+                    + d.true_negative_pairs,
+                total
+            );
+            for rate in [d.precision(), d.recall(), d.f1()] {
+                prop_assert!((0.0..=1.0).contains(&rate));
+            }
+        }
+
+        /// Symmetric roles: swapping predicted and reference swaps FP/FN.
+        #[test]
+        fn swap_exchanges_fp_fn(
+            labels in proptest::collection::vec((0usize..4, 0usize..4), 0..40)
+        ) {
+            let a: Vec<usize> = labels.iter().map(|l| l.0).collect();
+            let b: Vec<usize> = labels.iter().map(|l| l.1).collect();
+            let ab = PairDiagnostics::from_labels(&a, &b);
+            let ba = PairDiagnostics::from_labels(&b, &a);
+            prop_assert_eq!(ab.true_positive_pairs, ba.true_positive_pairs);
+            prop_assert_eq!(ab.false_positive_pairs, ba.false_negative_pairs);
+            prop_assert_eq!(ab.false_negative_pairs, ba.false_positive_pairs);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Sybil auditing: grouping results turned into an operator-facing report.
+
+use srtd_core::Grouping;
+
+/// One suspected Sybil cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuspectGroup {
+    /// Group index in the underlying [`Grouping`].
+    pub group: usize,
+    /// The accounts in the cluster (sorted).
+    pub accounts: Vec<usize>,
+}
+
+/// The outcome of [`crate::Platform::audit`].
+///
+/// The paper deliberately does *not* ban suspected accounts ("we do not
+/// directly eliminate the data submitted by suspicious accounts since
+/// there might be false-positives"); the audit therefore reports, it does
+/// not enforce — the framework's weighting handles enforcement softly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditReport {
+    grouping: Grouping,
+    method: &'static str,
+    min_group_size: usize,
+    suspects: Vec<SuspectGroup>,
+}
+
+impl AuditReport {
+    pub(crate) fn build(grouping: Grouping, method: &'static str, min_group_size: usize) -> Self {
+        let suspects = grouping
+            .groups()
+            .iter()
+            .enumerate()
+            .filter(|(_, members)| members.len() >= min_group_size.max(2))
+            .map(|(group, members)| SuspectGroup {
+                group,
+                accounts: members.clone(),
+            })
+            .collect();
+        Self {
+            grouping,
+            method,
+            min_group_size,
+            suspects,
+        }
+    }
+
+    /// The grouping method that produced this audit.
+    pub fn method(&self) -> &'static str {
+        self.method
+    }
+
+    /// The size threshold used for flagging.
+    pub fn min_group_size(&self) -> usize {
+        self.min_group_size
+    }
+
+    /// The full grouping (suspected and unsuspected accounts alike).
+    pub fn grouping(&self) -> &Grouping {
+        &self.grouping
+    }
+
+    /// The flagged clusters, in group order.
+    pub fn suspects(&self) -> &[SuspectGroup] {
+        &self.suspects
+    }
+
+    /// Returns `true` if `account` sits in any flagged cluster.
+    pub fn is_suspect(&self, account: usize) -> bool {
+        self.suspects
+            .iter()
+            .any(|s| s.accounts.binary_search(&account).is_ok())
+    }
+
+    /// Fraction of accounts sitting in flagged clusters.
+    pub fn suspect_share(&self) -> f64 {
+        let n = self.grouping.num_accounts();
+        if n == 0 {
+            return 0.0;
+        }
+        let flagged: usize = self.suspects.iter().map(|s| s.accounts.len()).sum();
+        flagged as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(labels: &[usize], min: usize) -> AuditReport {
+        AuditReport::build(Grouping::from_labels(labels), "AG-TEST", min)
+    }
+
+    #[test]
+    fn flags_groups_at_or_above_threshold() {
+        // Groups: {0,1,2}, {3}, {4,5}.
+        let r = report(&[0, 0, 0, 1, 2, 2], 3);
+        assert_eq!(r.suspects().len(), 1);
+        assert_eq!(r.suspects()[0].accounts, vec![0, 1, 2]);
+        assert!(r.is_suspect(1));
+        assert!(!r.is_suspect(3));
+        assert!(!r.is_suspect(4));
+        assert!((r.suspect_share() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_below_two_still_requires_a_pair() {
+        // min_group_size 1 would flag every singleton — clamped to 2.
+        let r = report(&[0, 1, 2], 1);
+        assert!(r.suspects().is_empty());
+        assert_eq!(r.suspect_share(), 0.0);
+    }
+
+    #[test]
+    fn empty_platform_audits_cleanly() {
+        let r = report(&[], 2);
+        assert!(r.suspects().is_empty());
+        assert_eq!(r.suspect_share(), 0.0);
+        assert_eq!(r.method(), "AG-TEST");
+    }
+}

@@ -1,0 +1,127 @@
+//! Platform-side rejection reasons.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why an enrollment was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EnrollError {
+    /// The fingerprint vector has the wrong dimensionality.
+    BadFingerprint {
+        /// Dimensions received.
+        got: usize,
+        /// Dimensions required.
+        want: usize,
+    },
+    /// A fingerprint value is NaN or infinite.
+    NonFiniteFingerprint,
+}
+
+impl fmt::Display for EnrollError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnrollError::BadFingerprint { got, want } => {
+                write!(
+                    f,
+                    "fingerprint has {got} dimensions, platform requires {want}"
+                )
+            }
+            EnrollError::NonFiniteFingerprint => {
+                write!(f, "fingerprint contains non-finite values")
+            }
+        }
+    }
+}
+
+impl Error for EnrollError {}
+
+/// Why a report submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SubmitError {
+    /// The account id was never enrolled.
+    UnknownAccount,
+    /// The task id is outside the published campaign.
+    UnknownTask,
+    /// The account already reported this task (the paper's one-report
+    /// rule: "each account is allowed to submit at most one data for one
+    /// task").
+    DuplicateReport,
+    /// The claimed timestamp lies in the platform's future — the §III-C
+    /// assumption that "the timestamps cannot be fabricated", enforced.
+    FutureTimestamp {
+        /// Claimed submission time.
+        claimed: f64,
+        /// Platform clock at receipt.
+        clock: f64,
+    },
+    /// The claimed timestamp precedes the account's enrollment.
+    BeforeEnrollment,
+    /// The claimed timestamp runs backwards relative to the account's own
+    /// previous submission (a device cannot un-visit a POI).
+    NonMonotoneTimestamp,
+    /// The value is NaN or infinite.
+    NonFiniteValue,
+    /// The value lies outside the campaign's plausible band.
+    ImplausibleValue {
+        /// The rejected value.
+        value: f64,
+    },
+    /// No campaign is open.
+    NoCampaign,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::UnknownAccount => write!(f, "account is not enrolled"),
+            SubmitError::UnknownTask => write!(f, "task is not part of the campaign"),
+            SubmitError::DuplicateReport => {
+                write!(f, "account already reported this task")
+            }
+            SubmitError::FutureTimestamp { claimed, clock } => {
+                write!(
+                    f,
+                    "timestamp {claimed} is ahead of the platform clock {clock}"
+                )
+            }
+            SubmitError::BeforeEnrollment => {
+                write!(f, "timestamp precedes the account's enrollment")
+            }
+            SubmitError::NonMonotoneTimestamp => {
+                write!(f, "timestamp runs backwards for this account")
+            }
+            SubmitError::NonFiniteValue => write!(f, "value is not finite"),
+            SubmitError::ImplausibleValue { value } => {
+                write!(f, "value {value} is outside the campaign's plausible band")
+            }
+            SubmitError::NoCampaign => write!(f, "no campaign has been published"),
+        }
+    }
+}
+
+impl Error for SubmitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let errors: Vec<Box<dyn Error>> = vec![
+            Box::new(EnrollError::BadFingerprint { got: 3, want: 80 }),
+            Box::new(EnrollError::NonFiniteFingerprint),
+            Box::new(SubmitError::UnknownAccount),
+            Box::new(SubmitError::FutureTimestamp {
+                claimed: 10.0,
+                clock: 5.0,
+            }),
+            Box::new(SubmitError::ImplausibleValue { value: 9e9 }),
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().expect("non-empty").is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+}

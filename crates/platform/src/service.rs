@@ -1,0 +1,392 @@
+//! The platform service object.
+
+use crate::audit::AuditReport;
+use crate::error::{EnrollError, SubmitError};
+use srtd_core::{AccountGrouping, FrameworkResult, SybilResistantTd};
+use srtd_truth::{SensingData, TruthDiscovery, TruthDiscoveryResult};
+
+/// Handle to an enrolled account.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AccountId(usize);
+
+impl AccountId {
+    /// The dense account index (used to join against grouping labels).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for AccountId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "account#{}", self.0)
+    }
+}
+
+/// Platform policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlatformConfig {
+    /// Required fingerprint dimensionality (80 for the Table-II pipeline).
+    pub fingerprint_dims: usize,
+    /// Allowed clock skew when checking "timestamp is not in the future"
+    /// (seconds): devices and the platform are never perfectly synced.
+    pub clock_tolerance_s: f64,
+    /// Plausible value band for submitted data, inclusive. Reports outside
+    /// it are rejected outright (e.g. a Wi-Fi RSSI of +20 dBm is physical
+    /// nonsense regardless of who submits it).
+    pub value_band: (f64, f64),
+    /// Require each account's submissions to carry non-decreasing
+    /// timestamps.
+    pub enforce_monotone_timestamps: bool,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        Self {
+            fingerprint_dims: srtd_fingerprint::FINGERPRINT_DIMENSIONS,
+            clock_tolerance_s: 30.0,
+            value_band: (-120.0, 0.0),
+            enforce_monotone_timestamps: true,
+        }
+    }
+}
+
+/// The cloud platform: tasks, accounts, validated reports, fingerprints.
+///
+/// Time is explicit — the embedding application drives the platform clock
+/// with [`Platform::advance_clock`] — so every behaviour is deterministic
+/// and testable.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    config: PlatformConfig,
+    num_tasks: Option<usize>,
+    data: SensingData,
+    fingerprints: Vec<Vec<f64>>,
+    enrolled_at: Vec<f64>,
+    last_submission: Vec<f64>,
+    clock: f64,
+    rejected: usize,
+}
+
+impl Platform {
+    /// Creates an idle platform (no campaign yet) at clock 0.
+    pub fn new(config: PlatformConfig) -> Self {
+        Self {
+            config,
+            num_tasks: None,
+            data: SensingData::new(0),
+            fingerprints: Vec::new(),
+            enrolled_at: Vec::new(),
+            last_submission: Vec::new(),
+            clock: 0.0,
+            rejected: 0,
+        }
+    }
+
+    /// Publishes a campaign of `num_tasks` sensing tasks, replacing any
+    /// previous campaign's reports (enrollments persist — users keep
+    /// their accounts between campaigns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_tasks == 0`.
+    pub fn publish_tasks(&mut self, num_tasks: usize) {
+        assert!(num_tasks > 0, "a campaign needs at least one task");
+        self.num_tasks = Some(num_tasks);
+        self.data = SensingData::new(num_tasks);
+        self.data.reserve_accounts(self.fingerprints.len());
+        self.last_submission.fill(f64::NEG_INFINITY);
+    }
+
+    /// Advances the platform clock to `t` (monotone).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` would move the clock backwards or is not finite.
+    pub fn advance_clock(&mut self, t: f64) {
+        assert!(t.is_finite(), "clock must be finite");
+        assert!(t >= self.clock, "clock cannot move backwards");
+        self.clock = t;
+    }
+
+    /// Current platform clock (seconds).
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Number of enrolled accounts.
+    pub fn num_accounts(&self) -> usize {
+        self.fingerprints.len()
+    }
+
+    /// Number of submissions rejected so far.
+    pub fn rejected_submissions(&self) -> usize {
+        self.rejected
+    }
+
+    /// A read-only view of the accepted reports.
+    pub fn data(&self) -> &SensingData {
+        &self.data
+    }
+
+    /// A read-only view of the enrolled fingerprints.
+    pub fn fingerprints(&self) -> &[Vec<f64>] {
+        &self.fingerprints
+    }
+
+    /// Enrolls an account: stores its sign-in fingerprint features.
+    ///
+    /// # Errors
+    ///
+    /// Rejects fingerprints of the wrong dimensionality or containing
+    /// non-finite values.
+    pub fn enroll(&mut self, fingerprint: Vec<f64>, at: f64) -> Result<AccountId, EnrollError> {
+        if fingerprint.len() != self.config.fingerprint_dims {
+            return Err(EnrollError::BadFingerprint {
+                got: fingerprint.len(),
+                want: self.config.fingerprint_dims,
+            });
+        }
+        if fingerprint.iter().any(|v| !v.is_finite()) {
+            return Err(EnrollError::NonFiniteFingerprint);
+        }
+        let id = AccountId(self.fingerprints.len());
+        self.fingerprints.push(fingerprint);
+        self.enrolled_at.push(at);
+        self.last_submission.push(f64::NEG_INFINITY);
+        self.data.reserve_accounts(self.fingerprints.len());
+        Ok(id)
+    }
+
+    /// Accepts or rejects one report.
+    ///
+    /// # Errors
+    ///
+    /// See [`SubmitError`] for each rejection rule; rejected submissions
+    /// are counted but otherwise ignored.
+    pub fn submit(
+        &mut self,
+        account: AccountId,
+        task: usize,
+        value: f64,
+        timestamp: f64,
+    ) -> Result<(), SubmitError> {
+        let outcome = self.validate(account, task, value, timestamp);
+        match outcome {
+            Ok(()) => {
+                self.data.add_report(account.0, task, value, timestamp);
+                self.last_submission[account.0] = timestamp;
+                Ok(())
+            }
+            Err(e) => {
+                self.rejected += 1;
+                Err(e)
+            }
+        }
+    }
+
+    fn validate(
+        &self,
+        account: AccountId,
+        task: usize,
+        value: f64,
+        timestamp: f64,
+    ) -> Result<(), SubmitError> {
+        let Some(num_tasks) = self.num_tasks else {
+            return Err(SubmitError::NoCampaign);
+        };
+        if account.0 >= self.fingerprints.len() {
+            return Err(SubmitError::UnknownAccount);
+        }
+        if task >= num_tasks {
+            return Err(SubmitError::UnknownTask);
+        }
+        if !value.is_finite() {
+            return Err(SubmitError::NonFiniteValue);
+        }
+        if !timestamp.is_finite() {
+            return Err(SubmitError::FutureTimestamp {
+                claimed: timestamp,
+                clock: self.clock,
+            });
+        }
+        if self.data.tasks_of(account.0).contains(&task) {
+            return Err(SubmitError::DuplicateReport);
+        }
+        if timestamp > self.clock + self.config.clock_tolerance_s {
+            return Err(SubmitError::FutureTimestamp {
+                claimed: timestamp,
+                clock: self.clock,
+            });
+        }
+        if timestamp < self.enrolled_at[account.0] {
+            return Err(SubmitError::BeforeEnrollment);
+        }
+        if self.config.enforce_monotone_timestamps && timestamp < self.last_submission[account.0] {
+            return Err(SubmitError::NonMonotoneTimestamp);
+        }
+        let (lo, hi) = self.config.value_band;
+        if value < lo || value > hi {
+            return Err(SubmitError::ImplausibleValue { value });
+        }
+        Ok(())
+    }
+
+    /// Runs a plain truth discovery algorithm over the accepted reports.
+    pub fn aggregate(&self, algorithm: &dyn TruthDiscovery) -> TruthDiscoveryResult {
+        algorithm.discover(&self.data)
+    }
+
+    /// Runs the Sybil-resistant framework over the accepted reports with
+    /// the given grouping method.
+    pub fn aggregate_resistant<G: AccountGrouping>(
+        &self,
+        framework: &SybilResistantTd<G>,
+    ) -> FrameworkResult {
+        framework.discover(&self.data, &self.fingerprints)
+    }
+
+    /// Audits the account base with a grouping method, flagging groups of
+    /// `min_group_size` or more accounts as suspected Sybil clusters.
+    pub fn audit<G: AccountGrouping>(&self, grouping: &G, min_group_size: usize) -> AuditReport {
+        AuditReport::build(
+            grouping.group(&self.data, &self.fingerprints),
+            grouping.name(),
+            min_group_size,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srtd_truth::Crh;
+
+    fn fp() -> Vec<f64> {
+        vec![0.5; 80]
+    }
+
+    fn platform_with_campaign() -> (Platform, AccountId) {
+        let mut p = Platform::new(PlatformConfig::default());
+        p.publish_tasks(3);
+        let a = p.enroll(fp(), 0.0).expect("valid fingerprint");
+        p.advance_clock(1_000.0);
+        (p, a)
+    }
+
+    #[test]
+    fn happy_path_submission_is_accepted() {
+        let (mut p, a) = platform_with_campaign();
+        p.submit(a, 0, -70.0, 500.0).expect("valid report");
+        assert_eq!(p.data().num_reports(), 1);
+        assert_eq!(p.rejected_submissions(), 0);
+    }
+
+    #[test]
+    fn submission_without_campaign_is_rejected() {
+        let mut p = Platform::new(PlatformConfig::default());
+        let a = p.enroll(fp(), 0.0).expect("valid fingerprint");
+        assert_eq!(p.submit(a, 0, -70.0, 0.0), Err(SubmitError::NoCampaign));
+    }
+
+    #[test]
+    fn future_timestamps_are_rejected() {
+        let (mut p, a) = platform_with_campaign();
+        let err = p.submit(a, 0, -70.0, 2_000.0).unwrap_err();
+        assert!(matches!(err, SubmitError::FutureTimestamp { .. }));
+        // Within clock tolerance is fine.
+        p.submit(a, 0, -70.0, 1_020.0).expect("within tolerance");
+        assert_eq!(p.rejected_submissions(), 1);
+    }
+
+    #[test]
+    fn timestamps_before_enrollment_are_rejected() {
+        let mut p = Platform::new(PlatformConfig::default());
+        p.publish_tasks(1);
+        p.advance_clock(500.0);
+        let late = p.enroll(fp(), 400.0).expect("valid");
+        assert_eq!(
+            p.submit(late, 0, -70.0, 100.0),
+            Err(SubmitError::BeforeEnrollment)
+        );
+    }
+
+    #[test]
+    fn per_account_timestamps_must_be_monotone() {
+        let (mut p, a) = platform_with_campaign();
+        p.submit(a, 0, -70.0, 600.0).expect("first");
+        assert_eq!(
+            p.submit(a, 1, -71.0, 550.0),
+            Err(SubmitError::NonMonotoneTimestamp)
+        );
+        p.submit(a, 1, -71.0, 650.0).expect("forward in time");
+    }
+
+    #[test]
+    fn duplicate_and_unknown_are_rejected() {
+        let (mut p, a) = platform_with_campaign();
+        p.submit(a, 0, -70.0, 500.0).expect("first");
+        assert_eq!(
+            p.submit(a, 0, -71.0, 600.0),
+            Err(SubmitError::DuplicateReport)
+        );
+        assert_eq!(p.submit(a, 9, -71.0, 600.0), Err(SubmitError::UnknownTask));
+        assert_eq!(
+            p.submit(AccountId(99), 0, -71.0, 600.0),
+            Err(SubmitError::UnknownAccount)
+        );
+    }
+
+    #[test]
+    fn implausible_values_are_rejected() {
+        let (mut p, a) = platform_with_campaign();
+        assert!(matches!(
+            p.submit(a, 0, 25.0, 500.0),
+            Err(SubmitError::ImplausibleValue { .. })
+        ));
+        assert_eq!(
+            p.submit(a, 0, f64::NAN, 500.0),
+            Err(SubmitError::NonFiniteValue)
+        );
+    }
+
+    #[test]
+    fn enrollment_validates_fingerprints() {
+        let mut p = Platform::new(PlatformConfig::default());
+        assert!(matches!(
+            p.enroll(vec![1.0; 3], 0.0),
+            Err(EnrollError::BadFingerprint { got: 3, want: 80 })
+        ));
+        assert_eq!(
+            p.enroll(vec![f64::NAN; 80], 0.0),
+            Err(EnrollError::NonFiniteFingerprint)
+        );
+    }
+
+    #[test]
+    fn aggregate_runs_over_accepted_reports_only() {
+        let (mut p, a) = platform_with_campaign();
+        let b = p.enroll(fp(), 0.0).expect("valid");
+        p.submit(a, 0, -70.0, 500.0).expect("ok");
+        let _ = p.submit(b, 0, -10_000.0, 500.0); // rejected: implausible
+        let r = p.aggregate(&Crh::default());
+        assert_eq!(r.truths[0], Some(-70.0));
+    }
+
+    #[test]
+    fn republishing_clears_reports_but_keeps_accounts() {
+        let (mut p, a) = platform_with_campaign();
+        p.submit(a, 0, -70.0, 500.0).expect("ok");
+        p.publish_tasks(2);
+        assert_eq!(p.data().num_reports(), 0);
+        assert_eq!(p.num_accounts(), 1);
+        p.submit(a, 1, -72.0, 900.0).expect("new campaign accepts");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot move backwards")]
+    fn clock_is_monotone() {
+        let mut p = Platform::new(PlatformConfig::default());
+        p.advance_clock(10.0);
+        p.advance_clock(5.0);
+    }
+}

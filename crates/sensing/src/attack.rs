@@ -1,0 +1,238 @@
+//! Sybil attack models (§III-C).
+
+use serde::{Deserialize, Serialize};
+
+/// Whether the Sybil attacker spreads its accounts over one device or
+/// several.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttackType {
+    /// Attack-I: a single device, multiple accounts. Account switching
+    /// takes time (different timestamps) but every account shares the same
+    /// device fingerprint.
+    SingleDevice,
+    /// Attack-II: multiple devices, multiple accounts. Accounts are spread
+    /// round-robin over the devices, so fingerprints differ within the
+    /// attacker.
+    MultiDevice {
+        /// Number of physical devices the attacker owns (≥ 2 for the
+        /// attack to differ from Attack-I; the paper's attacker uses 2).
+        devices: usize,
+    },
+}
+
+/// What data the Sybil accounts submit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FabricationStrategy {
+    /// Malicious: every account claims `value` (± small per-account jitter
+    /// `jitter_std`, the "simple modification" of §III-C). The paper's
+    /// attackers claim −50 dBm to fake a strong signal.
+    Fabricate {
+        /// The fabricated claim.
+        value: f64,
+        /// Per-account jitter σ applied to the claim.
+        jitter_std: f64,
+    },
+    /// Rapacious: the attacker measures honestly once and every account
+    /// submits a jittered copy — reward farming without extra effort.
+    DuplicateMeasurement {
+        /// Per-account jitter σ applied to the copied measurement.
+        jitter_std: f64,
+    },
+    /// Subtle manipulation: every account submits the honest measurement
+    /// shifted by `delta` — the claims stay inside the plausible value
+    /// band, so they cannot be filtered as outliers by value alone.
+    Offset {
+        /// Systematic shift applied to the honest measurement (dBm).
+        delta: f64,
+        /// Per-account jitter σ.
+        jitter_std: f64,
+    },
+}
+
+/// How hard the attacker works to evade behavioural grouping.
+///
+/// These tactics extend the paper's model: a grouping-aware adversary can
+/// spend extra effort making its accounts look behaviourally independent.
+/// Each tactic trades attack power or attacker effort for stealth, which
+/// the `exp_attack_strategies` experiment quantifies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum EvasionTactic {
+    /// No evasion: one physical walk, accounts submit back to back (the
+    /// paper's attacker).
+    #[default]
+    None,
+    /// Each account gets its *own* physical walk over the attacker's task
+    /// set (own visiting order, own start time). Evades AG-TR's trajectory
+    /// matching — but costs the attacker one full walk per account,
+    /// removing the "without sensing effort" economy that motivates the
+    /// Sybil attack in the first place.
+    PerAccountWalks,
+    /// Each account reports only a random fraction of the attacker's
+    /// visited tasks, making the accounts' task sets diverge. Evades
+    /// AG-TS's affinity signal at the cost of proportionally fewer
+    /// malicious reports per task.
+    SubsetTasks {
+        /// Fraction of the attacker's visited tasks each account reports,
+        /// clamped to `(0, 1]`.
+        fraction: f64,
+    },
+}
+
+impl FabricationStrategy {
+    /// The paper's malicious attacker: claim −50 dBm everywhere.
+    pub fn paper_default() -> Self {
+        Self::Fabricate {
+            value: -50.0,
+            jitter_std: 0.3,
+        }
+    }
+}
+
+/// Specification of one Sybil attacker.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackerSpec {
+    /// Number of accounts (the paper's attackers hold 5 each).
+    pub accounts: usize,
+    /// Attack-I or Attack-II.
+    pub attack_type: AttackType,
+    /// Data strategy.
+    pub strategy: FabricationStrategy,
+    /// Grouping-evasion tactic (the paper's attacker uses none).
+    pub evasion: EvasionTactic,
+}
+
+impl AttackerSpec {
+    /// The paper's Attack-I attacker: 5 accounts on one iPhone 6S,
+    /// fabricating −50 dBm, no evasion.
+    pub fn paper_attack_i() -> Self {
+        Self {
+            accounts: 5,
+            attack_type: AttackType::SingleDevice,
+            strategy: FabricationStrategy::paper_default(),
+            evasion: EvasionTactic::None,
+        }
+    }
+
+    /// The paper's Attack-II attacker: 5 accounts over 2 devices
+    /// (iPhone SE + Nexus 6P), fabricating −50 dBm, no evasion.
+    pub fn paper_attack_ii() -> Self {
+        Self {
+            accounts: 5,
+            attack_type: AttackType::MultiDevice { devices: 2 },
+            strategy: FabricationStrategy::paper_default(),
+            evasion: EvasionTactic::None,
+        }
+    }
+
+    /// Replaces the data strategy.
+    pub fn with_strategy(mut self, strategy: FabricationStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Replaces the evasion tactic.
+    pub fn with_evasion(mut self, evasion: EvasionTactic) -> Self {
+        self.evasion = evasion;
+        self
+    }
+
+    /// Number of distinct devices this attacker uses.
+    pub fn device_count(&self) -> usize {
+        match self.attack_type {
+            AttackType::SingleDevice => 1,
+            AttackType::MultiDevice { devices } => devices.max(1),
+        }
+    }
+
+    /// Validates the spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the attacker has no accounts, or a multi-device attacker
+    /// declares fewer than 2 devices.
+    pub fn validate(&self) {
+        assert!(self.accounts > 0, "an attacker needs at least one account");
+        if let AttackType::MultiDevice { devices } = self.attack_type {
+            assert!(
+                devices >= 2,
+                "Attack-II needs at least 2 devices, got {devices}"
+            );
+        }
+        if let EvasionTactic::SubsetTasks { fraction } = self.evasion {
+            assert!(
+                fraction > 0.0 && fraction <= 1.0,
+                "subset fraction must be in (0,1], got {fraction}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_specs_match_experiment_setup() {
+        let a1 = AttackerSpec::paper_attack_i();
+        let a2 = AttackerSpec::paper_attack_ii();
+        assert_eq!(a1.accounts, 5);
+        assert_eq!(a2.accounts, 5);
+        assert_eq!(a1.device_count(), 1);
+        assert_eq!(a2.device_count(), 2);
+        a1.validate();
+        a2.validate();
+    }
+
+    #[test]
+    fn fabricate_default_is_minus_50() {
+        match FabricationStrategy::paper_default() {
+            FabricationStrategy::Fabricate { value, .. } => assert_eq!(value, -50.0),
+            other => panic!("unexpected strategy {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 devices")]
+    fn single_device_attack_ii_rejected() {
+        AttackerSpec {
+            accounts: 3,
+            attack_type: AttackType::MultiDevice { devices: 1 },
+            strategy: FabricationStrategy::paper_default(),
+            evasion: EvasionTactic::None,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "subset fraction")]
+    fn bad_subset_fraction_rejected() {
+        AttackerSpec::paper_attack_i()
+            .with_evasion(EvasionTactic::SubsetTasks { fraction: 0.0 })
+            .validate();
+    }
+
+    #[test]
+    fn builders_replace_fields() {
+        let spec = AttackerSpec::paper_attack_i()
+            .with_strategy(FabricationStrategy::Offset {
+                delta: -8.0,
+                jitter_std: 0.2,
+            })
+            .with_evasion(EvasionTactic::PerAccountWalks);
+        assert_eq!(spec.evasion, EvasionTactic::PerAccountWalks);
+        matches!(spec.strategy, FabricationStrategy::Offset { .. });
+        spec.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one account")]
+    fn zero_accounts_rejected() {
+        AttackerSpec {
+            accounts: 0,
+            attack_type: AttackType::SingleDevice,
+            strategy: FabricationStrategy::paper_default(),
+            evasion: EvasionTactic::None,
+        }
+        .validate();
+    }
+}

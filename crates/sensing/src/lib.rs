@@ -1,0 +1,51 @@
+//! Mobile crowdsensing world simulator.
+//!
+//! The paper evaluates its framework on a small real-world campaign: 10
+//! Wi-Fi RSSI measurement tasks at campus POIs, 8 legitimate volunteers,
+//! and 2 Sybil attackers with 5 accounts each (one Attack-I, one
+//! Attack-II), using the 11 smartphones of Table IV. That campaign cannot
+//! be re-run, so this crate simulates it end to end, preserving the
+//! structure every grouping method keys on:
+//!
+//! * [`PoiMap`] — POIs on a synthetic campus, with walking distances,
+//! * [`WifiWorld`] — per-POI ground-truth RSSI plus per-user measurement
+//!   noise (users have heterogeneous quality, as §I motivates),
+//! * [`mobility`] — nearest-neighbor walking routes with dwell times; an
+//!   attacker walks *once* and its accounts submit back to back, exactly
+//!   the timestamp pattern of Table III,
+//! * [`attack`] — Attack-I (one device) and Attack-II (multiple devices),
+//!   with duplicate-data (rapacious) and fabricated-data (malicious)
+//!   strategies,
+//! * [`Scenario`] — a complete generated campaign: a
+//!   [`srtd_truth::SensingData`] report matrix, per-account device
+//!   fingerprints, ground truths, and the true account→user assignment
+//!   that ARI is scored against.
+//!
+//! # Examples
+//!
+//! ```
+//! use srtd_sensing::{Scenario, ScenarioConfig};
+//!
+//! let scenario = Scenario::generate(&ScenarioConfig::paper_default().with_seed(1));
+//! assert_eq!(scenario.data.num_tasks(), 10);
+//! assert_eq!(scenario.data.num_accounts(), 18); // 8 legit + 2×5 Sybil
+//! assert_eq!(scenario.fingerprints.len(), 18);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod mobility;
+pub mod poi;
+pub mod scenario;
+pub mod selection;
+pub mod user;
+pub mod world;
+
+pub use attack::{AttackType, AttackerSpec, EvasionTactic, FabricationStrategy};
+pub use poi::{Poi, PoiMap};
+pub use scenario::{Scenario, ScenarioConfig};
+pub use selection::CoverageSelection;
+pub use user::MeasurementProfile;
+pub use world::WifiWorld;

@@ -1,0 +1,178 @@
+//! Points of interest on the synthetic campus.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One point of interest — the location of a sensing task (Fig. 5 of the
+/// paper shows 10 of them on a campus map).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Poi {
+    /// Task/POI index.
+    pub id: usize,
+    /// East–west coordinate in meters.
+    pub x: f64,
+    /// North–south coordinate in meters.
+    pub y: f64,
+}
+
+impl Poi {
+    /// Euclidean distance to another POI in meters.
+    pub fn distance_to(&self, other: &Poi) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+}
+
+/// A set of POIs with pairwise walking distances.
+///
+/// # Examples
+///
+/// ```
+/// use srtd_sensing::PoiMap;
+///
+/// let map = PoiMap::campus(10, 42);
+/// assert_eq!(map.len(), 10);
+/// assert!(map.distance(0, 1) > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoiMap {
+    pois: Vec<Poi>,
+}
+
+impl PoiMap {
+    /// Generates `n` POIs on a jittered grid inside a 400 m × 300 m campus.
+    ///
+    /// The layout is deterministic in `seed`. Jitter keeps distances
+    /// irregular (real campuses are not grids) while the grid keeps POIs
+    /// from overlapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn campus(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "a campaign needs at least one POI");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cols = (n as f64).sqrt().ceil() as usize;
+        let rows = n.div_ceil(cols);
+        let (width, height) = (400.0, 300.0);
+        let (dx, dy) = (width / cols as f64, height / rows as f64);
+        let pois = (0..n)
+            .map(|id| {
+                let c = (id % cols) as f64;
+                let r = (id / cols) as f64;
+                Poi {
+                    id,
+                    x: (c + 0.5) * dx + rng.gen_range(-0.25..0.25) * dx,
+                    y: (r + 0.5) * dy + rng.gen_range(-0.25..0.25) * dy,
+                }
+            })
+            .collect();
+        Self { pois }
+    }
+
+    /// Builds a map from explicit POIs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pois` is empty or ids are not `0..n` in order.
+    pub fn from_pois(pois: Vec<Poi>) -> Self {
+        assert!(!pois.is_empty(), "a campaign needs at least one POI");
+        assert!(
+            pois.iter().enumerate().all(|(i, p)| p.id == i),
+            "POI ids must be 0..n in order"
+        );
+        Self { pois }
+    }
+
+    /// Number of POIs.
+    pub fn len(&self) -> usize {
+        self.pois.len()
+    }
+
+    /// Returns `true` if the map has no POIs (never the case for
+    /// constructed maps).
+    pub fn is_empty(&self) -> bool {
+        self.pois.is_empty()
+    }
+
+    /// The POI with index `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn poi(&self, id: usize) -> &Poi {
+        &self.pois[id]
+    }
+
+    /// All POIs.
+    pub fn pois(&self) -> &[Poi] {
+        &self.pois
+    }
+
+    /// Walking distance between POIs `a` and `b` in meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn distance(&self, a: usize, b: usize) -> f64 {
+        self.pois[a].distance_to(&self.pois[b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campus_is_deterministic_and_in_bounds() {
+        let a = PoiMap::campus(10, 7);
+        let b = PoiMap::campus(10, 7);
+        assert_eq!(a, b);
+        for p in a.pois() {
+            assert!((0.0..=400.0).contains(&p.x));
+            assert!((0.0..=300.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(PoiMap::campus(10, 1), PoiMap::campus(10, 2));
+    }
+
+    #[test]
+    fn pois_do_not_coincide() {
+        let map = PoiMap::campus(16, 3);
+        for i in 0..map.len() {
+            for j in i + 1..map.len() {
+                assert!(map.distance(i, j) > 1.0, "POIs {i} and {j} overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_diagonal() {
+        let map = PoiMap::campus(5, 9);
+        for i in 0..5 {
+            assert_eq!(map.distance(i, i), 0.0);
+            for j in 0..5 {
+                assert_eq!(map.distance(i, j), map.distance(j, i));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one POI")]
+    fn empty_campus_panics() {
+        PoiMap::campus(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ids must be 0..n")]
+    fn bad_ids_panic() {
+        PoiMap::from_pois(vec![Poi {
+            id: 1,
+            x: 0.0,
+            y: 0.0,
+        }]);
+    }
+}

@@ -1,0 +1,623 @@
+//! Complete campaign generation reproducing the paper's experimental setup.
+
+use crate::attack::{AttackerSpec, EvasionTactic, FabricationStrategy};
+use crate::mobility::Walk;
+use crate::poi::PoiMap;
+use crate::user::MeasurementProfile;
+use crate::world::WifiWorld;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use srtd_fingerprint::catalog::{standard_catalog, DeviceRole};
+use srtd_fingerprint::noise::normal;
+use srtd_fingerprint::{fingerprint_features, CaptureConfig, DeviceInstance};
+use srtd_truth::SensingData;
+
+/// Window (seconds) over which participants start their walks. A real
+/// campaign spreads volunteers over hours; trajectory-based grouping
+/// relies on that spread to tell same-route users apart.
+pub const CAMPAIGN_WINDOW_S: f64 = 7200.0;
+
+/// Configuration of a generated campaign.
+///
+/// [`ScenarioConfig::paper_default`] reproduces §V-A: 10 Wi-Fi RSSI tasks,
+/// 8 legitimate users with one account and one smartphone each, and 2
+/// Sybil attackers with 5 accounts each — one Attack-I (single iPhone 6S)
+/// and one Attack-II (iPhone SE + Nexus 6P). Activeness (Eq. 9) of both
+/// populations is adjustable, which is exactly the sweep Figs. 6 and 7
+/// run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioConfig {
+    /// Number of sensing tasks `m`.
+    pub num_tasks: usize,
+    /// Number of legitimate users (one account, one device each).
+    pub num_legit: usize,
+    /// The Sybil attackers.
+    pub attackers: Vec<AttackerSpec>,
+    /// Activeness `α` of legitimate users.
+    pub legit_activeness: f64,
+    /// Activeness `α` of Sybil attackers.
+    pub attacker_activeness: f64,
+    /// Walking speed in m/s.
+    pub walking_speed: f64,
+    /// Fingerprint capture protocol.
+    pub capture: CaptureConfig,
+    /// RNG seed; every generated artifact is deterministic in it.
+    pub seed: u64,
+}
+
+impl ScenarioConfig {
+    /// The paper's experimental setup (§V-A) at full activeness.
+    pub fn paper_default() -> Self {
+        Self {
+            num_tasks: 10,
+            num_legit: 8,
+            attackers: vec![
+                AttackerSpec::paper_attack_i(),
+                AttackerSpec::paper_attack_ii(),
+            ],
+            legit_activeness: 1.0,
+            attacker_activeness: 1.0,
+            walking_speed: 1.4,
+            capture: CaptureConfig::paper_default(),
+            seed: 0,
+        }
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces both activeness levels (the Fig. 6/7 sweep axes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is outside `(0, 1]`.
+    pub fn with_activeness(mut self, legit: f64, attacker: f64) -> Self {
+        assert!(
+            legit > 0.0 && legit <= 1.0,
+            "legit activeness must be in (0,1]"
+        );
+        assert!(
+            attacker > 0.0 && attacker <= 1.0,
+            "attacker activeness must be in (0,1]"
+        );
+        self.legit_activeness = legit;
+        self.attacker_activeness = attacker;
+        self
+    }
+
+    /// Replaces the attacker roster.
+    pub fn with_attackers(mut self, attackers: Vec<AttackerSpec>) -> Self {
+        self.attackers = attackers;
+        self
+    }
+
+    /// Validates structural constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no tasks, no legitimate users, or an invalid
+    /// attacker spec.
+    pub fn validate(&self) {
+        assert!(self.num_tasks > 0, "campaign needs at least one task");
+        assert!(self.num_legit > 0, "campaign needs legitimate users");
+        assert!(self.walking_speed > 0.0, "walking speed must be positive");
+        for a in &self.attackers {
+            a.validate();
+        }
+    }
+
+    /// Tasks an account with activeness `alpha` performs:
+    /// `max(2, round(α·m))` clamped to `m` (the paper requires at least two
+    /// tasks per account).
+    pub fn tasks_per_account(&self, alpha: f64) -> usize {
+        let k = (alpha * self.num_tasks as f64).round() as usize;
+        k.max(2.min(self.num_tasks)).min(self.num_tasks)
+    }
+}
+
+/// A generated campaign with full ground truth for evaluation.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The report matrix handed to truth discovery.
+    pub data: SensingData,
+    /// Per-account 80-dimensional device fingerprint features.
+    pub fingerprints: Vec<Vec<f64>>,
+    /// Ground-truth value per task.
+    pub ground_truth: Vec<f64>,
+    /// True owner (physical user) of each account — the reference
+    /// partition ARI scores grouping against.
+    pub owners: Vec<usize>,
+    /// Device instance index used by each account.
+    pub devices: Vec<usize>,
+    /// Whether each account belongs to a Sybil attacker.
+    pub is_sybil: Vec<bool>,
+    /// The device fleet (indexed by [`Scenario::devices`]).
+    pub fleet: Vec<DeviceInstance>,
+    /// The campus map.
+    pub map: PoiMap,
+}
+
+impl Scenario {
+    /// Generates a campaign from a configuration.
+    ///
+    /// Deterministic in `config.seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`ScenarioConfig::validate`]).
+    pub fn generate(config: &ScenarioConfig) -> Self {
+        config.validate();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let map = PoiMap::campus(config.num_tasks, config.seed);
+        let world = WifiWorld::generate(&map, config.seed);
+
+        let (fleet, legit_pool, attack_i_pool, attack_ii_pool) =
+            manufacture_fleet(config, &mut rng);
+
+        let mut data = SensingData::new(config.num_tasks);
+        let mut fingerprints = Vec::new();
+        let mut owners = Vec::new();
+        let mut devices = Vec::new();
+        let mut is_sybil = Vec::new();
+        let mut next_account = 0usize;
+
+        // Legitimate users: one account, one device, one walk each.
+        let mut legit_iter = legit_pool.into_iter();
+        for user in 0..config.num_legit {
+            let device = legit_iter
+                .next()
+                .expect("fleet sized to cover all legitimate users");
+            let profile = MeasurementProfile::sample(&mut rng);
+            let k = config.tasks_per_account(config.legit_activeness);
+            let tasks = choose_tasks(config.num_tasks, k, &mut rng);
+            let start = rng.gen_range(0.0..CAMPAIGN_WINDOW_S);
+            // Legit users visit in their own preferred (shuffled) order.
+            let walk = Walk::plan_in_order(&map, &tasks, start, config.walking_speed, &mut rng);
+            for visit in walk.visits() {
+                let value = world.measure(visit.task, &profile, &mut rng);
+                let submit = visit.arrival + rng.gen_range(5.0..40.0);
+                data.add_report(next_account, visit.task, value, submit);
+            }
+            let capture = fleet[device].capture(&config.capture, &mut rng);
+            fingerprints.push(fingerprint_features(&capture));
+            owners.push(user);
+            devices.push(device);
+            is_sybil.push(false);
+            next_account += 1;
+        }
+
+        // Sybil attackers: one physical walk; every account reports each
+        // visited POI back to back (the Table III timestamp pattern).
+        let mut a1 = attack_i_pool.into_iter();
+        let mut a2 = attack_ii_pool.into_iter();
+        for (a_idx, spec) in config.attackers.iter().enumerate() {
+            let owner = config.num_legit + a_idx;
+            let device_ids: Vec<usize> = match spec.attack_type {
+                crate::attack::AttackType::SingleDevice => {
+                    vec![a1.next().expect("fleet covers Attack-I attackers")]
+                }
+                crate::attack::AttackType::MultiDevice { devices } => (0..devices)
+                    .map(|_| a2.next().expect("fleet covers Attack-II attackers"))
+                    .collect(),
+            };
+            let profile = MeasurementProfile::sample(&mut rng);
+            let k = config.tasks_per_account(config.attacker_activeness);
+            let tasks = choose_tasks(config.num_tasks, k, &mut rng);
+            let start = rng.gen_range(0.0..CAMPAIGN_WINDOW_S);
+            // The attacker walks once, in its own preferred order; all of
+            // its accounts will replay this one walk.
+            let walk = Walk::plan_in_order(&map, &tasks, start, config.walking_speed, &mut rng);
+
+            let account_base = next_account;
+            for j in 0..spec.accounts {
+                let device = device_ids[j % device_ids.len()];
+                let capture = fleet[device].capture(&config.capture, &mut rng);
+                fingerprints.push(fingerprint_features(&capture));
+                owners.push(owner);
+                devices.push(device);
+                is_sybil.push(true);
+                next_account += 1;
+            }
+            let claim = |honest: f64, rng: &mut StdRng| match spec.strategy {
+                FabricationStrategy::Fabricate { value, jitter_std } => {
+                    value + normal(rng, 0.0, jitter_std)
+                }
+                FabricationStrategy::DuplicateMeasurement { jitter_std } => {
+                    honest + normal(rng, 0.0, jitter_std)
+                }
+                FabricationStrategy::Offset { delta, jitter_std } => {
+                    honest + delta + normal(rng, 0.0, jitter_std)
+                }
+            };
+            match spec.evasion {
+                EvasionTactic::None => {
+                    for visit in walk.visits() {
+                        let honest = world.measure(visit.task, &profile, &mut rng);
+                        // Account switching takes time: submissions are
+                        // sequential with tens of seconds between them.
+                        let mut offset = rng.gen_range(5.0..20.0);
+                        for j in 0..spec.accounts {
+                            let value = claim(honest, &mut rng);
+                            data.add_report(
+                                account_base + j,
+                                visit.task,
+                                value,
+                                visit.arrival + offset,
+                            );
+                            offset += rng.gen_range(20.0..55.0);
+                        }
+                    }
+                }
+                EvasionTactic::PerAccountWalks => {
+                    // The attacker physically re-walks the task set once
+                    // per account: trajectories become independent.
+                    for j in 0..spec.accounts {
+                        let mut order = tasks.clone();
+                        order.shuffle(&mut rng);
+                        let start_j = rng.gen_range(0.0..CAMPAIGN_WINDOW_S);
+                        let walk_j = Walk::plan_in_order(
+                            &map,
+                            &order,
+                            start_j,
+                            config.walking_speed,
+                            &mut rng,
+                        );
+                        for visit in walk_j.visits() {
+                            let honest = world.measure(visit.task, &profile, &mut rng);
+                            let value = claim(honest, &mut rng);
+                            let submit = visit.arrival + rng.gen_range(5.0..40.0);
+                            data.add_report(account_base + j, visit.task, value, submit);
+                        }
+                    }
+                }
+                EvasionTactic::SubsetTasks { fraction } => {
+                    // One walk, but each account reports only a random
+                    // subset of the visited tasks, diversifying task sets.
+                    let per_account = ((fraction * walk.visits().len() as f64).ceil() as usize)
+                        .clamp(1, walk.visits().len());
+                    for visit in walk.visits() {
+                        let honest = world.measure(visit.task, &profile, &mut rng);
+                        let mut offset = rng.gen_range(5.0..20.0);
+                        let mut reporters: Vec<usize> = (0..spec.accounts).collect();
+                        reporters.shuffle(&mut rng);
+                        // Keep expected per-account coverage at `fraction`.
+                        let quota = (spec.accounts as f64 * per_account as f64
+                            / walk.visits().len() as f64)
+                            .round()
+                            .clamp(1.0, spec.accounts as f64)
+                            as usize;
+                        for &j in reporters.iter().take(quota) {
+                            let value = claim(honest, &mut rng);
+                            data.add_report(
+                                account_base + j,
+                                visit.task,
+                                value,
+                                visit.arrival + offset,
+                            );
+                            offset += rng.gen_range(20.0..55.0);
+                        }
+                    }
+                }
+            }
+        }
+
+        Self {
+            data,
+            fingerprints,
+            ground_truth: world.ground_truths().to_vec(),
+            owners,
+            devices,
+            is_sybil,
+            fleet,
+            map,
+        }
+    }
+
+    /// Number of accounts in the campaign.
+    pub fn num_accounts(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// The account→device labeling (ground truth for evaluating AG-FP as a
+    /// *device* grouper).
+    pub fn device_labels(&self) -> &[usize] {
+        &self.devices
+    }
+
+    /// The account→owner labeling (ground truth for ARI in Figs. 6/7).
+    pub fn owner_labels(&self) -> &[usize] {
+        &self.owners
+    }
+}
+
+/// Manufactures the device fleet and splits it into role pools.
+///
+/// Follows Table IV for the paper-scale setup and extends it by cycling
+/// through the catalog for larger configurations.
+fn manufacture_fleet(
+    config: &ScenarioConfig,
+    rng: &mut StdRng,
+) -> (Vec<DeviceInstance>, Vec<usize>, Vec<usize>, Vec<usize>) {
+    let catalog = standard_catalog();
+    let mut fleet = Vec::new();
+    let mut legit_pool = Vec::new();
+    let mut attack_i_pool = Vec::new();
+    let mut attack_ii_pool = Vec::new();
+    for entry in &catalog {
+        for unit in 0..entry.quantity {
+            let idx = fleet.len();
+            fleet.push(entry.model.manufacture(rng));
+            // Only the first unit of an attack-role model attacks; spare
+            // units (e.g. the second iPhone 6S, Nexus 6P #2/#3) are carried
+            // by legitimate users, matching Table IV quantities.
+            match (entry.role, unit) {
+                (DeviceRole::AttackI, 0) => attack_i_pool.push(idx),
+                (DeviceRole::AttackII, 0) => attack_ii_pool.push(idx),
+                _ => legit_pool.push(idx),
+            }
+        }
+    }
+    // Demand beyond Table IV: manufacture extra units round-robin.
+    let need_legit = config.num_legit;
+    let need_a1 = config
+        .attackers
+        .iter()
+        .filter(|a| matches!(a.attack_type, crate::attack::AttackType::SingleDevice))
+        .count();
+    let need_a2: usize = config
+        .attackers
+        .iter()
+        .map(|a| match a.attack_type {
+            crate::attack::AttackType::MultiDevice { devices } => devices,
+            _ => 0,
+        })
+        .sum();
+    let mut model_cycle = 0usize;
+    let mut extend = |pool: &mut Vec<usize>, need: usize, fleet: &mut Vec<DeviceInstance>| {
+        while pool.len() < need {
+            let entry = &catalog[model_cycle % catalog.len()];
+            model_cycle += 1;
+            pool.push(fleet.len());
+            fleet.push(entry.model.manufacture(rng));
+        }
+    };
+    extend(&mut legit_pool, need_legit, &mut fleet);
+    extend(&mut attack_i_pool, need_a1, &mut fleet);
+    extend(&mut attack_ii_pool, need_a2, &mut fleet);
+    (fleet, legit_pool, attack_i_pool, attack_ii_pool)
+}
+
+/// Chooses `k` distinct tasks uniformly, in random visiting order.
+fn choose_tasks(num_tasks: usize, k: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut all: Vec<usize> = (0..num_tasks).collect();
+    all.shuffle(rng);
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_scenario(seed: u64) -> Scenario {
+        Scenario::generate(&ScenarioConfig::paper_default().with_seed(seed))
+    }
+
+    #[test]
+    fn paper_shape_is_reproduced() {
+        let s = paper_scenario(1);
+        assert_eq!(s.data.num_tasks(), 10);
+        assert_eq!(s.num_accounts(), 18);
+        assert_eq!(s.fleet.len(), 11); // Table IV
+        assert_eq!(s.fingerprints.len(), 18);
+        assert!(s.fingerprints.iter().all(|f| f.len() == 80));
+        assert_eq!(s.is_sybil.iter().filter(|&&x| x).count(), 10);
+        // Owners: 8 legit users + 2 attackers = 10 physical users.
+        let max_owner = *s.owners.iter().max().unwrap();
+        assert_eq!(max_owner, 9);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = paper_scenario(5);
+        let b = paper_scenario(5);
+        assert_eq!(a.data, b.data);
+        assert_eq!(a.fingerprints, b.fingerprints);
+        let c = paper_scenario(6);
+        assert_ne!(a.data, c.data);
+    }
+
+    #[test]
+    fn sybil_accounts_share_their_attacker_task_set() {
+        let s = paper_scenario(2);
+        for owner in [8usize, 9] {
+            let accounts: Vec<usize> = (0..s.num_accounts())
+                .filter(|&a| s.owners[a] == owner)
+                .collect();
+            assert_eq!(accounts.len(), 5);
+            let reference = s.data.tasks_of(accounts[0]);
+            for &a in &accounts[1..] {
+                assert_eq!(s.data.tasks_of(a), reference);
+            }
+        }
+    }
+
+    #[test]
+    fn sybil_timestamps_are_sequential_at_each_task() {
+        let s = paper_scenario(3);
+        let accounts: Vec<usize> = (0..s.num_accounts())
+            .filter(|&a| s.owners[a] == 8)
+            .collect();
+        for &task in &s.data.tasks_of(accounts[0]) {
+            let mut times: Vec<f64> = accounts
+                .iter()
+                .flat_map(|&a| {
+                    s.data
+                        .account_reports(a)
+                        .filter(|r| r.task == task)
+                        .map(|r| r.timestamp)
+                })
+                .collect();
+            times.sort_by(f64::total_cmp);
+            assert_eq!(times.len(), 5);
+            for w in times.windows(2) {
+                let gap = w[1] - w[0];
+                assert!((15.0..=70.0).contains(&gap), "gap {gap}");
+            }
+        }
+    }
+
+    #[test]
+    fn fabricated_values_sit_near_minus_50() {
+        let s = paper_scenario(4);
+        for (a, &sybil) in s.is_sybil.iter().enumerate() {
+            for r in s.data.account_reports(a) {
+                if sybil {
+                    assert!((r.value + 50.0).abs() < 2.0, "sybil claim {}", r.value);
+                } else {
+                    let truth = s.ground_truth[r.task];
+                    assert!((r.value - truth).abs() < 15.0, "legit claim {}", r.value);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn attack_ii_accounts_span_two_devices() {
+        let s = paper_scenario(7);
+        let devices: std::collections::HashSet<usize> = (0..s.num_accounts())
+            .filter(|&a| s.owners[a] == 9)
+            .map(|a| s.devices[a])
+            .collect();
+        assert_eq!(devices.len(), 2);
+        // And Attack-I stays on one device.
+        let devices_a1: std::collections::HashSet<usize> = (0..s.num_accounts())
+            .filter(|&a| s.owners[a] == 8)
+            .map(|a| s.devices[a])
+            .collect();
+        assert_eq!(devices_a1.len(), 1);
+    }
+
+    #[test]
+    fn activeness_controls_task_counts() {
+        let cfg = ScenarioConfig::paper_default()
+            .with_seed(8)
+            .with_activeness(0.2, 0.5);
+        let s = Scenario::generate(&cfg);
+        for a in 0..s.num_accounts() {
+            let k = s.data.tasks_of(a).len();
+            if s.is_sybil[a] {
+                assert_eq!(k, 5, "attacker accounts at α=0.5 over 10 tasks");
+            } else {
+                assert_eq!(k, 2, "legit accounts at α=0.2 over 10 tasks");
+            }
+        }
+    }
+
+    #[test]
+    fn larger_than_table_iv_configs_extend_the_fleet() {
+        let cfg = ScenarioConfig {
+            num_legit: 20,
+            ..ScenarioConfig::paper_default()
+        }
+        .with_seed(9);
+        let s = Scenario::generate(&cfg);
+        assert_eq!(s.num_accounts(), 30);
+        assert!(s.fleet.len() >= 23);
+    }
+
+    #[test]
+    fn per_account_walks_diversify_trajectories() {
+        let cfg = ScenarioConfig::paper_default()
+            .with_seed(21)
+            .with_attackers(vec![
+                AttackerSpec::paper_attack_i().with_evasion(EvasionTactic::PerAccountWalks)
+            ]);
+        let s = Scenario::generate(&cfg);
+        let accounts: Vec<usize> = (0..s.num_accounts()).filter(|&a| s.is_sybil[a]).collect();
+        assert_eq!(accounts.len(), 5);
+        // Task sets still coincide (same attacker task set)...
+        let reference = s.data.tasks_of(accounts[0]);
+        for &a in &accounts[1..] {
+            assert_eq!(s.data.tasks_of(a), reference);
+        }
+        // ...but first-submission times are spread far beyond the ~55 s
+        // account-switching gaps of the no-evasion attacker.
+        let mut first_times: Vec<f64> = accounts
+            .iter()
+            .map(|&a| {
+                s.data
+                    .account_reports(a)
+                    .map(|r| r.timestamp)
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        first_times.sort_by(f64::total_cmp);
+        let spread = first_times.last().unwrap() - first_times.first().unwrap();
+        assert!(spread > 300.0, "walks not spread: {spread}");
+    }
+
+    #[test]
+    fn subset_tasks_diversify_task_sets() {
+        let cfg = ScenarioConfig::paper_default()
+            .with_seed(22)
+            .with_attackers(vec![AttackerSpec::paper_attack_ii()
+                .with_evasion(EvasionTactic::SubsetTasks { fraction: 0.5 })]);
+        let s = Scenario::generate(&cfg);
+        let accounts: Vec<usize> = (0..s.num_accounts()).filter(|&a| s.is_sybil[a]).collect();
+        // Accounts no longer share identical task sets.
+        let sets: std::collections::HashSet<Vec<usize>> =
+            accounts.iter().map(|&a| s.data.tasks_of(a)).collect();
+        assert!(sets.len() > 1, "subset evasion produced identical sets");
+        // And the attack is diluted: fewer than 5 reports per task.
+        for t in 0..s.data.num_tasks() {
+            let sybil_reports = s
+                .data
+                .reports_for_task(t)
+                .iter()
+                .filter(|r| s.is_sybil[r.account])
+                .count();
+            assert!(
+                sybil_reports <= 4,
+                "task {t} has {sybil_reports} sybil reports"
+            );
+        }
+    }
+
+    #[test]
+    fn offset_strategy_shifts_by_delta() {
+        let cfg = ScenarioConfig::paper_default()
+            .with_seed(23)
+            .with_attackers(vec![AttackerSpec::paper_attack_i().with_strategy(
+                FabricationStrategy::Offset {
+                    delta: -8.0,
+                    jitter_std: 0.1,
+                },
+            )]);
+        let s = Scenario::generate(&cfg);
+        for (a, &sybil) in s.is_sybil.iter().enumerate() {
+            if !sybil {
+                continue;
+            }
+            for r in s.data.account_reports(a) {
+                let shift = r.value - s.ground_truth[r.task];
+                // Honest measurement noise (attacker profile) + delta.
+                assert!(
+                    (-8.0 - 9.0..=-8.0 + 9.0).contains(&shift),
+                    "offset claim drifted: {shift}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "legit activeness")]
+    fn zero_activeness_rejected() {
+        ScenarioConfig::paper_default().with_activeness(0.0, 1.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Budgeted account selection by marginal task coverage.
+//!
+//! §IV-C's Remark: AG-TS/AG-TR false positives (two genuinely independent
+//! users with near-identical behaviour) "can be alleviated when the system
+//! uses existing incentive mechanisms to incentivize and select users …
+//! one of them is less likely selected by the incentive mechanism due to
+//! its marginal contribution if the other is selected."
+//!
+//! This module models the selection side of such mechanisms with the
+//! classic greedy maximum-coverage rule (the allocation inside the
+//! budget-feasible incentive mechanisms the paper cites): each task needs
+//! at most `coverage_per_task` reports, and accounts are admitted in order
+//! of marginal coverage until no account adds anything. Near-duplicate
+//! accounts have near-zero marginal contribution once their twin is in —
+//! exactly the effect the Remark appeals to. `exp_selection` measures it.
+
+use crate::Scenario;
+use srtd_truth::SensingData;
+
+/// Greedy maximum-coverage account selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoverageSelection {
+    /// How many reports the platform wants per task.
+    pub coverage_per_task: usize,
+}
+
+impl CoverageSelection {
+    /// Creates a selection rule wanting `coverage_per_task` reports per
+    /// task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coverage_per_task == 0`.
+    pub fn new(coverage_per_task: usize) -> Self {
+        assert!(coverage_per_task > 0, "coverage quota must be positive");
+        Self { coverage_per_task }
+    }
+
+    /// Selects accounts greedily by marginal coverage.
+    ///
+    /// Returns the selected account indices in admission order. Accounts
+    /// whose every task already has a full quota contribute nothing and
+    /// are never admitted.
+    pub fn select(&self, data: &SensingData) -> Vec<usize> {
+        let n = data.num_accounts();
+        let m = data.num_tasks();
+        let task_sets: Vec<Vec<usize>> = (0..n).map(|a| data.tasks_of(a)).collect();
+        let mut remaining: Vec<usize> = (0..n).filter(|&a| !task_sets[a].is_empty()).collect();
+        let mut coverage = vec![0usize; m];
+        let mut selected = Vec::new();
+        loop {
+            let marginal = |a: usize| {
+                task_sets[a]
+                    .iter()
+                    .filter(|&&t| coverage[t] < self.coverage_per_task)
+                    .count()
+            };
+            // Highest marginal gain, ties to the lowest account id so the
+            // rule is deterministic.
+            let Some((idx, &best)) = remaining
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &a)| (marginal(a), std::cmp::Reverse(a)))
+            else {
+                break;
+            };
+            if marginal(best) == 0 {
+                break;
+            }
+            for &t in &task_sets[best] {
+                coverage[t] += 1;
+            }
+            selected.push(best);
+            remaining.swap_remove(idx);
+        }
+        selected
+    }
+
+    /// Applies the selection to a scenario: reports from unselected
+    /// accounts are dropped, account indices are preserved (unselected
+    /// accounts simply have no reports, so grouping treats them as
+    /// inactive singletons).
+    pub fn filter_scenario(&self, scenario: &Scenario) -> (SensingData, Vec<usize>) {
+        let selected = self.select(&scenario.data);
+        let keep: std::collections::HashSet<usize> = selected.iter().copied().collect();
+        let mut filtered = SensingData::new(scenario.data.num_tasks());
+        for r in scenario.data.reports() {
+            if keep.contains(&r.account) {
+                filtered.add_report(r.account, r.task, r.value, r.timestamp);
+            }
+        }
+        // Keep account-indexed structures aligned even when the
+        // highest-indexed accounts lost all their reports.
+        filtered.reserve_accounts(scenario.num_accounts());
+        (filtered, selected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data_from(sets: &[&[usize]], m: usize) -> SensingData {
+        let mut d = SensingData::new(m);
+        for (a, tasks) in sets.iter().enumerate() {
+            for (i, &t) in tasks.iter().enumerate() {
+                d.add_report(a, t, -70.0, (a * 100 + i * 10) as f64);
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn duplicate_account_is_not_selected_twice() {
+        // Accounts 0 and 1 propose identical sets; quota 1 per task.
+        let d = data_from(&[&[0, 1], &[0, 1], &[2]], 3);
+        let sel = CoverageSelection::new(1).select(&d);
+        assert!(sel.contains(&2));
+        let dup_count = sel.iter().filter(|&&a| a == 0 || a == 1).count();
+        assert_eq!(dup_count, 1, "only one of the twins should be selected");
+    }
+
+    #[test]
+    fn selection_meets_quota_when_possible() {
+        let d = data_from(&[&[0], &[0], &[0], &[1]], 2);
+        let sel = CoverageSelection::new(2).select(&d);
+        // Task 0 has three candidates; two suffice. Task 1 has one.
+        let covering_0 = sel.iter().filter(|&&a| a < 3).count();
+        assert_eq!(covering_0, 2);
+        assert!(sel.contains(&3));
+    }
+
+    #[test]
+    fn greedy_prefers_high_coverage_accounts() {
+        let d = data_from(&[&[0, 1, 2, 3], &[0], &[1]], 4);
+        let sel = CoverageSelection::new(1).select(&d);
+        assert_eq!(sel[0], 0, "the broad account goes first");
+        assert_eq!(sel.len(), 1, "narrow accounts add nothing at quota 1");
+    }
+
+    #[test]
+    fn accounts_without_reports_are_ignored() {
+        let mut d = SensingData::new(1);
+        d.add_report(3, 0, 1.0, 0.0); // accounts 0..3 exist but are empty
+        let sel = CoverageSelection::new(1).select(&d);
+        assert_eq!(sel, vec![3]);
+    }
+
+    #[test]
+    fn filter_preserves_account_indices() {
+        use crate::ScenarioConfig;
+        let s = crate::Scenario::generate(&ScenarioConfig::paper_default().with_seed(3));
+        let (filtered, selected) = CoverageSelection::new(3).filter_scenario(&s);
+        assert_eq!(filtered.num_tasks(), s.data.num_tasks());
+        assert!(filtered.num_reports() < s.data.num_reports());
+        for r in filtered.reports() {
+            assert!(selected.contains(&r.account));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quota must be positive")]
+    fn zero_quota_panics() {
+        CoverageSelection::new(0);
+    }
+}

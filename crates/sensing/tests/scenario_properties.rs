@@ -1,0 +1,117 @@
+//! Property tests over randomly configured campaigns.
+
+use proptest::prelude::*;
+use srtd_sensing::{AttackType, AttackerSpec, Scenario, ScenarioConfig};
+
+fn config_strategy() -> impl Strategy<Value = ScenarioConfig> {
+    (
+        2usize..20,                           // tasks
+        1usize..12,                           // legit users
+        0usize..3,                            // attackers
+        1usize..7,                            // accounts per attacker
+        prop_oneof![Just(true), Just(false)], // attack type toggle
+        0.15f64..1.0,                         // legit activeness
+        0.15f64..1.0,                         // attacker activeness
+        0u64..1000,                           // seed
+    )
+        .prop_map(|(tasks, legit, attackers, accounts, multi, la, aa, seed)| {
+            let spec = AttackerSpec {
+                accounts,
+                attack_type: if multi {
+                    AttackType::MultiDevice { devices: 2 }
+                } else {
+                    AttackType::SingleDevice
+                },
+                ..AttackerSpec::paper_attack_i()
+            };
+            ScenarioConfig {
+                num_tasks: tasks,
+                num_legit: legit,
+                attackers: vec![spec; attackers],
+                ..ScenarioConfig::paper_default()
+            }
+            .with_seed(seed)
+            .with_activeness(la.min(1.0), aa.min(1.0))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Structural invariants hold for any configuration: account counts,
+    /// label lengths, fingerprint dimensionality, task-count bounds,
+    /// report sanity.
+    #[test]
+    fn generated_campaigns_are_structurally_sound(cfg in config_strategy()) {
+        let s = Scenario::generate(&cfg);
+        let expected_accounts =
+            cfg.num_legit + cfg.attackers.iter().map(|a| a.accounts).sum::<usize>();
+        prop_assert_eq!(s.num_accounts(), expected_accounts);
+        prop_assert_eq!(s.owners.len(), expected_accounts);
+        prop_assert_eq!(s.devices.len(), expected_accounts);
+        prop_assert_eq!(s.is_sybil.len(), expected_accounts);
+        prop_assert_eq!(s.fingerprints.len(), expected_accounts);
+        prop_assert!(s.fingerprints.iter().all(|f| f.len() == 80));
+        prop_assert_eq!(s.ground_truth.len(), cfg.num_tasks);
+        // Every account performed between 1 and m tasks; legit accounts
+        // match the activeness formula exactly.
+        let legit_k = cfg.tasks_per_account(cfg.legit_activeness);
+        for a in 0..s.num_accounts() {
+            let k = s.data.tasks_of(a).len();
+            prop_assert!(k >= 1 && k <= cfg.num_tasks);
+            if !s.is_sybil[a] {
+                prop_assert_eq!(k, legit_k);
+            }
+        }
+        // Reports reference valid accounts/tasks with finite values.
+        for r in s.data.reports() {
+            prop_assert!(r.account < expected_accounts);
+            prop_assert!(r.task < cfg.num_tasks);
+            prop_assert!(r.value.is_finite() && r.timestamp.is_finite());
+            prop_assert!(r.timestamp >= 0.0);
+        }
+    }
+
+    /// Owner labels are consistent with the Sybil flags: legitimate owners
+    /// hold exactly one account, attacker owners hold `accounts` many, and
+    /// device sharing happens only inside an owner.
+    #[test]
+    fn ownership_structure_is_consistent(cfg in config_strategy()) {
+        let s = Scenario::generate(&cfg);
+        let mut by_owner: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for a in 0..s.num_accounts() {
+            by_owner.entry(s.owners[a]).or_default().push(a);
+        }
+        for (&owner, accounts) in &by_owner {
+            let sybil = s.is_sybil[accounts[0]];
+            prop_assert!(
+                accounts.iter().all(|&a| s.is_sybil[a] == sybil),
+                "owner {owner} mixes sybil and legit accounts"
+            );
+            if !sybil {
+                prop_assert_eq!(accounts.len(), 1);
+            }
+        }
+        // A device never serves two different owners.
+        let mut device_owner: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        for a in 0..s.num_accounts() {
+            if let Some(&o) = device_owner.get(&s.devices[a]) {
+                prop_assert_eq!(o, s.owners[a], "device shared across owners");
+            } else {
+                device_owner.insert(s.devices[a], s.owners[a]);
+            }
+        }
+    }
+
+    /// Generation is a pure function of the config.
+    #[test]
+    fn generation_is_deterministic(cfg in config_strategy()) {
+        let a = Scenario::generate(&cfg);
+        let b = Scenario::generate(&cfg);
+        prop_assert_eq!(a.data, b.data);
+        prop_assert_eq!(a.fingerprints, b.fingerprints);
+        prop_assert_eq!(a.owners, b.owners);
+    }
+}

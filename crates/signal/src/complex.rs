@@ -1,0 +1,156 @@
+//! Minimal complex arithmetic for the FFT.
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+///
+/// Only the operations the FFT needs are provided; this is not a general
+/// complex-math library.
+///
+/// # Examples
+///
+/// ```
+/// use srtd_signal::Complex;
+///
+/// let i = Complex::new(0.0, 1.0);
+/// assert_eq!(i * i, Complex::new(-1.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Creates a complex number from rectangular coordinates.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// A purely real value.
+    pub const fn real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// `e^{iθ}` — a unit phasor at angle `theta` radians.
+    pub fn from_angle(theta: f64) -> Self {
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Modulus `|z|`.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus `|z|²`, cheaper than [`Complex::abs`].
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Scales both components by a real factor.
+    pub fn scale(self, s: f64) -> Self {
+        Self {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::real(re)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex::new(3.0, -4.0);
+        assert_eq!(z + Complex::ZERO, z);
+        assert_eq!(z * Complex::ONE, z);
+        assert_eq!(z - z, Complex::ZERO);
+        assert_eq!(-z, Complex::new(-3.0, 4.0));
+    }
+
+    #[test]
+    fn modulus_and_conjugate() {
+        let z = Complex::new(3.0, 4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!((z * z.conj()).re, 25.0);
+        assert!((z * z.conj()).im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn phasor_lies_on_unit_circle() {
+        for k in 0..8 {
+            let z = Complex::from_angle(k as f64 * std::f64::consts::FRAC_PI_4);
+            assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn from_real() {
+        let z: Complex = 2.5.into();
+        assert_eq!(z, Complex::new(2.5, 0.0));
+    }
+}

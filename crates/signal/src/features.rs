@@ -1,0 +1,264 @@
+//! Combined feature vectors and feature-matrix standardization.
+
+use crate::spectral::SpectralFeatures;
+use crate::spectrum::Spectrum;
+use crate::temporal::TemporalFeatures;
+use crate::window::Window;
+
+/// Number of features per sensor stream (9 temporal + 11 spectral).
+pub const FEATURES_PER_STREAM: usize = 20;
+
+/// Configuration for per-stream feature extraction.
+///
+/// # Examples
+///
+/// ```
+/// use srtd_signal::FeatureConfig;
+///
+/// let cfg = FeatureConfig::new(100.0);
+/// assert_eq!(cfg.sample_rate, 100.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureConfig {
+    /// Sensor sampling rate in Hz.
+    pub sample_rate: f64,
+    /// Window applied before the FFT.
+    pub window: Window,
+    /// Brightness cut-off in Hz.
+    ///
+    /// MIRtoolbox defaults to 1500 Hz for audio; motion sensors sample at
+    /// ~100 Hz, so the default scales the cut-off to 30% of Nyquist.
+    pub brightness_cutoff_hz: f64,
+}
+
+impl FeatureConfig {
+    /// Default configuration for a sensor sampled at `sample_rate` Hz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate` is not finite and positive.
+    pub fn new(sample_rate: f64) -> Self {
+        assert!(
+            sample_rate.is_finite() && sample_rate > 0.0,
+            "sample rate must be positive, got {sample_rate}"
+        );
+        Self {
+            sample_rate,
+            window: Window::Hann,
+            brightness_cutoff_hz: 0.3 * sample_rate / 2.0,
+        }
+    }
+
+    /// Replaces the window function.
+    pub fn with_window(mut self, window: Window) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Replaces the brightness cut-off.
+    pub fn with_brightness_cutoff(mut self, cutoff_hz: f64) -> Self {
+        self.brightness_cutoff_hz = cutoff_hz;
+        self
+    }
+}
+
+/// The full 20-feature description of one sensor stream (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StreamFeatures {
+    /// Features 1–9 (time domain).
+    pub temporal: TemporalFeatures,
+    /// Features 10–20 (frequency domain).
+    pub spectral: SpectralFeatures,
+}
+
+impl StreamFeatures {
+    /// Concatenated feature vector in Table-II order (length 20).
+    pub fn to_vec(self) -> Vec<f64> {
+        let mut v = self.temporal.to_vec();
+        v.extend(self.spectral.to_vec());
+        v
+    }
+}
+
+/// Extracts the 20 Table-II features from one sensor stream.
+///
+/// # Examples
+///
+/// ```
+/// use srtd_signal::{stream_features, FeatureConfig};
+///
+/// let xs: Vec<f64> = (0..128).map(|i| (i as f64).sin()).collect();
+/// let f = stream_features(&xs, &FeatureConfig::new(100.0));
+/// assert_eq!(f.to_vec().len(), 20);
+/// ```
+pub fn stream_features(signal: &[f64], config: &FeatureConfig) -> StreamFeatures {
+    let spectrum = Spectrum::from_signal(signal, config.sample_rate, config.window);
+    StreamFeatures {
+        temporal: TemporalFeatures::extract(signal),
+        spectral: SpectralFeatures::extract(&spectrum, config.brightness_cutoff_hz),
+    }
+}
+
+/// Z-score standardization of a feature matrix, column by column.
+///
+/// k-means and PCA are scale-sensitive; raw Table-II features span wildly
+/// different ranges (fractions vs. Hz vs. m/s²), so AG-FP standardizes each
+/// column to zero mean and unit variance before clustering. Constant
+/// columns (zero variance) are mapped to all-zeros rather than dividing by
+/// zero.
+///
+/// Returns the standardized matrix together with per-column `(mean, std)`
+/// so new vectors can be projected consistently.
+///
+/// # Panics
+///
+/// Panics if rows have inconsistent lengths.
+pub fn standardize(rows: &[Vec<f64>]) -> (Vec<Vec<f64>>, Vec<(f64, f64)>) {
+    let Some(first) = rows.first() else {
+        return (Vec::new(), Vec::new());
+    };
+    let dim = first.len();
+    assert!(
+        rows.iter().all(|r| r.len() == dim),
+        "feature rows must have equal lengths"
+    );
+    let n = rows.len() as f64;
+    let mut params = Vec::with_capacity(dim);
+    for j in 0..dim {
+        let mean = rows.iter().map(|r| r[j]).sum::<f64>() / n;
+        let var = rows.iter().map(|r| (r[j] - mean).powi(2)).sum::<f64>() / n;
+        params.push((mean, var.sqrt()));
+    }
+    let standardized = rows
+        .iter()
+        .map(|r| {
+            r.iter()
+                .zip(&params)
+                .map(|(&x, &(m, s))| if s > 0.0 { (x - m) / s } else { 0.0 })
+                .collect()
+        })
+        .collect();
+    (standardized, params)
+}
+
+/// Applies previously computed standardization parameters to a new vector.
+///
+/// # Panics
+///
+/// Panics if `v.len() != params.len()`.
+pub fn apply_standardization(v: &[f64], params: &[(f64, f64)]) -> Vec<f64> {
+    assert_eq!(v.len(), params.len(), "dimension mismatch");
+    v.iter()
+        .zip(params)
+        .map(|(&x, &(m, s))| if s > 0.0 { (x - m) / s } else { 0.0 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn noisy_signal(seed: u64, n: usize) -> Vec<f64> {
+        // Small deterministic LCG so the test has no RNG dependency.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..n)
+            .map(|i| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let noise = (state >> 33) as f64 / (1u64 << 31) as f64 - 1.0;
+                9.81 + 0.05 * (i as f64 * 0.8).sin() + 0.01 * noise
+            })
+            .collect()
+    }
+
+    #[test]
+    fn feature_vector_has_twenty_entries() {
+        let f = stream_features(&noisy_signal(1, 600), &FeatureConfig::new(100.0));
+        let v = f.to_vec();
+        assert_eq!(v.len(), FEATURES_PER_STREAM);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn different_signals_have_different_features() {
+        let cfg = FeatureConfig::new(100.0);
+        let a = stream_features(&noisy_signal(1, 600), &cfg).to_vec();
+        let b = stream_features(&noisy_signal(999, 600), &cfg).to_vec();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn standardize_produces_zero_mean_unit_variance() {
+        let rows = vec![
+            vec![1.0, 10.0, 5.0],
+            vec![2.0, 20.0, 5.0],
+            vec![3.0, 30.0, 5.0],
+        ];
+        let (std_rows, params) = standardize(&rows);
+        for j in 0..3 {
+            let col: Vec<f64> = std_rows.iter().map(|r| r[j]).collect();
+            let mean: f64 = col.iter().sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+        }
+        // Constant column is zeroed, not NaN.
+        assert!(std_rows.iter().all(|r| r[2] == 0.0));
+        assert_eq!(params.len(), 3);
+    }
+
+    #[test]
+    fn apply_standardization_is_consistent() {
+        let rows = vec![vec![1.0, 4.0], vec![3.0, 8.0]];
+        let (std_rows, params) = standardize(&rows);
+        let reapplied = apply_standardization(&rows[0], &params);
+        assert_eq!(std_rows[0], reapplied);
+    }
+
+    #[test]
+    fn standardize_empty_input() {
+        let (rows, params) = standardize(&[]);
+        assert!(rows.is_empty());
+        assert!(params.is_empty());
+    }
+
+    #[test]
+    fn config_builder_methods() {
+        let cfg = FeatureConfig::new(200.0)
+            .with_window(Window::Hamming)
+            .with_brightness_cutoff(42.0);
+        assert_eq!(cfg.window, Window::Hamming);
+        assert_eq!(cfg.brightness_cutoff_hz, 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample rate")]
+    fn negative_sample_rate_panics() {
+        FeatureConfig::new(-1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn standardized_columns_are_centered(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(-1e3f64..1e3, 4..5),
+                2..30,
+            )
+        ) {
+            let (std_rows, _) = standardize(&rows);
+            for j in 0..4 {
+                let mean: f64 =
+                    std_rows.iter().map(|r| r[j]).sum::<f64>() / std_rows.len() as f64;
+                prop_assert!(mean.abs() < 1e-8);
+            }
+        }
+
+        #[test]
+        fn features_never_nan(
+            xs in proptest::collection::vec(-1e3f64..1e3, 0..400)
+        ) {
+            let f = stream_features(&xs, &FeatureConfig::new(100.0));
+            prop_assert!(f.to_vec().iter().all(|v| v.is_finite()));
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Iterative radix-2 Cooley–Tukey fast Fourier transform.
+
+use crate::Complex;
+
+/// Returns the smallest power of two `>= n` (and `>= 1`).
+pub fn next_power_of_two(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// In-place forward FFT.
+///
+/// # Panics
+///
+/// Panics if `buf.len()` is not a power of two.
+pub fn fft_in_place(buf: &mut [Complex]) {
+    transform(buf, false);
+}
+
+/// In-place inverse FFT (including the `1/N` normalization).
+///
+/// # Panics
+///
+/// Panics if `buf.len()` is not a power of two.
+pub fn ifft_in_place(buf: &mut [Complex]) {
+    transform(buf, true);
+    let scale = 1.0 / buf.len() as f64;
+    for z in buf.iter_mut() {
+        *z = z.scale(scale);
+    }
+}
+
+fn transform(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "FFT length {n} is not a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::from_angle(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let u = buf[start + k];
+                let v = buf[start + k + len / 2] * w;
+                buf[start + k] = u + v;
+                buf[start + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward FFT of a real signal, zero-padded to the next power of two.
+///
+/// Returns the full complex spectrum of length `next_power_of_two(x.len())`.
+/// An empty input yields a single zero bin.
+pub fn fft_real(x: &[f64]) -> Vec<Complex> {
+    let n = next_power_of_two(x.len());
+    let mut buf: Vec<Complex> = Vec::with_capacity(n);
+    buf.extend(x.iter().map(|&v| Complex::real(v)));
+    buf.resize(n, Complex::ZERO);
+    fft_in_place(&mut buf);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn naive_dft(x: &[Complex]) -> Vec<Complex> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::ZERO;
+                for (j, &v) in x.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                    acc += v * Complex::from_angle(ang);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let x: Vec<Complex> = (0..16)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+            .collect();
+        let mut fast = x.clone();
+        fft_in_place(&mut fast);
+        let slow = naive_dft(&x);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((*a - *b).abs() < 1e-9, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut buf = vec![Complex::ZERO; 8];
+        buf[0] = Complex::ONE;
+        fft_in_place(&mut buf);
+        for z in &buf {
+            assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pure_tone_concentrates_in_one_bin() {
+        let n = 64;
+        let k0 = 5;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * k0 as f64 * i as f64 / n as f64).cos())
+            .collect();
+        let spec = fft_real(&x);
+        let mags: Vec<f64> = spec.iter().map(|z| z.abs()).collect();
+        let peak = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert!(peak == k0 || peak == n - k0);
+        assert!((mags[k0] - n as f64 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert_eq!(fft_real(&[]).len(), 1);
+        let spec = fft_real(&[3.0]);
+        assert_eq!(spec.len(), 1);
+        assert_eq!(spec[0], Complex::real(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut buf = vec![Complex::ZERO; 6];
+        fft_in_place(&mut buf);
+    }
+
+    proptest! {
+        /// fft → ifft returns the original signal.
+        #[test]
+        fn round_trip(xs in proptest::collection::vec(-1e3f64..1e3, 1..200)) {
+            let spec = fft_real(&xs);
+            let mut back = spec.clone();
+            ifft_in_place(&mut back);
+            for (i, &orig) in xs.iter().enumerate() {
+                prop_assert!((back[i].re - orig).abs() < 1e-8);
+                prop_assert!(back[i].im.abs() < 1e-8);
+            }
+        }
+
+        /// Parseval: Σ|x|² = (1/N) Σ|X|² for power-of-two inputs.
+        #[test]
+        fn parseval(xs in proptest::collection::vec(-1e2f64..1e2, 1..7)) {
+            let n = 64usize;
+            let x: Vec<f64> = xs.iter().cycle().take(n).copied().collect();
+            let spec = fft_real(&x);
+            let time_energy: f64 = x.iter().map(|v| v * v).sum();
+            let freq_energy: f64 =
+                spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+            prop_assert!((time_energy - freq_energy).abs() < 1e-6 * time_energy.max(1.0));
+        }
+
+        /// Linearity of the transform.
+        #[test]
+        fn linearity(
+            xs in proptest::collection::vec(-10f64..10.0, 16..17),
+            ys in proptest::collection::vec(-10f64..10.0, 16..17),
+            a in -3f64..3.0,
+        ) {
+            let sum: Vec<f64> = xs.iter().zip(&ys).map(|(x, y)| a * x + y).collect();
+            let fs = fft_real(&sum);
+            let fx = fft_real(&xs);
+            let fy = fft_real(&ys);
+            for k in 0..fs.len() {
+                let want = fx[k].scale(a) + fy[k];
+                prop_assert!((fs[k] - want).abs() < 1e-8);
+            }
+        }
+    }
+}

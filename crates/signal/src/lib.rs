@@ -1,0 +1,44 @@
+//! Signal processing for MEMS device fingerprinting.
+//!
+//! The AG-FP grouping method characterizes each of the four sensor streams
+//! (accelerometer magnitude and the three gyroscope axes) with the 20
+//! features of Table II in the paper: 9 temporal and 11 spectral. The paper
+//! extracts the spectral set with MIRtoolbox; this crate implements the same
+//! feature definitions (Peeters 2004) from scratch on top of a radix-2 FFT,
+//! so the whole pipeline is pure Rust:
+//!
+//! * [`fft`] — iterative Cooley–Tukey FFT and inverse,
+//! * [`spectrum`] — magnitude spectra and peak picking,
+//! * [`temporal`] — the 9 time-domain features,
+//! * [`spectral`] — the 11 frequency-domain features,
+//! * [`features`] — the combined 20-dimensional vector per stream and
+//!   feature-matrix standardization for clustering.
+//!
+//! # Examples
+//!
+//! ```
+//! use srtd_signal::features::{FeatureConfig, stream_features};
+//!
+//! let signal: Vec<f64> = (0..256)
+//!     .map(|i| (i as f64 * 0.3).sin() + 0.1)
+//!     .collect();
+//! let f = stream_features(&signal, &FeatureConfig::new(100.0));
+//! assert_eq!(f.to_vec().len(), 20);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod features;
+pub mod fft;
+pub mod psd;
+pub mod spectral;
+pub mod spectrum;
+pub mod stats;
+pub mod temporal;
+pub mod window;
+
+pub use complex::Complex;
+pub use features::{stream_features, FeatureConfig, StreamFeatures};
+pub use spectrum::Spectrum;

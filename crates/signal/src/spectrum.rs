@@ -1,0 +1,210 @@
+//! Magnitude spectra and spectral peak picking.
+
+use crate::fft::fft_real;
+use crate::window::Window;
+
+/// The single-sided magnitude spectrum of a real signal.
+///
+/// Bin `k` holds the magnitude at frequency `k · sample_rate / n_fft` for
+/// `k = 0 ..= n_fft/2`. The DC bin is retained; shape features that should
+/// ignore the DC offset skip bin 0 explicitly.
+///
+/// # Examples
+///
+/// ```
+/// use srtd_signal::{Spectrum};
+/// use srtd_signal::window::Window;
+///
+/// let tone: Vec<f64> = (0..128)
+///     .map(|i| (2.0 * std::f64::consts::PI * 8.0 * i as f64 / 128.0).sin())
+///     .collect();
+/// let spec = Spectrum::from_signal(&tone, 128.0, Window::Rectangular);
+/// assert_eq!(spec.peak_bin(), 8);
+/// assert!((spec.frequency(8) - 8.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spectrum {
+    magnitudes: Vec<f64>,
+    bin_width: f64,
+}
+
+/// A spectral peak: a local magnitude maximum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Peak {
+    /// Frequency of the peak in Hz.
+    pub frequency: f64,
+    /// Magnitude at the peak.
+    pub magnitude: f64,
+}
+
+impl Spectrum {
+    /// Computes the spectrum of `signal` sampled at `sample_rate` Hz.
+    ///
+    /// The signal is windowed, zero-padded to a power of two and passed
+    /// through the FFT; only the non-redundant half is kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate` is not finite and positive.
+    pub fn from_signal(signal: &[f64], sample_rate: f64, window: Window) -> Self {
+        assert!(
+            sample_rate.is_finite() && sample_rate > 0.0,
+            "sample rate must be positive, got {sample_rate}"
+        );
+        let windowed = window.apply(signal);
+        let spec = fft_real(&windowed);
+        let n_fft = spec.len();
+        let half = n_fft / 2 + 1;
+        let magnitudes: Vec<f64> = spec[..half].iter().map(|z| z.abs()).collect();
+        Self {
+            magnitudes,
+            bin_width: sample_rate / n_fft as f64,
+        }
+    }
+
+    /// Builds a spectrum directly from magnitudes (mainly for tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width` is not finite and positive or `magnitudes` is
+    /// empty.
+    pub fn from_magnitudes(magnitudes: Vec<f64>, bin_width: f64) -> Self {
+        assert!(
+            bin_width.is_finite() && bin_width > 0.0,
+            "bin width must be positive"
+        );
+        assert!(!magnitudes.is_empty(), "spectrum needs at least one bin");
+        Self {
+            magnitudes,
+            bin_width,
+        }
+    }
+
+    /// Magnitudes, one per bin, starting at DC.
+    pub fn magnitudes(&self) -> &[f64] {
+        &self.magnitudes
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.magnitudes.len()
+    }
+
+    /// Returns `true` if the spectrum has no bins (never the case for
+    /// spectra produced by [`Spectrum::from_signal`]).
+    pub fn is_empty(&self) -> bool {
+        self.magnitudes.is_empty()
+    }
+
+    /// Width of one frequency bin in Hz.
+    pub fn bin_width(&self) -> f64 {
+        self.bin_width
+    }
+
+    /// Center frequency of bin `k` in Hz.
+    pub fn frequency(&self, k: usize) -> f64 {
+        k as f64 * self.bin_width
+    }
+
+    /// The Nyquist frequency covered by this spectrum.
+    pub fn max_frequency(&self) -> f64 {
+        self.frequency(self.magnitudes.len().saturating_sub(1))
+    }
+
+    /// Index of the largest-magnitude bin (DC included).
+    pub fn peak_bin(&self) -> usize {
+        self.magnitudes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(k, _)| k)
+            .unwrap_or(0)
+    }
+
+    /// Local maxima above `threshold_ratio · max_magnitude`, DC excluded.
+    ///
+    /// Used by the spectral-roughness feature, which evaluates the
+    /// Plomp–Levelt dissonance between all pairs of peaks.
+    pub fn peaks(&self, threshold_ratio: f64) -> Vec<Peak> {
+        let m = &self.magnitudes;
+        if m.len() < 3 {
+            return Vec::new();
+        }
+        let max = m[1..].iter().cloned().fold(0.0, f64::max);
+        let thr = max * threshold_ratio.clamp(0.0, 1.0);
+        let mut peaks = Vec::new();
+        for k in 1..m.len() - 1 {
+            if m[k] >= thr && m[k] > m[k - 1] && m[k] >= m[k + 1] && m[k] > 0.0 {
+                peaks.push(Peak {
+                    frequency: self.frequency(k),
+                    magnitude: m[k],
+                });
+            }
+        }
+        peaks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(freq_bin: usize, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * freq_bin as f64 * i as f64 / n as f64).sin())
+            .collect()
+    }
+
+    #[test]
+    fn spectrum_length_is_half_plus_one() {
+        let spec = Spectrum::from_signal(&tone(4, 64), 64.0, Window::Rectangular);
+        assert_eq!(spec.len(), 33);
+        assert!((spec.bin_width() - 1.0).abs() < 1e-12);
+        assert!((spec.max_frequency() - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_at_tone_frequency() {
+        let spec = Spectrum::from_signal(&tone(10, 128), 256.0, Window::Rectangular);
+        assert_eq!(spec.peak_bin(), 10);
+        assert!((spec.frequency(10) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_tone_signal_yields_two_peaks() {
+        let n = 256;
+        let x: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64;
+                (2.0 * std::f64::consts::PI * 12.0 * t).sin()
+                    + 0.8 * (2.0 * std::f64::consts::PI * 40.0 * t).sin()
+            })
+            .collect();
+        let spec = Spectrum::from_signal(&x, n as f64, Window::Rectangular);
+        let peaks = spec.peaks(0.5);
+        assert_eq!(peaks.len(), 2);
+        assert!((peaks[0].frequency - 12.0).abs() < 1e-9);
+        assert!((peaks[1].frequency - 40.0).abs() < 1e-9);
+        assert!(peaks[0].magnitude > peaks[1].magnitude);
+    }
+
+    #[test]
+    fn constant_signal_is_all_dc() {
+        let spec = Spectrum::from_signal(&[5.0; 32], 32.0, Window::Rectangular);
+        assert_eq!(spec.peak_bin(), 0);
+        assert!(spec.peaks(0.1).is_empty());
+    }
+
+    #[test]
+    fn empty_signal_produces_single_bin() {
+        let spec = Spectrum::from_signal(&[], 10.0, Window::Hann);
+        assert_eq!(spec.len(), 1);
+        assert!(!spec.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sample rate")]
+    fn zero_sample_rate_panics() {
+        Spectrum::from_signal(&[1.0], 0.0, Window::Hann);
+    }
+}

@@ -1,0 +1,171 @@
+//! Shared moment and summary statistics.
+//!
+//! These helpers back both the temporal features (moments of the raw
+//! signal) and the spectral shape features (moments of the magnitude
+//! distribution over frequency). All functions define sensible values for
+//! degenerate inputs (empty or constant signals) so that fingerprinting
+//! never produces NaN feature vectors.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; `0.0` for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation; `0.0` for slices shorter than 2.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Returns `true` when the spread is pure floating-point noise relative to
+/// the signal magnitude, so standardized moments are meaningless.
+fn effectively_constant(sd: f64, m: f64) -> bool {
+    sd <= 1e3 * f64::EPSILON * m.abs().max(1.0)
+}
+
+/// Sample skewness (third standardized moment); `0.0` for constant or
+/// too-short signals.
+pub fn skewness(xs: &[f64]) -> f64 {
+    let sd = std_dev(xs);
+    let m = mean(xs);
+    if xs.len() < 2 || effectively_constant(sd, m) {
+        return 0.0;
+    }
+    let m3 = xs.iter().map(|x| (x - m).powi(3)).sum::<f64>() / xs.len() as f64;
+    m3 / sd.powi(3)
+}
+
+/// Kurtosis (fourth standardized moment, *not* excess); `3.0` (the normal
+/// value) for constant or too-short signals so that flat streams do not
+/// register as spiky.
+pub fn kurtosis(xs: &[f64]) -> f64 {
+    let sd = std_dev(xs);
+    let m = mean(xs);
+    if xs.len() < 2 || effectively_constant(sd, m) {
+        return 3.0;
+    }
+    let m4 = xs.iter().map(|x| (x - m).powi(4)).sum::<f64>() / xs.len() as f64;
+    m4 / sd.powi(4)
+}
+
+/// Root mean square; `0.0` for an empty slice.
+pub fn rms(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Weighted mean of `values` with non-negative `weights`.
+///
+/// Returns `0.0` when the weights sum to zero.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn weighted_mean(values: &[f64], weights: &[f64]) -> f64 {
+    assert_eq!(
+        values.len(),
+        weights.len(),
+        "values/weights length mismatch"
+    );
+    let wsum: f64 = weights.iter().sum();
+    if wsum == 0.0 {
+        return 0.0;
+    }
+    values.iter().zip(weights).map(|(v, w)| v * w).sum::<f64>() / wsum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_and_variance_of_known_data() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert_eq!(skewness(&[5.0, 5.0, 5.0]), 0.0);
+        assert_eq!(kurtosis(&[5.0, 5.0, 5.0]), 3.0);
+        assert_eq!(rms(&[]), 0.0);
+    }
+
+    #[test]
+    fn symmetric_data_has_zero_skew() {
+        let xs = [-2.0, -1.0, 0.0, 1.0, 2.0];
+        assert!(skewness(&xs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn right_tail_gives_positive_skew() {
+        let xs = [0.0, 0.0, 0.0, 0.0, 10.0];
+        assert!(skewness(&xs) > 0.0);
+    }
+
+    #[test]
+    fn weighted_mean_matches_plain_mean_for_equal_weights() {
+        let xs = [1.0, 2.0, 3.0];
+        assert!((weighted_mean(&xs, &[1.0, 1.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(weighted_mean(&xs, &[0.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn weighted_mean_pulls_toward_heavy_point() {
+        let v = weighted_mean(&[0.0, 10.0], &[1.0, 3.0]);
+        assert!((v - 7.5).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn rms_ge_abs_mean(xs in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+            prop_assert!(rms(&xs) + 1e-9 >= mean(&xs).abs());
+        }
+
+        #[test]
+        fn variance_shift_invariant(
+            xs in proptest::collection::vec(-1e3f64..1e3, 2..100),
+            shift in -1e3f64..1e3,
+        ) {
+            let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+            prop_assert!((variance(&xs) - variance(&shifted)).abs() < 1e-6);
+        }
+
+        #[test]
+        fn kurtosis_at_least_one(xs in proptest::collection::vec(-1e3f64..1e3, 2..100)) {
+            // For any distribution, kurtosis >= 1 (>= skewness² + 1).
+            prop_assert!(kurtosis(&xs) >= 1.0 - 1e-9);
+        }
+
+        #[test]
+        fn weighted_mean_in_hull(
+            pts in proptest::collection::vec((-1e3f64..1e3, 0.0f64..10.0), 1..50)
+        ) {
+            let values: Vec<f64> = pts.iter().map(|p| p.0).collect();
+            let weights: Vec<f64> = pts.iter().map(|p| p.1).collect();
+            prop_assume!(weights.iter().sum::<f64>() > 0.0);
+            let wm = weighted_mean(&values, &weights);
+            let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(wm >= lo - 1e-9 && wm <= hi + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! The 9 time-domain features of Table II.
+
+use crate::stats;
+
+/// The time-domain half of the Table-II feature set (features 1–9).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TemporalFeatures {
+    /// (1) Arithmetic mean of the signal.
+    pub mean: f64,
+    /// (2) Standard deviation of the signal.
+    pub std_dev: f64,
+    /// (3) Skewness — asymmetry about the mean.
+    pub skewness: f64,
+    /// (4) Kurtosis — flatness/spikiness of the distribution.
+    pub kurtosis: f64,
+    /// (5) Root mean square of the signal.
+    pub rms: f64,
+    /// (6) Maximum sample value.
+    pub max: f64,
+    /// (7) Minimum sample value.
+    pub min: f64,
+    /// (8) Zero-crossing rate — sign changes per sample transition.
+    pub zcr: f64,
+    /// (9) Fraction of non-negative samples.
+    ///
+    /// The paper lists the raw *count*; we normalize by length so the
+    /// feature is comparable across capture durations. The normalization is
+    /// monotone for a fixed duration, so clustering behaviour is unchanged.
+    pub non_negative_fraction: f64,
+}
+
+impl TemporalFeatures {
+    /// Extracts all 9 features from a signal.
+    ///
+    /// Degenerate inputs (empty or constant) produce finite values: moments
+    /// fall back as documented in [`crate::stats`], `max`/`min` are `0.0`
+    /// for empty input, and rates are `0.0`.
+    pub fn extract(signal: &[f64]) -> Self {
+        let (max, min) = if signal.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (
+                signal.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                signal.iter().cloned().fold(f64::INFINITY, f64::min),
+            )
+        };
+        Self {
+            mean: stats::mean(signal),
+            std_dev: stats::std_dev(signal),
+            skewness: stats::skewness(signal),
+            kurtosis: stats::kurtosis(signal),
+            rms: stats::rms(signal),
+            max,
+            min,
+            zcr: zero_crossing_rate(signal),
+            non_negative_fraction: non_negative_fraction(signal),
+        }
+    }
+
+    /// The features as a fixed-order vector (Table II order).
+    pub fn to_vec(self) -> Vec<f64> {
+        vec![
+            self.mean,
+            self.std_dev,
+            self.skewness,
+            self.kurtosis,
+            self.rms,
+            self.max,
+            self.min,
+            self.zcr,
+            self.non_negative_fraction,
+        ]
+    }
+}
+
+/// Rate at which the signal changes sign, per sample transition.
+///
+/// Zero samples are treated as non-negative, matching the common
+/// `sign(x) >= 0` convention. Returns `0.0` for signals shorter than 2.
+pub fn zero_crossing_rate(signal: &[f64]) -> f64 {
+    if signal.len() < 2 {
+        return 0.0;
+    }
+    let crossings = signal
+        .windows(2)
+        .filter(|w| (w[0] >= 0.0) != (w[1] >= 0.0))
+        .count();
+    crossings as f64 / (signal.len() - 1) as f64
+}
+
+/// Fraction of samples that are `>= 0`; `0.0` for empty input.
+pub fn non_negative_fraction(signal: &[f64]) -> f64 {
+    if signal.is_empty() {
+        return 0.0;
+    }
+    signal.iter().filter(|&&x| x >= 0.0).count() as f64 / signal.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_signal_features() {
+        let xs = [1.0, -1.0, 1.0, -1.0];
+        let f = TemporalFeatures::extract(&xs);
+        assert_eq!(f.mean, 0.0);
+        assert_eq!(f.rms, 1.0);
+        assert_eq!(f.max, 1.0);
+        assert_eq!(f.min, -1.0);
+        assert_eq!(f.zcr, 1.0);
+        assert_eq!(f.non_negative_fraction, 0.5);
+    }
+
+    #[test]
+    fn empty_signal_is_all_finite() {
+        let f = TemporalFeatures::extract(&[]);
+        assert!(f.to_vec().iter().all(|v| v.is_finite()));
+        assert_eq!(f.max, 0.0);
+        assert_eq!(f.min, 0.0);
+    }
+
+    #[test]
+    fn constant_positive_signal() {
+        let f = TemporalFeatures::extract(&[9.8; 50]);
+        assert!((f.mean - 9.8).abs() < 1e-12);
+        assert!(f.std_dev < 1e-9);
+        assert_eq!(f.zcr, 0.0);
+        assert_eq!(f.non_negative_fraction, 1.0);
+        assert_eq!(f.kurtosis, 3.0);
+    }
+
+    #[test]
+    fn zcr_counts_transitions_not_samples() {
+        assert_eq!(zero_crossing_rate(&[1.0, -1.0]), 1.0);
+        assert_eq!(zero_crossing_rate(&[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(zero_crossing_rate(&[1.0]), 0.0);
+        // Zero counted as non-negative: (0, -1) is a crossing.
+        assert_eq!(zero_crossing_rate(&[0.0, -1.0]), 1.0);
+    }
+
+    #[test]
+    fn feature_vector_order_matches_table_ii() {
+        let f = TemporalFeatures {
+            mean: 1.0,
+            std_dev: 2.0,
+            skewness: 3.0,
+            kurtosis: 4.0,
+            rms: 5.0,
+            max: 6.0,
+            min: 7.0,
+            zcr: 8.0,
+            non_negative_fraction: 9.0,
+        };
+        assert_eq!(
+            f.to_vec(),
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn all_features_finite(xs in proptest::collection::vec(-1e4f64..1e4, 0..300)) {
+            let f = TemporalFeatures::extract(&xs);
+            prop_assert!(f.to_vec().iter().all(|v| v.is_finite()));
+        }
+
+        #[test]
+        fn min_le_mean_le_max(xs in proptest::collection::vec(-1e4f64..1e4, 1..300)) {
+            let f = TemporalFeatures::extract(&xs);
+            prop_assert!(f.min <= f.mean + 1e-9);
+            prop_assert!(f.mean <= f.max + 1e-9);
+        }
+
+        #[test]
+        fn rates_are_unit_bounded(xs in proptest::collection::vec(-10f64..10.0, 0..100)) {
+            let f = TemporalFeatures::extract(&xs);
+            prop_assert!((0.0..=1.0).contains(&f.zcr));
+            prop_assert!((0.0..=1.0).contains(&f.non_negative_fraction));
+        }
+    }
+}

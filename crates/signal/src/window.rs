@@ -1,0 +1,86 @@
+//! Window functions applied before spectral analysis.
+
+/// The window applied to a signal frame before the FFT.
+///
+/// Fingerprint captures are short stationary recordings, so a [`Window::Hann`]
+/// window (the default) suppresses the spectral leakage that would otherwise
+/// swamp the subtle per-chip resonance differences AG-FP relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Window {
+    /// No windowing (all-ones).
+    Rectangular,
+    /// Hann (raised cosine) window.
+    #[default]
+    Hann,
+    /// Hamming window.
+    Hamming,
+}
+
+impl Window {
+    /// Window coefficient at sample `i` of an `n`-sample frame.
+    ///
+    /// Returns `1.0` for frames shorter than 2 samples.
+    pub fn coefficient(self, i: usize, n: usize) -> f64 {
+        if n < 2 {
+            return 1.0;
+        }
+        let x = i as f64 / (n - 1) as f64;
+        match self {
+            Window::Rectangular => 1.0,
+            Window::Hann => 0.5 - 0.5 * (2.0 * std::f64::consts::PI * x).cos(),
+            Window::Hamming => 0.54 - 0.46 * (2.0 * std::f64::consts::PI * x).cos(),
+        }
+    }
+
+    /// Applies the window to a signal, returning the windowed copy.
+    pub fn apply(self, xs: &[f64]) -> Vec<f64> {
+        let n = xs.len();
+        xs.iter()
+            .enumerate()
+            .map(|(i, &x)| x * self.coefficient(i, n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_identity() {
+        let xs = [1.0, -2.0, 3.5];
+        assert_eq!(Window::Rectangular.apply(&xs), xs.to_vec());
+    }
+
+    #[test]
+    fn hann_endpoints_are_zero_and_center_is_one() {
+        let n = 101;
+        assert!(Window::Hann.coefficient(0, n).abs() < 1e-12);
+        assert!(Window::Hann.coefficient(n - 1, n).abs() < 1e-12);
+        assert!((Window::Hann.coefficient(50, n) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamming_endpoints_are_small_but_nonzero() {
+        let n = 64;
+        let edge = Window::Hamming.coefficient(0, n);
+        assert!((edge - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coefficients_bounded_by_one() {
+        for w in [Window::Rectangular, Window::Hann, Window::Hamming] {
+            for i in 0..32 {
+                let c = w.coefficient(i, 32);
+                assert!((0.0..=1.0).contains(&c), "{w:?} at {i}: {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_frames_are_passed_through() {
+        assert_eq!(Window::Hann.coefficient(0, 1), 1.0);
+        assert_eq!(Window::Hann.apply(&[7.0]), vec![7.0]);
+        assert_eq!(Window::Hann.apply(&[]), Vec::<f64>::new());
+    }
+}

@@ -1,0 +1,216 @@
+//! Cheap lower bounds on the raw DTW cost, for pruning pairwise
+//! comparisons.
+//!
+//! AG-TR computes all `O(n²)` pairwise DTW distances and keeps only pairs
+//! below a threshold `φ`. Both bounds here under-estimate the raw
+//! cumulative DTW cost in `O(m)` time, so a pair whose *bound* already
+//! exceeds `φ` can be skipped without running the `O(m·n)` dynamic
+//! program.
+
+use crate::Dtw;
+
+/// LB_Kim (simplified): every warping path aligns the first points and
+/// the last points, so their squared distances always contribute.
+///
+/// Returns a lower bound on `Dtw::new().raw().distance(a, b)`. Degenerate
+/// inputs follow the DTW conventions (`0` for two empty series, `∞` when
+/// exactly one is empty).
+///
+/// # Examples
+///
+/// ```
+/// use srtd_timeseries::{lb_kim, Dtw};
+///
+/// let a = [0.0, 5.0, 1.0];
+/// let b = [2.0, 2.0, 2.0];
+/// assert!(lb_kim(&a, &b) <= Dtw::new().raw().distance(&a, &b) + 1e-12);
+/// ```
+pub fn lb_kim(a: &[f64], b: &[f64]) -> f64 {
+    match (a.len(), b.len()) {
+        (0, 0) => 0.0,
+        (0, _) | (_, 0) => f64::INFINITY,
+        (1, _) | (_, 1) => {
+            // With a single point on one side, every point of the other
+            // aligns to it; the closest single contribution still bounds.
+
+            (a[0] - b[0]).powi(2)
+        }
+        _ => {
+            let first = (a[0] - b[0]).powi(2);
+            let last = (a[a.len() - 1] - b[b.len() - 1]).powi(2);
+            first + last
+        }
+    }
+}
+
+/// LB_Keogh: the squared distance from `query` to the Sakoe–Chiba
+/// envelope of `reference`, a lower bound on *banded* raw DTW with window
+/// `w` (and therefore also on unbanded DTW only when `w` spans the whole
+/// series).
+///
+/// Series must have equal lengths (the classic LB_Keogh setting); use
+/// [`lb_kim`] for unequal lengths.
+///
+/// # Panics
+///
+/// Panics if the series lengths differ.
+///
+/// # Examples
+///
+/// ```
+/// use srtd_timeseries::{lb_keogh, Dtw};
+///
+/// let a = [0.0, 1.0, 2.0, 1.0];
+/// let b = [1.0, 1.0, 1.0, 1.0];
+/// let bound = lb_keogh(&a, &b, 1);
+/// let exact = Dtw::new().raw().with_band(1).distance(&a, &b);
+/// assert!(bound <= exact + 1e-12);
+/// ```
+pub fn lb_keogh(query: &[f64], reference: &[f64], w: usize) -> f64 {
+    assert_eq!(
+        query.len(),
+        reference.len(),
+        "LB_Keogh requires equal-length series"
+    );
+    let n = query.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut bound = 0.0;
+    for (i, &q) in query.iter().enumerate() {
+        let lo = i.saturating_sub(w);
+        let hi = (i + w).min(n - 1);
+        let mut upper = f64::NEG_INFINITY;
+        let mut lower = f64::INFINITY;
+        for &r in &reference[lo..=hi] {
+            upper = upper.max(r);
+            lower = lower.min(r);
+        }
+        if q > upper {
+            bound += (q - upper).powi(2);
+        } else if q < lower {
+            bound += (lower - q).powi(2);
+        }
+    }
+    bound
+}
+
+/// Computes the full pairwise raw-DTW dissimilarity matrix with LB_Kim
+/// pruning: pairs whose lower bound already exceeds `cutoff` are reported
+/// as `f64::INFINITY` without running the dynamic program.
+///
+/// This is the batched form AG-TR uses; the returned matrix is symmetric
+/// with a zero diagonal.
+pub fn pruned_raw_dtw_matrix(series: &[Vec<f64>], cutoff: f64) -> Vec<Vec<f64>> {
+    let n = series.len();
+    let dtw = Dtw::new().raw();
+    let mut matrix = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let d = if lb_kim(&series[i], &series[j]) > cutoff {
+                f64::INFINITY
+            } else {
+                dtw.distance(&series[i], &series[j])
+            };
+            matrix[i][j] = d;
+            matrix[j][i] = d;
+        }
+    }
+    matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn kim_bound_zero_for_identical() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(lb_kim(&xs, &xs), 0.0);
+    }
+
+    #[test]
+    fn kim_degenerate_conventions_match_dtw() {
+        assert_eq!(lb_kim(&[], &[]), 0.0);
+        assert_eq!(lb_kim(&[], &[1.0]), f64::INFINITY);
+        assert_eq!(lb_kim(&[1.0], &[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn keogh_zero_when_inside_envelope() {
+        let q = [1.0, 1.0, 1.0];
+        let r = [0.0, 2.0, 0.0];
+        assert_eq!(lb_keogh(&q, &r, 1), 0.0);
+    }
+
+    #[test]
+    fn keogh_wide_window_still_bounds() {
+        let q = [10.0, 10.0];
+        let r = [0.0, 0.0];
+        let bound = lb_keogh(&q, &r, 5);
+        let exact = Dtw::new().raw().distance(&q, &r);
+        assert!(bound <= exact + 1e-12);
+        assert!(bound > 0.0);
+    }
+
+    #[test]
+    fn pruned_matrix_marks_far_pairs_infinite() {
+        let series = vec![
+            vec![0.0, 0.0, 0.0],
+            vec![0.1, 0.0, 0.1],
+            vec![100.0, 100.0, 100.0],
+        ];
+        let m = pruned_raw_dtw_matrix(&series, 1.0);
+        assert!(m[0][1].is_finite());
+        assert_eq!(m[0][2], f64::INFINITY);
+        assert_eq!(m[1][2], f64::INFINITY);
+        assert_eq!(m[0][0], 0.0);
+    }
+
+    proptest! {
+        /// LB_Kim never exceeds the raw DTW cost.
+        #[test]
+        fn kim_is_a_lower_bound(
+            a in proptest::collection::vec(-50f64..50.0, 1..25),
+            b in proptest::collection::vec(-50f64..50.0, 1..25),
+        ) {
+            let exact = Dtw::new().raw().distance(&a, &b);
+            prop_assert!(lb_kim(&a, &b) <= exact + 1e-9);
+        }
+
+        /// LB_Keogh never exceeds the banded raw DTW cost.
+        #[test]
+        fn keogh_is_a_lower_bound(
+            data in proptest::collection::vec((-50f64..50.0, -50f64..50.0), 1..25),
+            w in 0usize..6,
+        ) {
+            let a: Vec<f64> = data.iter().map(|d| d.0).collect();
+            let b: Vec<f64> = data.iter().map(|d| d.1).collect();
+            let exact = Dtw::new().raw().with_band(w).distance(&a, &b);
+            prop_assert!(lb_keogh(&a, &b, w) <= exact + 1e-9);
+        }
+
+        /// Pruning never changes finite entries below the cutoff.
+        #[test]
+        fn pruning_is_sound(
+            series in proptest::collection::vec(
+                proptest::collection::vec(-20f64..20.0, 2..8),
+                2..6,
+            ),
+            cutoff in 0.0f64..500.0,
+        ) {
+            let pruned = pruned_raw_dtw_matrix(&series, cutoff);
+            let dtw = Dtw::new().raw();
+            for i in 0..series.len() {
+                for j in 0..series.len() {
+                    if i == j { continue; }
+                    let exact = dtw.distance(&series[i], &series[j]);
+                    if exact <= cutoff {
+                        prop_assert_eq!(pruned[i][j], exact);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Dynamic Time Warping (Berndt & Clifford 1994) with the path-length
+//! normalization of Eq. 7 and an optional Sakoe–Chiba band.
+
+/// DTW distance calculator.
+///
+/// The default configuration reproduces Eq. 7 of the paper: squared point
+/// distances, unconstrained warping, and `sqrt(Σ ω_k / K)` normalization by
+/// the warping-path length `K`. A Sakoe–Chiba band can be enabled with
+/// [`Dtw::with_band`] to bound the warp for long series; the band is
+/// automatically widened to `|m − n|` so a feasible path always exists.
+///
+/// # Examples
+///
+/// ```
+/// use srtd_timeseries::Dtw;
+///
+/// let d = Dtw::new().distance(&[1.0, 2.0], &[1.0, 2.0, 2.0]);
+/// assert!(d.abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Dtw {
+    band: Option<usize>,
+    raw: bool,
+}
+
+impl Dtw {
+    /// Unconstrained DTW with Eq. 7 normalization.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Restricts warping to a Sakoe–Chiba band of half-width `w`.
+    pub fn with_band(mut self, w: usize) -> Self {
+        self.band = Some(w);
+        self
+    }
+
+    /// Returns the raw cumulative squared cost `r(m, n)` instead of the
+    /// Eq. 7 normalized form.
+    ///
+    /// The worked example in Fig. 4(a) of the paper tabulates exactly this
+    /// quantity (e.g. `DTW(X_1, X_2) = 2` for the Table III task series),
+    /// so the example-reproduction code uses raw mode.
+    pub fn raw(mut self) -> Self {
+        self.raw = true;
+        self
+    }
+
+    /// The DTW distance between two series.
+    ///
+    /// Conventions for degenerate inputs: two empty series are identical
+    /// (`0.0`); an empty series against a non-empty one is infinitely far
+    /// (`f64::INFINITY`), so accounts with no submissions never group with
+    /// active ones.
+    pub fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        let (m, n) = (a.len(), b.len());
+        match (m, n) {
+            (0, 0) => return 0.0,
+            (0, _) | (_, 0) => return f64::INFINITY,
+            _ => {}
+        }
+        // Effective band half-width: must be at least |m-n| for feasibility.
+        let w = self
+            .band
+            .map(|w| w.max(m.abs_diff(n)))
+            .unwrap_or(usize::MAX);
+
+        // cost[j], steps[j] hold r(i, j) and the length K of the best path
+        // reaching (i, j); rolling rows keep memory at O(n).
+        const INF: f64 = f64::INFINITY;
+        let mut prev_cost = vec![INF; n + 1];
+        let mut prev_steps = vec![0usize; n + 1];
+        let mut cur_cost = vec![INF; n + 1];
+        let mut cur_steps = vec![0usize; n + 1];
+        prev_cost[0] = 0.0;
+
+        for i in 1..=m {
+            cur_cost.fill(INF);
+            cur_cost[0] = INF;
+            let lo = i.saturating_sub(w).max(1);
+            let hi = if w == usize::MAX { n } else { (i + w).min(n) };
+            for j in lo..=hi {
+                let d = a[i - 1] - b[j - 1];
+                let cost = d * d;
+                // Predecessors: (i-1, j-1), (i-1, j), (i, j-1).
+                let (mut best, mut steps) = (prev_cost[j - 1], prev_steps[j - 1]);
+                if prev_cost[j] < best {
+                    best = prev_cost[j];
+                    steps = prev_steps[j];
+                }
+                if cur_cost[j - 1] < best {
+                    best = cur_cost[j - 1];
+                    steps = cur_steps[j - 1];
+                }
+                // The virtual origin (0,0) starts the path at (1,1).
+                if i == 1 && j == 1 {
+                    best = 0.0;
+                    steps = 0;
+                }
+                if best.is_finite() {
+                    cur_cost[j] = best + cost;
+                    cur_steps[j] = steps + 1;
+                }
+            }
+            std::mem::swap(&mut prev_cost, &mut cur_cost);
+            std::mem::swap(&mut prev_steps, &mut cur_steps);
+        }
+        let total = prev_cost[n];
+        let k = prev_steps[n];
+        if !total.is_finite() || k == 0 {
+            return f64::INFINITY;
+        }
+        if self.raw {
+            total
+        } else {
+            (total / k as f64).sqrt()
+        }
+    }
+}
+
+/// Unconstrained DTW distance (Eq. 7), shorthand for
+/// `Dtw::new().distance(a, b)`.
+///
+/// # Examples
+///
+/// ```
+/// let d = srtd_timeseries::dtw(&[1.0, 3.0], &[2.0, 3.0]);
+/// assert!(d > 0.0);
+/// ```
+pub fn dtw(a: &[f64], b: &[f64]) -> f64 {
+    Dtw::new().distance(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_series_have_zero_distance() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0];
+        assert_eq!(dtw(&xs, &xs), 0.0);
+    }
+
+    #[test]
+    fn single_points() {
+        assert_eq!(dtw(&[2.0], &[5.0]), 3.0); // sqrt(9/1)
+        assert_eq!(dtw(&[2.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn empty_series_conventions() {
+        assert_eq!(dtw(&[], &[]), 0.0);
+        assert_eq!(dtw(&[], &[1.0]), f64::INFINITY);
+        assert_eq!(dtw(&[1.0], &[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn warping_absorbs_time_shift() {
+        let a = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [0.0, 0.0, 1.0, 2.0, 3.0, 4.0, 5.0]; // delayed copy
+        let euclid_like = dtw(&[0.0, 1.0, 2.0], &[5.0, 6.0, 7.0]);
+        assert!(dtw(&a, &b) < 1e-9);
+        assert!(euclid_like > 1.0);
+    }
+
+    #[test]
+    fn different_lengths_are_supported() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 1.5, 2.0, 2.5, 3.0];
+        let d = dtw(&a, &b);
+        assert!(d.is_finite());
+        assert!(d < 0.5);
+    }
+
+    #[test]
+    fn band_zero_equals_euclidean_for_equal_lengths() {
+        let a = [1.0, 2.0, 5.0, 3.0];
+        let b = [0.0, 2.0, 4.0, 3.0];
+        let banded = Dtw::new().with_band(0).distance(&a, &b);
+        // Band 0 forces the diagonal path: sqrt(mean of squared diffs).
+        let want = ((1.0 + 0.0 + 1.0 + 0.0) / 4.0f64).sqrt();
+        assert!((banded - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn band_widens_for_unequal_lengths() {
+        let a = [1.0, 2.0];
+        let b = [1.0, 1.0, 1.0, 2.0];
+        let d = Dtw::new().with_band(0).distance(&a, &b);
+        assert!(d.is_finite());
+    }
+
+    #[test]
+    fn paper_fig4_task_series_values() {
+        // Table III task series (tasks indexed 1..4):
+        // account 1 performs {1,2,3,4}; account 2 performs {2,3};
+        // accounts 4', 4'', 4''' perform {1,3,4}.
+        let x1 = [1.0, 2.0, 3.0, 4.0];
+        let x2 = [2.0, 3.0];
+        let x4 = [1.0, 3.0, 4.0];
+        // Sybil accounts have identical task series: distance 0 (Fig. 4a).
+        assert_eq!(dtw(&x4, &x4), 0.0);
+        // Fig. 4(a) tabulates the raw cumulative cost: DTW(X_1, X_2) = 2
+        // and DTW(X_1, X_4') = 1.
+        let raw = Dtw::new().raw();
+        assert!((raw.distance(&x1, &x2) - 2.0).abs() < 1e-12);
+        assert!((raw.distance(&x1, &x4) - 1.0).abs() < 1e-12);
+        assert!((raw.distance(&x2, &x4) - 2.0).abs() < 1e-12);
+        assert!(dtw(&x1, &x4) < dtw(&x1, &x2));
+    }
+
+    proptest! {
+        #[test]
+        fn nonnegative_and_symmetric(
+            a in proptest::collection::vec(-100f64..100.0, 1..30),
+            b in proptest::collection::vec(-100f64..100.0, 1..30),
+        ) {
+            let ab = dtw(&a, &b);
+            let ba = dtw(&b, &a);
+            prop_assert!(ab >= 0.0);
+            prop_assert!((ab - ba).abs() < 1e-9 * ab.max(1.0));
+        }
+
+        #[test]
+        fn identity_of_indiscernibles(
+            a in proptest::collection::vec(-100f64..100.0, 1..30)
+        ) {
+            prop_assert!(dtw(&a, &a) < 1e-12);
+        }
+
+        #[test]
+        fn banded_at_least_unconstrained_raw(
+            a in proptest::collection::vec(-100f64..100.0, 1..25),
+            b in proptest::collection::vec(-100f64..100.0, 1..25),
+            w in 0usize..5,
+        ) {
+            // In raw cumulative-cost mode a constrained minimum can never
+            // beat the unconstrained one. (Under Eq. 7's path-length
+            // normalization the inequality can flip — a longer banded path
+            // may average lower — so the guarantee is raw-only.)
+            let full = Dtw::new().raw().distance(&a, &b);
+            let banded = Dtw::new().raw().with_band(w).distance(&a, &b);
+            prop_assert!(banded + 1e-9 >= full);
+            // Normalized banded distances stay well-defined regardless.
+            let norm = Dtw::new().with_band(w).distance(&a, &b);
+            prop_assert!(norm.is_finite() && norm >= 0.0);
+        }
+
+        #[test]
+        fn bounded_by_max_pointwise_distance(
+            a in proptest::collection::vec(-100f64..100.0, 1..25),
+            b in proptest::collection::vec(-100f64..100.0, 1..25),
+        ) {
+            let d = dtw(&a, &b);
+            let max_gap = a
+                .iter()
+                .flat_map(|x| b.iter().map(move |y| (x - y).abs()))
+                .fold(0.0, f64::max);
+            prop_assert!(d <= max_gap + 1e-9);
+        }
+
+        #[test]
+        fn wide_band_matches_unconstrained(
+            a in proptest::collection::vec(-100f64..100.0, 1..20),
+            b in proptest::collection::vec(-100f64..100.0, 1..20),
+        ) {
+            let full = dtw(&a, &b);
+            let wide = Dtw::new().with_band(50).distance(&a, &b);
+            prop_assert!((full - wide).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Time-series comparison primitives for trajectory-based account grouping.
+//!
+//! AG-TR regards each account's submissions as two time series — the task
+//! index series `X_i` and the timestamp series `Y_i` — and groups accounts
+//! whose combined DTW dissimilarity (Eq. 8) falls below a threshold. This
+//! crate implements the Dynamic Time Warping distance of Eq. 7,
+//!
+//! ```text
+//! DTW(A, B) = min over warping paths W of sqrt( Σ_k ω_k / K )
+//! ```
+//!
+//! where `ω_k` are squared point distances along the path, via the standard
+//! cumulative-distance dynamic program. A Sakoe–Chiba band variant bounds
+//! the warping window for long series, and utilities for z-normalization
+//! and series construction round out the crate.
+//!
+//! # Examples
+//!
+//! ```
+//! use srtd_timeseries::{dtw, Dtw};
+//!
+//! assert_eq!(dtw(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]), 0.0);
+//! // Time-shifted copies are close under DTW even though they differ
+//! // point-wise.
+//! let a = [0.0, 0.0, 1.0, 2.0, 3.0];
+//! let b = [0.0, 1.0, 2.0, 3.0, 3.0];
+//! assert!(dtw(&a, &b) < 0.5);
+//! let banded = Dtw::new().with_band(1).distance(&a, &b);
+//! assert!(banded >= dtw(&a, &b));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bounds;
+mod dtw;
+mod series;
+
+pub use bounds::{lb_keogh, lb_kim, pruned_raw_dtw_matrix};
+pub use dtw::{dtw, Dtw};
+pub use series::{z_normalize, TimeSeriesPair};

@@ -1,0 +1,161 @@
+//! Series utilities: trajectory pairs and normalization.
+
+use crate::Dtw;
+
+/// An account trajectory as the paper defines it: the task-index series
+/// `X` and the timestamp series `Y`, both ordered by submission time.
+///
+/// # Examples
+///
+/// ```
+/// use srtd_timeseries::TimeSeriesPair;
+///
+/// let a = TimeSeriesPair::new(vec![1.0, 3.0, 4.0], vec![70.0, 924.0, 1206.0]);
+/// let b = TimeSeriesPair::new(vec![1.0, 3.0, 4.0], vec![94.0, 968.0, 1285.0]);
+/// // Eq. 8: dissimilarity is the sum of the two DTW distances.
+/// assert!(a.dissimilarity(&b) < 100.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TimeSeriesPair {
+    tasks: Vec<f64>,
+    timestamps: Vec<f64>,
+}
+
+impl TimeSeriesPair {
+    /// Creates a trajectory from parallel task and timestamp series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series lengths differ (each submission has exactly one
+    /// task and one timestamp).
+    pub fn new(tasks: Vec<f64>, timestamps: Vec<f64>) -> Self {
+        assert_eq!(
+            tasks.len(),
+            timestamps.len(),
+            "task and timestamp series must be parallel"
+        );
+        Self { tasks, timestamps }
+    }
+
+    /// The task-index series `X`.
+    pub fn tasks(&self) -> &[f64] {
+        &self.tasks
+    }
+
+    /// The timestamp series `Y`.
+    pub fn timestamps(&self) -> &[f64] {
+        &self.timestamps
+    }
+
+    /// Number of submissions in the trajectory.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Returns `true` for an account with no submissions.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Eq. 8: `D_ij = DTW(X_i, X_j) + DTW(Y_i, Y_j)`.
+    pub fn dissimilarity(&self, other: &Self) -> f64 {
+        self.dissimilarity_with(other, Dtw::new())
+    }
+
+    /// Eq. 8 with a configured DTW (e.g. banded for long trajectories).
+    pub fn dissimilarity_with(&self, other: &Self, dtw: Dtw) -> f64 {
+        dtw.distance(&self.tasks, &other.tasks) + dtw.distance(&self.timestamps, &other.timestamps)
+    }
+}
+
+/// Z-normalizes a series to zero mean and unit variance.
+///
+/// Timestamp series from different sessions differ by large offsets that
+/// carry no trajectory-shape information; normalizing before DTW makes the
+/// comparison shift- and scale-invariant. Constant series map to all-zeros.
+pub fn z_normalize(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    let sd = var.sqrt();
+    if sd <= 1e3 * f64::EPSILON * mean.abs().max(1.0) {
+        return vec![0.0; n];
+    }
+    xs.iter().map(|x| (x - mean) / sd).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dissimilarity_of_identical_trajectories_is_zero() {
+        let t = TimeSeriesPair::new(vec![1.0, 2.0], vec![10.0, 20.0]);
+        assert_eq!(t.dissimilarity(&t), 0.0);
+    }
+
+    #[test]
+    fn dissimilarity_adds_both_components() {
+        let a = TimeSeriesPair::new(vec![1.0], vec![0.0]);
+        let b = TimeSeriesPair::new(vec![4.0], vec![3.0]);
+        // DTW of singletons is |diff|: 3 + 3.
+        assert!((a.dissimilarity(&b) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn mismatched_series_panic() {
+        TimeSeriesPair::new(vec![1.0], vec![]);
+    }
+
+    #[test]
+    fn z_normalize_basics() {
+        let z = z_normalize(&[1.0, 2.0, 3.0]);
+        assert!(z.iter().sum::<f64>().abs() < 1e-12);
+        assert_eq!(z_normalize(&[5.0, 5.0]), vec![0.0, 0.0]);
+        assert!(z_normalize(&[]).is_empty());
+    }
+
+    #[test]
+    fn empty_trajectory_far_from_active_one() {
+        let empty = TimeSeriesPair::default();
+        let active = TimeSeriesPair::new(vec![1.0], vec![0.0]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.dissimilarity(&active), f64::INFINITY);
+        assert_eq!(empty.dissimilarity(&empty), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn z_normalized_is_shift_scale_invariant(
+            xs in proptest::collection::vec(-1e3f64..1e3, 2..40),
+            shift in -1e4f64..1e4,
+            scale in 0.1f64..50.0,
+        ) {
+            let moved: Vec<f64> = xs.iter().map(|x| x * scale + shift).collect();
+            let za = z_normalize(&xs);
+            let zb = z_normalize(&moved);
+            for (a, b) in za.iter().zip(&zb) {
+                prop_assert!((a - b).abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn dissimilarity_symmetric(
+            ta in proptest::collection::vec(0f64..10.0, 1..15),
+            tb in proptest::collection::vec(0f64..10.0, 1..15),
+        ) {
+            let ya: Vec<f64> = (0..ta.len()).map(|i| i as f64).collect();
+            let yb: Vec<f64> = (0..tb.len()).map(|i| i as f64 * 1.1).collect();
+            let a = TimeSeriesPair::new(ta, ya);
+            let b = TimeSeriesPair::new(tb, yb);
+            let ab = a.dissimilarity(&b);
+            prop_assert!((ab - b.dissimilarity(&a)).abs() < 1e-9);
+            prop_assert!(ab >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! Truth discovery for categorical claims.
+//!
+//! The paper scopes its demonstration to numerical data ("the sensing
+//! data for each task is in the form of numerical values"), but many MCS
+//! tasks are discrete — is the parking spot free, which direction is the
+//! road blocked. The truth discovery family handles these with weighted
+//! voting instead of weighted averaging; the Sybil attack works exactly
+//! the same way (a coordinated block out-votes honest users), and the
+//! grouping counter-measure transfers verbatim: collapse each suspected
+//! group to a single vote ([`grouped_weighted_vote`]).
+
+use std::collections::HashMap;
+
+/// One categorical claim: account `account` says task `task` has label
+/// `label`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Claim {
+    /// Claiming account index.
+    pub account: usize,
+    /// Task index.
+    pub task: usize,
+    /// Claimed label (task-local id).
+    pub label: usize,
+}
+
+/// A campaign of categorical claims.
+///
+/// # Examples
+///
+/// ```
+/// use srtd_truth::categorical::{CategoricalData, WeightedVote};
+///
+/// let mut data = CategoricalData::new(1);
+/// data.add_claim(0, 0, 1);
+/// data.add_claim(1, 0, 1);
+/// data.add_claim(2, 0, 0);
+/// let result = WeightedVote::default().discover(&data);
+/// assert_eq!(result.truths[0], Some(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CategoricalData {
+    num_tasks: usize,
+    claims: Vec<Claim>,
+    num_accounts: usize,
+}
+
+impl CategoricalData {
+    /// Creates an empty campaign with `num_tasks` tasks.
+    pub fn new(num_tasks: usize) -> Self {
+        Self {
+            num_tasks,
+            claims: Vec::new(),
+            num_accounts: 0,
+        }
+    }
+
+    /// Number of tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.num_tasks
+    }
+
+    /// Number of accounts (highest index seen + 1).
+    pub fn num_accounts(&self) -> usize {
+        self.num_accounts
+    }
+
+    /// All claims in insertion order.
+    pub fn claims(&self) -> &[Claim] {
+        &self.claims
+    }
+
+    /// Returns `true` if no claim has been added.
+    pub fn is_empty(&self) -> bool {
+        self.claims.is_empty()
+    }
+
+    /// Adds a claim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range or the account already claimed
+    /// this task.
+    pub fn add_claim(&mut self, account: usize, task: usize, label: usize) {
+        assert!(task < self.num_tasks, "task {task} out of range");
+        assert!(
+            !self
+                .claims
+                .iter()
+                .any(|c| c.account == account && c.task == task),
+            "account {account} already claimed task {task}"
+        );
+        self.claims.push(Claim {
+            account,
+            task,
+            label,
+        });
+        self.num_accounts = self.num_accounts.max(account + 1);
+    }
+}
+
+/// Output of categorical truth discovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CategoricalResult {
+    /// Winning label per task; `None` for unclaimed tasks.
+    pub truths: Vec<Option<usize>>,
+    /// Final per-account weights.
+    pub weights: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+}
+
+/// Iterative weighted voting (the categorical analogue of CRH).
+///
+/// Weight update: `w_i = ln(total_mismatches / mismatches_i)` with the
+/// same scale-aware floor as the numeric CRH; truth update: per task, the
+/// label with the largest total claim weight. Ties break toward the
+/// smaller label id, which keeps the algorithm deterministic.
+#[derive(Debug, Clone, Copy)]
+pub struct WeightedVote {
+    /// Iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for WeightedVote {
+    fn default() -> Self {
+        Self { max_iterations: 50 }
+    }
+}
+
+impl WeightedVote {
+    /// Runs the weighted vote.
+    pub fn discover(&self, data: &CategoricalData) -> CategoricalResult {
+        let n = data.num_accounts();
+        let mut weights = vec![1.0f64; n];
+        let mut truths = plain_vote(data, &weights);
+        let mut iterations = 0;
+        for iter in 0..self.max_iterations.max(1) {
+            iterations = iter + 1;
+            // 0/1 mismatch losses.
+            let mut losses = vec![0.0f64; n];
+            for c in data.claims() {
+                if let Some(truth) = truths[c.task] {
+                    if truth != c.label {
+                        losses[c.account] += 1.0;
+                    }
+                }
+            }
+            let total: f64 = losses.iter().sum();
+            let floor = (total / n.max(1) as f64).max(1e-12) * 1e-3;
+            for (w, &loss) in weights.iter_mut().zip(&losses) {
+                *w = (total.max(1e-12) / loss.max(floor)).ln().max(0.05);
+            }
+            let next = plain_vote(data, &weights);
+            if next == truths {
+                truths = next;
+                break;
+            }
+            truths = next;
+        }
+        CategoricalResult {
+            truths,
+            weights,
+            iterations,
+        }
+    }
+}
+
+/// One weighted-vote round: per task, the label with the largest total
+/// weight (ties toward the smaller label).
+fn plain_vote(data: &CategoricalData, weights: &[f64]) -> Vec<Option<usize>> {
+    let mut tallies: Vec<HashMap<usize, f64>> = vec![HashMap::new(); data.num_tasks()];
+    for c in data.claims() {
+        *tallies[c.task].entry(c.label).or_insert(0.0) += weights[c.account];
+    }
+    tallies
+        .into_iter()
+        .map(|tally| {
+            tally
+                .into_iter()
+                .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
+                .map(|(label, _)| label)
+        })
+        .collect()
+}
+
+/// Unweighted majority voting (the categorical mean-vote analogue).
+pub fn majority_vote(data: &CategoricalData) -> Vec<Option<usize>> {
+    plain_vote(data, &vec![1.0; data.num_accounts()])
+}
+
+/// Group-collapsed weighted voting — the categorical port of Algorithm 2's
+/// data-grouping idea.
+///
+/// `group_of[account]` assigns each account to a suspected-owner group
+/// (e.g. from `srtd-core`'s AG methods). For each task, every group first
+/// casts a *single* internal-majority vote; the votes are then combined
+/// with the Eq. 4 size-penalized weights. A thousand coordinated accounts
+/// still count as one voice.
+///
+/// # Panics
+///
+/// Panics if `group_of` does not cover every account.
+pub fn grouped_weighted_vote(data: &CategoricalData, group_of: &[usize]) -> Vec<Option<usize>> {
+    assert!(
+        data.num_accounts() <= group_of.len(),
+        "group labels must cover every account ({} accounts, {} labels)",
+        data.num_accounts(),
+        group_of.len()
+    );
+    (0..data.num_tasks())
+        .map(|task| {
+            // Group-internal majority.
+            let mut group_tallies: HashMap<usize, HashMap<usize, usize>> = HashMap::new();
+            let mut reporters = 0usize;
+            for c in data.claims().iter().filter(|c| c.task == task) {
+                reporters += 1;
+                *group_tallies
+                    .entry(group_of[c.account])
+                    .or_default()
+                    .entry(c.label)
+                    .or_insert(0) += 1;
+            }
+            if reporters == 0 {
+                return None;
+            }
+            // Combine group votes with Eq. 4 weights.
+            let mut combined: HashMap<usize, f64> = HashMap::new();
+            for (_, tally) in group_tallies {
+                let members: usize = tally.values().sum();
+                let label = tally
+                    .into_iter()
+                    .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+                    .map(|(l, _)| l)
+                    .expect("non-empty tally");
+                let weight = 1.0 - members as f64 / reporters as f64;
+                // A group holding every reporter still deserves a voice.
+                *combined.entry(label).or_insert(0.0) += weight.max(0.05);
+            }
+            combined
+                .into_iter()
+                .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
+                .map(|(label, _)| label)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 2 honest accounts vs a 3-account Sybil block on 4 binary tasks.
+    fn attacked_campaign() -> CategoricalData {
+        let mut d = CategoricalData::new(4);
+        for task in 0..4 {
+            d.add_claim(0, task, 0); // honest: label 0 everywhere
+            d.add_claim(1, task, 0);
+            for sybil in 2..5 {
+                d.add_claim(sybil, task, 1); // coordinated lie
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn majority_vote_basics() {
+        let mut d = CategoricalData::new(2);
+        d.add_claim(0, 0, 3);
+        d.add_claim(1, 0, 3);
+        d.add_claim(2, 0, 7);
+        let t = majority_vote(&d);
+        assert_eq!(t[0], Some(3));
+        assert_eq!(t[1], None);
+    }
+
+    #[test]
+    fn weighted_vote_downweights_the_inconsistent() {
+        let mut d = CategoricalData::new(5);
+        // Accounts 0,1 agree on everything; account 2 disagrees on 4 of 5.
+        for task in 0..5 {
+            d.add_claim(0, task, 0);
+            d.add_claim(1, task, 0);
+            d.add_claim(2, task, if task == 0 { 0 } else { 1 });
+        }
+        let r = WeightedVote::default().discover(&d);
+        assert!(r.weights[0] > r.weights[2]);
+        assert!(r.truths.iter().all(|&t| t == Some(0)));
+    }
+
+    #[test]
+    fn sybil_block_wins_the_plain_votes() {
+        let d = attacked_campaign();
+        let plain = majority_vote(&d);
+        assert!(plain.iter().all(|&t| t == Some(1)), "{plain:?}");
+        let weighted = WeightedVote::default().discover(&d);
+        assert!(
+            weighted.truths.iter().all(|&t| t == Some(1)),
+            "weighted voting cannot beat a coordinated majority"
+        );
+    }
+
+    #[test]
+    fn grouping_restores_the_categorical_truth() {
+        let d = attacked_campaign();
+        // The Sybil block collapses to one voice with a low Eq. 4 weight.
+        let groups = [0, 1, 2, 2, 2];
+        let t = grouped_weighted_vote(&d, &groups);
+        assert!(t.iter().all(|&t| t == Some(0)), "{t:?}");
+    }
+
+    #[test]
+    fn grouped_vote_handles_single_group_tasks() {
+        let mut d = CategoricalData::new(1);
+        d.add_claim(0, 0, 4);
+        d.add_claim(1, 0, 4);
+        // Both accounts in one group: weight floor keeps the vote alive.
+        let t = grouped_weighted_vote(&d, &[0, 0]);
+        assert_eq!(t[0], Some(4));
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        let mut d = CategoricalData::new(1);
+        d.add_claim(0, 0, 5);
+        d.add_claim(1, 0, 2);
+        // Equal weights: the smaller label wins.
+        assert_eq!(majority_vote(&d)[0], Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "already claimed")]
+    fn duplicate_claim_panics() {
+        let mut d = CategoricalData::new(1);
+        d.add_claim(0, 0, 1);
+        d.add_claim(0, 0, 2);
+    }
+
+    #[test]
+    fn empty_campaign() {
+        let d = CategoricalData::new(2);
+        assert!(d.is_empty());
+        let r = WeightedVote::default().discover(&d);
+        assert_eq!(r.truths, vec![None, None]);
+    }
+}
+
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn campaign_strategy() -> impl Strategy<Value = CategoricalData> {
+        proptest::collection::vec((0usize..6, 0usize..4, 0usize..3), 1..30).prop_map(|raw| {
+            let mut d = CategoricalData::new(4);
+            let mut seen = std::collections::HashSet::new();
+            for (account, task, label) in raw {
+                if seen.insert((account, task)) {
+                    d.add_claim(account, task, label);
+                }
+            }
+            d
+        })
+    }
+
+    proptest! {
+        /// Every winning label was actually claimed for that task, under
+        /// all three aggregation modes.
+        #[test]
+        fn winners_are_claimed_labels(data in campaign_strategy()) {
+            let group_of: Vec<usize> = (0..data.num_accounts().max(1)).collect();
+            let outputs = [
+                majority_vote(&data),
+                WeightedVote::default().discover(&data).truths,
+                grouped_weighted_vote(&data, &group_of),
+            ];
+            for truths in outputs {
+                for (task, truth) in truths.iter().enumerate() {
+                    let claimed: Vec<usize> = data
+                        .claims()
+                        .iter()
+                        .filter(|c| c.task == task)
+                        .map(|c| c.label)
+                        .collect();
+                    match truth {
+                        None => prop_assert!(claimed.is_empty()),
+                        Some(l) => prop_assert!(claimed.contains(l)),
+                    }
+                }
+            }
+        }
+
+        /// All-singleton grouping reduces the grouped vote to plain
+        /// majority voting (Eq. 4 weights become uniform).
+        #[test]
+        fn singleton_grouping_is_majority_vote(data in campaign_strategy()) {
+            let singletons: Vec<usize> = (0..data.num_accounts().max(1)).collect();
+            prop_assert_eq!(
+                grouped_weighted_vote(&data, &singletons),
+                majority_vote(&data)
+            );
+        }
+
+        /// Deterministic: the weighted vote is a pure function.
+        #[test]
+        fn weighted_vote_deterministic(data in campaign_strategy()) {
+            let a = WeightedVote::default().discover(&data);
+            let b = WeightedVote::default().discover(&data);
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Convergence control shared by the iterative algorithms.
+
+/// Iteration cap plus truth-change tolerance.
+///
+/// The paper notes the criterion is application-defined (e.g. a fixed
+/// iteration count in CRH); this type supports both styles at once: stop
+/// when the largest per-task truth change drops below `tolerance`, or after
+/// `max_iterations`, whichever comes first.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergenceCriterion {
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+    /// Largest allowed per-task truth change at convergence.
+    pub tolerance: f64,
+}
+
+impl Default for ConvergenceCriterion {
+    fn default() -> Self {
+        Self {
+            max_iterations: 1000,
+            tolerance: 1e-6,
+        }
+    }
+}
+
+impl ConvergenceCriterion {
+    /// Creates a criterion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_iterations == 0` or `tolerance` is negative/NaN.
+    pub fn new(max_iterations: usize, tolerance: f64) -> Self {
+        assert!(max_iterations > 0, "need at least one iteration");
+        assert!(
+            tolerance >= 0.0,
+            "tolerance must be non-negative, got {tolerance}"
+        );
+        Self {
+            max_iterations,
+            tolerance,
+        }
+    }
+
+    /// Returns `true` when the truth estimates have stabilized.
+    pub fn is_converged(&self, previous: &[Option<f64>], current: &[Option<f64>]) -> bool {
+        max_abs_delta(previous, current) <= self.tolerance
+    }
+}
+
+/// Largest absolute per-task change between two truth vectors; slots that
+/// are `None` in either vector are skipped.
+pub fn max_abs_delta(previous: &[Option<f64>], current: &[Option<f64>]) -> f64 {
+    previous
+        .iter()
+        .zip(current)
+        .filter_map(|(p, c)| Some((p.as_ref()? - c.as_ref()?).abs()))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_ignores_missing_tasks() {
+        let a = vec![Some(1.0), None, Some(3.0)];
+        let b = vec![Some(1.5), Some(9.0), Some(3.0)];
+        assert_eq!(max_abs_delta(&a, &b), 0.5);
+    }
+
+    #[test]
+    fn converged_when_stable() {
+        let crit = ConvergenceCriterion::new(10, 1e-3);
+        let a = vec![Some(1.0)];
+        let b = vec![Some(1.0005)];
+        assert!(crit.is_converged(&a, &b));
+        let c = vec![Some(1.1)];
+        assert!(!crit.is_converged(&a, &c));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_panics() {
+        ConvergenceCriterion::new(0, 1e-6);
+    }
+}

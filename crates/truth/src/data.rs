@@ -1,0 +1,289 @@
+//! The account × task report matrix.
+
+use serde::{Deserialize, Serialize};
+
+/// One sensing report: account `account` claims `value` for task `task`
+/// at time `timestamp` (seconds from the campaign start).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Reporting account index.
+    pub account: usize,
+    /// Task index.
+    pub task: usize,
+    /// Claimed numeric value (e.g. Wi-Fi RSSI in dBm).
+    pub value: f64,
+    /// Submission timestamp in seconds.
+    pub timestamp: f64,
+}
+
+/// All reports of a sensing campaign, indexed both by account and by task.
+///
+/// Matches the paper's model: `m` tasks, accounts `0..n`, and at most one
+/// report per (account, task) pair ("each account is allowed to submit at
+/// most one data for one task").
+///
+/// # Examples
+///
+/// ```
+/// use srtd_truth::SensingData;
+///
+/// let mut data = SensingData::new(2);
+/// data.add_report(0, 0, -80.0, 12.0);
+/// data.add_report(0, 1, -75.0, 60.0);
+/// data.add_report(1, 1, -74.0, 30.0);
+/// assert_eq!(data.num_accounts(), 2);
+/// assert_eq!(data.tasks_of(0), &[0, 1]);
+/// assert_eq!(data.reports_for_task(1).len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SensingData {
+    num_tasks: usize,
+    reports: Vec<Report>,
+    by_account: Vec<Vec<usize>>,
+    by_task: Vec<Vec<usize>>,
+}
+
+impl SensingData {
+    /// Creates an empty campaign with `num_tasks` tasks.
+    pub fn new(num_tasks: usize) -> Self {
+        Self {
+            num_tasks,
+            reports: Vec::new(),
+            by_account: Vec::new(),
+            by_task: vec![Vec::new(); num_tasks],
+        }
+    }
+
+    /// Number of tasks `m`.
+    pub fn num_tasks(&self) -> usize {
+        self.num_tasks
+    }
+
+    /// Number of accounts (highest account index seen + 1).
+    pub fn num_accounts(&self) -> usize {
+        self.by_account.len()
+    }
+
+    /// Total number of reports.
+    pub fn num_reports(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Returns `true` if no report has been added.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// Ensures the campaign tracks at least `n` accounts, adding trailing
+    /// report-less accounts if needed.
+    ///
+    /// Filtering operations (e.g. budgeted selection) may drop every
+    /// report of the highest-indexed accounts; this keeps account-indexed
+    /// structures (fingerprints, owner labels) aligned.
+    pub fn reserve_accounts(&mut self, n: usize) {
+        if n > self.by_account.len() {
+            self.by_account.resize_with(n, Vec::new);
+        }
+    }
+
+    /// Adds a report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task >= num_tasks`, if the value or timestamp is not
+    /// finite, or if the account already reported this task (the paper's
+    /// one-report-per-task rule).
+    pub fn add_report(&mut self, account: usize, task: usize, value: f64, timestamp: f64) {
+        assert!(
+            task < self.num_tasks,
+            "task {task} out of range for {} tasks",
+            self.num_tasks
+        );
+        assert!(value.is_finite(), "report value must be finite");
+        assert!(timestamp.is_finite(), "timestamp must be finite");
+        if account >= self.by_account.len() {
+            self.by_account.resize_with(account + 1, Vec::new);
+        }
+        assert!(
+            !self.by_account[account]
+                .iter()
+                .any(|&r| self.reports[r].task == task),
+            "account {account} already reported task {task}"
+        );
+        let idx = self.reports.len();
+        self.reports.push(Report {
+            account,
+            task,
+            value,
+            timestamp,
+        });
+        self.by_account[account].push(idx);
+        self.by_task[task].push(idx);
+    }
+
+    /// All reports in insertion order.
+    pub fn reports(&self) -> &[Report] {
+        &self.reports
+    }
+
+    /// The reports account `account` submitted, in insertion order.
+    ///
+    /// Accounts that never reported return an empty slice.
+    pub fn account_reports(&self, account: usize) -> impl Iterator<Item = &Report> {
+        self.by_account
+            .get(account)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.reports[i])
+    }
+
+    /// The sorted task indices account `account` accomplished (its `T_i`).
+    pub fn tasks_of(&self, account: usize) -> Vec<usize> {
+        let mut tasks: Vec<usize> = self.account_reports(account).map(|r| r.task).collect();
+        tasks.sort_unstable();
+        tasks
+    }
+
+    /// The reports submitted for `task` (the paper's `U_j` with values).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task >= num_tasks`.
+    pub fn reports_for_task(&self, task: usize) -> Vec<&Report> {
+        assert!(task < self.num_tasks, "task {task} out of range");
+        self.by_task[task]
+            .iter()
+            .map(|&i| &self.reports[i])
+            .collect()
+    }
+
+    /// The account's reports ordered by timestamp — its trajectory, as
+    /// AG-TR consumes it.
+    pub fn trajectory_of(&self, account: usize) -> Vec<Report> {
+        let mut reports: Vec<Report> = self.account_reports(account).copied().collect();
+        reports.sort_by(|a, b| a.timestamp.total_cmp(&b.timestamp));
+        reports
+    }
+
+    /// Per-task standard deviation of claimed values (used by CRH's loss
+    /// normalization); `None` for tasks with no reports.
+    pub fn task_value_std(&self) -> Vec<Option<f64>> {
+        (0..self.num_tasks)
+            .map(|t| {
+                let vals: Vec<f64> = self.by_task[t]
+                    .iter()
+                    .map(|&i| self.reports[i].value)
+                    .collect();
+                if vals.is_empty() {
+                    return None;
+                }
+                let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+                let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+                Some(var.sqrt())
+            })
+            .collect()
+    }
+
+    /// Splits the campaign into per-task centers (the claim means) and a
+    /// copy whose values are residuals from those centers.
+    ///
+    /// Iterative algorithms run on the residuals and add the centers back:
+    /// the fixed points are unchanged, but the arithmetic becomes
+    /// independent of a global offset (useful both numerically — dBm
+    /// values around −80 waste mantissa on the offset — and for exact
+    /// translation equivariance).
+    pub fn centered(&self) -> (SensingData, Vec<Option<f64>>) {
+        let centers: Vec<Option<f64>> = (0..self.num_tasks)
+            .map(|t| {
+                let reports = self.reports_for_task(t);
+                (!reports.is_empty())
+                    .then(|| reports.iter().map(|r| r.value).sum::<f64>() / reports.len() as f64)
+            })
+            .collect();
+        let mut centered = SensingData::new(self.num_tasks);
+        for r in &self.reports {
+            let c = centers[r.task].expect("reported task has a center");
+            centered.add_report(r.account, r.task, r.value - c, r.timestamp);
+        }
+        (centered, centers)
+    }
+
+    /// The activeness `α_i = |T_i| / m` of an account (Eq. 9).
+    pub fn activeness(&self, account: usize) -> f64 {
+        if self.num_tasks == 0 {
+            return 0.0;
+        }
+        self.account_reports(account).count() as f64 / self.num_tasks as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexes_stay_consistent() {
+        let mut d = SensingData::new(3);
+        d.add_report(2, 1, 5.0, 10.0);
+        d.add_report(0, 1, 6.0, 11.0);
+        d.add_report(0, 2, 7.0, 12.0);
+        assert_eq!(d.num_accounts(), 3);
+        assert_eq!(d.num_reports(), 3);
+        assert_eq!(d.tasks_of(0), vec![1, 2]);
+        assert_eq!(d.tasks_of(1), Vec::<usize>::new());
+        assert_eq!(d.reports_for_task(1).len(), 2);
+        assert_eq!(d.reports_for_task(0).len(), 0);
+    }
+
+    #[test]
+    fn trajectory_sorted_by_time() {
+        let mut d = SensingData::new(3);
+        d.add_report(0, 2, 1.0, 30.0);
+        d.add_report(0, 0, 2.0, 10.0);
+        d.add_report(0, 1, 3.0, 20.0);
+        let traj = d.trajectory_of(0);
+        let tasks: Vec<usize> = traj.iter().map(|r| r.task).collect();
+        assert_eq!(tasks, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn activeness_matches_eq9() {
+        let mut d = SensingData::new(4);
+        d.add_report(0, 0, 1.0, 0.0);
+        d.add_report(0, 3, 1.0, 1.0);
+        assert_eq!(d.activeness(0), 0.5);
+        assert_eq!(d.activeness(7), 0.0);
+    }
+
+    #[test]
+    fn task_value_std_handles_empty_tasks() {
+        let mut d = SensingData::new(2);
+        d.add_report(0, 0, 2.0, 0.0);
+        d.add_report(1, 0, 4.0, 0.0);
+        let stds = d.task_value_std();
+        assert!((stds[0].unwrap() - 1.0).abs() < 1e-12);
+        assert!(stds[1].is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already reported")]
+    fn duplicate_report_panics() {
+        let mut d = SensingData::new(1);
+        d.add_report(0, 0, 1.0, 0.0);
+        d.add_report(0, 0, 2.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_task_panics() {
+        let mut d = SensingData::new(1);
+        d.add_report(0, 1, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_value_panics() {
+        let mut d = SensingData::new(1);
+        d.add_report(0, 0, f64::NAN, 0.0);
+    }
+}

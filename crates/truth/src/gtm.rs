@@ -1,0 +1,188 @@
+//! A Gaussian truth model solved by coordinate ascent.
+//!
+//! Models each report as `d_j^i = d_j + ε_i` with `ε_i ~ N(0, σ_i²)` and
+//! alternates closed-form updates of truths (precision-weighted means) and
+//! per-source variances (mean squared residuals). This is the continuous
+//! analogue of the probabilistic truth models cited alongside CRH and gives
+//! the evaluation a second iterative baseline with a different weighting
+//! scheme.
+
+use crate::convergence::ConvergenceCriterion;
+use crate::data::SensingData;
+use crate::traits::{TruthDiscovery, TruthDiscoveryResult};
+
+/// Configuration for [`Gtm`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GtmConfig {
+    /// Convergence control.
+    pub convergence: ConvergenceCriterion,
+    /// Lower bound on per-source variance, preventing a single source from
+    /// acquiring infinite precision and freezing the estimate.
+    pub variance_floor: f64,
+}
+
+impl Default for GtmConfig {
+    fn default() -> Self {
+        Self {
+            convergence: ConvergenceCriterion::default(),
+            variance_floor: 1e-4,
+        }
+    }
+}
+
+/// Gaussian truth model with per-source variances.
+///
+/// # Examples
+///
+/// ```
+/// use srtd_truth::{Gtm, SensingData, TruthDiscovery};
+///
+/// let mut data = SensingData::new(1);
+/// data.add_report(0, 0, 4.0, 0.0);
+/// data.add_report(1, 0, 4.4, 0.0);
+/// data.add_report(2, 0, 9.0, 0.0);
+/// let truth = Gtm::default().discover(&data).truths[0].unwrap();
+/// assert!(truth < 6.5); // outlier down-weighted
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gtm {
+    config: GtmConfig,
+}
+
+impl Gtm {
+    /// Creates a GTM instance with the given configuration.
+    pub fn new(config: GtmConfig) -> Self {
+        Self { config }
+    }
+}
+
+impl TruthDiscovery for Gtm {
+    fn discover(&self, data: &SensingData) -> TruthDiscoveryResult {
+        let n = data.num_accounts();
+        if data.is_empty() || n == 0 {
+            return TruthDiscoveryResult {
+                truths: vec![None; data.num_tasks()],
+                weights: vec![0.0; n],
+                iterations: 0,
+                converged: true,
+            };
+        }
+        // Iterate on residuals from the per-task means (see
+        // `SensingData::centered`): offset-independent arithmetic.
+        let (centered, centers) = data.centered();
+        let data = &centered;
+        let mut truths: Vec<Option<f64>> = (0..data.num_tasks())
+            .map(|t| {
+                let reports = data.reports_for_task(t);
+                (!reports.is_empty())
+                    .then(|| reports.iter().map(|r| r.value).sum::<f64>() / reports.len() as f64)
+            })
+            .collect();
+        let claim_counts: Vec<usize> = (0..n).map(|a| data.account_reports(a).count()).collect();
+        let mut variances = vec![1.0f64; n];
+        let mut iterations = 0;
+        let mut converged = false;
+        for iter in 0..self.config.convergence.max_iterations {
+            iterations = iter + 1;
+            // M-step for source variances.
+            let mut residuals = vec![0.0f64; n];
+            for r in data.reports() {
+                if let Some(t) = truths[r.task] {
+                    residuals[r.account] += (r.value - t) * (r.value - t);
+                }
+            }
+            for a in 0..n {
+                if claim_counts[a] > 0 {
+                    variances[a] =
+                        (residuals[a] / claim_counts[a] as f64).max(self.config.variance_floor);
+                }
+            }
+            // Truth update with precisions.
+            let mut num = vec![0.0; data.num_tasks()];
+            let mut den = vec![0.0; data.num_tasks()];
+            for r in data.reports() {
+                let precision = 1.0 / variances[r.account];
+                num[r.task] += precision * r.value;
+                den[r.task] += precision;
+            }
+            let next: Vec<Option<f64>> = (0..data.num_tasks())
+                .map(|t| (den[t] > 0.0).then(|| num[t] / den[t]).or(truths[t]))
+                .collect();
+            let done = self.config.convergence.is_converged(&truths, &next);
+            truths = next;
+            if done {
+                converged = true;
+                break;
+            }
+        }
+        let weights = variances.iter().map(|&v| 1.0 / v).collect();
+        let truths = truths
+            .iter()
+            .zip(&centers)
+            .map(|(t, c)| match (t, c) {
+                (Some(t), Some(c)) => Some(t + c),
+                _ => None,
+            })
+            .collect();
+        TruthDiscoveryResult {
+            truths,
+            weights,
+            iterations,
+            converged,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "GTM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consistent_sources_dominate() {
+        let mut d = SensingData::new(4);
+        for t in 0..4 {
+            d.add_report(0, t, t as f64, 0.0);
+            d.add_report(1, t, t as f64 + 0.1, 0.0);
+            d.add_report(2, t, t as f64 + 5.0, 0.0);
+        }
+        let r = Gtm::default().discover(&d);
+        for t in 0..4 {
+            let v = r.truths[t].unwrap();
+            assert!((v - t as f64).abs() < 1.0, "task {t}: {v}");
+        }
+        assert!(r.weights[0] > r.weights[2]);
+    }
+
+    #[test]
+    fn variance_floor_prevents_lock_in() {
+        let mut d = SensingData::new(2);
+        d.add_report(0, 0, 1.0, 0.0);
+        d.add_report(0, 1, 2.0, 0.0);
+        d.add_report(1, 0, 1.0, 0.0);
+        d.add_report(1, 1, 2.0, 0.0);
+        let r = Gtm::default().discover(&d);
+        assert!(r.weights.iter().all(|w| w.is_finite()));
+        assert_eq!(r.truths[0], Some(1.0));
+    }
+
+    #[test]
+    fn empty_data_is_fine() {
+        let r = Gtm::default().discover(&SensingData::new(1));
+        assert_eq!(r.truths, vec![None]);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn estimates_within_hull() {
+        let mut d = SensingData::new(1);
+        for (a, v) in [(0, 3.0), (1, 7.0), (2, 5.0)] {
+            d.add_report(a, 0, v, 0.0);
+        }
+        let v = Gtm::default().discover(&d).truths[0].unwrap();
+        assert!((3.0..=7.0).contains(&v));
+    }
+}

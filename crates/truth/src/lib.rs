@@ -1,0 +1,60 @@
+//! Truth discovery algorithms for mobile crowdsensing.
+//!
+//! A truth discovery algorithm aggregates conflicting numeric reports from
+//! sources of unknown reliability by jointly estimating per-source weights
+//! and per-task truths (Algorithm 1 of the paper): sources whose data sit
+//! close to the current truth estimates gain weight, and truths are
+//! re-estimated as weight-averaged reports, until convergence.
+//!
+//! This crate provides:
+//!
+//! * [`SensingData`] — the account × task report matrix (with timestamps)
+//!   shared by every algorithm and by the Sybil-resistant framework built
+//!   on top in `srtd-core`,
+//! * [`Crh`] — the CRH algorithm (Li et al., SIGMOD 2014), the paper's
+//!   baseline and representative of the truth discovery family,
+//! * [`MeanVote`] / [`MedianVote`] — unweighted baselines,
+//! * [`Catd`] — a confidence-aware variant that inflates the weights of
+//!   long-tail sources (Li et al., VLDB 2014),
+//! * [`Gtm`] — a Gaussian truth model solved by coordinate ascent (EM
+//!   style),
+//! * the [`TruthDiscovery`] trait tying them together.
+//!
+//! # Examples
+//!
+//! ```
+//! use srtd_truth::{Crh, SensingData, TruthDiscovery};
+//!
+//! let mut data = SensingData::new(1);
+//! data.add_report(0, 0, 10.0, 0.0); // account 0 says 10
+//! data.add_report(1, 0, 10.2, 1.0); // account 1 says 10.2
+//! data.add_report(2, 0, 30.0, 2.0); // account 2 is way off
+//! let result = Crh::default().discover(&data);
+//! let truth = result.truths[0].unwrap();
+//! assert!((truth - 10.1).abs() < 1.0); // outlier is down-weighted
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod categorical;
+
+mod baselines;
+mod catd;
+mod convergence;
+mod crh;
+mod data;
+mod evolving;
+mod gtm;
+mod robust;
+mod traits;
+
+pub use baselines::{MeanVote, MedianVote};
+pub use catd::Catd;
+pub use convergence::ConvergenceCriterion;
+pub use crh::{Crh, CrhConfig};
+pub use data::{Report, SensingData};
+pub use evolving::{StreamingConfig, StreamingCrh};
+pub use gtm::{Gtm, GtmConfig};
+pub use robust::{weighted_median, RobustCrh};
+pub use traits::{TruthDiscovery, TruthDiscoveryResult};

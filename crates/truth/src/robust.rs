@@ -1,0 +1,257 @@
+//! Robust truth discovery: CRH weighting with weighted-median truth
+//! updates.
+//!
+//! CRH's weighted-*mean* truth update moves continuously with every
+//! claim, so a coordinated block of accounts can drag it arbitrarily far
+//! once its combined weight grows. Replacing the update with the
+//! weighted *median* gives the estimator a 50%-of-total-weight breakdown
+//! point: the estimate cannot leave the claims of the majority weight
+//! mass. This is a natural robust baseline to put next to CRH when
+//! studying Sybil attacks — it resists minority-weight attacks for free,
+//! yet still falls once Sybil accounts hold the weight majority, which
+//! is exactly the regime the paper's framework addresses by grouping.
+
+use crate::convergence::ConvergenceCriterion;
+use crate::data::SensingData;
+use crate::traits::{TruthDiscovery, TruthDiscoveryResult};
+
+/// CRH-style weights with weighted-median truth updates.
+///
+/// # Examples
+///
+/// ```
+/// use srtd_truth::{RobustCrh, SensingData, TruthDiscovery};
+///
+/// let mut data = SensingData::new(1);
+/// data.add_report(0, 0, 10.0, 0.0);
+/// data.add_report(1, 0, 10.2, 0.0);
+/// data.add_report(2, 0, 99.0, 0.0);
+/// let truth = RobustCrh::default().discover(&data).truths[0].unwrap();
+/// assert!(truth < 11.0); // outlier cannot drag a median
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RobustCrh {
+    convergence: ConvergenceCriterion,
+}
+
+impl RobustCrh {
+    /// Creates an instance with explicit convergence control.
+    pub fn new(convergence: ConvergenceCriterion) -> Self {
+        Self { convergence }
+    }
+}
+
+/// Weighted median of `(value, weight)` pairs: the smallest value whose
+/// cumulative weight reaches half the total.
+///
+/// Zero-total-weight inputs fall back to the unweighted median. Returns
+/// `None` for empty input.
+pub fn weighted_median(pairs: &mut [(f64, f64)]) -> Option<f64> {
+    if pairs.is_empty() {
+        return None;
+    }
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let total: f64 = pairs.iter().map(|p| p.1).sum();
+    if total <= 0.0 {
+        let mid = pairs.len() / 2;
+        return Some(if pairs.len() % 2 == 1 {
+            pairs[mid].0
+        } else {
+            0.5 * (pairs[mid - 1].0 + pairs[mid].0)
+        });
+    }
+    let half = total / 2.0;
+    let mut acc = 0.0;
+    for &(value, weight) in pairs.iter() {
+        acc += weight;
+        if acc >= half {
+            return Some(value);
+        }
+    }
+    pairs.last().map(|p| p.0)
+}
+
+impl TruthDiscovery for RobustCrh {
+    fn discover(&self, data: &SensingData) -> TruthDiscoveryResult {
+        let n = data.num_accounts();
+        if data.is_empty() || n == 0 {
+            return TruthDiscoveryResult {
+                truths: vec![None; data.num_tasks()],
+                weights: vec![0.0; n],
+                iterations: 0,
+                converged: true,
+            };
+        }
+        let (centered, centers) = data.centered();
+        let data = &centered;
+        let stds = data.task_value_std();
+        // Initialize with per-task (unweighted) medians.
+        let mut truths: Vec<Option<f64>> = (0..data.num_tasks())
+            .map(|t| {
+                let mut pairs: Vec<(f64, f64)> = data
+                    .reports_for_task(t)
+                    .iter()
+                    .map(|r| (r.value, 1.0))
+                    .collect();
+                weighted_median(&mut pairs)
+            })
+            .collect();
+        let mut weights = vec![1.0; n];
+        let mut iterations = 0;
+        let mut converged = false;
+        for iter in 0..self.convergence.max_iterations {
+            iterations = iter + 1;
+            // CRH weight update on absolute normalized residuals (the l1
+            // analogue of CRH's squared loss, matching the median target).
+            let mut losses = vec![0.0f64; n];
+            for r in data.reports() {
+                let Some(truth) = truths[r.task] else {
+                    continue;
+                };
+                let sigma = stds[r.task].unwrap_or(1.0).max(1e-9);
+                losses[r.account] += ((r.value - truth) / sigma).abs();
+            }
+            let total: f64 = losses.iter().sum();
+            let floor = (total / n as f64).max(1e-12) * 1e-6;
+            for (w, &loss) in weights.iter_mut().zip(&losses) {
+                *w = (total.max(1e-12) / loss.max(floor)).ln().max(0.0);
+            }
+            if weights.iter().all(|&w| w == 0.0) {
+                weights.fill(1.0);
+            }
+            // Weighted-median truth update.
+            let next: Vec<Option<f64>> = (0..data.num_tasks())
+                .map(|t| {
+                    let mut pairs: Vec<(f64, f64)> = data
+                        .reports_for_task(t)
+                        .iter()
+                        .map(|r| (r.value, weights[r.account]))
+                        .collect();
+                    weighted_median(&mut pairs)
+                })
+                .collect();
+            let done = self.convergence.is_converged(&truths, &next);
+            truths = next;
+            if done {
+                converged = true;
+                break;
+            }
+        }
+        let truths = truths
+            .iter()
+            .zip(&centers)
+            .map(|(t, c)| match (t, c) {
+                (Some(t), Some(c)) => Some(t + c),
+                _ => None,
+            })
+            .collect();
+        TruthDiscoveryResult {
+            truths,
+            weights,
+            iterations,
+            converged,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "RobustCRH"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn weighted_median_basics() {
+        let mut pairs = vec![(1.0, 1.0), (2.0, 1.0), (100.0, 1.0)];
+        assert_eq!(weighted_median(&mut pairs), Some(2.0));
+        let mut pairs = vec![(1.0, 1.0), (2.0, 10.0)];
+        assert_eq!(weighted_median(&mut pairs), Some(2.0));
+        let mut pairs: Vec<(f64, f64)> = vec![];
+        assert_eq!(weighted_median(&mut pairs), None);
+        // Zero weights fall back to the plain median.
+        let mut pairs = vec![(1.0, 0.0), (3.0, 0.0)];
+        assert_eq!(weighted_median(&mut pairs), Some(2.0));
+    }
+
+    #[test]
+    fn resists_minority_weight_attack() {
+        // Two reliable accounts + three coordinated liars with low
+        // per-account credibility after the first iteration.
+        let mut d = SensingData::new(3);
+        for t in 0..3 {
+            d.add_report(0, t, -80.0 + t as f64, 0.0);
+            d.add_report(1, t, -80.2 + t as f64, 0.0);
+        }
+        // Liars only cover task 0, so their weights stay moderate.
+        d.add_report(2, 0, -50.0, 0.0);
+        d.add_report(3, 0, -50.0, 0.0);
+        let r = RobustCrh::default().discover(&d);
+        let t0 = r.truths[0].unwrap();
+        assert!(t0 < -70.0, "median dragged to {t0}");
+    }
+
+    #[test]
+    fn majority_still_wins_motivating_grouping() {
+        // 1 honest vs 3 Sybil accounts: median falls — robustness alone
+        // does not replace grouping (the paper's point).
+        let mut d = SensingData::new(1);
+        d.add_report(0, 0, -80.0, 0.0);
+        for a in 1..4 {
+            d.add_report(a, 0, -50.0, 0.0);
+        }
+        let r = RobustCrh::default().discover(&d);
+        assert!(r.truths[0].unwrap() > -55.0);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let r = RobustCrh::default().discover(&SensingData::new(2));
+        assert_eq!(r.truths, vec![None, None]);
+        let mut d = SensingData::new(1);
+        d.add_report(0, 0, 7.0, 0.0);
+        let r = RobustCrh::default().discover(&d);
+        assert_eq!(r.truths[0], Some(7.0));
+    }
+
+    proptest! {
+        /// The weighted median is always one of the input values (or a
+        /// midpoint in the zero-weight fallback) and sits inside the hull.
+        #[test]
+        fn weighted_median_in_hull(
+            pairs in proptest::collection::vec((-100f64..100.0, 0.0f64..5.0), 1..30)
+        ) {
+            let lo = pairs.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+            let hi = pairs.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+            let mut input = pairs.clone();
+            let m = weighted_median(&mut input).expect("non-empty");
+            prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        }
+
+        /// Estimates stay in the per-task hull.
+        #[test]
+        fn estimates_in_hull(
+            raw in proptest::collection::vec((0usize..5, 0usize..3, -50f64..50.0), 1..25)
+        ) {
+            let mut d = SensingData::new(3);
+            let mut seen = std::collections::HashSet::new();
+            for (a, t, v) in raw {
+                if seen.insert((a, t)) {
+                    d.add_report(a, t, v, 0.0);
+                }
+            }
+            let r = RobustCrh::default().discover(&d);
+            for t in 0..3 {
+                let vals: Vec<f64> =
+                    d.reports_for_task(t).iter().map(|r| r.value).collect();
+                if let Some(est) = r.truths[t] {
+                    let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+                    let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                    prop_assert!(est >= lo - 1e-6 && est <= hi + 1e-6);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! The common interface of truth discovery algorithms.
+
+use crate::data::SensingData;
+
+/// Output of a truth discovery run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TruthDiscoveryResult {
+    /// Estimated truth per task; `None` for tasks nobody reported.
+    pub truths: Vec<Option<f64>>,
+    /// Final per-account weights (higher = judged more reliable). Empty for
+    /// algorithms without a weight notion (e.g. median vote).
+    pub weights: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the convergence criterion was met before the iteration cap.
+    pub converged: bool,
+}
+
+impl TruthDiscoveryResult {
+    /// The truths as plain values, substituting `default` for unreported
+    /// tasks.
+    pub fn truths_or(&self, default: f64) -> Vec<f64> {
+        self.truths.iter().map(|t| t.unwrap_or(default)).collect()
+    }
+}
+
+/// A truth discovery algorithm: reports in, per-task truth estimates out.
+///
+/// Implementations must be deterministic for a given input, so evaluation
+/// sweeps are reproducible.
+pub trait TruthDiscovery {
+    /// Runs the algorithm on a campaign's reports.
+    fn discover(&self, data: &SensingData) -> TruthDiscoveryResult;
+
+    /// A short human-readable name for result tables (e.g. `"CRH"`).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truths_or_substitutes_missing() {
+        let r = TruthDiscoveryResult {
+            truths: vec![Some(1.0), None],
+            weights: vec![],
+            iterations: 1,
+            converged: true,
+        };
+        assert_eq!(r.truths_or(9.0), vec![1.0, 9.0]);
+    }
+}

@@ -1,0 +1,331 @@
+//! `srtd` — command-line front end for the Sybil-resistant truth
+//! discovery stack.
+//!
+//! ```text
+//! srtd simulate --seed 7 --out campaign/     # generate a campaign as CSV
+//! srtd evaluate --seed 7                     # MAE of all methods
+//! srtd evaluate --from campaign/             # ... on exported CSV data
+//! srtd group --seed 7 --method ag-tr         # print the grouping + ARI
+//! ```
+//!
+//! Arguments are parsed by hand (the approved dependency set has no CLI
+//! parser); every flag has a default so each subcommand runs bare.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use sybil_td::core::{AccountGrouping, AgFp, AgTr, AgTs, AgVal, SybilResistantTd};
+use sybil_td::metrics::{adjusted_rand_index, mae};
+use sybil_td::sensing::{Scenario, ScenarioConfig};
+use sybil_td::truth::{Crh, SensingData, TruthDiscovery};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "simulate" => cmd_simulate(&flags),
+        "evaluate" => cmd_evaluate(&flags),
+        "group" => cmd_group(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+srtd — Sybil-resistant truth discovery for mobile crowdsensing
+
+USAGE:
+  srtd simulate [--seed N] [--legit N] [--tasks N] [--activeness L,A] [--out DIR]
+  srtd evaluate [--seed N] [--seeds N] [--activeness L,A] [--from DIR]
+  srtd group    [--seed N] [--method ag-fp|ag-ts|ag-tr|ag-val] [--activeness L,A]
+  srtd help
+
+simulate  generate a campaign and write reports.csv, fingerprints.csv,
+          ground_truth.csv, owners.csv into --out (default: campaign/)
+evaluate  print the MAE of CRH and TD-FP/TD-TS/TD-TR, either on generated
+          campaigns (averaged over --seeds) or on CSV data from --from
+group     run one grouping method and print groups plus ARI vs. owners";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got `{flag}`"));
+        };
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn flag_parse<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name} got unparseable value `{v}`")),
+    }
+}
+
+fn activeness(flags: &HashMap<String, String>) -> Result<(f64, f64), String> {
+    match flags.get("activeness") {
+        None => Ok((1.0, 1.0)),
+        Some(v) => {
+            let (l, a) = v
+                .split_once(',')
+                .ok_or_else(|| "--activeness wants L,A (e.g. 0.5,1.0)".to_string())?;
+            let l: f64 = l.trim().parse().map_err(|_| "bad legit activeness")?;
+            let a: f64 = a.trim().parse().map_err(|_| "bad attacker activeness")?;
+            Ok((l, a))
+        }
+    }
+}
+
+fn config_from(flags: &HashMap<String, String>) -> Result<ScenarioConfig, String> {
+    let (legit_alpha, attacker_alpha) = activeness(flags)?;
+    let cfg = ScenarioConfig {
+        num_tasks: flag_parse(flags, "tasks", 10usize)?,
+        num_legit: flag_parse(flags, "legit", 8usize)?,
+        ..ScenarioConfig::paper_default()
+    }
+    .with_seed(flag_parse(flags, "seed", 0u64)?)
+    .with_activeness(legit_alpha, attacker_alpha);
+    Ok(cfg)
+}
+
+fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let cfg = config_from(flags)?;
+    let out: PathBuf = flag_parse(flags, "out", PathBuf::from("campaign"))?;
+    let s = Scenario::generate(&cfg);
+    std::fs::create_dir_all(&out).map_err(|e| format!("creating {out:?}: {e}"))?;
+
+    let mut reports = String::from("account,task,value,timestamp\n");
+    for r in s.data.reports() {
+        writeln!(
+            reports,
+            "{},{},{},{}",
+            r.account, r.task, r.value, r.timestamp
+        )
+        .expect("string write");
+    }
+    write_file(&out.join("reports.csv"), &reports)?;
+
+    let mut prints = String::new();
+    for (a, f) in s.fingerprints.iter().enumerate() {
+        let cells: Vec<String> = f.iter().map(f64::to_string).collect();
+        writeln!(prints, "{a},{}", cells.join(",")).expect("string write");
+    }
+    write_file(&out.join("fingerprints.csv"), &prints)?;
+
+    let mut truths = String::from("task,value\n");
+    for (t, v) in s.ground_truth.iter().enumerate() {
+        writeln!(truths, "{t},{v}").expect("string write");
+    }
+    write_file(&out.join("ground_truth.csv"), &truths)?;
+
+    let mut owners = String::from("account,owner,is_sybil\n");
+    for a in 0..s.num_accounts() {
+        writeln!(owners, "{a},{},{}", s.owners[a], s.is_sybil[a]).expect("string write");
+    }
+    write_file(&out.join("owners.csv"), &owners)?;
+
+    println!(
+        "wrote campaign (seed {}, {} accounts, {} reports) to {}",
+        cfg.seed,
+        s.num_accounts(),
+        s.data.num_reports(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn write_file(path: &Path, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("writing {path:?}: {e}"))
+}
+
+/// A campaign loaded back from `simulate` CSV output.
+struct LoadedCampaign {
+    data: SensingData,
+    fingerprints: Vec<Vec<f64>>,
+    ground_truth: Vec<f64>,
+}
+
+fn load_campaign(dir: &Path) -> Result<LoadedCampaign, String> {
+    let read = |name: &str| -> Result<String, String> {
+        std::fs::read_to_string(dir.join(name))
+            .map_err(|e| format!("reading {name} in {dir:?}: {e}"))
+    };
+    let truths_csv = read("ground_truth.csv")?;
+    let mut ground_truth = Vec::new();
+    for line in truths_csv.lines().skip(1).filter(|l| !l.trim().is_empty()) {
+        let (_, v) = line.split_once(',').ok_or("malformed ground_truth.csv")?;
+        ground_truth.push(v.trim().parse::<f64>().map_err(|e| e.to_string())?);
+    }
+    let mut data = SensingData::new(ground_truth.len());
+    let reports_csv = read("reports.csv")?;
+    for line in reports_csv.lines().skip(1).filter(|l| !l.trim().is_empty()) {
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != 4 {
+            return Err(format!("malformed reports.csv line: {line}"));
+        }
+        data.add_report(
+            cells[0]
+                .trim()
+                .parse()
+                .map_err(|e: std::num::ParseIntError| e.to_string())?,
+            cells[1]
+                .trim()
+                .parse()
+                .map_err(|e: std::num::ParseIntError| e.to_string())?,
+            cells[2]
+                .trim()
+                .parse()
+                .map_err(|e: std::num::ParseFloatError| e.to_string())?,
+            cells[3]
+                .trim()
+                .parse()
+                .map_err(|e: std::num::ParseFloatError| e.to_string())?,
+        );
+    }
+    let prints_csv = read("fingerprints.csv")?;
+    let mut fingerprints = vec![Vec::new(); data.num_accounts()];
+    for line in prints_csv.lines().filter(|l| !l.trim().is_empty()) {
+        let mut cells = line.split(',');
+        let account: usize = cells
+            .next()
+            .ok_or("malformed fingerprints.csv")?
+            .trim()
+            .parse()
+            .map_err(|e: std::num::ParseIntError| e.to_string())?;
+        let features: Result<Vec<f64>, _> = cells.map(|c| c.trim().parse::<f64>()).collect();
+        if account >= fingerprints.len() {
+            fingerprints.resize(account + 1, Vec::new());
+        }
+        fingerprints[account] = features.map_err(|e| e.to_string())?;
+    }
+    Ok(LoadedCampaign {
+        data,
+        fingerprints,
+        ground_truth,
+    })
+}
+
+fn evaluate_one(
+    data: &SensingData,
+    fingerprints: &[Vec<f64>],
+    ground_truth: &[f64],
+) -> Vec<(&'static str, f64)> {
+    let mut rows = Vec::new();
+    let crh = Crh::default().discover(data).truths_or(0.0);
+    rows.push(("CRH", mae(&crh, ground_truth).expect("lengths")));
+    let fp = SybilResistantTd::new(AgFp::default())
+        .discover(data, fingerprints)
+        .truths_or(0.0);
+    rows.push(("TD-FP", mae(&fp, ground_truth).expect("lengths")));
+    let ts = SybilResistantTd::new(AgTs::default())
+        .discover(data, fingerprints)
+        .truths_or(0.0);
+    rows.push(("TD-TS", mae(&ts, ground_truth).expect("lengths")));
+    let tr = SybilResistantTd::new(AgTr::default())
+        .discover(data, fingerprints)
+        .truths_or(0.0);
+    rows.push(("TD-TR", mae(&tr, ground_truth).expect("lengths")));
+    rows
+}
+
+fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(dir) = flags.get("from") {
+        let campaign = load_campaign(Path::new(dir))?;
+        println!("method  MAE (from {dir})");
+        for (name, err) in evaluate_one(
+            &campaign.data,
+            &campaign.fingerprints,
+            &campaign.ground_truth,
+        ) {
+            println!("{name:6}  {err:.2}");
+        }
+        return Ok(());
+    }
+    let seeds: u64 = flag_parse(flags, "seeds", 1u64)?;
+    let base = config_from(flags)?;
+    let mut totals: Vec<(&'static str, f64)> = Vec::new();
+    for seed in 0..seeds.max(1) {
+        let s = Scenario::generate(&base.clone().with_seed(base.seed + seed));
+        for (i, (name, err)) in evaluate_one(&s.data, &s.fingerprints, &s.ground_truth)
+            .into_iter()
+            .enumerate()
+        {
+            if totals.len() <= i {
+                totals.push((name, 0.0));
+            }
+            totals[i].1 += err;
+        }
+    }
+    println!("method  MAE (avg over {} seed(s))", seeds.max(1));
+    for (name, sum) in totals {
+        println!("{name:6}  {:.2}", sum / seeds.max(1) as f64);
+    }
+    Ok(())
+}
+
+fn cmd_group(flags: &HashMap<String, String>) -> Result<(), String> {
+    let method = flags.get("method").map(String::as_str).unwrap_or("ag-tr");
+    let cfg = config_from(flags)?;
+    let s = Scenario::generate(&cfg);
+    let grouping = match method {
+        "ag-fp" => AgFp::default().group(&s.data, &s.fingerprints),
+        "ag-ts" => AgTs::default().group(&s.data, &s.fingerprints),
+        "ag-tr" => AgTr::default().group(&s.data, &s.fingerprints),
+        "ag-val" => AgVal::default().group(&s.data, &s.fingerprints),
+        other => {
+            return Err(format!(
+                "unknown method `{other}` (ag-fp|ag-ts|ag-tr|ag-val)"
+            ))
+        }
+    };
+    println!(
+        "{method} on seed {} -> {} groups:",
+        cfg.seed,
+        grouping.len()
+    );
+    for (k, group) in grouping.groups().iter().enumerate() {
+        let marks: Vec<String> = group
+            .iter()
+            .map(|&a| format!("{a}{}", if s.is_sybil[a] { "*" } else { "" }))
+            .collect();
+        println!("  g{k}: {{{}}}", marks.join(", "));
+    }
+    println!("(* = Sybil account)");
+    println!(
+        "ARI vs. true owners: {:.3}",
+        adjusted_rand_index(grouping.labels(), &s.owners)
+    );
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! Facade crate re-exporting the whole Sybil-resistant truth discovery stack.
+//!
+//! See the workspace README for an overview. The primary contribution lives
+//! in [`srtd_core`]; everything else is a substrate it builds on.
+
+#![forbid(unsafe_code)]
+
+pub use srtd_cluster as cluster;
+pub use srtd_core as core;
+pub use srtd_fingerprint as fingerprint;
+pub use srtd_graph as graph;
+pub use srtd_metrics as metrics;
+pub use srtd_platform as platform;
+pub use srtd_sensing as sensing;
+pub use srtd_signal as signal;
+pub use srtd_timeseries as timeseries;
+pub use srtd_truth as truth;
