@@ -1,6 +1,6 @@
 //! DTW cost across series lengths, full versus Sakoe–Chiba banded.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use srtd_runtime::bench::{black_box, Bench};
 use srtd_timeseries::Dtw;
 
 fn series(n: usize, phase: f64) -> Vec<f64> {
@@ -9,24 +9,18 @@ fn series(n: usize, phase: f64) -> Vec<f64> {
         .collect()
 }
 
-fn bench_dtw(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dtw");
+fn main() {
+    let mut group = Bench::new("dtw");
     for &n in &[50usize, 200, 800] {
         let a = series(n, 0.0);
         let b = series(n, 0.8);
-        group.bench_with_input(BenchmarkId::new("full", n), &(&a, &b), |bench, (a, b)| {
-            bench.iter(|| Dtw::new().distance(black_box(a), black_box(b)));
+        group.run(&format!("full/{n}"), || {
+            Dtw::new().distance(black_box(&a), black_box(&b))
         });
-        group.bench_with_input(BenchmarkId::new("band16", n), &(&a, &b), |bench, (a, b)| {
-            bench.iter(|| {
-                Dtw::new()
-                    .with_band(16)
-                    .distance(black_box(a), black_box(b))
-            });
+        group.run(&format!("band16/{n}"), || {
+            Dtw::new()
+                .with_band(16)
+                .distance(black_box(&a), black_box(&b))
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_dtw);
-criterion_main!(benches);

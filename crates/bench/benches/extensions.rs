@@ -1,15 +1,14 @@
 //! Benchmarks for the extension substrates: agglomerative clustering, DTW
 //! lower-bound pruning, streaming truth discovery, platform ingestion.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use srtd_cluster::hierarchical::{agglomerative, Linkage};
+use srtd_runtime::bench::{black_box, Bench};
 use srtd_sensing::{Scenario, ScenarioConfig};
 use srtd_timeseries::{pruned_raw_dtw_matrix, Dtw};
 use srtd_truth::{Report, StreamingConfig, StreamingCrh};
 
-fn bench_hierarchical(c: &mut Criterion) {
-    let mut group = c.benchmark_group("agglomerative");
-    group.sample_size(20);
+fn bench_hierarchical() {
+    let mut group = Bench::new("agglomerative");
     for &n in &[18usize, 60] {
         let s = Scenario::generate(
             &ScenarioConfig {
@@ -19,18 +18,13 @@ fn bench_hierarchical(c: &mut Criterion) {
             .with_seed(1),
         );
         let (points, _) = srtd_signal::features::standardize(&s.fingerprints);
-        group.bench_with_input(
-            BenchmarkId::new("avg_linkage", points.len()),
-            &points,
-            |b, p| {
-                b.iter(|| agglomerative(black_box(p), 10.0, Linkage::Average));
-            },
-        );
+        group.run(&format!("avg_linkage/{}", points.len()), || {
+            agglomerative(black_box(&points), 10.0, Linkage::Average)
+        });
     }
-    group.finish();
 }
 
-fn bench_pruning(c: &mut Criterion) {
+fn bench_pruning() {
     // Trajectory-like series: 60 accounts, 10 points each.
     let series: Vec<Vec<f64>> = (0..60)
         .map(|a| {
@@ -39,72 +33,65 @@ fn bench_pruning(c: &mut Criterion) {
                 .collect()
         })
         .collect();
-    let mut group = c.benchmark_group("dtw_matrix");
-    group.bench_function("unpruned", |b| {
-        b.iter(|| {
-            let dtw = Dtw::new().raw();
-            let n = series.len();
-            let mut m = vec![vec![0.0; n]; n];
-            for i in 0..n {
-                for j in i + 1..n {
-                    m[i][j] = dtw.distance(black_box(&series[i]), &series[j]);
-                }
+    let mut group = Bench::new("dtw_matrix");
+    group.run("unpruned", || {
+        let dtw = Dtw::new().raw();
+        let n = series.len();
+        let mut m = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in i + 1..n {
+                m[i][j] = dtw.distance(black_box(&series[i]), &series[j]);
             }
-            m
-        });
+        }
+        m
     });
-    group.bench_function("lb_kim_pruned", |b| {
-        b.iter(|| pruned_raw_dtw_matrix(black_box(&series), 1.0));
-    });
-    group.finish();
-}
-
-fn bench_streaming(c: &mut Criterion) {
-    c.bench_function("streaming_crh_10k_reports", |b| {
-        b.iter(|| {
-            let mut stream = StreamingCrh::new(20, StreamingConfig::default());
-            for i in 0..10_000usize {
-                stream.observe(Report {
-                    account: i % 50,
-                    task: i % 20,
-                    value: -70.0 - (i % 7) as f64,
-                    timestamp: i as f64,
-                });
-            }
-            black_box(stream.truths())
-        });
+    group.run("lb_kim_pruned", || {
+        pruned_raw_dtw_matrix(black_box(&series), 1.0)
     });
 }
 
-fn bench_platform(c: &mut Criterion) {
+fn bench_streaming() {
+    let mut group = Bench::new("streaming");
+    group.run("streaming_crh_10k_reports", || {
+        let mut stream = StreamingCrh::new(20, StreamingConfig::default());
+        for i in 0..10_000usize {
+            stream.observe(Report {
+                account: i % 50,
+                task: i % 20,
+                value: -70.0 - (i % 7) as f64,
+                timestamp: i as f64,
+            });
+        }
+        black_box(stream.truths())
+    });
+}
+
+fn bench_platform() {
     use srtd_platform::{Platform, PlatformConfig};
     let s = Scenario::generate(&ScenarioConfig::paper_default().with_seed(2));
     let mut reports: Vec<_> = s.data.reports().to_vec();
     reports.sort_by(|a, b| a.timestamp.total_cmp(&b.timestamp));
-    c.bench_function("platform_ingest_campaign", |b| {
-        b.iter(|| {
-            let mut p = Platform::new(PlatformConfig::default());
-            p.publish_tasks(s.data.num_tasks());
-            let ids: Vec<_> = s
-                .fingerprints
-                .iter()
-                .map(|fp| p.enroll(fp.clone(), 0.0).expect("valid"))
-                .collect();
-            for r in &reports {
-                p.advance_clock(p.clock().max(r.timestamp));
-                p.submit(ids[r.account], r.task, r.value, r.timestamp)
-                    .expect("plausible");
-            }
-            black_box(p.data().num_reports())
-        });
+    let mut group = Bench::new("platform");
+    group.run("platform_ingest_campaign", || {
+        let mut p = Platform::new(PlatformConfig::default());
+        p.publish_tasks(s.data.num_tasks());
+        let ids: Vec<_> = s
+            .fingerprints
+            .iter()
+            .map(|fp| p.enroll(fp.clone(), 0.0).expect("valid"))
+            .collect();
+        for r in &reports {
+            p.advance_clock(p.clock().max(r.timestamp));
+            p.submit(ids[r.account], r.task, r.value, r.timestamp)
+                .expect("plausible");
+        }
+        black_box(p.data().num_reports())
     });
 }
 
-criterion_group!(
-    benches,
-    bench_hierarchical,
-    bench_pruning,
-    bench_streaming,
-    bench_platform
-);
-criterion_main!(benches);
+fn main() {
+    bench_hierarchical();
+    bench_pruning();
+    bench_streaming();
+    bench_platform();
+}

@@ -1,32 +1,30 @@
 //! Table-II feature extraction cost: one stream and a full fingerprint.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use srtd_fingerprint::{catalog, fingerprint_features, CaptureConfig};
+use srtd_runtime::bench::{black_box, Bench};
+use srtd_runtime::rng::SeedableRng;
+use srtd_runtime::rng::StdRng;
 use srtd_signal::{stream_features, FeatureConfig};
 
-fn bench_features(c: &mut Criterion) {
+fn main() {
+    let mut group = Bench::new("features");
     // One 6-second 100 Hz stream (600 samples).
     let signal: Vec<f64> = (0..600)
         .map(|i| 9.81 + 0.03 * (i as f64 * 0.6).sin())
         .collect();
     let cfg = FeatureConfig::new(100.0);
-    c.bench_function("stream_features_600", |b| {
-        b.iter(|| stream_features(black_box(&signal), &cfg));
+    group.run("stream_features_600", || {
+        stream_features(black_box(&signal), &cfg)
     });
 
     // Full fingerprint: capture synthesis + 4 × 20 features.
     let mut rng = StdRng::seed_from_u64(1);
     let device = catalog::standard_catalog()[0].model.manufacture(&mut rng);
     let capture = device.capture(&CaptureConfig::paper_default(), &mut rng);
-    c.bench_function("fingerprint_features_80d", |b| {
-        b.iter(|| fingerprint_features(black_box(&capture)));
+    group.run("fingerprint_features_80d", || {
+        fingerprint_features(black_box(&capture))
     });
-    c.bench_function("capture_synthesis_6s", |b| {
-        b.iter(|| device.capture(&CaptureConfig::paper_default(), &mut rng));
+    group.run("capture_synthesis_6s", || {
+        device.capture(&CaptureConfig::paper_default(), &mut rng)
     });
 }
-
-criterion_group!(benches, bench_features);
-criterion_main!(benches);

@@ -1,19 +1,13 @@
 //! FFT throughput across transform sizes (the inner loop of feature
 //! extraction).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use srtd_runtime::bench::{black_box, Bench};
 use srtd_signal::fft::fft_real;
 
-fn bench_fft(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fft_real");
+fn main() {
+    let mut group = Bench::new("fft_real");
     for &n in &[256usize, 1024, 4096] {
         let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &signal, |b, s| {
-            b.iter(|| fft_real(black_box(s)));
-        });
+        group.run(&format!("{n}"), || fft_real(black_box(&signal)));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fft);
-criterion_main!(benches);

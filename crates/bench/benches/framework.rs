@@ -1,13 +1,12 @@
 //! End-to-end framework cost (Algorithm 2) versus plain CRH.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use srtd_core::{AgTr, SybilResistantTd};
+use srtd_runtime::bench::{black_box, Bench};
 use srtd_sensing::{Scenario, ScenarioConfig};
 use srtd_truth::{Crh, TruthDiscovery};
 
-fn bench_framework(c: &mut Criterion) {
-    let mut group = c.benchmark_group("framework_end_to_end");
-    group.sample_size(20);
+fn main() {
+    let mut group = Bench::new("framework_end_to_end");
     for &n in &[8usize, 24, 64] {
         let cfg = ScenarioConfig {
             num_legit: n,
@@ -15,22 +14,16 @@ fn bench_framework(c: &mut Criterion) {
         }
         .with_seed(6);
         let s = Scenario::generate(&cfg);
-        group.bench_with_input(BenchmarkId::new("crh_baseline", n), &s, |b, s| {
-            b.iter(|| Crh::default().discover(black_box(&s.data)));
+        group.run(&format!("crh_baseline/{n}"), || {
+            Crh::default().discover(black_box(&s.data))
         });
-        group.bench_with_input(BenchmarkId::new("td_tr", n), &s, |b, s| {
-            b.iter(|| {
-                SybilResistantTd::new(AgTr::default()).discover(black_box(&s.data), &s.fingerprints)
-            });
+        group.run(&format!("td_tr/{n}"), || {
+            SybilResistantTd::new(AgTr::default()).discover(black_box(&s.data), &s.fingerprints)
         });
     }
     // Scenario generation itself (simulation cost, for context).
-    group.bench_function("scenario_generation_paper_scale", |b| {
-        let cfg = ScenarioConfig::paper_default().with_seed(7);
-        b.iter(|| Scenario::generate(black_box(&cfg)));
+    let cfg = ScenarioConfig::paper_default().with_seed(7);
+    group.run("scenario_generation_paper_scale", || {
+        Scenario::generate(black_box(&cfg))
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_framework);
-criterion_main!(benches);

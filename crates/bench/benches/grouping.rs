@@ -1,8 +1,8 @@
 //! Account grouping cost: the three methods on paper-scale and larger
 //! campaigns.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use srtd_core::{AccountGrouping, AgFp, AgTr, AgTs};
+use srtd_runtime::bench::{black_box, Bench};
 use srtd_sensing::{Scenario, ScenarioConfig};
 
 fn scenario(num_legit: usize) -> Scenario {
@@ -14,23 +14,18 @@ fn scenario(num_legit: usize) -> Scenario {
     Scenario::generate(&cfg)
 }
 
-fn bench_grouping(c: &mut Criterion) {
-    let mut group = c.benchmark_group("grouping");
-    group.sample_size(20);
+fn main() {
+    let mut group = Bench::new("grouping");
     for &n in &[8usize, 24, 64] {
         let s = scenario(n);
-        group.bench_with_input(BenchmarkId::new("ag_fp", n), &s, |b, s| {
-            b.iter(|| AgFp::default().group(black_box(&s.data), &s.fingerprints));
+        group.run(&format!("ag_fp/{n}"), || {
+            AgFp::default().group(black_box(&s.data), &s.fingerprints)
         });
-        group.bench_with_input(BenchmarkId::new("ag_ts", n), &s, |b, s| {
-            b.iter(|| AgTs::default().group(black_box(&s.data), &s.fingerprints));
+        group.run(&format!("ag_ts/{n}"), || {
+            AgTs::default().group(black_box(&s.data), &s.fingerprints)
         });
-        group.bench_with_input(BenchmarkId::new("ag_tr", n), &s, |b, s| {
-            b.iter(|| AgTr::default().group(black_box(&s.data), &s.fingerprints));
+        group.run(&format!("ag_tr/{n}"), || {
+            AgTr::default().group(black_box(&s.data), &s.fingerprints)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_grouping);
-criterion_main!(benches);

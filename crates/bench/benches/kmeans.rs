@@ -1,9 +1,9 @@
 //! k-means and elbow-method cost on fingerprint-dimensional data.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use srtd_cluster::{elbow, KMeans, KMeansConfig};
+use srtd_runtime::bench::{black_box, Bench};
+use srtd_runtime::rng::StdRng;
+use srtd_runtime::rng::{Rng, SeedableRng};
 
 fn blobs(n_points: usize, dim: usize, clusters: usize, seed: u64) -> Vec<Vec<f64>> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -17,21 +17,17 @@ fn blobs(n_points: usize, dim: usize, clusters: usize, seed: u64) -> Vec<Vec<f64
         .collect()
 }
 
-fn bench_kmeans(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kmeans");
+fn main() {
+    let mut group = Bench::new("kmeans");
     for &n in &[20usize, 100, 400] {
         let points = blobs(n, 80, 5, 42);
-        group.bench_with_input(BenchmarkId::new("fit_k5", n), &points, |b, p| {
-            b.iter(|| KMeans::new(KMeansConfig::new(5)).fit(black_box(p)));
+        group.run(&format!("fit_k5/{n}"), || {
+            KMeans::new(KMeansConfig::new(5)).fit(black_box(&points))
         });
     }
     // Elbow on the paper-scale problem: 18 fingerprints, k = 1..18.
     let points = blobs(18, 80, 13, 7);
-    group.bench_function("elbow_paper_scale", |b| {
-        b.iter(|| elbow(black_box(&points), 18, KMeansConfig::new(1)));
+    group.run("elbow_paper_scale", || {
+        elbow(black_box(&points), 18, KMeansConfig::new(1))
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_kmeans);
-criterion_main!(benches);

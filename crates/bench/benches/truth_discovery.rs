@@ -1,6 +1,6 @@
 //! Truth discovery algorithm cost on growing campaigns.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use srtd_runtime::bench::{black_box, Bench};
 use srtd_sensing::{Scenario, ScenarioConfig};
 use srtd_truth::{Catd, Crh, Gtm, MedianVote, SensingData, TruthDiscovery};
 
@@ -14,25 +14,21 @@ fn campaign(num_legit: usize) -> SensingData {
     Scenario::generate(&cfg).data
 }
 
-fn bench_truth_discovery(c: &mut Criterion) {
-    let mut group = c.benchmark_group("truth_discovery");
+fn main() {
+    let mut group = Bench::new("truth_discovery");
     for &n in &[8usize, 32, 128] {
         let data = campaign(n);
-        group.bench_with_input(BenchmarkId::new("crh", n), &data, |b, d| {
-            b.iter(|| Crh::default().discover(black_box(d)));
+        group.run(&format!("crh/{n}"), || {
+            Crh::default().discover(black_box(&data))
         });
-        group.bench_with_input(BenchmarkId::new("catd", n), &data, |b, d| {
-            b.iter(|| Catd::default().discover(black_box(d)));
+        group.run(&format!("catd/{n}"), || {
+            Catd::default().discover(black_box(&data))
         });
-        group.bench_with_input(BenchmarkId::new("gtm", n), &data, |b, d| {
-            b.iter(|| Gtm::default().discover(black_box(d)));
+        group.run(&format!("gtm/{n}"), || {
+            Gtm::default().discover(black_box(&data))
         });
-        group.bench_with_input(BenchmarkId::new("median", n), &data, |b, d| {
-            b.iter(|| MedianVote.discover(black_box(d)));
+        group.run(&format!("median/{n}"), || {
+            MedianVote.discover(black_box(&data))
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_truth_discovery);
-criterion_main!(benches);

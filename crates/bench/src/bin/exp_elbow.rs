@@ -3,11 +3,11 @@
 //!
 //! Run with: `cargo run -p srtd-bench --bin exp_elbow`
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use srtd_bench::table::Table;
 use srtd_cluster::{elbow, KMeansConfig};
 use srtd_fingerprint::{catalog, fingerprint_features, CaptureConfig};
+use srtd_runtime::rng::SeedableRng;
+use srtd_runtime::rng::StdRng;
 use srtd_signal::features::standardize;
 
 fn main() {

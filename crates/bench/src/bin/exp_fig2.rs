@@ -6,12 +6,12 @@
 //!
 //! Run with: `cargo run -p srtd-bench --bin exp_fig2`
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use srtd_bench::table::Table;
 use srtd_cluster::{KMeans, KMeansConfig, Pca};
 use srtd_fingerprint::{catalog, fingerprint_features, CaptureConfig};
 use srtd_metrics::adjusted_rand_index;
+use srtd_runtime::rng::SeedableRng;
+use srtd_runtime::rng::StdRng;
 use srtd_signal::features::standardize;
 
 const CAPTURES_PER_PHONE: usize = 5;

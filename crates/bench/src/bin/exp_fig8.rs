@@ -6,11 +6,11 @@
 //!
 //! Run with: `cargo run -p srtd-bench --bin exp_fig8`
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use srtd_bench::table::Table;
 use srtd_cluster::{squared_distance, Pca};
 use srtd_fingerprint::{catalog, fingerprint_features, CaptureConfig};
+use srtd_runtime::rng::SeedableRng;
+use srtd_runtime::rng::StdRng;
 use srtd_signal::features::standardize;
 
 const CAPTURES_PER_UNIT: usize = 5;

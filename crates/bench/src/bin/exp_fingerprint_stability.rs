@@ -9,12 +9,12 @@
 //!
 //! Run with: `cargo run -p srtd-bench --release --bin exp_fingerprint_stability [seeds]`
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use srtd_bench::table::Table;
 use srtd_cluster::{KMeans, KMeansConfig};
 use srtd_fingerprint::{catalog, fingerprint_features, CaptureConfig};
 use srtd_metrics::adjusted_rand_index;
+use srtd_runtime::rng::SeedableRng;
+use srtd_runtime::rng::StdRng;
 use srtd_signal::features::standardize;
 
 fn run(seed: u64, drift: f64) -> f64 {

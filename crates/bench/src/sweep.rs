@@ -1,5 +1,6 @@
-//! Seed-averaged activeness sweeps, parallelized with crossbeam.
+//! Seed-averaged activeness sweeps, parallelized with scoped threads.
 
+use srtd_runtime::parallel::parallel_map;
 use srtd_sensing::{Scenario, ScenarioConfig};
 
 /// One cell of a sweep: both activeness levels plus the averaged value.
@@ -16,7 +17,9 @@ pub struct SweepPoint {
 /// Averages `metric` over `seeds` scenarios at one activeness setting.
 ///
 /// Scenario generation dominates the cost, so seeds are evaluated in
-/// parallel with crossbeam scoped threads (one chunk per available core).
+/// parallel through the runtime's scoped-thread [`parallel_map`]; the
+/// order-preserving map keeps the sum (and thus the average) identical
+/// for every worker-thread count.
 pub fn seed_average<F>(
     base: &ScenarioConfig,
     legit: f64,
@@ -28,38 +31,15 @@ where
     F: Fn(&Scenario) -> f64 + Sync,
 {
     assert!(seeds > 0, "need at least one seed");
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(seeds as usize);
     let all_seeds: Vec<u64> = (0..seeds).collect();
-    let chunk = all_seeds.len().div_ceil(threads);
-    let totals = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = all_seeds
-            .chunks(chunk)
-            .map(|chunk_seeds| {
-                let metric = &metric;
-                scope.spawn(move |_| {
-                    chunk_seeds
-                        .iter()
-                        .map(|&seed| {
-                            let cfg = base
-                                .clone()
-                                .with_seed(seed)
-                                .with_activeness(legit, attacker);
-                            metric(&Scenario::generate(&cfg))
-                        })
-                        .sum::<f64>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep thread"))
-            .sum::<f64>()
-    })
-    .expect("crossbeam scope");
-    totals / seeds as f64
+    let values = parallel_map(&all_seeds, |&seed| {
+        let cfg = base
+            .clone()
+            .with_seed(seed)
+            .with_activeness(legit, attacker);
+        metric(&Scenario::generate(&cfg))
+    });
+    values.iter().sum::<f64>() / seeds as f64
 }
 
 /// Runs a full activeness sweep: for each legit activeness setting and

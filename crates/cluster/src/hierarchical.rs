@@ -144,7 +144,8 @@ pub fn agglomerative(points: &[Vec<f64>], threshold: f64, linkage: Linkage) -> H
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use srtd_runtime::rng::Rng;
+    use srtd_runtime::{prop, prop_assert, prop_assert_eq};
 
     fn blobs() -> Vec<Vec<f64>> {
         vec![
@@ -212,39 +213,54 @@ mod tests {
         agglomerative(&[vec![0.0]], -1.0, Linkage::Average);
     }
 
-    proptest! {
-        /// Assignments are always a dense partition, and the cluster count
-        /// decreases monotonically in the threshold.
-        #[test]
-        fn partition_and_monotonicity(
-            xs in proptest::collection::vec(-50f64..50.0, 2..15),
-            t1 in 0.0f64..20.0,
-            t2 in 0.0f64..20.0,
-        ) {
-            let pts: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
-            let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
-            let a = agglomerative(&pts, lo, Linkage::Average);
-            let b = agglomerative(&pts, hi, Linkage::Average);
-            prop_assert!(b.num_clusters <= a.num_clusters);
-            for r in [&a, &b] {
-                let max = *r.assignments.iter().max().expect("non-empty");
-                prop_assert_eq!(max + 1, r.num_clusters);
-            }
-        }
-
-        /// Merge distances are reported in non-decreasing order for
-        /// average and complete linkage (reducibility holds).
-        #[test]
-        fn merge_distances_sorted(
-            xs in proptest::collection::vec(-50f64..50.0, 2..12),
-        ) {
-            let pts: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
-            for linkage in [Linkage::Average, Linkage::Complete] {
-                let r = agglomerative(&pts, f64::MAX, linkage);
-                for w in r.merge_distances.windows(2) {
-                    prop_assert!(w[1] + 1e-9 >= w[0], "{:?}: {:?}", linkage, r.merge_distances);
+    /// Assignments are always a dense partition, and the cluster count
+    /// decreases monotonically in the threshold.
+    #[test]
+    fn partition_and_monotonicity() {
+        prop::check(
+            |rng| {
+                (
+                    prop::vec_with(rng, 2..15, |r| r.gen_range(-50f64..50.0)),
+                    rng.gen_range(0.0f64..20.0),
+                    rng.gen_range(0.0f64..20.0),
+                )
+            },
+            |(xs, t1, t2)| {
+                let pts: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+                let (lo, hi) = if t1 <= t2 { (*t1, *t2) } else { (*t2, *t1) };
+                let a = agglomerative(&pts, lo, Linkage::Average);
+                let b = agglomerative(&pts, hi, Linkage::Average);
+                prop_assert!(b.num_clusters <= a.num_clusters);
+                for r in [&a, &b] {
+                    let max = *r.assignments.iter().max().expect("non-empty");
+                    prop_assert_eq!(max + 1, r.num_clusters);
                 }
-            }
-        }
+                Ok(())
+            },
+        );
+    }
+
+    /// Merge distances are reported in non-decreasing order for
+    /// average and complete linkage (reducibility holds).
+    #[test]
+    fn merge_distances_sorted() {
+        prop::check(
+            |rng| prop::vec_with(rng, 2..12, |r| r.gen_range(-50f64..50.0)),
+            |xs| {
+                let pts: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+                for linkage in [Linkage::Average, Linkage::Complete] {
+                    let r = agglomerative(&pts, f64::MAX, linkage);
+                    for w in r.merge_distances.windows(2) {
+                        prop_assert!(
+                            w[1] + 1e-9 >= w[0],
+                            "{:?}: {:?}",
+                            linkage,
+                            r.merge_distances
+                        );
+                    }
+                }
+                Ok(())
+            },
+        );
     }
 }

@@ -1,8 +1,14 @@
 //! Lloyd's k-means with k-means++ seeding.
 
 use crate::squared_distance;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use srtd_runtime::parallel::parallel_map_min;
+use srtd_runtime::rng::StdRng;
+use srtd_runtime::rng::{Rng, SeedableRng};
+
+/// Point count below which the assignment step stays sequential — the
+/// break-even where per-iteration thread spawns start paying for
+/// themselves on commodity cores.
+const PARALLEL_MIN_POINTS: usize = 512;
 
 /// Configuration for a k-means run.
 ///
@@ -143,10 +149,17 @@ impl KMeans {
         let mut iterations = 0;
         for iter in 0..self.config.max_iterations.max(1) {
             iterations = iter + 1;
-            // Assignment step.
+            // Assignment step: each point's nearest centroid is independent
+            // of the others, so it maps over scoped worker threads. The gate
+            // keeps small instances (like the elbow sweeps over a handful
+            // of fingerprints) on the sequential path, where a per-Lloyd-
+            // iteration thread spawn would cost more than the distance
+            // computations; either path yields identical assignments.
+            let nearest_all = parallel_map_min(points, PARALLEL_MIN_POINTS, |p| {
+                nearest_centroid(p, &centroids)
+            });
             let mut changed = false;
-            for (i, p) in points.iter().enumerate() {
-                let nearest = nearest_centroid(p, &centroids);
+            for (i, nearest) in nearest_all.into_iter().enumerate() {
                 if assignments[i] != nearest {
                     assignments[i] = nearest;
                     changed = true;
@@ -243,10 +256,8 @@ fn plus_plus_init(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f6
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    // Shadow the glob imports: both `super::*` and proptest's prelude
-    // export an `Rng` trait, and we want rand's.
-    use rand::Rng;
+    use srtd_runtime::rng::Rng;
+    use srtd_runtime::{prop, prop_assert};
 
     fn two_blobs() -> Vec<Vec<f64>> {
         vec![
@@ -312,37 +323,47 @@ mod tests {
         KMeansConfig::new(0);
     }
 
-    proptest! {
-        /// SSE never increases when k grows (with shared seeding and enough
-        /// restarts this holds on small instances).
-        #[test]
-        fn sse_decreases_with_k(seed in 0u64..50) {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let pts: Vec<Vec<f64>> = (0..20)
-                .map(|_| vec![rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)])
-                .collect();
-            let mut prev = f64::INFINITY;
-            for k in 1..=5 {
-                let r = KMeans::new(KMeansConfig::new(k).with_restarts(16)).fit(&pts);
-                prop_assert!(r.sse <= prev + 1e-6);
-                prev = r.sse;
-            }
-        }
-
-        /// Every point is assigned to its nearest centroid at convergence.
-        #[test]
-        fn assignments_are_nearest(seed in 0u64..50, k in 1usize..5) {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let pts: Vec<Vec<f64>> = (0..15)
-                .map(|_| vec![rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)])
-                .collect();
-            let r = KMeans::new(KMeansConfig::new(k)).fit(&pts);
-            for (p, &a) in pts.iter().zip(&r.assignments) {
-                let da = squared_distance(p, &r.centroids[a]);
-                for c in &r.centroids[..k.min(pts.len())] {
-                    prop_assert!(da <= squared_distance(p, c) + 1e-9);
+    /// SSE never increases when k grows (with shared seeding and enough
+    /// restarts this holds on small instances).
+    #[test]
+    fn sse_decreases_with_k() {
+        prop::check(
+            |rng| rng.gen_range(0u64..50),
+            |&seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let pts: Vec<Vec<f64>> = (0..20)
+                    .map(|_| vec![rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)])
+                    .collect();
+                let mut prev = f64::INFINITY;
+                for k in 1..=5 {
+                    let r = KMeans::new(KMeansConfig::new(k).with_restarts(16)).fit(&pts);
+                    prop_assert!(r.sse <= prev + 1e-6);
+                    prev = r.sse;
                 }
-            }
-        }
+                Ok(())
+            },
+        );
+    }
+
+    /// Every point is assigned to its nearest centroid at convergence.
+    #[test]
+    fn assignments_are_nearest() {
+        prop::check(
+            |rng| (rng.gen_range(0u64..50), rng.gen_range(1usize..5)),
+            |&(seed, k)| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let pts: Vec<Vec<f64>> = (0..15)
+                    .map(|_| vec![rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)])
+                    .collect();
+                let r = KMeans::new(KMeansConfig::new(k)).fit(&pts);
+                for (p, &a) in pts.iter().zip(&r.assignments) {
+                    let da = squared_distance(p, &r.centroids[a]);
+                    for c in &r.centroids[..k.min(pts.len())] {
+                        prop_assert!(da <= squared_distance(p, c) + 1e-9);
+                    }
+                }
+                Ok(())
+            },
+        );
     }
 }

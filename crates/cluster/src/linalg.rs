@@ -253,7 +253,8 @@ pub fn jacobi_eigen(m: &Matrix) -> Eigen {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use srtd_runtime::rng::Rng;
+    use srtd_runtime::{prop, prop_assert};
 
     #[test]
     fn identity_and_transpose() {
@@ -339,39 +340,49 @@ mod tests {
         m
     }
 
-    proptest! {
-        /// A·v = λ·v for every eigenpair of random symmetric matrices.
-        #[test]
-        fn eigenpairs_satisfy_definition(seed in 0u64..500, n in 1usize..8) {
-            let m = random_symmetric(seed, n);
-            let e = jacobi_eigen(&m);
-            for (lambda, vec) in e.values.iter().zip(&e.vectors) {
-                for i in 0..n {
-                    let av: f64 = (0..n).map(|j| m.get(i, j) * vec[j]).sum();
-                    prop_assert!((av - lambda * vec[i]).abs() < 1e-7);
+    /// A·v = λ·v for every eigenpair of random symmetric matrices.
+    #[test]
+    fn eigenpairs_satisfy_definition() {
+        prop::check(
+            |rng| (rng.gen_range(0u64..500), rng.gen_range(1usize..8)),
+            |&(seed, n)| {
+                let m = random_symmetric(seed, n);
+                let e = jacobi_eigen(&m);
+                for (lambda, vec) in e.values.iter().zip(&e.vectors) {
+                    for i in 0..n {
+                        let av: f64 = (0..n).map(|j| m.get(i, j) * vec[j]).sum();
+                        prop_assert!((av - lambda * vec[i]).abs() < 1e-7);
+                    }
                 }
-            }
-        }
+                Ok(())
+            },
+        );
+    }
 
-        /// Eigenvalues sum to the trace, eigenvectors are orthonormal.
-        #[test]
-        fn trace_and_orthonormality(seed in 0u64..500, n in 1usize..8) {
-            let m = random_symmetric(seed, n);
-            let e = jacobi_eigen(&m);
-            let trace: f64 = (0..n).map(|i| m.get(i, i)).sum();
-            let sum: f64 = e.values.iter().sum();
-            prop_assert!((trace - sum).abs() < 1e-8);
-            for i in 0..n {
-                for j in 0..n {
-                    let dot: f64 = e.vectors[i]
-                        .iter()
-                        .zip(&e.vectors[j])
-                        .map(|(a, b)| a * b)
-                        .sum();
-                    let want = if i == j { 1.0 } else { 0.0 };
-                    prop_assert!((dot - want).abs() < 1e-7);
+    /// Eigenvalues sum to the trace, eigenvectors are orthonormal.
+    #[test]
+    fn trace_and_orthonormality() {
+        prop::check(
+            |rng| (rng.gen_range(0u64..500), rng.gen_range(1usize..8)),
+            |&(seed, n)| {
+                let m = random_symmetric(seed, n);
+                let e = jacobi_eigen(&m);
+                let trace: f64 = (0..n).map(|i| m.get(i, i)).sum();
+                let sum: f64 = e.values.iter().sum();
+                prop_assert!((trace - sum).abs() < 1e-8);
+                for i in 0..n {
+                    for j in 0..n {
+                        let dot: f64 = e.vectors[i]
+                            .iter()
+                            .zip(&e.vectors[j])
+                            .map(|(a, b)| a * b)
+                            .sum();
+                        let want = if i == j { 1.0 } else { 0.0 };
+                        prop_assert!((dot - want).abs() < 1e-7);
+                    }
                 }
-            }
-        }
+                Ok(())
+            },
+        );
     }
 }

@@ -128,7 +128,8 @@ impl Pca {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use srtd_runtime::rng::Rng;
+    use srtd_runtime::{prop, prop_assert};
 
     #[test]
     fn line_data_has_single_dominant_component() {
@@ -175,47 +176,51 @@ mod tests {
         Pca::fit(&[], 2);
     }
 
-    proptest! {
-        /// Projection preserves pairwise distances when all components are
-        /// kept (PCA is a rotation).
-        #[test]
-        fn full_projection_is_isometric(seed in 0u64..100) {
-            let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
-            let mut next = || {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-                (state >> 33) as f64 / (1u64 << 31) as f64 - 0.5
-            };
-            let pts: Vec<Vec<f64>> =
-                (0..12).map(|_| (0..3).map(|_| next() * 10.0).collect()).collect();
-            let pca = Pca::fit(&pts, 3);
-            let proj = pca.project_all(&pts);
-            for i in 0..pts.len() {
-                for j in 0..pts.len() {
-                    let d0 = crate::squared_distance(&pts[i], &pts[j]);
-                    let d1 = crate::squared_distance(&proj[i], &proj[j]);
-                    prop_assert!((d0 - d1).abs() < 1e-6 * d0.max(1.0));
+    /// Projection preserves pairwise distances when all components are
+    /// kept (PCA is a rotation).
+    #[test]
+    fn full_projection_is_isometric() {
+        prop::check(
+            |rng| {
+                (0..12)
+                    .map(|_| (0..3).map(|_| rng.gen_range(-5.0..5.0) * 2.0).collect())
+                    .collect::<Vec<Vec<f64>>>()
+            },
+            |pts| {
+                let pca = Pca::fit(pts, 3);
+                let proj = pca.project_all(pts);
+                for i in 0..pts.len() {
+                    for j in 0..pts.len() {
+                        let d0 = crate::squared_distance(&pts[i], &pts[j]);
+                        let d1 = crate::squared_distance(&proj[i], &proj[j]);
+                        prop_assert!((d0 - d1).abs() < 1e-6 * d0.max(1.0));
+                    }
                 }
-            }
-        }
+                Ok(())
+            },
+        );
+    }
 
-        /// Explained variance ratios are a sub-probability vector sorted
-        /// descending.
-        #[test]
-        fn ratios_sorted_and_bounded(seed in 0u64..100) {
-            let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(7);
-            let mut next = || {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-                (state >> 33) as f64 / (1u64 << 31) as f64 - 0.5
-            };
-            let pts: Vec<Vec<f64>> =
-                (0..10).map(|_| (0..4).map(|_| next() * 3.0).collect()).collect();
-            let pca = Pca::fit(&pts, 4);
-            let ratio = pca.explained_variance_ratio();
-            let sum: f64 = ratio.iter().sum();
-            prop_assert!(sum <= 1.0 + 1e-9);
-            for w in ratio.windows(2) {
-                prop_assert!(w[0] + 1e-9 >= w[1]);
-            }
-        }
+    /// Explained variance ratios are a sub-probability vector sorted
+    /// descending.
+    #[test]
+    fn ratios_sorted_and_bounded() {
+        prop::check(
+            |rng| {
+                (0..10)
+                    .map(|_| (0..4).map(|_| rng.gen_range(-1.5..1.5)).collect())
+                    .collect::<Vec<Vec<f64>>>()
+            },
+            |pts| {
+                let pca = Pca::fit(pts, 4);
+                let ratio = pca.explained_variance_ratio();
+                let sum: f64 = ratio.iter().sum();
+                prop_assert!(sum <= 1.0 + 1e-9);
+                for w in ratio.windows(2) {
+                    prop_assert!(w[0] + 1e-9 >= w[1]);
+                }
+                Ok(())
+            },
+        );
     }
 }

@@ -72,7 +72,8 @@ pub fn silhouette_score(points: &[Vec<f64>], assignments: &[usize]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use srtd_runtime::rng::Rng;
+    use srtd_runtime::{prop, prop_assert};
 
     #[test]
     fn perfect_separation_scores_high() {
@@ -103,15 +104,21 @@ mod tests {
         assert_eq!(silhouette_score(&[], &[]), 0.0);
     }
 
-    proptest! {
-        #[test]
-        fn score_is_bounded(
-            data in proptest::collection::vec((0.0f64..10.0, 0usize..3), 2..30)
-        ) {
-            let pts: Vec<Vec<f64>> = data.iter().map(|d| vec![d.0]).collect();
-            let labels: Vec<usize> = data.iter().map(|d| d.1).collect();
-            let s = silhouette_score(&pts, &labels);
-            prop_assert!((-1.0..=1.0).contains(&s));
-        }
+    #[test]
+    fn score_is_bounded() {
+        prop::check(
+            |rng| {
+                prop::vec_with(rng, 2..30, |r| {
+                    (r.gen_range(0.0f64..10.0), r.gen_range(0usize..3))
+                })
+            },
+            |data| {
+                let pts: Vec<Vec<f64>> = data.iter().map(|d| vec![d.0]).collect();
+                let labels: Vec<usize> = data.iter().map(|d| d.1).collect();
+                let s = silhouette_score(&pts, &labels);
+                prop_assert!((-1.0..=1.0).contains(&s));
+                Ok(())
+            },
+        );
     }
 }

@@ -90,7 +90,8 @@ pub fn initial_group_weight(reporting_members: usize, task_reporters: usize) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use srtd_runtime::rng::Rng;
+    use srtd_runtime::{prop, prop_assert};
 
     #[test]
     fn mean_and_median_basics() {
@@ -150,28 +151,36 @@ mod tests {
         initial_group_weight(0, 0);
     }
 
-    proptest! {
-        #[test]
-        fn aggregates_stay_in_hull(
-            values in proptest::collection::vec(-100f64..100.0, 1..20)
-        ) {
-            let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
-            let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            for agg in [
-                GroupAggregation::Mean,
-                GroupAggregation::Median,
-                GroupAggregation::AbsoluteDeviationWeighted,
-            ] {
-                let v = agg.aggregate(&values);
-                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{:?} gave {}", agg, v);
-            }
-        }
+    #[test]
+    fn aggregates_stay_in_hull() {
+        prop::check(
+            |rng| prop::vec_with(rng, 1..20, |r| r.gen_range(-100f64..100.0)),
+            |values| {
+                let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                for agg in [
+                    GroupAggregation::Mean,
+                    GroupAggregation::Median,
+                    GroupAggregation::AbsoluteDeviationWeighted,
+                ] {
+                    let v = agg.aggregate(values);
+                    prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{:?} gave {}", agg, v);
+                }
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn eq4_weight_in_unit_interval(members in 0usize..50, extra in 0usize..50) {
-            let reporters = members + extra.max(1);
-            let w = initial_group_weight(members, reporters);
-            prop_assert!((0.0..=1.0).contains(&w));
-        }
+    #[test]
+    fn eq4_weight_in_unit_interval() {
+        prop::check(
+            |rng| (rng.gen_range(0usize..50), rng.gen_range(0usize..50)),
+            |&(members, extra)| {
+                let reporters = members + extra.max(1);
+                let w = initial_group_weight(members, reporters);
+                prop_assert!((0.0..=1.0).contains(&w));
+                Ok(())
+            },
+        );
     }
 }

@@ -35,12 +35,12 @@ pub enum FpClustering {
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
+/// use srtd_runtime::rng::SeedableRng;
 /// use srtd_core::{AccountGrouping, AgFp};
 /// use srtd_fingerprint::{catalog, fingerprint_features, CaptureConfig};
 /// use srtd_truth::SensingData;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let mut rng = srtd_runtime::rng::StdRng::seed_from_u64(3);
 /// let models = catalog::standard_catalog();
 /// let phone_a = models[2].model.manufacture(&mut rng);
 /// let phone_b = models[5].model.manufacture(&mut rng);
@@ -140,10 +140,10 @@ impl AccountGrouping for AgFp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use srtd_fingerprint::catalog::standard_catalog;
     use srtd_fingerprint::{fingerprint_features, CaptureConfig, DeviceInstance};
+    use srtd_runtime::rng::SeedableRng;
+    use srtd_runtime::rng::StdRng;
 
     fn prints_for(devices: &[&DeviceInstance], per_device: usize, seed: u64) -> Vec<Vec<f64>> {
         let cfg = CaptureConfig::paper_default();

@@ -2,6 +2,7 @@
 
 use crate::grouping::{AccountGrouping, Grouping};
 use srtd_graph::Graph;
+use srtd_runtime::parallel::{parallel_map, triangle_pairs};
 use srtd_timeseries::Dtw;
 use srtd_truth::SensingData;
 
@@ -133,23 +134,28 @@ impl AgTr {
     /// including each other: two inactive accounts share no behavioural
     /// evidence, so they must stay singletons rather than merge at
     /// distance zero.
-    #[allow(clippy::needless_range_loop)] // symmetric matrix fill
+    ///
+    /// The `n(n−1)/2` DTW evaluations — the dominant cost of AG-TR — run
+    /// through the runtime's scoped-thread [`parallel_map`] over the
+    /// flattened upper triangle; the order-preserving map makes the
+    /// matrix identical for every worker-thread count.
     pub fn dissimilarity_matrix(&self, data: &SensingData) -> Vec<Vec<f64>> {
         let trajectories = self.trajectories(data);
         let n = trajectories.len();
-        let mut matrix = vec![vec![0.0; n]; n];
-        for i in 0..n {
-            for j in i + 1..n {
-                let (xi, yi) = &trajectories[i];
-                let (xj, yj) = &trajectories[j];
-                let d = if xi.is_empty() || xj.is_empty() {
-                    f64::INFINITY
-                } else {
-                    self.dtw.distance(xi, xj) + self.dtw.distance(yi, yj)
-                };
-                matrix[i][j] = d;
-                matrix[j][i] = d;
+        let pairs = triangle_pairs(n);
+        let distances = parallel_map(&pairs, |&(i, j)| {
+            let (xi, yi) = &trajectories[i];
+            let (xj, yj) = &trajectories[j];
+            if xi.is_empty() || xj.is_empty() {
+                f64::INFINITY
+            } else {
+                self.dtw.distance(xi, xj) + self.dtw.distance(yi, yj)
             }
+        });
+        let mut matrix = vec![vec![0.0; n]; n];
+        for (&(i, j), &d) in pairs.iter().zip(&distances) {
+            matrix[i][j] = d;
+            matrix[j][i] = d;
         }
         matrix
     }

@@ -2,8 +2,8 @@
 
 use crate::device::DeviceInstance;
 use crate::noise::{normal, normal3};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use srtd_runtime::json::{Json, ToJson};
+use srtd_runtime::rng::Rng;
 
 /// Standard gravity (m/s²).
 pub const GRAVITY: f64 = 9.80665;
@@ -13,7 +13,7 @@ pub const GRAVITY: f64 = 9.80665;
 /// The paper asks each user to hold the phone still for 6 seconds at
 /// sign-in while a script samples the motion sensors; browsers expose them
 /// at O(100 Hz). [`CaptureConfig::paper_default`] matches that protocol.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CaptureConfig {
     /// Capture duration in seconds.
     pub duration_s: f64,
@@ -69,7 +69,7 @@ impl CaptureConfig {
 }
 
 /// One recorded capture: parallel accelerometer and gyroscope samples.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SensorCapture {
     accel: Vec<[f64; 3]>,
     gyro: Vec<[f64; 3]>,
@@ -233,12 +233,34 @@ impl DeviceInstance {
     }
 }
 
+impl ToJson for CaptureConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("duration_s", self.duration_s.to_json()),
+            ("sample_rate", self.sample_rate.to_json()),
+            ("tremor_amplitude", self.tremor_amplitude.to_json()),
+            ("tremor_rotation", self.tremor_rotation.to_json()),
+            ("bias_drift", self.bias_drift.to_json()),
+        ])
+    }
+}
+
+impl ToJson for SensorCapture {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("sample_rate", self.sample_rate.to_json()),
+            ("accel", self.accel.to_json()),
+            ("gyro", self.gyro.to_json()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::catalog::standard_catalog;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use srtd_runtime::rng::SeedableRng;
+    use srtd_runtime::rng::StdRng;
 
     fn device(seed: u64) -> DeviceInstance {
         standard_catalog()[2]

@@ -1,11 +1,11 @@
 //! Device models and manufactured device instances.
 
 use crate::noise::{normal, normal3};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use srtd_runtime::json::{Json, ToJson};
+use srtd_runtime::rng::Rng;
 
 /// Operating system of a smartphone model (Table IV groups by OS).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceOs {
     /// Apple iOS device.
     Ios,
@@ -30,7 +30,7 @@ impl std::fmt::Display for DeviceOs {
 /// for commodity MEMS parts (bias of a few mg / a few mdps, gain errors a
 /// few per mille) — exact values only shape the simulation, not the
 /// algorithms.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemsParameters {
     /// Model-level accelerometer bias center per axis (m/s²).
     pub accel_bias_center: f64,
@@ -60,7 +60,7 @@ pub struct MemsParameters {
 }
 
 /// A smartphone model — a family of devices sharing MEMS characteristics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceModel {
     /// Marketing name, e.g. `"iPhone 6S"`.
     pub name: String,
@@ -103,7 +103,7 @@ impl DeviceModel {
 ///
 /// These values are fixed at "manufacture" time and shared by every capture
 /// taken on the device — the stability that makes fingerprinting work.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceInstance {
     /// Name of the model this device belongs to.
     pub model_name: String,
@@ -125,12 +125,62 @@ pub struct DeviceInstance {
     pub resonance_gain: f64,
 }
 
+impl ToJson for DeviceOs {
+    fn to_json(&self) -> Json {
+        Json::str(self.to_string())
+    }
+}
+
+impl ToJson for MemsParameters {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("accel_bias_center", self.accel_bias_center.to_json()),
+            ("accel_bias_spread", self.accel_bias_spread.to_json()),
+            ("accel_scale_spread", self.accel_scale_spread.to_json()),
+            ("accel_noise", self.accel_noise.to_json()),
+            ("gyro_bias_center", self.gyro_bias_center.to_json()),
+            ("gyro_bias_spread", self.gyro_bias_spread.to_json()),
+            ("gyro_scale_spread", self.gyro_scale_spread.to_json()),
+            ("gyro_noise", self.gyro_noise.to_json()),
+            ("resonance_hz", self.resonance_hz.to_json()),
+            ("resonance_spread_hz", self.resonance_spread_hz.to_json()),
+            ("resonance_gain", self.resonance_gain.to_json()),
+        ])
+    }
+}
+
+impl ToJson for DeviceModel {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json()),
+            ("os", self.os.to_json()),
+            ("mems", self.mems.to_json()),
+        ])
+    }
+}
+
+impl ToJson for DeviceInstance {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("model_name", self.model_name.to_json()),
+            ("accel_bias", self.accel_bias.to_json()),
+            ("accel_scale", self.accel_scale.to_json()),
+            ("accel_noise", self.accel_noise.to_json()),
+            ("gyro_bias", self.gyro_bias.to_json()),
+            ("gyro_scale", self.gyro_scale.to_json()),
+            ("gyro_noise", self.gyro_noise.to_json()),
+            ("resonance_hz", self.resonance_hz.to_json()),
+            ("resonance_gain", self.resonance_gain.to_json()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::catalog::standard_catalog;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use srtd_runtime::rng::SeedableRng;
+    use srtd_runtime::rng::StdRng;
 
     fn any_model() -> DeviceModel {
         standard_catalog()[0].model.clone()

@@ -17,10 +17,10 @@ pub const FINGERPRINT_DIMENSIONS: usize = 80;
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
+/// use srtd_runtime::rng::SeedableRng;
 /// use srtd_fingerprint::{catalog, CaptureConfig, fingerprint_features};
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = srtd_runtime::rng::StdRng::seed_from_u64(1);
 /// let device = catalog::standard_catalog()[1].model.manufacture(&mut rng);
 /// let capture = device.capture(&CaptureConfig::paper_default(), &mut rng);
 /// assert_eq!(fingerprint_features(&capture).len(), 80);
@@ -40,9 +40,9 @@ mod tests {
     use crate::capture::CaptureConfig;
     use crate::catalog::standard_catalog;
     use crate::device::DeviceInstance;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use srtd_cluster::squared_distance;
+    use srtd_runtime::rng::SeedableRng;
+    use srtd_runtime::rng::StdRng;
 
     fn captures_for(device: &DeviceInstance, count: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
         let cfg = CaptureConfig::paper_default();

@@ -28,10 +28,10 @@
 //! # Examples
 //!
 //! ```
-//! use rand::SeedableRng;
+//! use srtd_runtime::rng::SeedableRng;
 //! use srtd_fingerprint::{catalog, CaptureConfig, fingerprint_features};
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut rng = srtd_runtime::rng::StdRng::seed_from_u64(7);
 //! let models = catalog::standard_catalog();
 //! let device = models[0].model.manufacture(&mut rng);
 //! let capture = device.capture(&CaptureConfig::paper_default(), &mut rng);

@@ -1,17 +1,14 @@
-//! Gaussian sampling helpers (Box–Muller) on top of any [`rand::Rng`].
+//! Gaussian sampling helpers on top of any [`Rng`].
 //!
-//! The approved dependency set includes `rand` but not `rand_distr`, so the
-//! normal variates used for chip imperfections and sensor noise are drawn
-//! with a plain Box–Muller transform.
+//! Thin named wrappers around the Box–Muller normal sampling that
+//! [`srtd_runtime::rng::Rng`] provides, kept because "bias spread" reads
+//! better as `normal(rng, center, spread)` at the call sites.
 
-use rand::Rng;
+use srtd_runtime::rng::Rng;
 
 /// Draws one standard-normal variate.
 pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    // Box–Muller; `u1` is kept away from 0 so the log is finite.
-    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    rng.standard_normal()
 }
 
 /// Draws a normal variate with the given mean and standard deviation.
@@ -20,11 +17,7 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 ///
 /// Panics if `std_dev` is negative or non-finite.
 pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
-    assert!(
-        std_dev >= 0.0 && std_dev.is_finite(),
-        "standard deviation must be non-negative and finite, got {std_dev}"
-    );
-    mean + std_dev * standard_normal(rng)
+    rng.normal(mean, std_dev)
 }
 
 /// Fills a 3-vector with i.i.d. normal variates.
@@ -39,8 +32,8 @@ pub fn normal3<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> [f64; 3
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use srtd_runtime::rng::SeedableRng;
+    use srtd_runtime::rng::StdRng;
 
     #[test]
     fn sample_moments_match_standard_normal() {

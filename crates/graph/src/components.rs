@@ -104,7 +104,8 @@ impl ComponentLabeling {
 #[cfg(test)]
 mod tests {
     use crate::{Graph, UnionFind};
-    use proptest::prelude::*;
+    use srtd_runtime::rng::Rng;
+    use srtd_runtime::{prop, prop_assert, prop_assert_eq};
 
     #[test]
     fn isolated_nodes_are_singletons() {
@@ -164,54 +165,71 @@ mod tests {
         assert_eq!(c.members(c.component_of(2)), &[2]);
     }
 
-    proptest! {
-        /// DFS components must match a union-find oracle on random graphs.
-        #[test]
-        fn matches_union_find_oracle(
-            n in 1usize..40,
-            edges in proptest::collection::vec((0usize..40, 0usize..40), 0..120),
-        ) {
-            let edges: Vec<(usize, usize, f64)> = edges
-                .into_iter()
-                .filter(|&(u, v)| u < n && v < n)
-                .map(|(u, v)| (u, v, 1.0))
-                .collect();
-            let g = Graph::from_edges(n, edges.iter().copied());
-            let c = g.connected_components();
-            let mut uf = UnionFind::new(n);
-            for &(u, v, _) in &edges {
-                uf.union(u, v);
-            }
-            prop_assert_eq!(c.len(), uf.set_count());
-            for u in 0..n {
-                for v in 0..n {
-                    prop_assert_eq!(
-                        c.component_of(u) == c.component_of(v),
-                        uf.connected(u, v)
-                    );
+    /// DFS components must match a union-find oracle on random graphs.
+    #[test]
+    fn matches_union_find_oracle() {
+        prop::check(
+            |rng| {
+                (
+                    rng.gen_range(1usize..40),
+                    prop::vec_with(rng, 0..120, |r| {
+                        (r.gen_range(0usize..40), r.gen_range(0usize..40))
+                    }),
+                )
+            },
+            |(n, raw_edges)| {
+                let n = *n;
+                let edges: Vec<(usize, usize, f64)> = raw_edges
+                    .iter()
+                    .filter(|&&(u, v)| u < n && v < n)
+                    .map(|&(u, v)| (u, v, 1.0))
+                    .collect();
+                let g = Graph::from_edges(n, edges.iter().copied());
+                let c = g.connected_components();
+                let mut uf = UnionFind::new(n);
+                for &(u, v, _) in &edges {
+                    uf.union(u, v);
                 }
-            }
-        }
+                prop_assert_eq!(c.len(), uf.set_count());
+                for u in 0..n {
+                    for v in 0..n {
+                        prop_assert_eq!(c.component_of(u) == c.component_of(v), uf.connected(u, v));
+                    }
+                }
+                Ok(())
+            },
+        );
+    }
 
-        /// Every node appears in exactly one component (partition property).
-        #[test]
-        fn members_partition_nodes(
-            n in 1usize..30,
-            edges in proptest::collection::vec((0usize..30, 0usize..30), 0..60),
-        ) {
-            let edges = edges
-                .into_iter()
-                .filter(|&(u, v)| u < n && v < n)
-                .map(|(u, v)| (u, v, 1.0));
-            let g = Graph::from_edges(n, edges);
-            let c = g.connected_components();
-            let mut seen = vec![0usize; n];
-            for comp in c.iter() {
-                for &node in comp {
-                    seen[node] += 1;
+    /// Every node appears in exactly one component (partition property).
+    #[test]
+    fn members_partition_nodes() {
+        prop::check(
+            |rng| {
+                (
+                    rng.gen_range(1usize..30),
+                    prop::vec_with(rng, 0..60, |r| {
+                        (r.gen_range(0usize..30), r.gen_range(0usize..30))
+                    }),
+                )
+            },
+            |(n, raw_edges)| {
+                let n = *n;
+                let edges = raw_edges
+                    .iter()
+                    .filter(|&&(u, v)| u < n && v < n)
+                    .map(|&(u, v)| (u, v, 1.0));
+                let g = Graph::from_edges(n, edges);
+                let c = g.connected_components();
+                let mut seen = vec![0usize; n];
+                for comp in c.iter() {
+                    for &node in comp {
+                        seen[node] += 1;
+                    }
                 }
-            }
-            prop_assert!(seen.iter().all(|&s| s == 1));
-        }
+                prop_assert!(seen.iter().all(|&s| s == 1));
+                Ok(())
+            },
+        );
     }
 }

@@ -137,7 +137,8 @@ pub fn purity(a: &[usize], b: &[usize]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use srtd_runtime::rng::Rng;
+    use srtd_runtime::{prop, prop_assert};
 
     #[test]
     fn identical_partitions_score_one() {
@@ -197,49 +198,72 @@ mod tests {
         assert_eq!(purity(&merged, &truth), 0.5);
     }
 
-    proptest! {
-        #[test]
-        fn ari_bounded_and_symmetric(
-            labels in proptest::collection::vec((0usize..4, 0usize..4), 2..40)
-        ) {
-            let a: Vec<usize> = labels.iter().map(|l| l.0).collect();
-            let b: Vec<usize> = labels.iter().map(|l| l.1).collect();
-            let ab = adjusted_rand_index(&a, &b);
-            let ba = adjusted_rand_index(&b, &a);
-            prop_assert!((-1.0..=1.0 + 1e-12).contains(&ab));
-            prop_assert!((ab - ba).abs() < 1e-9);
-        }
+    fn label_pairs(
+        rng: &mut srtd_runtime::rng::StdRng,
+        len: std::ops::Range<usize>,
+    ) -> Vec<(usize, usize)> {
+        prop::vec_with(rng, len, |r| {
+            (r.gen_range(0usize..4), r.gen_range(0usize..4))
+        })
+    }
 
-        #[test]
-        fn rand_index_bounded_and_permutation_invariant(
-            labels in proptest::collection::vec((0usize..4, 0usize..4), 2..40)
-        ) {
-            let a: Vec<usize> = labels.iter().map(|l| l.0).collect();
-            let b: Vec<usize> = labels.iter().map(|l| l.1).collect();
-            let ri = rand_index(&a, &b);
-            prop_assert!((0.0..=1.0 + 1e-12).contains(&ri));
-            // Relabel `a` by an arbitrary injective map.
-            let a2: Vec<usize> = a.iter().map(|&l| l * 13 + 7).collect();
-            prop_assert!((rand_index(&a2, &b) - ri).abs() < 1e-9);
-        }
+    #[test]
+    fn ari_bounded_and_symmetric() {
+        prop::check(
+            |rng| label_pairs(rng, 2..40),
+            |labels| {
+                let a: Vec<usize> = labels.iter().map(|l| l.0).collect();
+                let b: Vec<usize> = labels.iter().map(|l| l.1).collect();
+                let ab = adjusted_rand_index(&a, &b);
+                let ba = adjusted_rand_index(&b, &a);
+                prop_assert!((-1.0..=1.0 + 1e-12).contains(&ab));
+                prop_assert!((ab - ba).abs() < 1e-9);
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn nmi_bounded(
-            labels in proptest::collection::vec((0usize..4, 0usize..4), 1..40)
-        ) {
-            let a: Vec<usize> = labels.iter().map(|l| l.0).collect();
-            let b: Vec<usize> = labels.iter().map(|l| l.1).collect();
-            let nmi = normalized_mutual_information(&a, &b);
-            prop_assert!((0.0..=1.0).contains(&nmi));
-        }
+    #[test]
+    fn rand_index_bounded_and_permutation_invariant() {
+        prop::check(
+            |rng| label_pairs(rng, 2..40),
+            |labels| {
+                let a: Vec<usize> = labels.iter().map(|l| l.0).collect();
+                let b: Vec<usize> = labels.iter().map(|l| l.1).collect();
+                let ri = rand_index(&a, &b);
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&ri));
+                // Relabel `a` by an arbitrary injective map.
+                let a2: Vec<usize> = a.iter().map(|&l| l * 13 + 7).collect();
+                prop_assert!((rand_index(&a2, &b) - ri).abs() < 1e-9);
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn self_comparison_is_perfect(
-            a in proptest::collection::vec(0usize..5, 2..40)
-        ) {
-            prop_assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-9);
-            prop_assert!((rand_index(&a, &a) - 1.0).abs() < 1e-9);
-            prop_assert!((purity(&a, &a) - 1.0).abs() < 1e-9);
-        }
+    #[test]
+    fn nmi_bounded() {
+        prop::check(
+            |rng| label_pairs(rng, 1..40),
+            |labels| {
+                let a: Vec<usize> = labels.iter().map(|l| l.0).collect();
+                let b: Vec<usize> = labels.iter().map(|l| l.1).collect();
+                let nmi = normalized_mutual_information(&a, &b);
+                prop_assert!((0.0..=1.0).contains(&nmi));
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn self_comparison_is_perfect() {
+        prop::check(
+            |rng| prop::vec_with(rng, 2..40, |r| r.gen_range(0usize..5)),
+            |a| {
+                prop_assert!((adjusted_rand_index(a, a) - 1.0).abs() < 1e-9);
+                prop_assert!((rand_index(a, a) - 1.0).abs() < 1e-9);
+                prop_assert!((purity(a, a) - 1.0).abs() < 1e-9);
+                Ok(())
+            },
+        );
     }
 }

@@ -119,7 +119,8 @@ pub fn sum_squared_error(points: &[f64], reference: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use srtd_runtime::rng::Rng;
+    use srtd_runtime::{prop, prop_assert};
 
     #[test]
     fn mae_of_identical_slices_is_zero() {
@@ -173,39 +174,57 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn mae_is_nonnegative_and_symmetric(
-            pairs in proptest::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 0..50)
-        ) {
-            let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
-            let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
-            let ab = mae(&a, &b).unwrap();
-            let ba = mae(&b, &a).unwrap();
-            prop_assert!(ab >= 0.0);
-            prop_assert!((ab - ba).abs() <= 1e-9 * ab.max(1.0));
-        }
+    fn value_pairs(
+        rng: &mut srtd_runtime::rng::StdRng,
+        len: std::ops::Range<usize>,
+        scale: f64,
+    ) -> Vec<(f64, f64)> {
+        prop::vec_with(rng, len, |r| {
+            (r.gen_range(-scale..scale), r.gen_range(-scale..scale))
+        })
+    }
 
-        #[test]
-        fn mae_le_max_error(
-            pairs in proptest::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 1..50)
-        ) {
-            let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
-            let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
-            prop_assert!(
-                mae(&a, &b).unwrap() <= max_absolute_error(&a, &b).unwrap() + 1e-9
-            );
-        }
+    #[test]
+    fn mae_is_nonnegative_and_symmetric() {
+        prop::check(
+            |rng| value_pairs(rng, 0..50, 1e6),
+            |pairs| {
+                let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+                let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+                let ab = mae(&a, &b).unwrap();
+                let ba = mae(&b, &a).unwrap();
+                prop_assert!(ab >= 0.0);
+                prop_assert!((ab - ba).abs() <= 1e-9 * ab.max(1.0));
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn rmse_between_mae_and_max(
-            pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 1..50)
-        ) {
-            let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
-            let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
-            let r = rmse(&a, &b).unwrap();
-            prop_assert!(r + 1e-9 >= mae(&a, &b).unwrap());
-            prop_assert!(r <= max_absolute_error(&a, &b).unwrap() + 1e-9);
-        }
+    #[test]
+    fn mae_le_max_error() {
+        prop::check(
+            |rng| value_pairs(rng, 1..50, 1e6),
+            |pairs| {
+                let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+                let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+                prop_assert!(mae(&a, &b).unwrap() <= max_absolute_error(&a, &b).unwrap() + 1e-9);
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn rmse_between_mae_and_max() {
+        prop::check(
+            |rng| value_pairs(rng, 1..50, 1e3),
+            |pairs| {
+                let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+                let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+                let r = rmse(&a, &b).unwrap();
+                prop_assert!(r + 1e-9 >= mae(&a, &b).unwrap());
+                prop_assert!(r <= max_absolute_error(&a, &b).unwrap() + 1e-9);
+                Ok(())
+            },
+        );
     }
 }

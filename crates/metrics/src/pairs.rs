@@ -85,7 +85,8 @@ impl PairDiagnostics {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use srtd_runtime::rng::Rng;
+    use srtd_runtime::{prop, prop_assert, prop_assert_eq};
 
     #[test]
     fn perfect_grouping_is_perfect() {
@@ -129,42 +130,57 @@ mod tests {
         PairDiagnostics::from_labels(&[0], &[0, 1]);
     }
 
-    proptest! {
-        /// Confusion counts always partition the full pair set, and the
-        /// rates stay in [0, 1].
-        #[test]
-        fn counts_partition_all_pairs(
-            labels in proptest::collection::vec((0usize..4, 0usize..4), 0..40)
-        ) {
-            let a: Vec<usize> = labels.iter().map(|l| l.0).collect();
-            let b: Vec<usize> = labels.iter().map(|l| l.1).collect();
-            let d = PairDiagnostics::from_labels(&a, &b);
-            let n = a.len() as u128;
-            let total = n * n.saturating_sub(1) / 2;
-            prop_assert_eq!(
-                d.true_positive_pairs
-                    + d.false_positive_pairs
-                    + d.false_negative_pairs
-                    + d.true_negative_pairs,
-                total
-            );
-            for rate in [d.precision(), d.recall(), d.f1()] {
-                prop_assert!((0.0..=1.0).contains(&rate));
-            }
-        }
+    fn label_pairs(
+        rng: &mut srtd_runtime::rng::StdRng,
+        len: std::ops::Range<usize>,
+    ) -> Vec<(usize, usize)> {
+        prop::vec_with(rng, len, |r| {
+            (r.gen_range(0usize..4), r.gen_range(0usize..4))
+        })
+    }
 
-        /// Symmetric roles: swapping predicted and reference swaps FP/FN.
-        #[test]
-        fn swap_exchanges_fp_fn(
-            labels in proptest::collection::vec((0usize..4, 0usize..4), 0..40)
-        ) {
-            let a: Vec<usize> = labels.iter().map(|l| l.0).collect();
-            let b: Vec<usize> = labels.iter().map(|l| l.1).collect();
-            let ab = PairDiagnostics::from_labels(&a, &b);
-            let ba = PairDiagnostics::from_labels(&b, &a);
-            prop_assert_eq!(ab.true_positive_pairs, ba.true_positive_pairs);
-            prop_assert_eq!(ab.false_positive_pairs, ba.false_negative_pairs);
-            prop_assert_eq!(ab.false_negative_pairs, ba.false_positive_pairs);
-        }
+    /// Confusion counts always partition the full pair set, and the
+    /// rates stay in [0, 1].
+    #[test]
+    fn counts_partition_all_pairs() {
+        prop::check(
+            |rng| label_pairs(rng, 0..40),
+            |labels| {
+                let a: Vec<usize> = labels.iter().map(|l| l.0).collect();
+                let b: Vec<usize> = labels.iter().map(|l| l.1).collect();
+                let d = PairDiagnostics::from_labels(&a, &b);
+                let n = a.len() as u128;
+                let total = n * n.saturating_sub(1) / 2;
+                prop_assert_eq!(
+                    d.true_positive_pairs
+                        + d.false_positive_pairs
+                        + d.false_negative_pairs
+                        + d.true_negative_pairs,
+                    total
+                );
+                for rate in [d.precision(), d.recall(), d.f1()] {
+                    prop_assert!((0.0..=1.0).contains(&rate));
+                }
+                Ok(())
+            },
+        );
+    }
+
+    /// Symmetric roles: swapping predicted and reference swaps FP/FN.
+    #[test]
+    fn swap_exchanges_fp_fn() {
+        prop::check(
+            |rng| label_pairs(rng, 0..40),
+            |labels| {
+                let a: Vec<usize> = labels.iter().map(|l| l.0).collect();
+                let b: Vec<usize> = labels.iter().map(|l| l.1).collect();
+                let ab = PairDiagnostics::from_labels(&a, &b);
+                let ba = PairDiagnostics::from_labels(&b, &a);
+                prop_assert_eq!(ab.true_positive_pairs, ba.true_positive_pairs);
+                prop_assert_eq!(ab.false_positive_pairs, ba.false_negative_pairs);
+                prop_assert_eq!(ab.false_negative_pairs, ba.false_positive_pairs);
+                Ok(())
+            },
+        );
     }
 }

@@ -1,11 +1,11 @@
 //! Full lifecycle: a generated campaign replayed through the platform's
 //! submission API, then audited and aggregated.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use srtd_core::{AgTr, SybilResistantTd};
 use srtd_metrics::mae;
 use srtd_platform::{Platform, PlatformConfig, SubmitError};
+use srtd_runtime::rng::SeedableRng;
+use srtd_runtime::rng::StdRng;
 use srtd_sensing::{Scenario, ScenarioConfig};
 use srtd_truth::Crh;
 

@@ -1,0 +1,269 @@
+//! Hand-rolled JSON encoding for simulation artifacts.
+//!
+//! The workspace previously derived `serde::Serialize` on its scenario
+//! and fingerprint types without ever linking a serializer; this module
+//! replaces that with an explicit, dependency-free encoder. Types opt in
+//! by implementing [`ToJson`], building a [`Json`] tree, and rendering it
+//! with [`Json::render`].
+//!
+//! Encoding rules:
+//!
+//! * numbers render through Rust's shortest-roundtrip `Display` for
+//!   `f64`, so re-parsing recovers the exact bits,
+//! * non-finite floats (`NaN`, `±∞`) render as `null` — JSON has no
+//!   spelling for them,
+//! * object keys keep insertion order (deterministic output for
+//!   deterministic inputs),
+//! * strings escape `"`, `\` and control characters.
+//!
+//! # Examples
+//!
+//! ```
+//! use srtd_runtime::json::{Json, ToJson};
+//!
+//! let value = Json::obj([
+//!     ("name", Json::str("poi-3")),
+//!     ("rssi", (-71.25f64).to_json()),
+//!     ("visits", Json::arr(vec![1u64.to_json(), 2u64.to_json()])),
+//! ]);
+//! assert_eq!(
+//!     value.render(),
+//!     r#"{"name":"poi-3","rssi":-71.25,"visits":[1,2]}"#
+//! );
+//! ```
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number; non-finite values render as `null`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An array from any iterator of values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// An object from `(key, value)` pairs, keys kept in order.
+    pub fn obj<'a>(fields: impl IntoIterator<Item = (&'a str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Renders the tree as compact JSON text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    // `Display` for f64 is shortest-roundtrip and always
+                    // a valid JSON number (no exponent-only forms).
+                    out.push_str(&x.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into a [`Json`] tree; the workspace's `Serialize`.
+pub trait ToJson {
+    /// Builds the JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::str(self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::str(self.as_str())
+    }
+}
+
+macro_rules! impl_to_json_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                // f64 holds integers up to 2^53 exactly — comfortably
+                // beyond any account, task or sample count here.
+                Json::Num(*self as f64)
+            }
+        }
+    )*};
+}
+
+impl_to_json_int!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::arr(self.iter().map(ToJson::to_json))
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::arr(self.iter().map(ToJson::to_json))
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Json {
+        Json::arr(self.iter().map(ToJson::to_json))
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(true.to_json().render(), "true");
+        assert_eq!(3usize.to_json().render(), "3");
+        assert_eq!((-2.5f64).to_json().render(), "-2.5");
+        assert_eq!(1.0f64.to_json().render(), "1");
+        assert_eq!(f64::NAN.to_json().render(), "null");
+        assert_eq!(f64::INFINITY.to_json().render(), "null");
+    }
+
+    #[test]
+    fn float_display_roundtrips() {
+        let x = 0.1f64 + 0.2;
+        let rendered = x.to_json().render();
+        assert_eq!(rendered.parse::<f64>().unwrap(), x);
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(
+            Json::str("a\"b\\c\nd\u{1}").render(),
+            "\"a\\\"b\\\\c\\nd\\u0001\""
+        );
+    }
+
+    #[test]
+    fn arrays_objects_and_options_compose() {
+        let v = Json::obj([
+            ("xs", vec![1u32, 2, 3].to_json()),
+            ("missing", Option::<f64>::None.to_json()),
+            ("triple", [0.5f64, 1.5, 2.5].to_json()),
+        ]);
+        assert_eq!(
+            v.render(),
+            r#"{"xs":[1,2,3],"missing":null,"triple":[0.5,1.5,2.5]}"#
+        );
+    }
+
+    #[test]
+    fn object_key_order_is_insertion_order() {
+        let a = Json::obj([("z", Json::Num(1.0)), ("a", Json::Num(2.0))]);
+        assert_eq!(a.render(), r#"{"z":1,"a":2}"#);
+    }
+}

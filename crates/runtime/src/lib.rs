@@ -1,0 +1,35 @@
+//! Std-only runtime substrate for the Sybil-resistant truth discovery
+//! workspace.
+//!
+//! Every crate in the workspace builds offline against the standard
+//! library alone; this crate owns the pieces that would otherwise come
+//! from the crates.io ecosystem:
+//!
+//! * [`rng`] — a deterministic, seedable PRNG (SplitMix64 seeding feeding
+//!   a xoshiro256++ core) with the uniform/normal/shuffle/choice surface
+//!   the simulators and clustering code need,
+//! * [`parallel`] — scoped-thread data parallelism (order-preserving
+//!   `parallel_map` over contiguous chunks) used by the hot paths: DTW
+//!   pairwise dissimilarity matrices, k-means assignment and per-account
+//!   fingerprint feature extraction,
+//! * [`prop`] — a minimal deterministic property-test harness (seeded
+//!   generator loop with failure-case reporting) plus the
+//!   [`prop_assert!`]/[`prop_assert_eq!`] macros the test suites use,
+//! * [`bench`] — a tiny wall-clock benchmark harness (warmup + median of
+//!   N samples) backing the `crates/bench` binaries,
+//! * [`json`] — a hand-rolled JSON encoder ([`json::ToJson`]) for the
+//!   simulation artifacts that previously derived `serde::Serialize`.
+//!
+//! Determinism is a design constraint throughout: the PRNG stream depends
+//! only on its seed, and every parallel operation returns results in
+//! input order, so framework outputs are byte-identical across runs and
+//! across worker-thread counts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod json;
+pub mod parallel;
+pub mod prop;
+pub mod rng;

@@ -1,0 +1,198 @@
+//! Scoped-thread data parallelism with deterministic, order-preserving
+//! results.
+//!
+//! Everything here is built on [`std::thread::scope`]: no thread pool, no
+//! work stealing, no shared mutable state — each call splits its input
+//! into one contiguous chunk per worker, joins the workers and
+//! concatenates their outputs in input order. The result of every
+//! function is therefore **independent of the worker count**, which is
+//! what lets the framework promise byte-identical output on 1 thread and
+//! on 64.
+//!
+//! The worker count defaults to [`std::thread::available_parallelism`]
+//! and can be overridden process-wide with [`set_max_threads`] (the
+//! determinism tests pin it to 1 and N and compare outputs).
+//!
+//! # Examples
+//!
+//! ```
+//! use srtd_runtime::parallel::parallel_map;
+//!
+//! let squares = parallel_map(&[1, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide worker cap; 0 means "ask the OS".
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker count used by every function in this module.
+///
+/// `0` restores the default (one worker per available core). Results are
+/// identical for every setting; only wall-clock time changes.
+pub fn set_max_threads(n: usize) {
+    MAX_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The current worker count: the [`set_max_threads`] override if set,
+/// otherwise [`std::thread::available_parallelism`] (falling back to 1).
+pub fn max_threads() -> usize {
+    match MAX_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Maps `f` over `items` on up to [`max_threads`] scoped workers,
+/// returning outputs in input order.
+///
+/// Falls back to a sequential loop when only one worker is available or
+/// the input has fewer than two items. Panics in `f` propagate to the
+/// caller.
+pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = max_threads().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(workers);
+    let mut out = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| {
+                let f = &f;
+                scope.spawn(move || chunk.iter().map(f).collect::<Vec<U>>())
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("parallel_map worker panicked"));
+        }
+    });
+    out
+}
+
+/// [`parallel_map`] that stays sequential below `min_len` items.
+///
+/// For per-item work too small to amortize a thread spawn — e.g. the
+/// k-means assignment step, which runs once per Lloyd iteration — the
+/// caller states the break-even point and small inputs skip the scope
+/// entirely. Output is identical either way.
+pub fn parallel_map_min<T, U, F>(items: &[T], min_len: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    if items.len() < min_len {
+        items.iter().map(f).collect()
+    } else {
+        parallel_map(items, f)
+    }
+}
+
+/// Maps `f` over `0..n` in parallel, returning outputs in index order.
+pub fn parallel_map_range<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let indices: Vec<usize> = (0..n).collect();
+    parallel_map(&indices, |&i| f(i))
+}
+
+/// All unordered index pairs `(i, j)` with `i < j < n`, row-major.
+///
+/// The work list for symmetric pairwise computations (DTW dissimilarity
+/// matrices): flattening the triangle before [`parallel_map`] keeps the
+/// per-worker load balanced, which contiguous row chunks would not.
+pub fn triangle_pairs(n: usize) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::with_capacity(n.saturating_sub(1) * n / 2);
+    for i in 0..n {
+        for j in i + 1..n {
+            pairs.push((i, j));
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let f = |&x: &u64| x.wrapping_mul(x).rotate_left(7) as f64 * 0.5;
+        let sequential: Vec<f64> = items.iter().map(f).collect();
+        assert_eq!(parallel_map(&items, f), sequential);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_output() {
+        let items: Vec<u64> = (0..5_000).collect();
+        let f = |&x: &u64| x * 3 + 1;
+        set_max_threads(1);
+        let one = parallel_map(&items, f);
+        set_max_threads(7);
+        let seven = parallel_map(&items, f);
+        set_max_threads(0);
+        let auto = parallel_map(&items, f);
+        assert_eq!(one, seven);
+        assert_eq!(one, auto);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[5u32], |&x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn min_len_gate_is_output_invariant() {
+        let items: Vec<u64> = (0..300).collect();
+        let f = |&x: &u64| x ^ 0xabcd;
+        assert_eq!(
+            parallel_map_min(&items, 1_000, f),
+            parallel_map_min(&items, 0, f)
+        );
+    }
+
+    #[test]
+    fn map_range_is_in_index_order() {
+        assert_eq!(parallel_map_range(5, |i| i * 2), vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn triangle_pairs_cover_the_strict_upper_triangle() {
+        assert_eq!(triangle_pairs(0), Vec::<(usize, usize)>::new());
+        assert_eq!(triangle_pairs(1), Vec::<(usize, usize)>::new());
+        let pairs = triangle_pairs(4);
+        assert_eq!(pairs.len(), 6);
+        assert_eq!(pairs[0], (0, 1));
+        assert_eq!(pairs[5], (2, 3));
+        assert!(pairs.iter().all(|&(i, j)| i < j && j < 4));
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        set_max_threads(4);
+        let result = std::panic::catch_unwind(|| {
+            let items: Vec<u64> = (0..100).collect();
+            parallel_map(&items, |&x| {
+                assert!(x != 57, "boom");
+                x
+            })
+        });
+        set_max_threads(0);
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,255 @@
+//! Minimal deterministic property-test harness.
+//!
+//! A property test here is two closures: a *generator* that draws an
+//! arbitrary input from a seeded [`StdRng`], and a *property* that
+//! returns `Err(reason)` when the input violates the invariant. The
+//! harness runs a fixed number of cases, each from its own
+//! SplitMix64-derived seed, and panics on the first failure with the
+//! case index, the case seed and the `Debug` rendering of the offending
+//! input — everything needed to replay the case under a debugger.
+//!
+//! Unlike `proptest`, there is no shrinking and no persistence file: the
+//! suite is fully deterministic (same binary → same cases), so a failure
+//! reproduces by just re-running the test, and the reported case seed
+//! lets a regression be pinned as an ordinary unit test.
+//!
+//! The [`prop_assert!`](crate::prop_assert) and
+//! [`prop_assert_eq!`](crate::prop_assert_eq) macros early-return
+//! `Err(String)` so property bodies read like ordinary test bodies.
+//!
+//! # Examples
+//!
+//! ```
+//! use srtd_runtime::prop;
+//! use srtd_runtime::rng::Rng;
+//!
+//! prop::check(
+//!     |rng| rng.gen_range(-1.0e6..1.0e6),
+//!     |&x: &f64| {
+//!         srtd_runtime::prop_assert!(x.abs() >= 0.0, "abs must be non-negative");
+//!         Ok(())
+//!     },
+//! );
+//! ```
+
+use crate::rng::{SeedableRng, SplitMix64, StdRng};
+
+/// Number of cases and base seed of a [`check_with`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PropConfig {
+    /// Cases to run; every case uses a fresh derived seed.
+    pub cases: u32,
+    /// Base seed the per-case seeds are derived from.
+    pub seed: u64,
+}
+
+impl Default for PropConfig {
+    /// 128 cases from a fixed base seed.
+    fn default() -> Self {
+        Self {
+            cases: 128,
+            seed: 0x5eed_0bad_cafe,
+        }
+    }
+}
+
+/// Runs a property under the default [`PropConfig`].
+///
+/// # Panics
+///
+/// Panics on the first case whose `property` returns `Err`, reporting
+/// the case index, case seed and input.
+pub fn check<T, G, P>(generator: G, property: P)
+where
+    T: std::fmt::Debug,
+    G: FnMut(&mut StdRng) -> T,
+    P: FnMut(&T) -> Result<(), String>,
+{
+    check_with(PropConfig::default(), generator, property);
+}
+
+/// Runs a property with an explicit case count and base seed.
+///
+/// # Panics
+///
+/// Panics on the first failing case (see [`check`]).
+pub fn check_with<T, G, P>(config: PropConfig, mut generator: G, mut property: P)
+where
+    T: std::fmt::Debug,
+    G: FnMut(&mut StdRng) -> T,
+    P: FnMut(&T) -> Result<(), String>,
+{
+    let mut seeds = SplitMix64::new(config.seed);
+    for case in 0..config.cases {
+        let case_seed = seeds.next_u64();
+        let mut rng = StdRng::seed_from_u64(case_seed);
+        let input = generator(&mut rng);
+        if let Err(reason) = property(&input) {
+            panic!(
+                "property failed on case {case}/{total} (case seed {case_seed:#018x}):\n  \
+                 {reason}\n  input: {input:?}",
+                total = config.cases,
+            );
+        }
+    }
+}
+
+/// Draws a `Vec` whose length is uniform in `len` and whose elements come
+/// from `element` — the workhorse for porting collection strategies.
+pub fn vec_with<T, F>(rng: &mut StdRng, len: std::ops::Range<usize>, mut element: F) -> Vec<T>
+where
+    F: FnMut(&mut StdRng) -> T,
+{
+    use crate::rng::Rng;
+    let n = if len.start + 1 == len.end {
+        len.start
+    } else {
+        rng.gen_range(len)
+    };
+    (0..n).map(|_| element(rng)).collect()
+}
+
+/// Early-returns `Err(String)` from a property body when the condition
+/// does not hold. With only a condition the message is the stringified
+/// expression; extra arguments format the message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($arg:tt)+) => {
+        if !$cond {
+            return Err(format!($($arg)+));
+        }
+    };
+}
+
+/// Early-returns `Err(String)` when the two expressions are not equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n  right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($arg:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return Err(format!(
+                "{}\n  left: {:?}\n  right: {:?}",
+                format!($($arg)+),
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+/// Early-returns `Err(String)` when the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return Err(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($arg:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return Err(format!("{}\n  both: {:?}", format!($($arg)+), left));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u32;
+        check(
+            |rng| rng.gen_range(0..100u64),
+            |_| {
+                count += 1;
+                Ok(())
+            },
+        );
+        assert_eq!(count, PropConfig::default().cases);
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        let collect = || {
+            let mut inputs = Vec::new();
+            check(
+                |rng| rng.next_u64(),
+                |&x| {
+                    inputs.push(x);
+                    Ok(())
+                },
+            );
+            inputs
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed on case")]
+    fn failing_property_reports_the_case() {
+        check(
+            |rng| rng.gen_range(0..10u64),
+            |&x| {
+                prop_assert!(x < 5, "drew {x}, expected < 5");
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn prop_assert_eq_formats_both_sides() {
+        fn inner() -> Result<(), String> {
+            prop_assert_eq!(1 + 1, 3, "arithmetic is broken");
+            Ok(())
+        }
+        let err = inner().expect_err("must fail");
+        assert!(err.contains("arithmetic is broken"), "{err}");
+        assert!(err.contains('2') && err.contains('3'), "{err}");
+    }
+
+    #[test]
+    fn prop_assert_ne_fires_on_equality() {
+        fn inner() -> Result<(), String> {
+            prop_assert_ne!(7, 7);
+            Ok(())
+        }
+        assert!(inner().is_err());
+    }
+
+    #[test]
+    fn vec_with_respects_length_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let v = vec_with(&mut rng, 2..9, |r| r.next_f64());
+            assert!((2..9).contains(&v.len()));
+        }
+        let fixed = vec_with(&mut rng, 4..5, |r| r.next_u64());
+        assert_eq!(fixed.len(), 4);
+    }
+}

@@ -1,0 +1,450 @@
+//! Deterministic, seedable random number generation.
+//!
+//! The generator is xoshiro256++ (Blackman & Vigna), seeded through
+//! SplitMix64 as its authors recommend: any `u64` seed — including 0 —
+//! expands to a full 256-bit state that is never all-zero. The stream is
+//! a pure function of the seed, on every platform, forever; scenario
+//! generation, device manufacturing and k-means seeding all lean on that.
+//!
+//! The API mirrors the subset of the `rand` crate surface this workspace
+//! uses, so call sites read the same way: [`Rng::gen_range`] over
+//! half-open ranges, [`Rng::gen_bool`], [`Rng::normal`] (Box–Muller) and
+//! the [`SliceRandom`] shuffle/choose extension for slices.
+//!
+//! # Examples
+//!
+//! ```
+//! use srtd_runtime::rng::{Rng, SeedableRng, SliceRandom, StdRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let x = rng.gen_range(0.0..1.0);
+//! assert!((0.0..1.0).contains(&x));
+//! let i = rng.gen_range(0..10usize);
+//! assert!(i < 10);
+//! let mut order = [0, 1, 2, 3];
+//! order.shuffle(&mut rng);
+//! assert_eq!(StdRng::seed_from_u64(7).gen_range(0.0..1.0), x);
+//! ```
+
+/// SplitMix64: a tiny 64-bit generator used to expand seeds.
+///
+/// Weak as a generator on its own, but ideal for turning one `u64` into
+/// well-mixed state words for a stronger generator — consecutive outputs
+/// of SplitMix64 are decorrelated even for adjacent seeds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates the generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64-bit output (Steele, Lea & Flood's `mix64` finalizer).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ — the workspace's standard generator.
+///
+/// 256 bits of state, period 2²⁵⁶ − 1, passes BigCrush; the `++` output
+/// scrambler (rotate-add) avoids the low-bit linearity of the `+` variant.
+/// Not cryptographic — this is a simulation substrate, not a keystream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+/// The workspace's default generator, by its role rather than its guts.
+pub type StdRng = Xoshiro256PlusPlus;
+
+impl Xoshiro256PlusPlus {
+    /// Creates the generator from an explicit 256-bit state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is all zero (the one fixed point of the
+    /// transition function).
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s.iter().any(|&w| w != 0), "xoshiro state must be non-zero");
+        Self { s }
+    }
+
+    /// Raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Seeding from a single `u64`, SplitMix64-expanded.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for Xoshiro256PlusPlus {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        // SplitMix64 outputs are never all zero across four draws (it is a
+        // bijection of a counter), so the state is always valid.
+        Self {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+}
+
+/// Types that [`Rng::gen_range`] can sample uniformly from a half-open
+/// range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`. `lo < hi` is checked by the caller.
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        debug_assert!(lo.is_finite() && hi.is_finite());
+        let u = rng.next_f64();
+        // `u < 1`, so the result stays strictly below `hi` for any finite
+        // span and is never below `lo`.
+        let x = lo + (hi - lo) * u;
+        if x < hi {
+            x
+        } else {
+            lo
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        f64::sample_range(rng, lo as f64, hi as f64) as f32
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = hi.abs_diff(lo) as u64;
+                lo.wrapping_add(rng.next_u64_below(span) as Self)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+/// The random-value surface every generator exposes.
+///
+/// Only [`Rng::next_u64`] is required; everything else is derived so the
+/// whole workspace shares one implementation of each distribution.
+pub trait Rng {
+    /// Raw 64-bit output — the only method implementors must provide.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform `f64` in `[0, 1)` with 53 random mantissa bits.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Unbiased uniform `u64` in `[0, n)` by rejection sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    fn next_u64_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "cannot sample below zero");
+        // Reject draws from the tail shorter than `n` so every residue is
+        // equally likely; at most one rejection in expectation.
+        let zone = u64::MAX - (u64::MAX - n + 1) % n;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// Uniform draw from the half-open range `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T {
+        assert!(
+            range.start < range.end,
+            "gen_range requires a non-empty range"
+        );
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.next_f64() < p
+    }
+
+    /// One standard-normal variate (Box–Muller transform).
+    fn standard_normal(&mut self) -> f64 {
+        // `u1` is kept away from 0 so the log stays finite.
+        let u1 = f64::MIN_POSITIVE + (1.0 - f64::MIN_POSITIVE) * self.next_f64();
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// A normal variate with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or non-finite.
+    fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(
+            std_dev >= 0.0 && std_dev.is_finite(),
+            "standard deviation must be non-negative and finite, got {std_dev}"
+        );
+        mean + std_dev * self.standard_normal()
+    }
+}
+
+impl Rng for Xoshiro256PlusPlus {
+    fn next_u64(&mut self) -> u64 {
+        Xoshiro256PlusPlus::next_u64(self)
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        SplitMix64::next_u64(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Random slice operations: in-place shuffle and element choice.
+pub trait SliceRandom {
+    /// Element type of the slice.
+    type Item;
+
+    /// Fisher–Yates shuffle, uniform over all permutations.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly chosen element, or `None` if the slice is empty.
+    fn choose<'a, R: Rng + ?Sized>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.next_u64_below(i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<'a, R: Rng + ?Sized>(&'a self, rng: &mut R) -> Option<&'a T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.next_u64_below(self.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference vector from the xoshiro256++ author's C implementation
+    /// (also used by `rand_xoshiro`): state `[1, 2, 3, 4]`.
+    #[test]
+    fn xoshiro256pp_reference_vector() {
+        let mut rng = Xoshiro256PlusPlus::from_state([1, 2, 3, 4]);
+        let expected: [u64; 10] = [
+            41_943_041,
+            58_720_359,
+            3_588_806_011_781_223,
+            3_591_011_842_654_386,
+            9_228_616_714_210_784_205,
+            9_973_669_472_204_895_162,
+            14_011_001_112_246_962_877,
+            12_406_186_145_184_390_807,
+            15_849_039_046_786_891_736,
+            10_450_023_813_501_588_000,
+        ];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(rng.next_u64(), e, "output {i}");
+        }
+    }
+
+    /// Reference vector for SplitMix64 with seed 1234567
+    /// (from the canonical Java/C cross-check lists).
+    #[test]
+    fn splitmix64_reference_vector() {
+        let mut sm = SplitMix64::new(1234567);
+        let expected: [u64; 5] = [
+            6_457_827_717_110_365_317,
+            3_203_168_211_198_807_973,
+            9_817_491_932_198_370_423,
+            4_593_380_528_125_082_431,
+            16_408_922_859_458_223_821,
+        ];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(sm.next_u64(), e, "output {i}");
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(43);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn next_f64_is_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn gen_range_f64_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-3.0..7.5);
+            assert!((-3.0..7.5).contains(&x), "{x}");
+        }
+        // The degenerate-width guard of noise sampling: strictly positive.
+        for _ in 0..1_000 {
+            assert!(rng.gen_range(f64::MIN_POSITIVE..1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn gen_range_int_covers_all_residues() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..7usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1_000 {
+            let x = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.gen_range(3..3usize);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "{rate}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let skew =
+            samples.iter().map(|x| (x - mean).powi(3)).sum::<f64>() / (n as f64 * var.powf(1.5));
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "variance {var}");
+        assert!(skew.abs() < 0.05, "skewness {skew}");
+    }
+
+    #[test]
+    fn normal_respects_parameters() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(5.0, 0.5)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.02, "{mean}");
+        assert_eq!(rng.normal(2.5, 0.0), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "standard deviation")]
+    fn negative_std_dev_panics() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let _ = rng.normal(0.0, -1.0);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_seed_stable() {
+        let mut a: Vec<usize> = (0..50).collect();
+        let mut b: Vec<usize> = (0..50).collect();
+        a.shuffle(&mut StdRng::seed_from_u64(21));
+        b.shuffle(&mut StdRng::seed_from_u64(21));
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(a, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn choose_is_uniform_ish_and_none_on_empty() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let items = [0usize, 1, 2, 3];
+        let mut counts = [0usize; 4];
+        for _ in 0..8_000 {
+            counts[*items.choose(&mut rng).expect("non-empty")] += 1;
+        }
+        for &c in &counts {
+            assert!((1_700..2_300).contains(&c), "{counts:?}");
+        }
+    }
+}

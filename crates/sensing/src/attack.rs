@@ -1,10 +1,10 @@
 //! Sybil attack models (§III-C).
 
-use serde::{Deserialize, Serialize};
+use srtd_runtime::json::{Json, ToJson};
 
 /// Whether the Sybil attacker spreads its accounts over one device or
 /// several.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AttackType {
     /// Attack-I: a single device, multiple accounts. Account switching
     /// takes time (different timestamps) but every account shares the same
@@ -21,7 +21,7 @@ pub enum AttackType {
 }
 
 /// What data the Sybil accounts submit.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FabricationStrategy {
     /// Malicious: every account claims `value` (± small per-account jitter
     /// `jitter_std`, the "simple modification" of §III-C). The paper's
@@ -55,7 +55,7 @@ pub enum FabricationStrategy {
 /// spend extra effort making its accounts look behaviourally independent.
 /// Each tactic trades attack power or attacker effort for stealth, which
 /// the `exp_attack_strategies` experiment quantifies.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum EvasionTactic {
     /// No evasion: one physical walk, accounts submit back to back (the
     /// paper's attacker).
@@ -89,7 +89,7 @@ impl FabricationStrategy {
 }
 
 /// Specification of one Sybil attacker.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AttackerSpec {
     /// Number of accounts (the paper's attackers hold 5 each).
     pub accounts: usize,
@@ -164,6 +164,65 @@ impl AttackerSpec {
                 "subset fraction must be in (0,1], got {fraction}"
             );
         }
+    }
+}
+
+impl ToJson for AttackType {
+    fn to_json(&self) -> Json {
+        match self {
+            AttackType::SingleDevice => Json::obj([("type", Json::str("single_device"))]),
+            AttackType::MultiDevice { devices } => Json::obj([
+                ("type", Json::str("multi_device")),
+                ("devices", devices.to_json()),
+            ]),
+        }
+    }
+}
+
+impl ToJson for FabricationStrategy {
+    fn to_json(&self) -> Json {
+        match self {
+            FabricationStrategy::Fabricate { value, jitter_std } => Json::obj([
+                ("strategy", Json::str("fabricate")),
+                ("value", value.to_json()),
+                ("jitter_std", jitter_std.to_json()),
+            ]),
+            FabricationStrategy::DuplicateMeasurement { jitter_std } => Json::obj([
+                ("strategy", Json::str("duplicate_measurement")),
+                ("jitter_std", jitter_std.to_json()),
+            ]),
+            FabricationStrategy::Offset { delta, jitter_std } => Json::obj([
+                ("strategy", Json::str("offset")),
+                ("delta", delta.to_json()),
+                ("jitter_std", jitter_std.to_json()),
+            ]),
+        }
+    }
+}
+
+impl ToJson for EvasionTactic {
+    fn to_json(&self) -> Json {
+        match self {
+            EvasionTactic::None => Json::obj([("tactic", Json::str("none"))]),
+            EvasionTactic::PerAccountWalks => {
+                Json::obj([("tactic", Json::str("per_account_walks"))])
+            }
+            EvasionTactic::SubsetTasks { fraction } => Json::obj([
+                ("tactic", Json::str("subset_tasks")),
+                ("fraction", fraction.to_json()),
+            ]),
+        }
+    }
+}
+
+impl ToJson for AttackerSpec {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("accounts", self.accounts.to_json()),
+            ("attack_type", self.attack_type.to_json()),
+            ("strategy", self.strategy.to_json()),
+            ("evasion", self.evasion.to_json()),
+        ])
     }
 }
 

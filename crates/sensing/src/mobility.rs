@@ -1,12 +1,12 @@
 //! Walking routes and visit timetables.
 
 use crate::poi::PoiMap;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 use srtd_fingerprint::noise::normal;
+use srtd_runtime::json::{Json, ToJson};
+use srtd_runtime::rng::Rng;
 
 /// One POI visit on a walk: the task performed and when the walker arrived.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Visit {
     /// Task/POI index.
     pub task: usize,
@@ -19,15 +19,15 @@ pub struct Visit {
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
+/// use srtd_runtime::rng::SeedableRng;
 /// use srtd_sensing::{mobility::Walk, PoiMap};
 ///
 /// let map = PoiMap::campus(10, 1);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let mut rng = srtd_runtime::rng::StdRng::seed_from_u64(2);
 /// let walk = Walk::plan(&map, &[3, 7, 1], 0.0, 1.3, &mut rng);
 /// assert_eq!(walk.visits().len(), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Walk {
     visits: Vec<Visit>,
 }
@@ -157,11 +157,26 @@ fn dwell<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     normal(rng, Walk::DWELL_MEAN_S, Walk::DWELL_STD_S).clamp(10.0, 120.0)
 }
 
+impl ToJson for Visit {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("task", self.task.to_json()),
+            ("arrival", self.arrival.to_json()),
+        ])
+    }
+}
+
+impl ToJson for Walk {
+    fn to_json(&self) -> Json {
+        Json::obj([("visits", self.visits.to_json())])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use srtd_runtime::rng::SeedableRng;
+    use srtd_runtime::rng::StdRng;
 
     #[test]
     fn visits_all_requested_tasks_once() {

@@ -1,12 +1,12 @@
 //! Points of interest on the synthetic campus.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use srtd_runtime::json::{Json, ToJson};
+use srtd_runtime::rng::StdRng;
+use srtd_runtime::rng::{Rng, SeedableRng};
 
 /// One point of interest — the location of a sensing task (Fig. 5 of the
 /// paper shows 10 of them on a campus map).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Poi {
     /// Task/POI index.
     pub id: usize,
@@ -34,7 +34,7 @@ impl Poi {
 /// assert_eq!(map.len(), 10);
 /// assert!(map.distance(0, 1) > 0.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PoiMap {
     pois: Vec<Poi>,
 }
@@ -116,6 +116,22 @@ impl PoiMap {
     /// Panics if either id is out of range.
     pub fn distance(&self, a: usize, b: usize) -> f64 {
         self.pois[a].distance_to(&self.pois[b])
+    }
+}
+
+impl ToJson for Poi {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", self.id.to_json()),
+            ("x", self.x.to_json()),
+            ("y", self.y.to_json()),
+        ])
+    }
+}
+
+impl ToJson for PoiMap {
+    fn to_json(&self) -> Json {
+        Json::obj([("pois", self.pois.to_json())])
     }
 }
 

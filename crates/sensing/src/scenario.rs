@@ -5,12 +5,13 @@ use crate::mobility::Walk;
 use crate::poi::PoiMap;
 use crate::user::MeasurementProfile;
 use crate::world::WifiWorld;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 use srtd_fingerprint::catalog::{standard_catalog, DeviceRole};
 use srtd_fingerprint::noise::normal;
 use srtd_fingerprint::{fingerprint_features, CaptureConfig, DeviceInstance};
+use srtd_runtime::parallel::parallel_map;
+use srtd_runtime::rng::SliceRandom;
+use srtd_runtime::rng::StdRng;
+use srtd_runtime::rng::{Rng, SeedableRng};
 use srtd_truth::SensingData;
 
 /// Window (seconds) over which participants start their walks. A real
@@ -160,7 +161,10 @@ impl Scenario {
             manufacture_fleet(config, &mut rng);
 
         let mut data = SensingData::new(config.num_tasks);
-        let mut fingerprints = Vec::new();
+        // Captures are drawn inline (they consume the scenario RNG) but
+        // feature extraction is pure, so it is deferred and fanned out over
+        // the runtime's scoped threads once all accounts exist.
+        let mut captures = Vec::new();
         let mut owners = Vec::new();
         let mut devices = Vec::new();
         let mut is_sybil = Vec::new();
@@ -183,8 +187,7 @@ impl Scenario {
                 let submit = visit.arrival + rng.gen_range(5.0..40.0);
                 data.add_report(next_account, visit.task, value, submit);
             }
-            let capture = fleet[device].capture(&config.capture, &mut rng);
-            fingerprints.push(fingerprint_features(&capture));
+            captures.push(fleet[device].capture(&config.capture, &mut rng));
             owners.push(user);
             devices.push(device);
             is_sybil.push(false);
@@ -216,8 +219,7 @@ impl Scenario {
             let account_base = next_account;
             for j in 0..spec.accounts {
                 let device = device_ids[j % device_ids.len()];
-                let capture = fleet[device].capture(&config.capture, &mut rng);
-                fingerprints.push(fingerprint_features(&capture));
+                captures.push(fleet[device].capture(&config.capture, &mut rng));
                 owners.push(owner);
                 devices.push(device);
                 is_sybil.push(true);
@@ -305,6 +307,10 @@ impl Scenario {
                 }
             }
         }
+
+        // Per-account fingerprint feature extraction (FFTs over ~600-sample
+        // streams) is the heaviest pure stage of generation; parallelize it.
+        let fingerprints = parallel_map(&captures, fingerprint_features);
 
         Self {
             data,

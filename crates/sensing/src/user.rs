@@ -1,8 +1,8 @@
 //! Legitimate-user measurement quality.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 use srtd_fingerprint::noise::normal;
+use srtd_runtime::json::{Json, ToJson};
+use srtd_runtime::rng::Rng;
 
 /// How well a legitimate user measures: a systematic bias (device antenna,
 /// holding style) plus random noise (environment, timing).
@@ -10,7 +10,7 @@ use srtd_fingerprint::noise::normal;
 /// "In practice, the quality of sensing data from different users varies"
 /// (§III-A) — truth discovery exists precisely because these profiles
 /// differ and are unknown to the platform.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MeasurementProfile {
     /// Systematic offset added to every measurement (dBm).
     pub bias: f64,
@@ -37,11 +37,20 @@ impl MeasurementProfile {
     }
 }
 
+impl ToJson for MeasurementProfile {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("bias", self.bias.to_json()),
+            ("noise_std", self.noise_std.to_json()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use srtd_runtime::rng::SeedableRng;
+    use srtd_runtime::rng::StdRng;
 
     #[test]
     fn sampled_profiles_vary() {

@@ -2,10 +2,10 @@
 
 use crate::poi::PoiMap;
 use crate::user::MeasurementProfile;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use srtd_fingerprint::noise::normal;
+use srtd_runtime::json::{Json, ToJson};
+use srtd_runtime::rng::StdRng;
+use srtd_runtime::rng::{Rng, SeedableRng};
 
 /// Ground-truth Wi-Fi RSSI per POI plus the measurement model.
 ///
@@ -26,7 +26,7 @@ use srtd_fingerprint::noise::normal;
 /// let truth = world.ground_truth(3);
 /// assert!((-95.0..=-55.0).contains(&truth));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WifiWorld {
     ground_truth: Vec<f64>,
 }
@@ -92,6 +92,12 @@ impl WifiWorld {
         rng: &mut R,
     ) -> f64 {
         self.ground_truth[task] + profile.bias + normal(rng, 0.0, profile.noise_std)
+    }
+}
+
+impl ToJson for WifiWorld {
+    fn to_json(&self) -> Json {
+        Json::obj([("ground_truth", self.ground_truth.to_json())])
     }
 }
 

@@ -1,49 +1,54 @@
 //! Property tests over randomly configured campaigns.
 
-use proptest::prelude::*;
+use srtd_runtime::prop::{self, PropConfig};
+use srtd_runtime::rng::{Rng, StdRng};
+use srtd_runtime::{prop_assert, prop_assert_eq};
 use srtd_sensing::{AttackType, AttackerSpec, Scenario, ScenarioConfig};
 
-fn config_strategy() -> impl Strategy<Value = ScenarioConfig> {
-    (
-        2usize..20,                           // tasks
-        1usize..12,                           // legit users
-        0usize..3,                            // attackers
-        1usize..7,                            // accounts per attacker
-        prop_oneof![Just(true), Just(false)], // attack type toggle
-        0.15f64..1.0,                         // legit activeness
-        0.15f64..1.0,                         // attacker activeness
-        0u64..1000,                           // seed
-    )
-        .prop_map(|(tasks, legit, attackers, accounts, multi, la, aa, seed)| {
-            let spec = AttackerSpec {
-                accounts,
-                attack_type: if multi {
-                    AttackType::MultiDevice { devices: 2 }
-                } else {
-                    AttackType::SingleDevice
-                },
-                ..AttackerSpec::paper_attack_i()
-            };
-            ScenarioConfig {
-                num_tasks: tasks,
-                num_legit: legit,
-                attackers: vec![spec; attackers],
-                ..ScenarioConfig::paper_default()
-            }
-            .with_seed(seed)
-            .with_activeness(la.min(1.0), aa.min(1.0))
-        })
+/// Scenario generation is comparatively expensive, so run fewer cases
+/// than the harness default (mirrors the old 24-case proptest config).
+fn cases() -> PropConfig {
+    PropConfig {
+        cases: 24,
+        ..PropConfig::default()
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn config(rng: &mut StdRng) -> ScenarioConfig {
+    let tasks = rng.gen_range(2usize..20);
+    let legit = rng.gen_range(1usize..12);
+    let attackers = rng.gen_range(0usize..3);
+    let accounts = rng.gen_range(1usize..7);
+    let multi = rng.gen_bool(0.5);
+    let la = rng.gen_range(0.15f64..1.0);
+    let aa = rng.gen_range(0.15f64..1.0);
+    let seed = rng.gen_range(0u64..1000);
+    let spec = AttackerSpec {
+        accounts,
+        attack_type: if multi {
+            AttackType::MultiDevice { devices: 2 }
+        } else {
+            AttackType::SingleDevice
+        },
+        ..AttackerSpec::paper_attack_i()
+    };
+    ScenarioConfig {
+        num_tasks: tasks,
+        num_legit: legit,
+        attackers: vec![spec; attackers],
+        ..ScenarioConfig::paper_default()
+    }
+    .with_seed(seed)
+    .with_activeness(la.min(1.0), aa.min(1.0))
+}
 
-    /// Structural invariants hold for any configuration: account counts,
-    /// label lengths, fingerprint dimensionality, task-count bounds,
-    /// report sanity.
-    #[test]
-    fn generated_campaigns_are_structurally_sound(cfg in config_strategy()) {
-        let s = Scenario::generate(&cfg);
+/// Structural invariants hold for any configuration: account counts,
+/// label lengths, fingerprint dimensionality, task-count bounds,
+/// report sanity.
+#[test]
+fn generated_campaigns_are_structurally_sound() {
+    prop::check_with(cases(), config, |cfg| {
+        let s = Scenario::generate(cfg);
         let expected_accounts =
             cfg.num_legit + cfg.attackers.iter().map(|a| a.accounts).sum::<usize>();
         prop_assert_eq!(s.num_accounts(), expected_accounts);
@@ -70,14 +75,17 @@ proptest! {
             prop_assert!(r.value.is_finite() && r.timestamp.is_finite());
             prop_assert!(r.timestamp >= 0.0);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Owner labels are consistent with the Sybil flags: legitimate owners
-    /// hold exactly one account, attacker owners hold `accounts` many, and
-    /// device sharing happens only inside an owner.
-    #[test]
-    fn ownership_structure_is_consistent(cfg in config_strategy()) {
-        let s = Scenario::generate(&cfg);
+/// Owner labels are consistent with the Sybil flags: legitimate owners
+/// hold exactly one account, attacker owners hold `accounts` many, and
+/// device sharing happens only inside an owner.
+#[test]
+fn ownership_structure_is_consistent() {
+    prop::check_with(cases(), config, |cfg| {
+        let s = Scenario::generate(cfg);
         let mut by_owner: std::collections::HashMap<usize, Vec<usize>> =
             std::collections::HashMap::new();
         for a in 0..s.num_accounts() {
@@ -103,15 +111,19 @@ proptest! {
                 device_owner.insert(s.devices[a], s.owners[a]);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Generation is a pure function of the config.
-    #[test]
-    fn generation_is_deterministic(cfg in config_strategy()) {
-        let a = Scenario::generate(&cfg);
-        let b = Scenario::generate(&cfg);
+/// Generation is a pure function of the config.
+#[test]
+fn generation_is_deterministic() {
+    prop::check_with(cases(), config, |cfg| {
+        let a = Scenario::generate(cfg);
+        let b = Scenario::generate(cfg);
         prop_assert_eq!(a.data, b.data);
         prop_assert_eq!(a.fingerprints, b.fingerprints);
         prop_assert_eq!(a.owners, b.owners);
-    }
+        Ok(())
+    });
 }

@@ -157,7 +157,8 @@ pub fn apply_standardization(v: &[f64], params: &[(f64, f64)]) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use srtd_runtime::rng::Rng;
+    use srtd_runtime::{prop, prop_assert};
 
     fn noisy_signal(seed: u64, n: usize) -> Vec<f64> {
         // Small deterministic LCG so the test has no RNG dependency.
@@ -237,28 +238,37 @@ mod tests {
         FeatureConfig::new(-1.0);
     }
 
-    proptest! {
-        #[test]
-        fn standardized_columns_are_centered(
-            rows in proptest::collection::vec(
-                proptest::collection::vec(-1e3f64..1e3, 4..5),
-                2..30,
-            )
-        ) {
-            let (std_rows, _) = standardize(&rows);
-            for j in 0..4 {
-                let mean: f64 =
-                    std_rows.iter().map(|r| r[j]).sum::<f64>() / std_rows.len() as f64;
-                prop_assert!(mean.abs() < 1e-8);
-            }
-        }
+    #[test]
+    fn standardized_columns_are_centered() {
+        prop::check(
+            |rng| {
+                prop::vec_with(rng, 2..30, |r| {
+                    (0..4)
+                        .map(|_| r.gen_range(-1e3f64..1e3))
+                        .collect::<Vec<f64>>()
+                })
+            },
+            |rows| {
+                let (std_rows, _) = standardize(rows);
+                for j in 0..4 {
+                    let mean: f64 =
+                        std_rows.iter().map(|r| r[j]).sum::<f64>() / std_rows.len() as f64;
+                    prop_assert!(mean.abs() < 1e-8);
+                }
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn features_never_nan(
-            xs in proptest::collection::vec(-1e3f64..1e3, 0..400)
-        ) {
-            let f = stream_features(&xs, &FeatureConfig::new(100.0));
-            prop_assert!(f.to_vec().iter().all(|v| v.is_finite()));
-        }
+    #[test]
+    fn features_never_nan() {
+        prop::check(
+            |rng| prop::vec_with(rng, 0..400, |r| r.gen_range(-1e3f64..1e3)),
+            |xs| {
+                let f = stream_features(xs, &FeatureConfig::new(100.0));
+                prop_assert!(f.to_vec().iter().all(|v| v.is_finite()));
+                Ok(())
+            },
+        );
     }
 }

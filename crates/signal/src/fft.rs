@@ -79,7 +79,8 @@ pub fn fft_real(x: &[f64]) -> Vec<Complex> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use srtd_runtime::rng::Rng;
+    use srtd_runtime::{prop, prop_assert};
 
     fn naive_dft(x: &[Complex]) -> Vec<Complex> {
         let n = x.len();
@@ -152,46 +153,64 @@ mod tests {
         fft_in_place(&mut buf);
     }
 
-    proptest! {
-        /// fft → ifft returns the original signal.
-        #[test]
-        fn round_trip(xs in proptest::collection::vec(-1e3f64..1e3, 1..200)) {
-            let spec = fft_real(&xs);
-            let mut back = spec.clone();
-            ifft_in_place(&mut back);
-            for (i, &orig) in xs.iter().enumerate() {
-                prop_assert!((back[i].re - orig).abs() < 1e-8);
-                prop_assert!(back[i].im.abs() < 1e-8);
-            }
-        }
+    /// fft → ifft returns the original signal.
+    #[test]
+    fn round_trip() {
+        prop::check(
+            |rng| prop::vec_with(rng, 1..200, |r| r.gen_range(-1e3f64..1e3)),
+            |xs| {
+                let spec = fft_real(xs);
+                let mut back = spec.clone();
+                ifft_in_place(&mut back);
+                for (i, &orig) in xs.iter().enumerate() {
+                    prop_assert!((back[i].re - orig).abs() < 1e-8);
+                    prop_assert!(back[i].im.abs() < 1e-8);
+                }
+                Ok(())
+            },
+        );
+    }
 
-        /// Parseval: Σ|x|² = (1/N) Σ|X|² for power-of-two inputs.
-        #[test]
-        fn parseval(xs in proptest::collection::vec(-1e2f64..1e2, 1..7)) {
-            let n = 64usize;
-            let x: Vec<f64> = xs.iter().cycle().take(n).copied().collect();
-            let spec = fft_real(&x);
-            let time_energy: f64 = x.iter().map(|v| v * v).sum();
-            let freq_energy: f64 =
-                spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
-            prop_assert!((time_energy - freq_energy).abs() < 1e-6 * time_energy.max(1.0));
-        }
+    /// Parseval: Σ|x|² = (1/N) Σ|X|² for power-of-two inputs.
+    #[test]
+    fn parseval() {
+        prop::check(
+            |rng| prop::vec_with(rng, 1..7, |r| r.gen_range(-1e2f64..1e2)),
+            |xs| {
+                let n = 64usize;
+                let x: Vec<f64> = xs.iter().cycle().take(n).copied().collect();
+                let spec = fft_real(&x);
+                let time_energy: f64 = x.iter().map(|v| v * v).sum();
+                let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+                prop_assert!((time_energy - freq_energy).abs() < 1e-6 * time_energy.max(1.0));
+                Ok(())
+            },
+        );
+    }
 
-        /// Linearity of the transform.
-        #[test]
-        fn linearity(
-            xs in proptest::collection::vec(-10f64..10.0, 16..17),
-            ys in proptest::collection::vec(-10f64..10.0, 16..17),
-            a in -3f64..3.0,
-        ) {
-            let sum: Vec<f64> = xs.iter().zip(&ys).map(|(x, y)| a * x + y).collect();
-            let fs = fft_real(&sum);
-            let fx = fft_real(&xs);
-            let fy = fft_real(&ys);
-            for k in 0..fs.len() {
-                let want = fx[k].scale(a) + fy[k];
-                prop_assert!((fs[k] - want).abs() < 1e-8);
-            }
-        }
+    /// Linearity of the transform.
+    #[test]
+    fn linearity() {
+        prop::check(
+            |rng| {
+                (
+                    prop::vec_with(rng, 16..17, |r| r.gen_range(-10f64..10.0)),
+                    prop::vec_with(rng, 16..17, |r| r.gen_range(-10f64..10.0)),
+                    rng.gen_range(-3f64..3.0),
+                )
+            },
+            |(xs, ys, a)| {
+                let a = *a;
+                let sum: Vec<f64> = xs.iter().zip(ys).map(|(x, y)| a * x + y).collect();
+                let fs = fft_real(&sum);
+                let fx = fft_real(xs);
+                let fy = fft_real(ys);
+                for k in 0..fs.len() {
+                    let want = fx[k].scale(a) + fy[k];
+                    prop_assert!((fs[k] - want).abs() < 1e-8);
+                }
+                Ok(())
+            },
+        );
     }
 }

@@ -252,7 +252,8 @@ fn plomp_levelt(f1: f64, a1: f64, f2: f64, a2: f64) -> f64 {
 mod tests {
     use super::*;
     use crate::window::Window;
-    use proptest::prelude::*;
+    use srtd_runtime::rng::Rng;
+    use srtd_runtime::{prop, prop_assert};
 
     fn spec(mags: &[f64]) -> Spectrum {
         Spectrum::from_magnitudes(mags.to_vec(), 1.0)
@@ -348,47 +349,61 @@ mod tests {
         assert!(f.centroid > 0.0);
     }
 
-    proptest! {
-        #[test]
-        fn features_finite_and_bounded(
-            mags in proptest::collection::vec(0.0f64..1e4, 2..120)
-        ) {
-            let s = spec(&mags);
-            let f = SpectralFeatures::extract(&s, 5.0);
-            prop_assert!(f.to_vec().iter().all(|v| v.is_finite()));
-            prop_assert!((0.0..=1.0).contains(&f.flatness));
-            prop_assert!((0.0..=1.0).contains(&f.entropy));
-            prop_assert!((0.0..=1.0).contains(&f.brightness));
-            prop_assert!((0.0..=2.0 + 1e-9).contains(&f.irregularity));
-            prop_assert!(f.spread >= 0.0);
-        }
+    #[test]
+    fn features_finite_and_bounded() {
+        prop::check(
+            |rng| prop::vec_with(rng, 2..120, |r| r.gen_range(0.0f64..1e4)),
+            |mags| {
+                let s = spec(mags);
+                let f = SpectralFeatures::extract(&s, 5.0);
+                prop_assert!(f.to_vec().iter().all(|v| v.is_finite()));
+                prop_assert!((0.0..=1.0).contains(&f.flatness));
+                prop_assert!((0.0..=1.0).contains(&f.entropy));
+                prop_assert!((0.0..=1.0).contains(&f.brightness));
+                prop_assert!((0.0..=2.0 + 1e-9).contains(&f.irregularity));
+                prop_assert!(f.spread >= 0.0);
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn centroid_within_frequency_range(
-            mags in proptest::collection::vec(0.0f64..1e3, 3..60)
-        ) {
-            let s = spec(&mags);
-            let f = SpectralFeatures::extract(&s, 5.0);
-            prop_assert!(f.centroid >= 0.0);
-            prop_assert!(f.centroid <= s.max_frequency() + 1e-9);
-            prop_assert!(f.rolloff <= s.max_frequency() + 1e-9);
-        }
+    #[test]
+    fn centroid_within_frequency_range() {
+        prop::check(
+            |rng| prop::vec_with(rng, 3..60, |r| r.gen_range(0.0f64..1e3)),
+            |mags| {
+                let s = spec(mags);
+                let f = SpectralFeatures::extract(&s, 5.0);
+                prop_assert!(f.centroid >= 0.0);
+                prop_assert!(f.centroid <= s.max_frequency() + 1e-9);
+                prop_assert!(f.rolloff <= s.max_frequency() + 1e-9);
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn magnitude_scaling_leaves_shape_features_unchanged(
-            mags in proptest::collection::vec(0.01f64..1e3, 3..60),
-            scale in 0.1f64..100.0,
-        ) {
-            let s1 = spec(&mags);
-            let scaled: Vec<f64> = mags.iter().map(|m| m * scale).collect();
-            let s2 = spec(&scaled);
-            let f1 = SpectralFeatures::extract(&s1, 5.0);
-            let f2 = SpectralFeatures::extract(&s2, 5.0);
-            prop_assert!((f1.centroid - f2.centroid).abs() < 1e-6);
-            prop_assert!((f1.entropy - f2.entropy).abs() < 1e-6);
-            prop_assert!((f1.flatness - f2.flatness).abs() < 1e-6);
-            prop_assert!((f1.brightness - f2.brightness).abs() < 1e-6);
-            prop_assert!((f1.irregularity - f2.irregularity).abs() < 1e-6);
-        }
+    #[test]
+    fn magnitude_scaling_leaves_shape_features_unchanged() {
+        prop::check(
+            |rng| {
+                (
+                    prop::vec_with(rng, 3..60, |r| r.gen_range(0.01f64..1e3)),
+                    rng.gen_range(0.1f64..100.0),
+                )
+            },
+            |(mags, scale)| {
+                let s1 = spec(mags);
+                let scaled: Vec<f64> = mags.iter().map(|m| m * scale).collect();
+                let s2 = spec(&scaled);
+                let f1 = SpectralFeatures::extract(&s1, 5.0);
+                let f2 = SpectralFeatures::extract(&s2, 5.0);
+                prop_assert!((f1.centroid - f2.centroid).abs() < 1e-6);
+                prop_assert!((f1.entropy - f2.entropy).abs() < 1e-6);
+                prop_assert!((f1.flatness - f2.flatness).abs() < 1e-6);
+                prop_assert!((f1.brightness - f2.brightness).abs() < 1e-6);
+                prop_assert!((f1.irregularity - f2.irregularity).abs() < 1e-6);
+                Ok(())
+            },
+        );
     }
 }

@@ -90,7 +90,8 @@ pub fn weighted_mean(values: &[f64], weights: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use srtd_runtime::rng::Rng;
+    use srtd_runtime::{prop, prop_assert};
 
     #[test]
     fn mean_and_variance_of_known_data() {
@@ -134,38 +135,66 @@ mod tests {
         assert!((v - 7.5).abs() < 1e-12);
     }
 
-    proptest! {
-        #[test]
-        fn rms_ge_abs_mean(xs in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
-            prop_assert!(rms(&xs) + 1e-9 >= mean(&xs).abs());
-        }
+    #[test]
+    fn rms_ge_abs_mean() {
+        prop::check(
+            |rng| prop::vec_with(rng, 1..100, |r| r.gen_range(-1e3f64..1e3)),
+            |xs| {
+                prop_assert!(rms(xs) + 1e-9 >= mean(xs).abs());
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn variance_shift_invariant(
-            xs in proptest::collection::vec(-1e3f64..1e3, 2..100),
-            shift in -1e3f64..1e3,
-        ) {
-            let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
-            prop_assert!((variance(&xs) - variance(&shifted)).abs() < 1e-6);
-        }
+    #[test]
+    fn variance_shift_invariant() {
+        prop::check(
+            |rng| {
+                (
+                    prop::vec_with(rng, 2..100, |r| r.gen_range(-1e3f64..1e3)),
+                    rng.gen_range(-1e3f64..1e3),
+                )
+            },
+            |(xs, shift)| {
+                let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+                prop_assert!((variance(xs) - variance(&shifted)).abs() < 1e-6);
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn kurtosis_at_least_one(xs in proptest::collection::vec(-1e3f64..1e3, 2..100)) {
-            // For any distribution, kurtosis >= 1 (>= skewness² + 1).
-            prop_assert!(kurtosis(&xs) >= 1.0 - 1e-9);
-        }
+    #[test]
+    fn kurtosis_at_least_one() {
+        prop::check(
+            |rng| prop::vec_with(rng, 2..100, |r| r.gen_range(-1e3f64..1e3)),
+            |xs| {
+                // For any distribution, kurtosis >= 1 (>= skewness² + 1).
+                prop_assert!(kurtosis(xs) >= 1.0 - 1e-9);
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn weighted_mean_in_hull(
-            pts in proptest::collection::vec((-1e3f64..1e3, 0.0f64..10.0), 1..50)
-        ) {
-            let values: Vec<f64> = pts.iter().map(|p| p.0).collect();
-            let weights: Vec<f64> = pts.iter().map(|p| p.1).collect();
-            prop_assume!(weights.iter().sum::<f64>() > 0.0);
-            let wm = weighted_mean(&values, &weights);
-            let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
-            let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            prop_assert!(wm >= lo - 1e-9 && wm <= hi + 1e-9);
-        }
+    #[test]
+    fn weighted_mean_in_hull() {
+        prop::check(
+            |rng| {
+                prop::vec_with(rng, 1..50, |r| {
+                    (r.gen_range(-1e3f64..1e3), r.gen_range(0.0f64..10.0))
+                })
+            },
+            |pts| {
+                let values: Vec<f64> = pts.iter().map(|p| p.0).collect();
+                let weights: Vec<f64> = pts.iter().map(|p| p.1).collect();
+                if weights.iter().sum::<f64>() <= 0.0 {
+                    return Ok(()); // degenerate draw, nothing to check
+                }
+                let wm = weighted_mean(&values, &weights);
+                let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!(wm >= lo - 1e-9 && wm <= hi + 1e-9);
+                Ok(())
+            },
+        );
     }
 }

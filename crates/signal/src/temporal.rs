@@ -99,7 +99,8 @@ pub fn non_negative_fraction(signal: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use srtd_runtime::rng::Rng;
+    use srtd_runtime::{prop, prop_assert};
 
     #[test]
     fn known_signal_features() {
@@ -159,25 +160,41 @@ mod tests {
         );
     }
 
-    proptest! {
-        #[test]
-        fn all_features_finite(xs in proptest::collection::vec(-1e4f64..1e4, 0..300)) {
-            let f = TemporalFeatures::extract(&xs);
-            prop_assert!(f.to_vec().iter().all(|v| v.is_finite()));
-        }
+    #[test]
+    fn all_features_finite() {
+        prop::check(
+            |rng| prop::vec_with(rng, 0..300, |r| r.gen_range(-1e4f64..1e4)),
+            |xs| {
+                let f = TemporalFeatures::extract(xs);
+                prop_assert!(f.to_vec().iter().all(|v| v.is_finite()));
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn min_le_mean_le_max(xs in proptest::collection::vec(-1e4f64..1e4, 1..300)) {
-            let f = TemporalFeatures::extract(&xs);
-            prop_assert!(f.min <= f.mean + 1e-9);
-            prop_assert!(f.mean <= f.max + 1e-9);
-        }
+    #[test]
+    fn min_le_mean_le_max() {
+        prop::check(
+            |rng| prop::vec_with(rng, 1..300, |r| r.gen_range(-1e4f64..1e4)),
+            |xs| {
+                let f = TemporalFeatures::extract(xs);
+                prop_assert!(f.min <= f.mean + 1e-9);
+                prop_assert!(f.mean <= f.max + 1e-9);
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn rates_are_unit_bounded(xs in proptest::collection::vec(-10f64..10.0, 0..100)) {
-            let f = TemporalFeatures::extract(&xs);
-            prop_assert!((0.0..=1.0).contains(&f.zcr));
-            prop_assert!((0.0..=1.0).contains(&f.non_negative_fraction));
-        }
+    #[test]
+    fn rates_are_unit_bounded() {
+        prop::check(
+            |rng| prop::vec_with(rng, 0..100, |r| r.gen_range(-10f64..10.0)),
+            |xs| {
+                let f = TemporalFeatures::extract(xs);
+                prop_assert!((0.0..=1.0).contains(&f.zcr));
+                prop_assert!((0.0..=1.0).contains(&f.non_negative_fraction));
+                Ok(())
+            },
+        );
     }
 }

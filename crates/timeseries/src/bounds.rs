@@ -122,7 +122,8 @@ pub fn pruned_raw_dtw_matrix(series: &[Vec<f64>], cutoff: f64) -> Vec<Vec<f64>> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use srtd_runtime::rng::Rng;
+    use srtd_runtime::{prop, prop_assert, prop_assert_eq};
 
     #[test]
     fn kim_bound_zero_for_identical() {
@@ -168,49 +169,75 @@ mod tests {
         assert_eq!(m[0][0], 0.0);
     }
 
-    proptest! {
-        /// LB_Kim never exceeds the raw DTW cost.
-        #[test]
-        fn kim_is_a_lower_bound(
-            a in proptest::collection::vec(-50f64..50.0, 1..25),
-            b in proptest::collection::vec(-50f64..50.0, 1..25),
-        ) {
-            let exact = Dtw::new().raw().distance(&a, &b);
-            prop_assert!(lb_kim(&a, &b) <= exact + 1e-9);
-        }
+    /// LB_Kim never exceeds the raw DTW cost.
+    #[test]
+    fn kim_is_a_lower_bound() {
+        prop::check(
+            |rng| {
+                (
+                    prop::vec_with(rng, 1..25, |r| r.gen_range(-50f64..50.0)),
+                    prop::vec_with(rng, 1..25, |r| r.gen_range(-50f64..50.0)),
+                )
+            },
+            |(a, b)| {
+                let exact = Dtw::new().raw().distance(a, b);
+                prop_assert!(lb_kim(a, b) <= exact + 1e-9);
+                Ok(())
+            },
+        );
+    }
 
-        /// LB_Keogh never exceeds the banded raw DTW cost.
-        #[test]
-        fn keogh_is_a_lower_bound(
-            data in proptest::collection::vec((-50f64..50.0, -50f64..50.0), 1..25),
-            w in 0usize..6,
-        ) {
-            let a: Vec<f64> = data.iter().map(|d| d.0).collect();
-            let b: Vec<f64> = data.iter().map(|d| d.1).collect();
-            let exact = Dtw::new().raw().with_band(w).distance(&a, &b);
-            prop_assert!(lb_keogh(&a, &b, w) <= exact + 1e-9);
-        }
+    /// LB_Keogh never exceeds the banded raw DTW cost.
+    #[test]
+    fn keogh_is_a_lower_bound() {
+        prop::check(
+            |rng| {
+                (
+                    prop::vec_with(rng, 1..25, |r| {
+                        (r.gen_range(-50f64..50.0), r.gen_range(-50f64..50.0))
+                    }),
+                    rng.gen_range(0usize..6),
+                )
+            },
+            |(data, w)| {
+                let w = *w;
+                let a: Vec<f64> = data.iter().map(|d| d.0).collect();
+                let b: Vec<f64> = data.iter().map(|d| d.1).collect();
+                let exact = Dtw::new().raw().with_band(w).distance(&a, &b);
+                prop_assert!(lb_keogh(&a, &b, w) <= exact + 1e-9);
+                Ok(())
+            },
+        );
+    }
 
-        /// Pruning never changes finite entries below the cutoff.
-        #[test]
-        fn pruning_is_sound(
-            series in proptest::collection::vec(
-                proptest::collection::vec(-20f64..20.0, 2..8),
-                2..6,
-            ),
-            cutoff in 0.0f64..500.0,
-        ) {
-            let pruned = pruned_raw_dtw_matrix(&series, cutoff);
-            let dtw = Dtw::new().raw();
-            for i in 0..series.len() {
-                for j in 0..series.len() {
-                    if i == j { continue; }
-                    let exact = dtw.distance(&series[i], &series[j]);
-                    if exact <= cutoff {
-                        prop_assert_eq!(pruned[i][j], exact);
+    /// Pruning never changes finite entries below the cutoff.
+    #[test]
+    fn pruning_is_sound() {
+        prop::check(
+            |rng| {
+                (
+                    prop::vec_with(rng, 2..6, |r| {
+                        prop::vec_with(r, 2..8, |r2| r2.gen_range(-20f64..20.0))
+                    }),
+                    rng.gen_range(0.0f64..500.0),
+                )
+            },
+            |(series, cutoff)| {
+                let pruned = pruned_raw_dtw_matrix(series, *cutoff);
+                let dtw = Dtw::new().raw();
+                for i in 0..series.len() {
+                    for j in 0..series.len() {
+                        if i == j {
+                            continue;
+                        }
+                        let exact = dtw.distance(&series[i], &series[j]);
+                        if exact <= *cutoff {
+                            prop_assert_eq!(pruned[i][j], exact);
+                        }
                     }
                 }
-            }
-        }
+                Ok(())
+            },
+        );
     }
 }

@@ -134,7 +134,8 @@ pub fn dtw(a: &[f64], b: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use srtd_runtime::rng::Rng;
+    use srtd_runtime::{prop, prop_assert};
 
     #[test]
     fn identical_series_have_zero_distance() {
@@ -210,64 +211,82 @@ mod tests {
         assert!(dtw(&x1, &x4) < dtw(&x1, &x2));
     }
 
-    proptest! {
-        #[test]
-        fn nonnegative_and_symmetric(
-            a in proptest::collection::vec(-100f64..100.0, 1..30),
-            b in proptest::collection::vec(-100f64..100.0, 1..30),
-        ) {
-            let ab = dtw(&a, &b);
-            let ba = dtw(&b, &a);
-            prop_assert!(ab >= 0.0);
-            prop_assert!((ab - ba).abs() < 1e-9 * ab.max(1.0));
-        }
+    fn vals(rng: &mut srtd_runtime::rng::StdRng, len: std::ops::Range<usize>) -> Vec<f64> {
+        prop::vec_with(rng, len, |r| r.gen_range(-100f64..100.0))
+    }
 
-        #[test]
-        fn identity_of_indiscernibles(
-            a in proptest::collection::vec(-100f64..100.0, 1..30)
-        ) {
-            prop_assert!(dtw(&a, &a) < 1e-12);
-        }
+    #[test]
+    fn nonnegative_and_symmetric() {
+        prop::check(
+            |rng| (vals(rng, 1..30), vals(rng, 1..30)),
+            |(a, b)| {
+                let ab = dtw(a, b);
+                let ba = dtw(b, a);
+                prop_assert!(ab >= 0.0);
+                prop_assert!((ab - ba).abs() < 1e-9 * ab.max(1.0));
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn banded_at_least_unconstrained_raw(
-            a in proptest::collection::vec(-100f64..100.0, 1..25),
-            b in proptest::collection::vec(-100f64..100.0, 1..25),
-            w in 0usize..5,
-        ) {
-            // In raw cumulative-cost mode a constrained minimum can never
-            // beat the unconstrained one. (Under Eq. 7's path-length
-            // normalization the inequality can flip — a longer banded path
-            // may average lower — so the guarantee is raw-only.)
-            let full = Dtw::new().raw().distance(&a, &b);
-            let banded = Dtw::new().raw().with_band(w).distance(&a, &b);
-            prop_assert!(banded + 1e-9 >= full);
-            // Normalized banded distances stay well-defined regardless.
-            let norm = Dtw::new().with_band(w).distance(&a, &b);
-            prop_assert!(norm.is_finite() && norm >= 0.0);
-        }
+    #[test]
+    fn identity_of_indiscernibles() {
+        prop::check(
+            |rng| vals(rng, 1..30),
+            |a| {
+                prop_assert!(dtw(a, a) < 1e-12);
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn bounded_by_max_pointwise_distance(
-            a in proptest::collection::vec(-100f64..100.0, 1..25),
-            b in proptest::collection::vec(-100f64..100.0, 1..25),
-        ) {
-            let d = dtw(&a, &b);
-            let max_gap = a
-                .iter()
-                .flat_map(|x| b.iter().map(move |y| (x - y).abs()))
-                .fold(0.0, f64::max);
-            prop_assert!(d <= max_gap + 1e-9);
-        }
+    #[test]
+    fn banded_at_least_unconstrained_raw() {
+        prop::check(
+            |rng| (vals(rng, 1..25), vals(rng, 1..25), rng.gen_range(0usize..5)),
+            |(a, b, w)| {
+                let w = *w;
+                // In raw cumulative-cost mode a constrained minimum can never
+                // beat the unconstrained one. (Under Eq. 7's path-length
+                // normalization the inequality can flip — a longer banded path
+                // may average lower — so the guarantee is raw-only.)
+                let full = Dtw::new().raw().distance(a, b);
+                let banded = Dtw::new().raw().with_band(w).distance(a, b);
+                prop_assert!(banded + 1e-9 >= full);
+                // Normalized banded distances stay well-defined regardless.
+                let norm = Dtw::new().with_band(w).distance(a, b);
+                prop_assert!(norm.is_finite() && norm >= 0.0);
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn wide_band_matches_unconstrained(
-            a in proptest::collection::vec(-100f64..100.0, 1..20),
-            b in proptest::collection::vec(-100f64..100.0, 1..20),
-        ) {
-            let full = dtw(&a, &b);
-            let wide = Dtw::new().with_band(50).distance(&a, &b);
-            prop_assert!((full - wide).abs() < 1e-9);
-        }
+    #[test]
+    fn bounded_by_max_pointwise_distance() {
+        prop::check(
+            |rng| (vals(rng, 1..25), vals(rng, 1..25)),
+            |(a, b)| {
+                let d = dtw(a, b);
+                let max_gap = a
+                    .iter()
+                    .flat_map(|x| b.iter().map(move |y| (x - y).abs()))
+                    .fold(0.0, f64::max);
+                prop_assert!(d <= max_gap + 1e-9);
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn wide_band_matches_unconstrained() {
+        prop::check(
+            |rng| (vals(rng, 1..20), vals(rng, 1..20)),
+            |(a, b)| {
+                let full = dtw(a, b);
+                let wide = Dtw::new().with_band(50).distance(a, b);
+                prop_assert!((full - wide).abs() < 1e-9);
+                Ok(())
+            },
+        );
     }
 }

@@ -90,7 +90,8 @@ pub fn z_normalize(xs: &[f64]) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use srtd_runtime::rng::Rng;
+    use srtd_runtime::{prop, prop_assert};
 
     #[test]
     fn dissimilarity_of_identical_trajectories_is_zero() {
@@ -129,33 +130,47 @@ mod tests {
         assert_eq!(empty.dissimilarity(&empty), 0.0);
     }
 
-    proptest! {
-        #[test]
-        fn z_normalized_is_shift_scale_invariant(
-            xs in proptest::collection::vec(-1e3f64..1e3, 2..40),
-            shift in -1e4f64..1e4,
-            scale in 0.1f64..50.0,
-        ) {
-            let moved: Vec<f64> = xs.iter().map(|x| x * scale + shift).collect();
-            let za = z_normalize(&xs);
-            let zb = z_normalize(&moved);
-            for (a, b) in za.iter().zip(&zb) {
-                prop_assert!((a - b).abs() < 1e-6);
-            }
-        }
+    #[test]
+    fn z_normalized_is_shift_scale_invariant() {
+        prop::check(
+            |rng| {
+                (
+                    prop::vec_with(rng, 2..40, |r| r.gen_range(-1e3f64..1e3)),
+                    rng.gen_range(-1e4f64..1e4),
+                    rng.gen_range(0.1f64..50.0),
+                )
+            },
+            |(xs, shift, scale)| {
+                let moved: Vec<f64> = xs.iter().map(|x| x * scale + shift).collect();
+                let za = z_normalize(xs);
+                let zb = z_normalize(&moved);
+                for (a, b) in za.iter().zip(&zb) {
+                    prop_assert!((a - b).abs() < 1e-6);
+                }
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn dissimilarity_symmetric(
-            ta in proptest::collection::vec(0f64..10.0, 1..15),
-            tb in proptest::collection::vec(0f64..10.0, 1..15),
-        ) {
-            let ya: Vec<f64> = (0..ta.len()).map(|i| i as f64).collect();
-            let yb: Vec<f64> = (0..tb.len()).map(|i| i as f64 * 1.1).collect();
-            let a = TimeSeriesPair::new(ta, ya);
-            let b = TimeSeriesPair::new(tb, yb);
-            let ab = a.dissimilarity(&b);
-            prop_assert!((ab - b.dissimilarity(&a)).abs() < 1e-9);
-            prop_assert!(ab >= 0.0);
-        }
+    #[test]
+    fn dissimilarity_symmetric() {
+        prop::check(
+            |rng| {
+                (
+                    prop::vec_with(rng, 1..15, |r| r.gen_range(0f64..10.0)),
+                    prop::vec_with(rng, 1..15, |r| r.gen_range(0f64..10.0)),
+                )
+            },
+            |(ta, tb)| {
+                let ya: Vec<f64> = (0..ta.len()).map(|i| i as f64).collect();
+                let yb: Vec<f64> = (0..tb.len()).map(|i| i as f64 * 1.1).collect();
+                let a = TimeSeriesPair::new(ta.clone(), ya);
+                let b = TimeSeriesPair::new(tb.clone(), yb);
+                let ab = a.dissimilarity(&b);
+                prop_assert!((ab - b.dissimilarity(&a)).abs() < 1e-9);
+                prop_assert!(ab >= 0.0);
+                Ok(())
+            },
+        );
     }
 }

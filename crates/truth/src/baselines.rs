@@ -70,7 +70,8 @@ impl TruthDiscovery for MedianVote {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use srtd_runtime::rng::Rng;
+    use srtd_runtime::{prop, prop_assert};
 
     fn data_from(values: &[&[f64]]) -> SensingData {
         let mut d = SensingData::new(values.len());
@@ -115,33 +116,42 @@ mod tests {
         assert_eq!(MedianVote.discover(&d).truths[1], None);
     }
 
-    proptest! {
-        /// Both baselines stay inside the convex hull of per-task reports.
-        #[test]
-        fn estimates_in_hull(vals in proptest::collection::vec(-100f64..100.0, 1..20)) {
-            let refs: Vec<&[f64]> = vec![&vals];
-            let d = data_from(&refs);
-            let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
-            let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            for algo in [&MeanVote as &dyn TruthDiscovery, &MedianVote] {
-                let v = algo.discover(&d).truths[0].unwrap();
-                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
-            }
-        }
+    /// Both baselines stay inside the convex hull of per-task reports.
+    #[test]
+    fn estimates_in_hull() {
+        prop::check(
+            |rng| prop::vec_with(rng, 1..20, |r| r.gen_range(-100f64..100.0)),
+            |vals| {
+                let refs: Vec<&[f64]> = vec![vals];
+                let d = data_from(&refs);
+                let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                for algo in [&MeanVote as &dyn TruthDiscovery, &MedianVote] {
+                    let v = algo.discover(&d).truths[0].unwrap();
+                    prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+                }
+                Ok(())
+            },
+        );
+    }
 
-        /// Median is permutation-invariant.
-        #[test]
-        fn median_permutation_invariant(
-            mut vals in proptest::collection::vec(-100f64..100.0, 2..15)
-        ) {
-            let refs: Vec<&[f64]> = vec![&vals];
-            let d1 = data_from(&refs);
-            let a = MedianVote.discover(&d1).truths[0].unwrap();
-            vals.reverse();
-            let refs: Vec<&[f64]> = vec![&vals];
-            let d2 = data_from(&refs);
-            let b = MedianVote.discover(&d2).truths[0].unwrap();
-            prop_assert!((a - b).abs() < 1e-12);
-        }
+    /// Median is permutation-invariant.
+    #[test]
+    fn median_permutation_invariant() {
+        prop::check(
+            |rng| prop::vec_with(rng, 2..15, |r| r.gen_range(-100f64..100.0)),
+            |vals| {
+                let refs: Vec<&[f64]> = vec![vals.as_slice()];
+                let d1 = data_from(&refs);
+                let a = MedianVote.discover(&d1).truths[0].unwrap();
+                let mut reversed = vals.clone();
+                reversed.reverse();
+                let refs: Vec<&[f64]> = vec![&reversed];
+                let d2 = data_from(&refs);
+                let b = MedianVote.discover(&d2).truths[0].unwrap();
+                prop_assert!((a - b).abs() < 1e-12);
+                Ok(())
+            },
+        );
     }
 }

@@ -346,31 +346,37 @@ mod tests {
 #[cfg(test)]
 mod property_tests {
     use super::*;
-    use proptest::prelude::*;
+    use srtd_runtime::rng::{Rng, StdRng};
+    use srtd_runtime::{prop, prop_assert, prop_assert_eq};
 
-    fn campaign_strategy() -> impl Strategy<Value = CategoricalData> {
-        proptest::collection::vec((0usize..6, 0usize..4, 0usize..3), 1..30).prop_map(|raw| {
-            let mut d = CategoricalData::new(4);
-            let mut seen = std::collections::HashSet::new();
-            for (account, task, label) in raw {
-                if seen.insert((account, task)) {
-                    d.add_claim(account, task, label);
-                }
+    fn campaign(rng: &mut StdRng) -> CategoricalData {
+        let raw = prop::vec_with(rng, 1..30, |r| {
+            (
+                r.gen_range(0usize..6),
+                r.gen_range(0usize..4),
+                r.gen_range(0usize..3),
+            )
+        });
+        let mut d = CategoricalData::new(4);
+        let mut seen = std::collections::HashSet::new();
+        for (account, task, label) in raw {
+            if seen.insert((account, task)) {
+                d.add_claim(account, task, label);
             }
-            d
-        })
+        }
+        d
     }
 
-    proptest! {
-        /// Every winning label was actually claimed for that task, under
-        /// all three aggregation modes.
-        #[test]
-        fn winners_are_claimed_labels(data in campaign_strategy()) {
+    /// Every winning label was actually claimed for that task, under
+    /// all three aggregation modes.
+    #[test]
+    fn winners_are_claimed_labels() {
+        prop::check(campaign, |data| {
             let group_of: Vec<usize> = (0..data.num_accounts().max(1)).collect();
             let outputs = [
-                majority_vote(&data),
-                WeightedVote::default().discover(&data).truths,
-                grouped_weighted_vote(&data, &group_of),
+                majority_vote(data),
+                WeightedVote::default().discover(data).truths,
+                grouped_weighted_vote(data, &group_of),
             ];
             for truths in outputs {
                 for (task, truth) in truths.iter().enumerate() {
@@ -386,25 +392,32 @@ mod property_tests {
                     }
                 }
             }
-        }
+            Ok(())
+        });
+    }
 
-        /// All-singleton grouping reduces the grouped vote to plain
-        /// majority voting (Eq. 4 weights become uniform).
-        #[test]
-        fn singleton_grouping_is_majority_vote(data in campaign_strategy()) {
+    /// All-singleton grouping reduces the grouped vote to plain
+    /// majority voting (Eq. 4 weights become uniform).
+    #[test]
+    fn singleton_grouping_is_majority_vote() {
+        prop::check(campaign, |data| {
             let singletons: Vec<usize> = (0..data.num_accounts().max(1)).collect();
             prop_assert_eq!(
-                grouped_weighted_vote(&data, &singletons),
-                majority_vote(&data)
+                grouped_weighted_vote(data, &singletons),
+                majority_vote(data)
             );
-        }
+            Ok(())
+        });
+    }
 
-        /// Deterministic: the weighted vote is a pure function.
-        #[test]
-        fn weighted_vote_deterministic(data in campaign_strategy()) {
-            let a = WeightedVote::default().discover(&data);
-            let b = WeightedVote::default().discover(&data);
+    /// Deterministic: the weighted vote is a pure function.
+    #[test]
+    fn weighted_vote_deterministic() {
+        prop::check(campaign, |data| {
+            let a = WeightedVote::default().discover(data);
+            let b = WeightedVote::default().discover(data);
             prop_assert_eq!(a, b);
-        }
+            Ok(())
+        });
     }
 }

@@ -1,10 +1,10 @@
 //! The account × task report matrix.
 
-use serde::{Deserialize, Serialize};
+use srtd_runtime::json::{Json, ToJson};
 
 /// One sensing report: account `account` claims `value` for task `task`
 /// at time `timestamp` (seconds from the campaign start).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Report {
     /// Reporting account index.
     pub account: usize,
@@ -35,7 +35,7 @@ pub struct Report {
 /// assert_eq!(data.tasks_of(0), &[0, 1]);
 /// assert_eq!(data.reports_for_task(1).len(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SensingData {
     num_tasks: usize,
     reports: Vec<Report>,
@@ -214,6 +214,28 @@ impl SensingData {
             return 0.0;
         }
         self.account_reports(account).count() as f64 / self.num_tasks as f64
+    }
+}
+
+impl ToJson for Report {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("account", self.account.to_json()),
+            ("task", self.task.to_json()),
+            ("value", self.value.to_json()),
+            ("timestamp", self.timestamp.to_json()),
+        ])
+    }
+}
+
+impl ToJson for SensingData {
+    /// Encodes the semantic content — task count and the report list; the
+    /// per-account and per-task indexes are derivable and omitted.
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("num_tasks", self.num_tasks.to_json()),
+            ("reports", self.reports.to_json()),
+        ])
     }
 }
 

@@ -9,10 +9,10 @@
 //! CRH-style inverse-loss form.
 
 use crate::data::{Report, SensingData};
-use serde::{Deserialize, Serialize};
+use srtd_runtime::json::{Json, ToJson};
 
 /// Configuration for [`StreamingCrh`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StreamingConfig {
     /// Time for a claim's influence to halve, in seconds.
     pub half_life_s: f64,
@@ -218,6 +218,15 @@ impl StreamingCrh {
             stream.observe(r);
         }
         stream
+    }
+}
+
+impl ToJson for StreamingConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("half_life_s", self.half_life_s.to_json()),
+            ("loss_floor", self.loss_floor.to_json()),
+        ])
     }
 }
 

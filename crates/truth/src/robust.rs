@@ -161,7 +161,8 @@ impl TruthDiscovery for RobustCrh {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use srtd_runtime::rng::Rng;
+    use srtd_runtime::{prop, prop_assert};
 
     #[test]
     fn weighted_median_basics() {
@@ -216,42 +217,59 @@ mod tests {
         assert_eq!(r.truths[0], Some(7.0));
     }
 
-    proptest! {
-        /// The weighted median is always one of the input values (or a
-        /// midpoint in the zero-weight fallback) and sits inside the hull.
-        #[test]
-        fn weighted_median_in_hull(
-            pairs in proptest::collection::vec((-100f64..100.0, 0.0f64..5.0), 1..30)
-        ) {
-            let lo = pairs.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
-            let hi = pairs.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
-            let mut input = pairs.clone();
-            let m = weighted_median(&mut input).expect("non-empty");
-            prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
-        }
+    /// The weighted median is always one of the input values (or a
+    /// midpoint in the zero-weight fallback) and sits inside the hull.
+    #[test]
+    fn weighted_median_in_hull() {
+        prop::check(
+            |rng| {
+                prop::vec_with(rng, 1..30, |r| {
+                    (r.gen_range(-100f64..100.0), r.gen_range(0.0f64..5.0))
+                })
+            },
+            |pairs| {
+                let lo = pairs.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+                let hi = pairs.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+                let mut input = pairs.clone();
+                let m = weighted_median(&mut input).expect("non-empty");
+                prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+                Ok(())
+            },
+        );
+    }
 
-        /// Estimates stay in the per-task hull.
-        #[test]
-        fn estimates_in_hull(
-            raw in proptest::collection::vec((0usize..5, 0usize..3, -50f64..50.0), 1..25)
-        ) {
-            let mut d = SensingData::new(3);
-            let mut seen = std::collections::HashSet::new();
-            for (a, t, v) in raw {
-                if seen.insert((a, t)) {
-                    d.add_report(a, t, v, 0.0);
+    /// Estimates stay in the per-task hull.
+    #[test]
+    fn estimates_in_hull() {
+        prop::check(
+            |rng| {
+                prop::vec_with(rng, 1..25, |r| {
+                    (
+                        r.gen_range(0usize..5),
+                        r.gen_range(0usize..3),
+                        r.gen_range(-50f64..50.0),
+                    )
+                })
+            },
+            |raw| {
+                let mut d = SensingData::new(3);
+                let mut seen = std::collections::HashSet::new();
+                for &(a, t, v) in raw {
+                    if seen.insert((a, t)) {
+                        d.add_report(a, t, v, 0.0);
+                    }
                 }
-            }
-            let r = RobustCrh::default().discover(&d);
-            for t in 0..3 {
-                let vals: Vec<f64> =
-                    d.reports_for_task(t).iter().map(|r| r.value).collect();
-                if let Some(est) = r.truths[t] {
-                    let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
-                    let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-                    prop_assert!(est >= lo - 1e-6 && est <= hi + 1e-6);
+                let r = RobustCrh::default().discover(&d);
+                for t in 0..3 {
+                    let vals: Vec<f64> = d.reports_for_task(t).iter().map(|r| r.value).collect();
+                    if let Some(est) = r.truths[t] {
+                        let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+                        let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                        prop_assert!(est >= lo - 1e-6 && est <= hi + 1e-6);
+                    }
                 }
-            }
-        }
+                Ok(())
+            },
+        );
     }
 }

@@ -1,23 +1,28 @@
 //! Property tests that every truth discovery algorithm must satisfy.
 
-use proptest::prelude::*;
+use srtd_runtime::rng::{Rng, StdRng};
+use srtd_runtime::{prop, prop_assert, prop_assert_eq};
 use srtd_truth::{Catd, Crh, Gtm, MeanVote, MedianVote, SensingData, TruthDiscovery};
 
 /// Generates a random campaign: up to 6 accounts × 5 tasks, each account
 /// reporting a random subset with values in a bounded band.
-fn campaign_strategy() -> impl Strategy<Value = SensingData> {
-    proptest::collection::vec((0usize..6, 0usize..5, -100f64..100.0, 0f64..1e4), 1..40).prop_map(
-        |raw| {
-            let mut data = SensingData::new(5);
-            let mut seen = std::collections::HashSet::new();
-            for (account, task, value, ts) in raw {
-                if seen.insert((account, task)) {
-                    data.add_report(account, task, value, ts);
-                }
-            }
-            data
-        },
-    )
+fn campaign(rng: &mut StdRng) -> SensingData {
+    let raw = prop::vec_with(rng, 1..40, |r| {
+        (
+            r.gen_range(0usize..6),
+            r.gen_range(0usize..5),
+            r.gen_range(-100f64..100.0),
+            r.gen_range(0f64..1e4),
+        )
+    });
+    let mut data = SensingData::new(5);
+    let mut seen = std::collections::HashSet::new();
+    for (account, task, value, ts) in raw {
+        if seen.insert((account, task)) {
+            data.add_report(account, task, value, ts);
+        }
+    }
+    data
 }
 
 fn algorithms() -> Vec<Box<dyn TruthDiscovery>> {
@@ -44,17 +49,20 @@ fn stable_algorithms() -> Vec<Box<dyn TruthDiscovery>> {
     vec![Box::new(MeanVote), Box::new(MedianVote)]
 }
 
-proptest! {
-    /// Truth estimates always lie inside the convex hull of the reports
-    /// for that task, and are `None` exactly for unreported tasks.
-    #[test]
-    fn estimates_stay_in_task_hull(data in campaign_strategy()) {
+/// Truth estimates always lie inside the convex hull of the reports
+/// for that task, and are `None` exactly for unreported tasks.
+#[test]
+fn estimates_stay_in_task_hull() {
+    prop::check(campaign, |data| {
         for algo in algorithms() {
-            let result = algo.discover(&data);
+            let result = algo.discover(data);
             prop_assert_eq!(result.truths.len(), data.num_tasks());
             for task in 0..data.num_tasks() {
-                let values: Vec<f64> =
-                    data.reports_for_task(task).iter().map(|r| r.value).collect();
+                let values: Vec<f64> = data
+                    .reports_for_task(task)
+                    .iter()
+                    .map(|r| r.value)
+                    .collect();
                 match result.truths[task] {
                     None => prop_assert!(values.is_empty(), "{}", algo.name()),
                     Some(estimate) => {
@@ -64,42 +72,60 @@ proptest! {
                         prop_assert!(
                             estimate >= lo - 1e-6 && estimate <= hi + 1e-6,
                             "{}: task {} estimate {} outside [{}, {}]",
-                            algo.name(), task, estimate, lo, hi
+                            algo.name(),
+                            task,
+                            estimate,
+                            lo,
+                            hi
                         );
                     }
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Shifting every report by a constant shifts every estimate by the
-    /// same constant (translation equivariance).
-    #[test]
-    fn translation_equivariance(data in campaign_strategy(), shift in -50f64..50.0) {
-        let mut shifted = SensingData::new(data.num_tasks());
-        for r in data.reports() {
-            shifted.add_report(r.account, r.task, r.value + shift, r.timestamp);
-        }
-        for algo in stable_algorithms() {
-            let base = algo.discover(&data);
-            let moved = algo.discover(&shifted);
-            for (a, b) in base.truths.iter().zip(&moved.truths) {
-                match (a, b) {
-                    (Some(x), Some(y)) => prop_assert!(
-                        (x + shift - y).abs() < 1e-4 * (1.0 + x.abs()),
-                        "{}: {} + {} != {}", algo.name(), x, shift, y
-                    ),
-                    (None, None) => {}
-                    _ => prop_assert!(false, "{}: missing-task mismatch", algo.name()),
+/// Shifting every report by a constant shifts every estimate by the
+/// same constant (translation equivariance).
+#[test]
+fn translation_equivariance() {
+    prop::check(
+        |rng| (campaign(rng), rng.gen_range(-50f64..50.0)),
+        |(data, shift)| {
+            let shift = *shift;
+            let mut shifted = SensingData::new(data.num_tasks());
+            for r in data.reports() {
+                shifted.add_report(r.account, r.task, r.value + shift, r.timestamp);
+            }
+            for algo in stable_algorithms() {
+                let base = algo.discover(data);
+                let moved = algo.discover(&shifted);
+                for (a, b) in base.truths.iter().zip(&moved.truths) {
+                    match (a, b) {
+                        (Some(x), Some(y)) => prop_assert!(
+                            (x + shift - y).abs() < 1e-4 * (1.0 + x.abs()),
+                            "{}: {} + {} != {}",
+                            algo.name(),
+                            x,
+                            shift,
+                            y
+                        ),
+                        (None, None) => {}
+                        _ => prop_assert!(false, "{}: missing-task mismatch", algo.name()),
+                    }
                 }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Renumbering accounts never changes the estimates (algorithms must
-    /// not depend on account identity).
-    #[test]
-    fn account_relabeling_invariance(data in campaign_strategy()) {
+/// Renumbering accounts never changes the estimates (algorithms must
+/// not depend on account identity).
+#[test]
+fn account_relabeling_invariance() {
+    prop::check(campaign, |data| {
         let n = data.num_accounts().max(1);
         // Deterministic permutation: reverse.
         let mut relabeled = SensingData::new(data.num_tasks());
@@ -107,51 +133,64 @@ proptest! {
             relabeled.add_report(n - 1 - r.account, r.task, r.value, r.timestamp);
         }
         for algo in stable_algorithms() {
-            let a = algo.discover(&data);
+            let a = algo.discover(data);
             let b = algo.discover(&relabeled);
             for (x, y) in a.truths.iter().zip(&b.truths) {
                 match (x, y) {
                     (Some(x), Some(y)) => prop_assert!(
                         (x - y).abs() < 1e-4 * (1.0 + x.abs()),
-                        "{}: {} vs {}", algo.name(), x, y
+                        "{}: {} vs {}",
+                        algo.name(),
+                        x,
+                        y
                     ),
                     (None, None) => {}
                     _ => prop_assert!(false, "{}", algo.name()),
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Every algorithm is bitwise deterministic: the same input gives the
-    /// same output.
-    #[test]
-    fn determinism(data in campaign_strategy()) {
+/// Every algorithm is bitwise deterministic: the same input gives the
+/// same output.
+#[test]
+fn determinism() {
+    prop::check(campaign, |data| {
         for algo in algorithms() {
-            let a = algo.discover(&data);
-            let b = algo.discover(&data);
+            let a = algo.discover(data);
+            let b = algo.discover(data);
             prop_assert_eq!(a, b, "{} is not deterministic", algo.name());
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Iterative algorithms terminate with sane outputs (CRH and GTM may
-    /// legitimately hit their iteration cap when the weight map is
-    /// multistable — see `stable_algorithms`), and weights are
-    /// finite/non-negative.
-    #[test]
-    fn convergence_and_weight_sanity(data in campaign_strategy()) {
+/// Iterative algorithms terminate with sane outputs (CRH and GTM may
+/// legitimately hit their iteration cap when the weight map is
+/// multistable — see `stable_algorithms`), and weights are
+/// finite/non-negative.
+#[test]
+fn convergence_and_weight_sanity() {
+    prop::check(campaign, |data| {
         for algo in algorithms() {
-            let r = algo.discover(&data);
+            let r = algo.discover(data);
             if matches!(algo.name(), "Mean" | "Median" | "CATD") {
                 prop_assert!(r.converged, "{} did not converge", algo.name());
             }
             prop_assert!(
                 r.weights.iter().all(|w| w.is_finite() && *w >= 0.0),
-                "{} produced bad weights {:?}", algo.name(), r.weights
+                "{} produced bad weights {:?}",
+                algo.name(),
+                r.weights
             );
             prop_assert!(
                 r.truths.iter().flatten().all(|t| t.is_finite()),
-                "{} produced non-finite truths", algo.name()
+                "{} produced non-finite truths",
+                algo.name()
             );
         }
-    }
+        Ok(())
+    });
 }

@@ -8,8 +8,8 @@
 //!
 //! Run with: `cargo run --example device_fingerprinting`
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use srtd_runtime::rng::SeedableRng;
+use srtd_runtime::rng::StdRng;
 use sybil_td::cluster::{elbow, KMeans, KMeansConfig, Pca};
 use sybil_td::fingerprint::{catalog, fingerprint_features, CaptureConfig};
 use sybil_td::metrics::adjusted_rand_index;

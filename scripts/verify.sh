@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verification, fully offline: the workspace has no external
+# dependencies (everything lives in crates/runtime), so --offline must
+# always succeed — any network fetch is a regression.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all --check
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+echo "verify: OK"
