@@ -48,6 +48,7 @@ pub fn elbow(points: &[Vec<f64>], max_k: usize, base: KMeansConfig) -> ElbowResu
         "cannot estimate k for an empty point set"
     );
     assert!(max_k > 0, "max_k must be positive");
+    let _span = srtd_runtime::obs::span("cluster.elbow");
     let max_k = max_k.min(points.len());
     let sse_curve: Vec<f64> = (1..=max_k)
         .map(|k| {
@@ -55,10 +56,19 @@ pub fn elbow(points: &[Vec<f64>], max_k: usize, base: KMeansConfig) -> ElbowResu
             KMeans::new(cfg).fit(points).sse
         })
         .collect();
-    ElbowResult {
-        k: knee_of(&sse_curve),
-        sse_curve,
-    }
+    let k = knee_of(&sse_curve);
+    srtd_runtime::obs::event(
+        "cluster.elbow",
+        [
+            ("k", srtd_runtime::json::ToJson::to_json(&k)),
+            ("max_k", srtd_runtime::json::ToJson::to_json(&max_k)),
+            (
+                "candidates",
+                srtd_runtime::json::ToJson::to_json(&sse_curve.len()),
+            ),
+        ],
+    );
+    ElbowResult { k, sse_curve }
 }
 
 /// Index (1-based `k`) of the knee of a non-increasing SSE curve.

@@ -119,6 +119,8 @@ impl KMeans {
             points.iter().all(|p| p.len() == dim),
             "points must share one dimensionality"
         );
+        let _span = srtd_runtime::obs::span("cluster.kmeans.fit");
+        srtd_runtime::obs::counter_add("cluster.kmeans.restarts", self.config.restarts as u64);
         let k = self.config.k.min(points.len());
 
         let mut best: Option<KMeansResult> = None;
@@ -133,6 +135,7 @@ impl KMeans {
             }
         }
         let mut best = best.expect("at least one restart");
+        srtd_runtime::obs::observe("cluster.kmeans.iterations", best.iterations as f64);
         // Report the requested k even when clamped: pad with duplicates of
         // the final centroid so callers can index `centroids[k-1]`.
         while best.centroids.len() < self.config.k {

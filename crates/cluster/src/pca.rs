@@ -41,6 +41,7 @@ impl Pca {
     pub fn fit(points: &[Vec<f64>], n_components: usize) -> Self {
         assert!(!points.is_empty(), "cannot fit PCA on an empty point set");
         assert!(n_components > 0, "need at least one component");
+        let _span = srtd_runtime::obs::span("cluster.pca.fit");
         let dim = points[0].len();
         assert!(
             points.iter().all(|p| p.len() == dim),

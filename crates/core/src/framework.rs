@@ -2,7 +2,9 @@
 
 use crate::aggregate::{initial_group_weight, GroupAggregation};
 use crate::grouping::{AccountGrouping, Grouping};
-use srtd_truth::{ConvergenceCriterion, SensingData};
+use srtd_runtime::json::ToJson;
+use srtd_runtime::obs;
+use srtd_truth::{max_abs_delta, ConvergenceCriterion, SensingData};
 
 /// How the iterative stage updates truths from group aggregates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -54,6 +56,11 @@ pub struct FrameworkResult {
     pub iterations: usize,
     /// Whether the convergence criterion fired before the cap.
     pub converged: bool,
+    /// Largest per-task truth change after each iteration — one entry per
+    /// iteration of the weight/truth loop, so `convergence_trace.len() ==
+    /// iterations`. Lets callers inspect how Algorithm 2 converged without
+    /// re-running it.
+    pub convergence_trace: Vec<f64>,
 }
 
 impl FrameworkResult {
@@ -103,8 +110,12 @@ impl<G: AccountGrouping> SybilResistantTd<G> {
     /// Panics if the grouping method requires fingerprints that are
     /// missing (see the method's own documentation).
     pub fn discover(&self, data: &SensingData, fingerprints: &[Vec<f64>]) -> FrameworkResult {
+        let _span = obs::span("framework.discover");
         // Line 1: account grouping.
-        let grouping = self.grouping.group(data, fingerprints);
+        let grouping = {
+            let _span = obs::span("framework.grouping");
+            self.grouping.group(data, fingerprints)
+        };
         self.discover_with_grouping(data, grouping)
     }
 
@@ -186,6 +197,7 @@ impl<G: AccountGrouping> SybilResistantTd<G> {
                 group_weights: vec![0.0; l],
                 iterations: 0,
                 converged: true,
+                convergence_trace: Vec::new(),
             };
         }
 
@@ -209,10 +221,16 @@ impl<G: AccountGrouping> SybilResistantTd<G> {
         // Lines 8–15: iterate group weight estimation (CRH-style W over
         // the distances of group aggregates to current truths) and truth
         // estimation.
+        let _loop_span = obs::span("framework.td_loop");
+        // `effective()` repairs field-constructed criteria (zero iteration
+        // cap, negative/NaN tolerance) that would otherwise skip the loop
+        // entirely or never converge early.
+        let criterion = self.config.convergence.effective();
         let mut weights = vec![1.0f64; l];
         let mut iterations = 0;
         let mut converged = false;
-        for iter in 0..self.config.convergence.max_iterations {
+        let mut convergence_trace = Vec::new();
+        for iter in 0..criterion.max_iterations {
             iterations = iter + 1;
             // Group weight update.
             let mut losses = vec![0.0f64; l];
@@ -235,13 +253,22 @@ impl<G: AccountGrouping> SybilResistantTd<G> {
                 .iter()
                 .map(|entries| estimate(entries, &|k, _| weights[k]))
                 .collect();
-            let done = self.config.convergence.is_converged(&truths, &next);
+            let delta = max_abs_delta(&truths, &next);
+            convergence_trace.push(delta);
+            obs::event(
+                "framework.iteration",
+                [
+                    ("iter", iterations.to_json()),
+                    ("max_abs_delta", delta.to_json()),
+                ],
+            );
             truths = next;
-            if done {
+            if delta <= criterion.tolerance {
                 converged = true;
                 break;
             }
         }
+        obs::counter_add("framework.iterations", iterations as u64);
 
         FrameworkResult {
             truths,
@@ -249,6 +276,7 @@ impl<G: AccountGrouping> SybilResistantTd<G> {
             group_weights: weights,
             iterations,
             converged,
+            convergence_trace,
         }
     }
 }

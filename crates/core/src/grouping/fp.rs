@@ -119,16 +119,36 @@ impl AccountGrouping for AgFp {
         if n == 1 {
             return Grouping::singletons(1);
         }
-        let (standardized, _) = standardize(fingerprints);
+        let _span = srtd_runtime::obs::span("ag_fp.group");
+        let standardized = {
+            let _span = srtd_runtime::obs::span("ag_fp.standardize");
+            standardize(fingerprints).0
+        };
         if let FpClustering::Hierarchical { threshold, linkage } = self.clustering {
             let result = agglomerative(&standardized, threshold, linkage);
             return Grouping::from_labels(&result.assignments);
         }
         let k = match self.known_k {
             Some(k) => k.min(n),
-            None => elbow(&standardized, n, self.kmeans).k,
+            None => {
+                let _span = srtd_runtime::obs::span("ag_fp.elbow");
+                elbow(&standardized, n, self.kmeans).k
+            }
         };
-        let result = KMeans::new(KMeansConfig { k, ..self.kmeans }).fit(&standardized);
+        srtd_runtime::obs::event(
+            "ag_fp.k",
+            [
+                ("k", srtd_runtime::json::ToJson::to_json(&k)),
+                (
+                    "estimated",
+                    srtd_runtime::json::ToJson::to_json(&self.known_k.is_none()),
+                ),
+            ],
+        );
+        let result = {
+            let _span = srtd_runtime::obs::span("ag_fp.kmeans");
+            KMeans::new(KMeansConfig { k, ..self.kmeans }).fit(&standardized)
+        };
         Grouping::from_labels(&result.assignments)
     }
 

@@ -140,6 +140,7 @@ impl AgTr {
     /// flattened upper triangle; the order-preserving map makes the
     /// matrix identical for every worker-thread count.
     pub fn dissimilarity_matrix(&self, data: &SensingData) -> Vec<Vec<f64>> {
+        let _span = srtd_runtime::obs::span("ag_tr.dtw_matrix");
         let trajectories = self.trajectories(data);
         let n = trajectories.len();
         let pairs = triangle_pairs(n);
@@ -168,15 +169,19 @@ impl AccountGrouping for AgTr {
         if n == 0 {
             return Grouping::from_labels(&[]);
         }
+        let _span = srtd_runtime::obs::span("ag_tr.group");
         let matrix = self.dissimilarity_matrix(data);
         let mut graph = Graph::new(n);
+        let mut edges = 0u64;
         for i in 0..n {
             for j in i + 1..n {
                 if matrix[i][j] < self.phi {
                     graph.add_edge(i, j, matrix[i][j]);
+                    edges += 1;
                 }
             }
         }
+        srtd_runtime::obs::counter_add("ag_tr.edges", edges);
         Grouping::new(graph.connected_components().into_groups())
     }
 

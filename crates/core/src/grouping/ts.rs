@@ -139,15 +139,19 @@ impl AccountGrouping for AgTs {
         if n == 0 {
             return Grouping::from_labels(&[]);
         }
+        let _span = srtd_runtime::obs::span("ag_ts.group");
         let matrix = self.affinity_matrix(data);
         let mut graph = Graph::new(n);
+        let mut edges = 0u64;
         for i in 0..n {
             for j in i + 1..n {
                 if matrix[i][j] > self.rho {
                     graph.add_edge(i, j, matrix[i][j]);
+                    edges += 1;
                 }
             }
         }
+        srtd_runtime::obs::counter_add("ag_ts.edges", edges);
         Grouping::new(graph.connected_components().into_groups())
     }
 

@@ -26,6 +26,8 @@ pub const FINGERPRINT_DIMENSIONS: usize = 80;
 /// assert_eq!(fingerprint_features(&capture).len(), 80);
 /// ```
 pub fn fingerprint_features(capture: &SensorCapture) -> Vec<f64> {
+    let _span = srtd_runtime::obs::span("fingerprint.extract");
+    srtd_runtime::obs::counter_add("fingerprint.extract.calls", 1);
     let config = FeatureConfig::new(capture.sample_rate());
     let mut features = Vec::with_capacity(FINGERPRINT_DIMENSIONS);
     for stream in capture.streams() {

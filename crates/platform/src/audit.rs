@@ -22,25 +22,56 @@ pub struct AuditReport {
     grouping: Grouping,
     method: &'static str,
     min_group_size: usize,
+    effective_min_group_size: usize,
     suspects: Vec<SuspectGroup>,
 }
 
 impl AuditReport {
     pub(crate) fn build(grouping: Grouping, method: &'static str, min_group_size: usize) -> Self {
-        let suspects = grouping
+        // A Sybil cluster needs at least two accounts; thresholds of 0 or 1
+        // would flag every singleton, so the filter clamps to 2. The clamp
+        // is recorded, not silent: `min_group_size()` reports what was
+        // requested and `effective_min_group_size()` what was applied.
+        let effective_min_group_size = min_group_size.max(2);
+        let suspects: Vec<SuspectGroup> = grouping
             .groups()
             .iter()
             .enumerate()
-            .filter(|(_, members)| members.len() >= min_group_size.max(2))
+            .filter(|(_, members)| members.len() >= effective_min_group_size)
             .map(|(group, members)| SuspectGroup {
                 group,
                 accounts: members.clone(),
             })
             .collect();
+        srtd_runtime::obs::event(
+            "platform.audit",
+            [
+                ("method", srtd_runtime::json::Json::str(method)),
+                (
+                    "min_group_size",
+                    srtd_runtime::json::ToJson::to_json(&min_group_size),
+                ),
+                (
+                    "effective_min_group_size",
+                    srtd_runtime::json::ToJson::to_json(&effective_min_group_size),
+                ),
+                (
+                    "suspect_groups",
+                    srtd_runtime::json::ToJson::to_json(&suspects.len()),
+                ),
+                (
+                    "suspect_accounts",
+                    srtd_runtime::json::ToJson::to_json(
+                        &suspects.iter().map(|s| s.accounts.len()).sum::<usize>(),
+                    ),
+                ),
+            ],
+        );
         Self {
             grouping,
             method,
             min_group_size,
+            effective_min_group_size,
             suspects,
         }
     }
@@ -50,9 +81,20 @@ impl AuditReport {
         self.method
     }
 
-    /// The size threshold used for flagging.
+    /// The size threshold that was requested for flagging.
+    ///
+    /// The filter never flags clusters smaller than two accounts; see
+    /// [`AuditReport::effective_min_group_size`] for the threshold actually
+    /// applied.
     pub fn min_group_size(&self) -> usize {
         self.min_group_size
+    }
+
+    /// The size threshold actually applied: the requested
+    /// [`AuditReport::min_group_size`] clamped up to 2, since a Sybil
+    /// cluster needs at least a pair of accounts.
+    pub fn effective_min_group_size(&self) -> usize {
+        self.effective_min_group_size
     }
 
     /// The full grouping (suspected and unsuspected accounts alike).
@@ -109,6 +151,23 @@ mod tests {
         let r = report(&[0, 1, 2], 1);
         assert!(r.suspects().is_empty());
         assert_eq!(r.suspect_share(), 0.0);
+    }
+
+    #[test]
+    fn clamped_threshold_is_reported_not_silent() {
+        // Regression: `min_group_size()` used to claim the requested value
+        // while the filter quietly used `max(2)`. Both must now be visible.
+        let r = report(&[0, 0, 1], 0);
+        assert_eq!(r.min_group_size(), 0, "requested threshold preserved");
+        assert_eq!(r.effective_min_group_size(), 2, "applied threshold");
+        // The pair {0, 1} is flagged under the effective threshold.
+        assert_eq!(r.suspects().len(), 1);
+        assert_eq!(r.suspects()[0].accounts, vec![0, 1]);
+        assert!(!r.is_suspect(2));
+        // At or above 2 the requested and effective thresholds agree.
+        let r3 = report(&[0, 0, 1], 3);
+        assert_eq!(r3.min_group_size(), 3);
+        assert_eq!(r3.effective_min_group_size(), 3);
     }
 
     #[test]

@@ -242,12 +242,14 @@ impl Platform {
         &self,
         framework: &SybilResistantTd<G>,
     ) -> FrameworkResult {
+        let _span = srtd_runtime::obs::span("platform.aggregate_resistant");
         framework.discover(&self.data, &self.fingerprints)
     }
 
     /// Audits the account base with a grouping method, flagging groups of
     /// `min_group_size` or more accounts as suspected Sybil clusters.
     pub fn audit<G: AccountGrouping>(&self, grouping: &G, min_group_size: usize) -> AuditReport {
+        let _span = srtd_runtime::obs::span("platform.audit");
         AuditReport::build(
             grouping.group(&self.data, &self.fingerprints),
             grouping.name(),

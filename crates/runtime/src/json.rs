@@ -135,6 +135,274 @@ fn write_escaped(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// Where and why [`parse`] rejected its input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the offending character.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses JSON text into a [`Json`] tree (the inverse of
+/// [`Json::render`]).
+///
+/// A strict recursive-descent parser over the JSON grammar: objects keep
+/// key order, numbers go through `f64` (so `render → parse` recovers the
+/// exact bits [`Json::render`] wrote), `\uXXXX` escapes including
+/// surrogate pairs are decoded, and trailing garbage is an error. The
+/// observability exports (`SRTD_OBS_JSON`) are validated by feeding them
+/// back through this function.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the byte offset of the first offending
+/// character for malformed input.
+///
+/// # Examples
+///
+/// ```
+/// use srtd_runtime::json::{parse, Json};
+///
+/// let tree = parse(r#"{"k": [1, true, null]}"#).unwrap();
+/// let Json::Obj(fields) = &tree else { unreachable!() };
+/// assert_eq!(fields[0].0, "k");
+/// assert_eq!(tree.render(), r#"{"k":[1,true,null]}"#);
+/// ```
+pub fn parse(text: &str) -> Result<Json, ParseError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_whitespace();
+    let value = p.value(0)?;
+    p.skip_whitespace();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters after the top-level value"));
+    }
+    Ok(value)
+}
+
+/// Nesting ceiling: malformed deeply-nested input must not overflow the
+/// parser's stack.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.value(depth + 1)?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let token = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
+        token
+            .parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.error(format!("invalid number `{token}`")))
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let rest = &self.bytes[self.pos..];
+            let Some(&byte) = rest.first() else {
+                return Err(self.error("unterminated string"));
+            };
+            match byte {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                }
+                0x00..=0x1f => return Err(self.error("raw control character in string")),
+                _ => {
+                    // Copy one UTF-8 scalar (the input is a &str, so the
+                    // sequence is valid by construction).
+                    let s = std::str::from_utf8(rest).map_err(|_| self.error("invalid UTF-8"))?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, ParseError> {
+        let Some(byte) = self.peek() else {
+            return Err(self.error("unterminated escape"));
+        };
+        self.pos += 1;
+        Ok(match byte {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'b' => '\u{8}',
+            b'f' => '\u{c}',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'u' => {
+                let hi = self.hex4()?;
+                if (0xd800..0xdc00).contains(&hi) {
+                    // High surrogate: a \uXXXX low surrogate must follow.
+                    if self.peek() == Some(b'\\') {
+                        self.pos += 1;
+                        self.expect(b'u')?;
+                        let lo = self.hex4()?;
+                        if !(0xdc00..0xe000).contains(&lo) {
+                            return Err(self.error("invalid low surrogate"));
+                        }
+                        let code = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                        char::from_u32(code).ok_or_else(|| self.error("invalid surrogate pair"))?
+                    } else {
+                        return Err(self.error("lone high surrogate"));
+                    }
+                } else {
+                    char::from_u32(hi).ok_or_else(|| self.error("invalid \\u escape"))?
+                }
+            }
+            other => return Err(self.error(format!("unknown escape `\\{}`", other as char))),
+        })
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let end = self.pos + 4;
+        let Some(slice) = self.bytes.get(self.pos..end) else {
+            return Err(self.error("truncated \\u escape"));
+        };
+        let s = std::str::from_utf8(slice).map_err(|_| self.error("invalid \\u escape"))?;
+        let code = u32::from_str_radix(s, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+}
+
 /// Conversion into a [`Json`] tree; the workspace's `Serialize`.
 pub trait ToJson {
     /// Builds the JSON representation of `self`.
@@ -265,5 +533,81 @@ mod tests {
     fn object_key_order_is_insertion_order() {
         let a = Json::obj([("z", Json::Num(1.0)), ("a", Json::Num(2.0))]);
         assert_eq!(a.render(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(parse(" -2.5e3 ").unwrap(), Json::Num(-2500.0));
+        assert_eq!(parse("\"hi\"").unwrap(), Json::str("hi"));
+    }
+
+    #[test]
+    fn parse_containers_preserve_order() {
+        let tree = parse(r#"{ "z": [1, 2], "a": {"nested": null} }"#).unwrap();
+        let Json::Obj(fields) = &tree else { panic!() };
+        assert_eq!(fields[0].0, "z");
+        assert_eq!(fields[1].0, "a");
+        assert_eq!(tree.render(), r#"{"z":[1,2],"a":{"nested":null}}"#);
+    }
+
+    #[test]
+    fn parse_string_escapes_round_trip() {
+        let original = Json::str("a\"b\\c\nd\u{1}é — \u{10348}");
+        let parsed = parse(&original.render()).unwrap();
+        assert_eq!(parsed, original);
+        // \uXXXX forms including a surrogate pair.
+        assert_eq!(parse(r#""é𐍈\/""#).unwrap(), Json::str("é\u{10348}/"));
+    }
+
+    #[test]
+    fn render_parse_round_trips_arbitrary_trees() {
+        let tree = Json::obj([
+            ("floats", vec![0.1f64 + 0.2, -0.0, 1e-300].to_json()),
+            (
+                "mixed",
+                Json::arr([Json::Null, Json::Bool(false), Json::str("")]),
+            ),
+            ("empty_obj", Json::obj([])),
+            ("empty_arr", Json::Arr(vec![])),
+        ]);
+        let rendered = tree.render();
+        let reparsed = parse(&rendered).unwrap();
+        assert_eq!(reparsed.render(), rendered);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "[1 2]",
+            r#"{"k" 1}"#,
+            r#"{"k":}"#,
+            "tru",
+            "1.2.3",
+            "\"unterminated",
+            "\"bad \\x escape\"",
+            "[] []",
+            "\"\u{1}\"",
+        ] {
+            assert!(parse(bad).is_err(), "accepted malformed input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        let err = parse("[1, oops]").unwrap_err();
+        assert_eq!(err.offset, 4);
+        assert!(err.to_string().contains("byte 4"));
+    }
+
+    #[test]
+    fn parse_depth_is_bounded() {
+        let deep = "[".repeat(4_000) + &"]".repeat(4_000);
+        assert!(parse(&deep).is_err());
     }
 }

@@ -17,8 +17,13 @@
 //!   [`prop_assert!`]/[`prop_assert_eq!`] macros the test suites use,
 //! * [`bench`] — a tiny wall-clock benchmark harness (warmup + median of
 //!   N samples) backing the `crates/bench` binaries,
-//! * [`json`] — a hand-rolled JSON encoder ([`json::ToJson`]) for the
-//!   simulation artifacts that previously derived `serde::Serialize`.
+//! * [`json`] — a hand-rolled JSON encoder ([`json::ToJson`]) and strict
+//!   parser ([`json::parse`]) for the simulation artifacts that
+//!   previously derived `serde::Serialize`,
+//! * [`obs`] — a zero-cost-when-disabled observability layer (counters,
+//!   gauges, histograms, RAII timing spans, structured events) that the
+//!   whole SRTD pipeline reports into, gated by `SRTD_OBS=1` and exported
+//!   via `SRTD_OBS_JSON=<path>`.
 //!
 //! Determinism is a design constraint throughout: the PRNG stream depends
 //! only on its seed, and every parallel operation returns results in
@@ -30,6 +35,7 @@
 
 pub mod bench;
 pub mod json;
+pub mod obs;
 pub mod parallel;
 pub mod prop;
 pub mod rng;

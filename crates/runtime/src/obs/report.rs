@@ -1,0 +1,408 @@
+//! Snapshots of the registry: JSON export and human-readable tables.
+
+use super::store::{Store, BUCKET_BOUNDS};
+use crate::json::{Json, ToJson};
+use std::fmt::Write as _;
+
+/// One histogram in a [`Report`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Histogram name.
+    pub name: String,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Non-empty buckets as `(upper_bound, count)`; the overflow bucket
+    /// reports `f64::INFINITY` as its bound.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+/// One span aggregate in a [`Report`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// Span name.
+    pub name: &'static str,
+    /// Number of completed guards.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across all guards.
+    pub total_ns: u64,
+    /// Fastest single guard.
+    pub min_ns: u64,
+    /// Slowest single guard.
+    pub max_ns: u64,
+}
+
+/// One structured event in a [`Report`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventSnapshot {
+    /// Event name.
+    pub name: String,
+    /// Ordered `(key, value)` payload.
+    pub fields: Vec<(String, Json)>,
+}
+
+/// An immutable snapshot of everything collected so far.
+///
+/// Counters, gauges, histograms and spans are sorted by name; events keep
+/// emission order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Monotonic counters as `(name, value)`.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges as `(name, last value)`.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Span aggregates.
+    pub spans: Vec<SpanSnapshot>,
+    /// Structured events, in emission order.
+    pub events: Vec<EventSnapshot>,
+}
+
+impl Report {
+    pub(super) fn from_store(store: &Store) -> Self {
+        Self {
+            counters: store
+                .counters
+                .iter()
+                .map(|(k, &v)| (k.clone(), v))
+                .collect(),
+            gauges: store.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            histograms: store
+                .histograms
+                .iter()
+                .map(|(name, h)| HistogramSnapshot {
+                    name: name.clone(),
+                    count: h.count,
+                    sum: h.sum,
+                    buckets: h
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &c)| c > 0)
+                        .map(|(i, &c)| {
+                            let bound = BUCKET_BOUNDS.get(i).copied().unwrap_or(f64::INFINITY);
+                            (bound, c)
+                        })
+                        .collect(),
+                })
+                .collect(),
+            spans: store
+                .spans
+                .iter()
+                .map(|(&name, s)| SpanSnapshot {
+                    name,
+                    count: s.count,
+                    total_ns: s.total_ns,
+                    min_ns: s.min_ns,
+                    max_ns: s.max_ns,
+                })
+                .collect(),
+            events: store
+                .events
+                .iter()
+                .map(|e| EventSnapshot {
+                    name: e.name.clone(),
+                    fields: e.fields.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Returns `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+            && self.events.is_empty()
+    }
+
+    /// JSON of the **deterministic** subset only: counters, histograms
+    /// and events. These depend solely on the work performed, so the
+    /// rendered string is byte-identical across runs and worker-thread
+    /// counts; span timings and gauges (wall-clock facts) are excluded.
+    pub fn deterministic_json(&self) -> String {
+        Json::obj([
+            ("counters", counters_json(&self.counters)),
+            ("histograms", histograms_json(&self.histograms)),
+            ("events", events_json(&self.events)),
+        ])
+        .render()
+    }
+
+    /// Renders the report as an aligned plain-text table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if self.is_empty() {
+            out.push_str("observability: nothing recorded\n");
+            return out;
+        }
+        if !self.spans.is_empty() {
+            out.push_str("spans (wall clock)\n");
+            let width = self.spans.iter().map(|s| s.name.len()).max().unwrap_or(0);
+            writeln!(
+                out,
+                "  {:width$}  {:>8}  {:>12}  {:>12}  {:>12}",
+                "name", "count", "total", "mean", "max"
+            )
+            .expect("string write");
+            for s in &self.spans {
+                let mean = s.total_ns / s.count.max(1);
+                writeln!(
+                    out,
+                    "  {:width$}  {:>8}  {:>12}  {:>12}  {:>12}",
+                    s.name,
+                    s.count,
+                    fmt_ns(s.total_ns),
+                    fmt_ns(mean),
+                    fmt_ns(s.max_ns)
+                )
+                .expect("string write");
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters\n");
+            let width = self
+                .counters
+                .iter()
+                .map(|(n, _)| n.len())
+                .max()
+                .unwrap_or(0);
+            for (name, value) in &self.counters {
+                writeln!(out, "  {name:width$}  {value}").expect("string write");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges\n");
+            let width = self.gauges.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+            for (name, value) in &self.gauges {
+                writeln!(out, "  {name:width$}  {value}").expect("string write");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms\n");
+            let width = self
+                .histograms
+                .iter()
+                .map(|h| h.name.len())
+                .max()
+                .unwrap_or(0);
+            for h in &self.histograms {
+                let mean = if h.count > 0 {
+                    h.sum / h.count as f64
+                } else {
+                    0.0
+                };
+                writeln!(
+                    out,
+                    "  {:width$}  count {}  sum {}  mean {mean:.3}",
+                    h.name, h.count, h.sum
+                )
+                .expect("string write");
+            }
+        }
+        if !self.events.is_empty() {
+            writeln!(out, "events ({} recorded)", self.events.len()).expect("string write");
+            for e in &self.events {
+                let payload: Vec<String> = e
+                    .fields
+                    .iter()
+                    .map(|(k, v)| format!("{k}={}", v.render()))
+                    .collect();
+                writeln!(out, "  {}  {}", e.name, payload.join(" ")).expect("string write");
+            }
+        }
+        out
+    }
+}
+
+fn counters_json(counters: &[(String, u64)]) -> Json {
+    Json::Obj(
+        counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_json()))
+            .collect(),
+    )
+}
+
+fn histograms_json(histograms: &[HistogramSnapshot]) -> Json {
+    Json::Obj(
+        histograms
+            .iter()
+            .map(|h| {
+                let buckets = Json::arr(h.buckets.iter().map(|&(bound, count)| {
+                    // JSON has no infinity: the overflow bound is null.
+                    let le = if bound.is_finite() {
+                        Json::Num(bound)
+                    } else {
+                        Json::Null
+                    };
+                    Json::arr([le, count.to_json()])
+                }));
+                (
+                    h.name.clone(),
+                    Json::obj([
+                        ("count", h.count.to_json()),
+                        ("sum", h.sum.to_json()),
+                        ("buckets", buckets),
+                    ]),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn events_json(events: &[EventSnapshot]) -> Json {
+    Json::arr(events.iter().map(|e| {
+        Json::obj([
+            ("name", Json::str(e.name.as_str())),
+            (
+                "fields",
+                Json::Obj(
+                    e.fields
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }))
+}
+
+impl ToJson for Report {
+    fn to_json(&self) -> Json {
+        let spans = Json::Obj(
+            self.spans
+                .iter()
+                .map(|s| {
+                    (
+                        s.name.to_string(),
+                        Json::obj([
+                            ("count", s.count.to_json()),
+                            ("total_ns", s.total_ns.to_json()),
+                            ("min_ns", s.min_ns.to_json()),
+                            ("max_ns", s.max_ns.to_json()),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Json::obj([
+            ("counters", counters_json(&self.counters)),
+            (
+                "gauges",
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+            ("histograms", histograms_json(&self.histograms)),
+            ("spans", spans),
+            ("events", events_json(&self.events)),
+        ])
+    }
+}
+
+/// Nanoseconds as a compact human unit.
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns}ns"),
+        10_000..=9_999_999 => format!("{:.1}us", ns as f64 / 1e3),
+        10_000_000..=9_999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            counters: vec![("c.one".into(), 7)],
+            gauges: vec![("g.one".into(), 1.5)],
+            histograms: vec![HistogramSnapshot {
+                name: "h.one".into(),
+                count: 2,
+                sum: 30.0,
+                buckets: vec![(10.0, 1), (f64::INFINITY, 1)],
+            }],
+            spans: vec![SpanSnapshot {
+                name: "s.one",
+                count: 3,
+                total_ns: 3_000,
+                min_ns: 500,
+                max_ns: 2_000,
+            }],
+            events: vec![EventSnapshot {
+                name: "e.one".into(),
+                fields: vec![("k".into(), Json::Num(4.0))],
+            }],
+        }
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let rendered = sample().to_json().render();
+        assert_eq!(
+            rendered,
+            concat!(
+                r#"{"counters":{"c.one":7},"gauges":{"g.one":1.5},"#,
+                r#""histograms":{"h.one":{"count":2,"sum":30,"buckets":[[10,1],[null,1]]}},"#,
+                r#""spans":{"s.one":{"count":3,"total_ns":3000,"min_ns":500,"max_ns":2000}},"#,
+                r#""events":[{"name":"e.one","fields":{"k":4}}]}"#
+            )
+        );
+    }
+
+    #[test]
+    fn deterministic_json_excludes_gauges_and_spans() {
+        let d = sample().deterministic_json();
+        assert!(d.contains("counters"));
+        assert!(d.contains("histograms"));
+        assert!(d.contains("events"));
+        assert!(!d.contains("gauges"));
+        assert!(!d.contains("total_ns"));
+    }
+
+    #[test]
+    fn table_lists_every_section() {
+        let t = sample().render_table();
+        for needle in [
+            "spans",
+            "counters",
+            "gauges",
+            "histograms",
+            "events",
+            "c.one",
+            "s.one",
+        ] {
+            assert!(t.contains(needle), "missing {needle} in:\n{t}");
+        }
+    }
+
+    #[test]
+    fn empty_report_renders_placeholder() {
+        let empty = Report {
+            counters: vec![],
+            gauges: vec![],
+            histograms: vec![],
+            spans: vec![],
+            events: vec![],
+        };
+        assert!(empty.is_empty());
+        assert!(empty.render_table().contains("nothing recorded"));
+    }
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(fmt_ns(42), "42ns");
+        assert_eq!(fmt_ns(15_000), "15.0us");
+        assert_eq!(fmt_ns(12_000_000), "12.0ms");
+        assert_eq!(fmt_ns(10_500_000_000), "10.50s");
+    }
+}

@@ -1,0 +1,37 @@
+//! RAII wall-clock spans.
+
+use super::internal;
+use std::time::Instant;
+
+/// A running span; records its elapsed wall-clock time under its name
+/// when dropped. Created by [`super::span`].
+///
+/// Guards nest naturally (each records independently) and may be dropped
+/// from any thread — worker threads inside `parallel_map` report into the
+/// same registry as the driver.
+#[derive(Debug)]
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+pub struct Span {
+    name: &'static str,
+    /// `None` while collection is disabled: starting a span then costs no
+    /// clock read and dropping it is free.
+    start: Option<Instant>,
+}
+
+impl Span {
+    pub(super) fn start(name: &'static str) -> Self {
+        Self {
+            name,
+            start: super::enabled().then(Instant::now),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let elapsed_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            internal::with(|s| s.spans.entry(self.name).or_default().record(elapsed_ns));
+        }
+    }
+}

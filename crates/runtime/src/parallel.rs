@@ -58,7 +58,14 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
+    // Deterministic telemetry (call/item counters) is worker-independent;
+    // the worker gauge and per-worker spans are wall-clock facts and stay
+    // out of the deterministic export.
+    crate::obs::counter_add("runtime.parallel.calls", 1);
+    crate::obs::counter_add("runtime.parallel.items", items.len() as u64);
+    let _map_span = crate::obs::span("runtime.parallel.map");
     let workers = max_threads().min(items.len());
+    crate::obs::gauge_set("runtime.parallel.workers", workers.max(1) as f64);
     if workers <= 1 {
         return items.iter().map(f).collect();
     }
@@ -69,7 +76,10 @@ where
             .chunks(chunk_len)
             .map(|chunk| {
                 let f = &f;
-                scope.spawn(move || chunk.iter().map(f).collect::<Vec<U>>())
+                scope.spawn(move || {
+                    let _worker_span = crate::obs::span("runtime.parallel.worker");
+                    chunk.iter().map(f).collect::<Vec<U>>()
+                })
             })
             .collect();
         for handle in handles {
@@ -164,6 +174,48 @@ mod tests {
             parallel_map_min(&items, 1_000, f),
             parallel_map_min(&items, 0, f)
         );
+    }
+
+    #[test]
+    fn min_len_boundary_is_inclusive_on_the_parallel_side() {
+        // len == min_len takes the parallel path, len == min_len - 1 the
+        // sequential one; both must agree exactly.
+        let f = |&x: &u64| x.wrapping_mul(31);
+        for len in [0usize, 1, 7, 8, 9] {
+            let items: Vec<u64> = (0..len as u64).collect();
+            let expected: Vec<u64> = items.iter().map(f).collect();
+            assert_eq!(parallel_map_min(&items, 8, f), expected, "len {len}");
+        }
+    }
+
+    #[test]
+    fn min_len_degenerate_inputs() {
+        let empty: Vec<u64> = Vec::new();
+        assert!(parallel_map_min(&empty, 0, |&x| x).is_empty());
+        assert!(parallel_map_min(&empty, 100, |&x| x).is_empty());
+        assert_eq!(parallel_map_min(&[3u64], 0, |&x| x + 1), vec![4]);
+        assert_eq!(parallel_map_min(&[3u64], 1, |&x| x + 1), vec![4]);
+    }
+
+    #[test]
+    fn map_range_of_zero_is_empty() {
+        assert!(parallel_map_range(0, |i| i).is_empty());
+        assert_eq!(parallel_map_range(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn triangle_pairs_tiny_inputs_and_counts() {
+        assert!(triangle_pairs(0).is_empty());
+        assert!(triangle_pairs(1).is_empty());
+        assert_eq!(triangle_pairs(2), vec![(0, 1)]);
+        assert_eq!(triangle_pairs(3), vec![(0, 1), (0, 2), (1, 2)]);
+        // The count matches n(n-1)/2 and every pair is unique.
+        for n in [5usize, 16, 33] {
+            let pairs = triangle_pairs(n);
+            assert_eq!(pairs.len(), n * (n - 1) / 2);
+            let unique: std::collections::HashSet<_> = pairs.iter().collect();
+            assert_eq!(unique.len(), pairs.len());
+        }
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! The deterministic subset of the observability export must be
+//! byte-identical across worker-thread counts: counters, histogram
+//! buckets and events depend only on the work performed, never on how
+//! many threads performed it.
+
+use srtd_runtime::json::{parse, ToJson};
+use srtd_runtime::obs;
+use srtd_runtime::parallel::{max_threads, parallel_map, set_max_threads};
+use std::sync::Mutex;
+
+/// Serializes the tests in this file: obs state is process-wide.
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// A workload that reports from inside `parallel_map` workers: counters
+/// and histogram observations from every item, events from the driver.
+fn run_workload() -> String {
+    obs::reset();
+    let items: Vec<u64> = (0..2_000).collect();
+    let out = parallel_map(&items, |&x| {
+        let _span = obs::span("workload.item");
+        obs::counter_add("workload.items", 1);
+        obs::observe("workload.value", (x % 97) as f64);
+        x.wrapping_mul(x)
+    });
+    obs::counter_add("workload.checksum", out.iter().fold(0u64, |a, &b| a ^ b));
+    obs::event(
+        "workload.done",
+        [("items", (items.len()).to_json()), ("ok", true.to_json())],
+    );
+    obs::snapshot().deterministic_json()
+}
+
+#[test]
+fn deterministic_export_is_identical_across_thread_counts() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    obs::set_enabled(true);
+    let prior = max_threads();
+
+    set_max_threads(1);
+    let one_thread = run_workload();
+    set_max_threads(4);
+    let four_threads = run_workload();
+    set_max_threads(prior);
+    obs::set_enabled(false);
+
+    assert_eq!(
+        one_thread, four_threads,
+        "deterministic metrics must not depend on the worker count"
+    );
+    // And the export is valid JSON with the promised sections.
+    let tree = parse(&one_thread).expect("deterministic export parses");
+    let rendered = tree.render();
+    assert_eq!(rendered, one_thread, "parse/render round-trip");
+    for section in ["counters", "histograms", "events"] {
+        assert!(one_thread.contains(section), "missing {section}");
+    }
+    assert!(one_thread.contains("\"workload.items\":2000"));
+}
+
+#[test]
+fn disabled_runs_collect_nothing_even_under_parallelism() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    obs::set_enabled(false);
+    obs::reset();
+    let items: Vec<u64> = (0..500).collect();
+    let _ = parallel_map(&items, |&x| {
+        obs::counter_add("should.not.exist", 1);
+        x + 1
+    });
+    assert!(obs::snapshot().is_empty());
+}

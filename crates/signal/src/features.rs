@@ -92,6 +92,9 @@ impl StreamFeatures {
 /// assert_eq!(f.to_vec().len(), 20);
 /// ```
 pub fn stream_features(signal: &[f64], config: &FeatureConfig) -> StreamFeatures {
+    let _span = srtd_runtime::obs::span("signal.stream_features");
+    srtd_runtime::obs::counter_add("signal.stream_features.calls", 1);
+    srtd_runtime::obs::observe("signal.stream_features.len", signal.len() as f64);
     let spectrum = Spectrum::from_signal(signal, config.sample_rate, config.window);
     StreamFeatures {
         temporal: TemporalFeatures::extract(signal),

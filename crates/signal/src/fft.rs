@@ -32,6 +32,8 @@ pub fn ifft_in_place(buf: &mut [Complex]) {
 fn transform(buf: &mut [Complex], inverse: bool) {
     let n = buf.len();
     assert!(n.is_power_of_two(), "FFT length {n} is not a power of two");
+    srtd_runtime::obs::counter_add("signal.fft.calls", 1);
+    srtd_runtime::obs::observe("signal.fft.len", n as f64);
     if n <= 1 {
         return;
     }

@@ -59,6 +59,10 @@ impl Dtw {
             (0, _) | (_, 0) => return f64::INFINITY,
             _ => {}
         }
+        // One DP table of m·n cells per call; cheap to count here, far too
+        // hot to count per cell.
+        srtd_runtime::obs::counter_add("timeseries.dtw.calls", 1);
+        srtd_runtime::obs::counter_add("timeseries.dtw.cells", (m * n) as u64);
         // Effective band half-width: must be at least |m-n| for feasibility.
         let w = self
             .band

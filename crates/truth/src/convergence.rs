@@ -45,6 +45,25 @@ impl ConvergenceCriterion {
     pub fn is_converged(&self, previous: &[Option<f64>], current: &[Option<f64>]) -> bool {
         max_abs_delta(previous, current) <= self.tolerance
     }
+
+    /// A validated copy of `self` that every iterative loop can trust.
+    ///
+    /// [`ConvergenceCriterion::new`] rejects bad input, but the fields are
+    /// public, so a struct literal can still smuggle in `max_iterations: 0`
+    /// (the loop would never run) or a negative/NaN `tolerance` (the loop
+    /// would never converge early). This clamps both — at least one
+    /// iteration, tolerance at least `0.0` (NaN becomes `0.0`) — instead of
+    /// panicking deep inside a discovery run.
+    pub fn effective(&self) -> Self {
+        Self {
+            max_iterations: self.max_iterations.max(1),
+            tolerance: if self.tolerance.is_nan() {
+                0.0
+            } else {
+                self.tolerance.max(0.0)
+            },
+        }
+    }
 }
 
 /// Largest absolute per-task change between two truth vectors; slots that
@@ -82,5 +101,61 @@ mod tests {
     #[should_panic(expected = "at least one iteration")]
     fn zero_iterations_panics() {
         ConvergenceCriterion::new(0, 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_tolerance_panics() {
+        ConvergenceCriterion::new(10, -1.0);
+    }
+
+    #[test]
+    fn effective_clamps_field_constructed_invalid_criteria() {
+        // Struct literals bypass `new`'s validation; `effective` repairs them.
+        let zero_iters = ConvergenceCriterion {
+            max_iterations: 0,
+            tolerance: 1e-6,
+        };
+        assert_eq!(zero_iters.effective().max_iterations, 1);
+        assert_eq!(zero_iters.effective().tolerance, 1e-6);
+
+        let negative_tol = ConvergenceCriterion {
+            max_iterations: 5,
+            tolerance: -2.0,
+        };
+        assert_eq!(negative_tol.effective().tolerance, 0.0);
+        assert_eq!(negative_tol.effective().max_iterations, 5);
+
+        let nan_tol = ConvergenceCriterion {
+            max_iterations: 5,
+            tolerance: f64::NAN,
+        };
+        assert_eq!(nan_tol.effective().tolerance, 0.0);
+    }
+
+    #[test]
+    fn effective_is_identity_on_valid_criteria() {
+        let valid = ConvergenceCriterion::new(42, 1e-3);
+        assert_eq!(valid.effective(), valid);
+        let default = ConvergenceCriterion::default();
+        assert_eq!(default.effective(), default);
+    }
+
+    #[test]
+    fn delta_with_mismatched_none_patterns() {
+        // None in either slot skips the pair — in both directions.
+        let a = vec![None, Some(2.0), None, Some(4.0)];
+        let b = vec![Some(1.0), None, None, Some(4.5)];
+        assert_eq!(max_abs_delta(&a, &b), 0.5);
+        assert_eq!(max_abs_delta(&b, &a), 0.5);
+        // All pairs skipped → no evidence of change → delta 0.
+        let only_a = vec![Some(1.0), None];
+        let only_b = vec![None, Some(9.0)];
+        assert_eq!(max_abs_delta(&only_a, &only_b), 0.0);
+        // Empty vectors and length mismatches (zip stops at the shorter).
+        assert_eq!(max_abs_delta(&[], &[]), 0.0);
+        let long = vec![Some(1.0), Some(100.0)];
+        let short = vec![Some(3.0)];
+        assert_eq!(max_abs_delta(&long, &short), 2.0);
     }
 }

@@ -51,7 +51,7 @@ mod traits;
 
 pub use baselines::{MeanVote, MedianVote};
 pub use catd::Catd;
-pub use convergence::ConvergenceCriterion;
+pub use convergence::{max_abs_delta, ConvergenceCriterion};
 pub use crh::{Crh, CrhConfig};
 pub use data::{Report, SensingData};
 pub use evolving::{StreamingConfig, StreamingCrh};

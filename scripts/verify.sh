@@ -8,4 +8,14 @@ cd "$(dirname "$0")/.."
 cargo fmt --all --check
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
+
+# Observability smoke: an instrumented run must export JSON that the
+# runtime's own parser accepts (obs-check validates shape and parse).
+obs_json="$(mktemp /tmp/srtd-obs.XXXXXX.json)"
+trap 'rm -f "$obs_json"' EXIT
+SRTD_OBS=1 SRTD_OBS_JSON="$obs_json" \
+  cargo run -q --release --offline --bin srtd -- \
+  evaluate --seed 0 --legit 4 --tasks 4 >/dev/null
+cargo run -q --release --offline --bin obs-check -- "$obs_json"
+
 echo "verify: OK"

@@ -1,0 +1,60 @@
+//! `obs-check` — validates an `SRTD_OBS_JSON` export.
+//!
+//! Reads the file named by its single argument, parses it with the
+//! runtime's strict JSON parser and asserts the shape a
+//! [`sybil_td::runtime::obs::Report`] export promises: a top-level object
+//! with `counters`, `gauges`, `histograms`, `spans` and `events` keys.
+//! Exits non-zero (with a message on stderr) on any violation, so
+//! `scripts/verify.sh` can use it as an offline smoke check.
+
+use std::process::ExitCode;
+use sybil_td::runtime::json::{parse, Json};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<String, String> {
+    let mut args = std::env::args().skip(1);
+    let path = args.next().ok_or("usage: obs-check <report.json>")?;
+    if args.next().is_some() {
+        return Err("usage: obs-check <report.json>".into());
+    }
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    let tree = parse(&text).map_err(|e| format!("{path} is not valid JSON: {e}"))?;
+    let Json::Obj(fields) = tree else {
+        return Err(format!("{path}: top level is not an object"));
+    };
+    for key in ["counters", "gauges", "histograms", "spans", "events"] {
+        if !fields.iter().any(|(k, _)| k == key) {
+            return Err(format!("{path}: missing `{key}` section"));
+        }
+    }
+    let count_of = |key: &str| {
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| match v {
+                Json::Obj(entries) => entries.len(),
+                Json::Arr(entries) => entries.len(),
+                _ => 0,
+            })
+            .unwrap_or(0)
+    };
+    Ok(format!(
+        "ok: {path} ({} counters, {} histograms, {} spans, {} events)",
+        count_of("counters"),
+        count_of("histograms"),
+        count_of("spans"),
+        count_of("events"),
+    ))
+}

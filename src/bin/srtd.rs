@@ -18,6 +18,7 @@ use std::process::ExitCode;
 
 use sybil_td::core::{AccountGrouping, AgFp, AgTr, AgTs, AgVal, SybilResistantTd};
 use sybil_td::metrics::{adjusted_rand_index, mae};
+use sybil_td::runtime::obs;
 use sybil_td::sensing::{Scenario, ScenarioConfig};
 use sybil_td::truth::{Crh, SensingData, TruthDiscovery};
 
@@ -34,6 +35,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if flags.contains_key("obs") {
+        obs::set_enabled(true);
+    }
     let result = match command.as_str() {
         "simulate" => cmd_simulate(&flags),
         "evaluate" => cmd_evaluate(&flags),
@@ -44,6 +48,22 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command `{other}`")),
     };
+    if result.is_ok() {
+        if obs::enabled() {
+            let report = obs::snapshot();
+            if !report.is_empty() && flags.contains_key("obs") {
+                println!("\n{}", report.render_table());
+            }
+        }
+        match obs::export_json_if_requested() {
+            Ok(Some(path)) => eprintln!("obs: wrote {}", path.display()),
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("error: writing SRTD_OBS_JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -58,15 +78,22 @@ srtd — Sybil-resistant truth discovery for mobile crowdsensing
 
 USAGE:
   srtd simulate [--seed N] [--legit N] [--tasks N] [--activeness L,A] [--out DIR]
-  srtd evaluate [--seed N] [--seeds N] [--activeness L,A] [--from DIR]
-  srtd group    [--seed N] [--method ag-fp|ag-ts|ag-tr|ag-val] [--activeness L,A]
+  srtd evaluate [--seed N] [--seeds N] [--activeness L,A] [--from DIR] [--obs]
+  srtd group    [--seed N] [--method ag-fp|ag-ts|ag-tr|ag-val] [--activeness L,A] [--obs]
   srtd help
 
 simulate  generate a campaign and write reports.csv, fingerprints.csv,
           ground_truth.csv, owners.csv into --out (default: campaign/)
 evaluate  print the MAE of CRH and TD-FP/TD-TS/TD-TR, either on generated
           campaigns (averaged over --seeds) or on CSV data from --from
-group     run one grouping method and print groups plus ARI vs. owners";
+group     run one grouping method and print groups plus ARI vs. owners
+
+--obs enables the observability layer (spans, counters, events) and prints
+a report after the run; SRTD_OBS=1 in the environment does the same, and
+SRTD_OBS_JSON=<path> additionally writes the report as JSON.";
+
+/// Flags that take no value; their presence alone is the signal.
+const BOOLEAN_FLAGS: &[&str] = &["obs"];
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -75,6 +102,10 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(name) = flag.strip_prefix("--") else {
             return Err(format!("expected a --flag, got `{flag}`"));
         };
+        if BOOLEAN_FLAGS.contains(&name) {
+            flags.insert(name.to_string(), String::from("1"));
+            continue;
+        }
         let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
         flags.insert(name.to_string(), value.clone());
     }

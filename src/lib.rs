@@ -11,6 +11,7 @@ pub use srtd_fingerprint as fingerprint;
 pub use srtd_graph as graph;
 pub use srtd_metrics as metrics;
 pub use srtd_platform as platform;
+pub use srtd_runtime as runtime;
 pub use srtd_sensing as sensing;
 pub use srtd_signal as signal;
 pub use srtd_timeseries as timeseries;

@@ -110,3 +110,45 @@ fn evaluate_honors_activeness_flag() {
     let bad = srtd(&["evaluate", "--activeness", "nonsense"]);
     assert!(!bad.status.success());
 }
+
+#[test]
+fn obs_flag_prints_report_and_exports_json() {
+    let json_path = std::env::temp_dir().join(format!("srtd-cli-obs-{}.json", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_srtd"))
+        .args([
+            "evaluate", "--seed", "0", "--legit", "4", "--tasks", "4", "--obs",
+        ])
+        .env_remove("SRTD_OBS")
+        .env("SRTD_OBS_JSON", &json_path)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    // The human table follows the MAE output and covers the pipeline.
+    for needle in ["spans (wall clock)", "counters", "framework.discover"] {
+        assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+    }
+    // The JSON export exists and carries the report sections.
+    let json = std::fs::read_to_string(&json_path).expect("SRTD_OBS_JSON written");
+    for needle in ["\"spans\"", "\"counters\"", "framework.iteration"] {
+        assert!(json.contains(needle), "missing `{needle}` in export");
+    }
+    let _ = std::fs::remove_file(&json_path);
+}
+
+#[test]
+fn obs_disabled_runs_print_no_report() {
+    let out = Command::new(env!("CARGO_BIN_EXE_srtd"))
+        .args(["evaluate", "--seed", "0", "--legit", "4", "--tasks", "4"])
+        .env_remove("SRTD_OBS")
+        .env_remove("SRTD_OBS_JSON")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(!text.contains("spans (wall clock)"), "{text}");
+}
