@@ -1,0 +1,89 @@
+//! Validates a `BENCH_pipeline.json` produced by `bench_pipeline` against
+//! the expected schema; exits non-zero on any drift so `scripts/verify.sh`
+//! catches format regressions.
+//!
+//! Run with: `cargo run -p srtd-bench --bin bench_check -- BENCH_pipeline.json`
+
+use srtd_runtime::json::{parse, Json};
+use std::process::exit;
+
+const SCHEMA: &str = "srtd-bench-pipeline-v1";
+const TOP_LEVEL_KEYS: [&str; 8] = [
+    "schema",
+    "quick",
+    "threads_available",
+    "input",
+    "cases",
+    "speedups",
+    "determinism",
+    "counters",
+];
+const CASE_KEYS: [&str; 6] = ["group", "name", "median_ns", "min_ns", "max_ns", "batch"];
+
+fn fail(msg: &str) -> ! {
+    eprintln!("bench-check: {msg}");
+    exit(1);
+}
+
+fn get<'a>(fields: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| fail("usage: bench_check <BENCH_pipeline.json>"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let tree = parse(&text).unwrap_or_else(|e| fail(&format!("{path} is not valid JSON: {e:?}")));
+    let Json::Obj(fields) = tree else {
+        fail("top level must be a JSON object");
+    };
+    for key in TOP_LEVEL_KEYS {
+        if get(&fields, key).is_none() {
+            fail(&format!("missing top-level key `{key}`"));
+        }
+    }
+    match get(&fields, "schema") {
+        Some(Json::Str(s)) if s == SCHEMA => {}
+        Some(other) => fail(&format!("schema must be \"{SCHEMA}\", got {other:?}")),
+        None => unreachable!(),
+    }
+    match get(&fields, "threads_available") {
+        Some(Json::Num(n)) if *n >= 1.0 => {}
+        _ => fail("threads_available must be a number >= 1"),
+    }
+    let Some(Json::Arr(cases)) = get(&fields, "cases") else {
+        fail("cases must be an array");
+    };
+    if cases.is_empty() {
+        fail("cases must not be empty");
+    }
+    for (i, case) in cases.iter().enumerate() {
+        let Json::Obj(case_fields) = case else {
+            fail(&format!("cases[{i}] must be an object"));
+        };
+        for key in CASE_KEYS {
+            match get(case_fields, key) {
+                None => fail(&format!("cases[{i}] missing key `{key}`")),
+                Some(Json::Num(n)) if key.ends_with("_ns") && *n <= 0.0 => {
+                    fail(&format!("cases[{i}].{key} must be positive"))
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    for section in ["input", "speedups", "determinism", "counters"] {
+        if !matches!(get(&fields, section), Some(Json::Obj(_))) {
+            fail(&format!("`{section}` must be an object"));
+        }
+    }
+    match get(&fields, "determinism") {
+        Some(Json::Obj(d)) => match get(d, "framework_bit_identical_threads_1_vs_4") {
+            Some(Json::Bool(true)) => {}
+            _ => fail("determinism.framework_bit_identical_threads_1_vs_4 must be true"),
+        },
+        _ => unreachable!(),
+    }
+    println!("bench-check: OK ({path})");
+}

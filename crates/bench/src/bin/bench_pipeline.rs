@@ -1,0 +1,434 @@
+//! Tracked pipeline baseline: times the three hot paths this repo
+//! optimizes — Algorithm 2 (framework iteration), the real FFT, and DTW —
+//! and writes the results as `BENCH_pipeline.json` for regression
+//! tracking.
+//!
+//! Runs in quick mode by default (a few seconds end to end) so it can be
+//! part of `scripts/verify.sh`; set `SRTD_BENCH_FULL=1` for the longer
+//! budget. The output path is the first argument (default
+//! `BENCH_pipeline.json` in the current directory).
+//!
+//! Besides wall-clock numbers the export records input sizes, the worker
+//! thread count, speedup ratios (parallel vs. sequential dispatch, CSR
+//! arena vs. the legacy nested-`Vec` reference, paired vs. per-stream
+//! FFT), obs counters from one instrumented pass, and a framework
+//! bit-identity check across thread counts.
+//!
+//! Run with: `cargo run -p srtd-bench --release --bin bench_pipeline`
+
+use srtd_core::aggregate::initial_group_weight;
+use srtd_core::{AccountGrouping, GroupAggregation, Grouping, PerfectGrouping, SybilResistantTd};
+use srtd_runtime::bench::{black_box, Bench, BenchConfig, BenchStats};
+use srtd_runtime::json::{Json, ToJson};
+use srtd_runtime::obs;
+use srtd_runtime::parallel::set_max_threads;
+use srtd_runtime::rng::{Rng, SeedableRng, StdRng};
+use srtd_signal::fft::{fft_real, fft_real_pair};
+use srtd_signal::{stream_features, stream_features_batch, FeatureConfig};
+use srtd_timeseries::Dtw;
+use srtd_truth::{max_abs_delta, ConvergenceCriterion, SensingData};
+
+/// Campaign shape: the `exp_large_scale` regime scaled until the
+/// framework's parallel gate (64 tasks) is comfortably passed.
+const LEGIT: usize = 200;
+const ATTACKERS: usize = 2;
+const SYBILS_PER_ATTACKER: usize = 20;
+const TASKS: usize = 600;
+const REPORT_PROB: f64 = 0.25;
+
+/// A deterministic large campaign: 240 accounts in 202 true groups over
+/// 600 tasks, ~25% report density, two Sybil attackers pushing -50 dBm.
+fn large_campaign(seed: u64) -> (SensingData, Vec<usize>) {
+    let accounts = LEGIT + ATTACKERS * SYBILS_PER_ATTACKER;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = SensingData::new(TASKS);
+    let mut labels = Vec::with_capacity(accounts);
+    for a in 0..accounts {
+        let owner = if a < LEGIT {
+            a
+        } else {
+            LEGIT + (a - LEGIT) / SYBILS_PER_ATTACKER
+        };
+        labels.push(owner);
+        for t in 0..TASKS {
+            if rng.gen_range(0f64..1.0) >= REPORT_PROB {
+                continue;
+            }
+            let truth = (t as f64 * 0.37).sin() * 20.0 - 70.0;
+            let value = if owner >= LEGIT {
+                -50.0
+            } else {
+                truth + rng.gen_range(-3f64..3.0)
+            };
+            data.add_report(a, t, value, t as f64 * 10.0 + a as f64 * 0.01);
+        }
+    }
+    (data, labels)
+}
+
+/// The pre-CSR reference implementation of Algorithm 2's data-grouping
+/// and iteration stages: allocating `reports_for_task` snapshots, one
+/// bucket `Vec` per group per task, sequential loss/truth loops. Kept
+/// here (not in the library) purely as the bench's legacy baseline.
+fn legacy_discover(data: &SensingData, grouping: &Grouping) -> (Vec<Option<f64>>, Vec<f64>, usize) {
+    let m = data.num_tasks();
+    let l = grouping.len();
+    let mut per_task: Vec<Vec<(usize, f64, f64)>> = Vec::with_capacity(m);
+    for j in 0..m {
+        let reports = data.reports_for_task(j);
+        if reports.is_empty() {
+            per_task.push(Vec::new());
+            continue;
+        }
+        let reporters = reports.len();
+        let mut by_group: Vec<Vec<f64>> = vec![Vec::new(); l];
+        for r in &reports {
+            by_group[grouping.group_of(r.account)].push(r.value);
+        }
+        per_task.push(
+            by_group
+                .iter()
+                .enumerate()
+                .filter(|(_, vals)| !vals.is_empty())
+                .map(|(k, vals)| {
+                    (
+                        k,
+                        GroupAggregation::default().aggregate(vals),
+                        initial_group_weight(vals.len(), reporters),
+                    )
+                })
+                .collect(),
+        );
+    }
+    let estimate =
+        |entries: &[(usize, f64, f64)], weight_of: &dyn Fn(usize, f64) -> f64| -> Option<f64> {
+            let mut num = 0.0;
+            let mut den = 0.0;
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            for &(k, v, seed) in entries {
+                let w = weight_of(k, seed);
+                num += w * v;
+                den += w;
+                sum += v;
+                count += 1;
+            }
+            if count == 0 {
+                None
+            } else if den > 0.0 {
+                Some(num / den)
+            } else {
+                Some(sum / count as f64)
+            }
+        };
+    let mut truths: Vec<Option<f64>> = per_task
+        .iter()
+        .map(|entries| estimate(entries, &|_, seed| seed))
+        .collect();
+    let scales: Vec<f64> = per_task
+        .iter()
+        .map(|entries| {
+            if entries.len() < 2 {
+                return 1.0;
+            }
+            let mean = entries.iter().map(|&(_, v, _)| v).sum::<f64>() / entries.len() as f64;
+            let var = entries
+                .iter()
+                .map(|&(_, v, _)| (v - mean) * (v - mean))
+                .sum::<f64>()
+                / entries.len() as f64;
+            var.sqrt().max(1e-9)
+        })
+        .collect();
+    let criterion = ConvergenceCriterion::default();
+    let mut weights = vec![1.0f64; l];
+    let mut iterations = 0;
+    for iter in 0..criterion.max_iterations {
+        iterations = iter + 1;
+        let mut losses = vec![0.0f64; l];
+        for (j, entries) in per_task.iter().enumerate() {
+            let Some(truth) = truths[j] else { continue };
+            for &(k, value, _) in entries {
+                let e = (value - truth) / scales[j];
+                losses[k] += e * e;
+            }
+        }
+        let total: f64 = losses.iter().sum();
+        for (w, &loss) in weights.iter_mut().zip(&losses) {
+            *w = (total.max(1e-12) / loss.max(1e-12)).ln().max(0.0);
+        }
+        if weights.iter().all(|&w| w == 0.0) {
+            weights.fill(1.0);
+        }
+        let next: Vec<Option<f64>> = per_task
+            .iter()
+            .map(|entries| estimate(entries, &|k, _| weights[k]))
+            .collect();
+        let delta = max_abs_delta(&truths, &next);
+        truths = next;
+        if delta <= criterion.tolerance {
+            break;
+        }
+    }
+    (truths, weights, iterations)
+}
+
+fn result_bits(truths: &[Option<f64>], weights: &[f64], trace: &[f64]) -> Vec<u64> {
+    truths
+        .iter()
+        .map(|t| t.map_or(u64::MAX, f64::to_bits))
+        .chain(weights.iter().map(|w| w.to_bits()))
+        .chain(trace.iter().map(|d| d.to_bits()))
+        .collect()
+}
+
+fn stats_json(group: &str, name: &str, stats: BenchStats, params: Vec<(&str, Json)>) -> Json {
+    let mut fields = vec![
+        ("group", Json::str(group)),
+        ("name", Json::str(name)),
+        ("median_ns", stats.median_ns.to_json()),
+        ("min_ns", stats.min_ns.to_json()),
+        ("max_ns", stats.max_ns.to_json()),
+        ("batch", stats.batch.to_json()),
+    ];
+    fields.extend(params);
+    Json::obj(fields)
+}
+
+fn main() {
+    let quick = !matches!(std::env::var("SRTD_BENCH_FULL"), Ok(v) if v == "1");
+    let config = if quick {
+        BenchConfig::quick()
+    } else {
+        BenchConfig::default()
+    };
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+    let threads_available = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let mut cases: Vec<Json> = Vec::new();
+
+    // ---- Framework (Algorithm 2) on the large-scale campaign ----
+    let (data, labels) = large_campaign(0);
+    let grouping = PerfectGrouping::new(labels).group(&data, &[]);
+    let framework = SybilResistantTd::new(PerfectGrouping::new(vec![]));
+    let num_reports = data.reports().len();
+    let num_groups = grouping.len();
+
+    // Byte-identity across worker counts, asserted before timing.
+    set_max_threads(1);
+    let r1 = framework.discover_with_grouping(&data, grouping.clone());
+    set_max_threads(4);
+    let r4 = framework.discover_with_grouping(&data, grouping.clone());
+    set_max_threads(0);
+    let bit_identical = result_bits(&r1.truths, &r1.group_weights, &r1.convergence_trace)
+        == result_bits(&r4.truths, &r4.group_weights, &r4.convergence_trace);
+    assert!(
+        bit_identical,
+        "framework output must be byte-identical at 1 vs 4 worker threads"
+    );
+
+    // Legacy reference must agree numerically (different float association
+    // allows ulp-level drift, nothing more).
+    let (legacy_truths, _, _) = legacy_discover(&data, &grouping);
+    for (a, b) in r1.truths.iter().zip(&legacy_truths) {
+        match (a, b) {
+            (Some(x), Some(y)) => assert!(
+                (x - y).abs() < 1e-6 * (1.0 + x.abs()),
+                "CSR vs legacy drifted: {x} vs {y}"
+            ),
+            (None, None) => {}
+            _ => panic!("CSR vs legacy coverage mismatch"),
+        }
+    }
+
+    let mut group = Bench::with_config("pipeline", config);
+    let framework_params = vec![
+        ("tasks", TASKS.to_json()),
+        (
+            "accounts",
+            (LEGIT + ATTACKERS * SYBILS_PER_ATTACKER).to_json(),
+        ),
+        ("groups", num_groups.to_json()),
+        ("reports", num_reports.to_json()),
+    ];
+
+    set_max_threads(1);
+    let fw_seq = group.run("framework/large/seq", || {
+        framework.discover_with_grouping(black_box(&data), grouping.clone())
+    });
+    set_max_threads(4);
+    let fw_par4 = group.run("framework/large/par4", || {
+        framework.discover_with_grouping(black_box(&data), grouping.clone())
+    });
+    set_max_threads(0);
+    let fw_legacy = group.run("framework/large/legacy", || {
+        legacy_discover(black_box(&data), black_box(&grouping))
+    });
+    cases.push(stats_json(
+        "framework",
+        "large/seq",
+        fw_seq,
+        framework_params.clone(),
+    ));
+    cases.push(stats_json(
+        "framework",
+        "large/par4",
+        fw_par4,
+        framework_params.clone(),
+    ));
+    cases.push(stats_json(
+        "framework",
+        "large/legacy",
+        fw_legacy,
+        framework_params,
+    ));
+
+    // ---- FFT: per-stream vs two-for-one, single vs batched features ----
+    let n_fft = 1024usize;
+    let x: Vec<f64> = (0..n_fft).map(|i| (i as f64 * 0.37).sin()).collect();
+    let y: Vec<f64> = (0..n_fft).map(|i| (i as f64 * 0.91).cos()).collect();
+    let fft_single = group.run("fft/two_singles/1024", || {
+        (fft_real(black_box(&x)), fft_real(black_box(&y)))
+    });
+    let fft_paired = group.run("fft/real_pair/1024", || {
+        fft_real_pair(black_box(&x), black_box(&y))
+    });
+    cases.push(stats_json(
+        "fft",
+        "two_singles/1024",
+        fft_single,
+        vec![("n", n_fft.to_json())],
+    ));
+    cases.push(stats_json(
+        "fft",
+        "real_pair/1024",
+        fft_paired,
+        vec![("n", n_fft.to_json())],
+    ));
+
+    let streams: Vec<Vec<f64>> = (0..4)
+        .map(|s| {
+            (0..600)
+                .map(|i| (i as f64 * (0.21 + s as f64 * 0.13)).sin() * 2.0 + 9.81)
+                .collect()
+        })
+        .collect();
+    let feat_cfg = FeatureConfig::new(100.0);
+    let feat_single = group.run("features/per_stream/4x600", || {
+        streams
+            .iter()
+            .map(|s| stream_features(black_box(s), &feat_cfg))
+            .collect::<Vec<_>>()
+    });
+    let feat_batch = group.run("features/batched/4x600", || {
+        stream_features_batch(black_box(&streams), &feat_cfg)
+    });
+    cases.push(stats_json(
+        "features",
+        "per_stream/4x600",
+        feat_single,
+        vec![("streams", 4usize.to_json()), ("len", 600usize.to_json())],
+    ));
+    cases.push(stats_json(
+        "features",
+        "batched/4x600",
+        feat_batch,
+        vec![("streams", 4usize.to_json()), ("len", 600usize.to_json())],
+    ));
+
+    // ---- DTW ----
+    let dtw_n = 200usize;
+    let a: Vec<f64> = (0..dtw_n).map(|i| (i as f64 * 0.11).sin() * 5.0).collect();
+    let b: Vec<f64> = (0..dtw_n)
+        .map(|i| (i as f64 * 0.11 + 0.8).sin() * 5.0)
+        .collect();
+    let dtw_full = group.run("dtw/full/200", || {
+        Dtw::new().distance(black_box(&a), black_box(&b))
+    });
+    let dtw_band = group.run("dtw/band16/200", || {
+        Dtw::new()
+            .with_band(16)
+            .distance(black_box(&a), black_box(&b))
+    });
+    cases.push(stats_json(
+        "dtw",
+        "full/200",
+        dtw_full,
+        vec![("n", dtw_n.to_json())],
+    ));
+    cases.push(stats_json(
+        "dtw",
+        "band16/200",
+        dtw_band,
+        vec![("n", dtw_n.to_json()), ("band", 16usize.to_json())],
+    ));
+
+    // ---- Obs counters from one instrumented pass over the same paths ----
+    obs::set_enabled(true);
+    obs::reset();
+    let _ = framework.discover_with_grouping(&data, grouping.clone());
+    let _ = stream_features_batch(&streams, &feat_cfg);
+    let _ = Dtw::new().distance(&a, &b);
+    let report = obs::snapshot();
+    obs::set_enabled(false);
+    let counters: Vec<(String, u64)> = report.counters;
+
+    let doc = Json::obj([
+        ("schema", Json::str("srtd-bench-pipeline-v1")),
+        ("quick", quick.to_json()),
+        ("threads_available", threads_available.to_json()),
+        (
+            "input",
+            Json::obj([
+                ("tasks", TASKS.to_json()),
+                (
+                    "accounts",
+                    (LEGIT + ATTACKERS * SYBILS_PER_ATTACKER).to_json(),
+                ),
+                ("groups", num_groups.to_json()),
+                ("reports", num_reports.to_json()),
+                ("fft_n", n_fft.to_json()),
+                ("dtw_n", dtw_n.to_json()),
+            ]),
+        ),
+        ("cases", Json::arr(cases)),
+        (
+            "speedups",
+            Json::obj([
+                (
+                    "framework_par4_vs_seq",
+                    (fw_seq.median_ns / fw_par4.median_ns).to_json(),
+                ),
+                (
+                    "framework_csr_seq_vs_legacy",
+                    (fw_legacy.median_ns / fw_seq.median_ns).to_json(),
+                ),
+                (
+                    "fft_pair_vs_two_singles",
+                    (fft_single.median_ns / fft_paired.median_ns).to_json(),
+                ),
+                (
+                    "features_batched_vs_per_stream",
+                    (feat_single.median_ns / feat_batch.median_ns).to_json(),
+                ),
+            ]),
+        ),
+        (
+            "determinism",
+            Json::obj([(
+                "framework_bit_identical_threads_1_vs_4",
+                bit_identical.to_json(),
+            )]),
+        ),
+        (
+            "counters",
+            Json::obj(counters.iter().map(|(k, v)| (k.as_str(), v.to_json()))),
+        ),
+    ]);
+    std::fs::write(&out_path, doc.render() + "\n").expect("write bench JSON");
+    println!("\nwrote {out_path}");
+}

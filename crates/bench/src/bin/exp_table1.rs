@@ -58,8 +58,7 @@ fn main() {
         let mut row = vec![name.to_string()];
         for task in 0..4 {
             let value = attacked
-                .reports_for_task(task)
-                .iter()
+                .task_reports(task)
                 .find(|r| r.account == a)
                 .map(|r| r.value);
             row.push(cell(value, 2));

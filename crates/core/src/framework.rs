@@ -4,7 +4,67 @@ use crate::aggregate::{initial_group_weight, GroupAggregation};
 use crate::grouping::{AccountGrouping, Grouping};
 use srtd_runtime::json::ToJson;
 use srtd_runtime::obs;
+use srtd_runtime::parallel::{parallel_map_min, parallel_reduce};
 use srtd_truth::{max_abs_delta, ConvergenceCriterion, SensingData};
+
+/// Task count below which the per-iteration work runs on the plain
+/// sequential fast path. Paper-scale campaigns (tens of tasks) never pay
+/// thread-spawn or chunk bookkeeping; the `exp_large_scale` regime
+/// (hundreds of tasks and groups) takes the parallel path.
+///
+/// The gate depends only on the campaign (task count), never on the
+/// worker count, so output stays byte-identical across thread counts.
+const PARALLEL_MIN_TASKS: usize = 64;
+
+/// Fixed chunk length of the deterministic parallel loss reduction.
+/// Chunk boundaries derive from the task count alone, which is what keeps
+/// the floating-point merge order — and therefore every output bit —
+/// independent of how many workers execute the chunks.
+const LOSS_CHUNK_TASKS: usize = 64;
+
+/// The per-task group aggregates, flattened into one CSR-style arena:
+/// `entries[offsets[j]..offsets[j+1]]` holds task `j`'s
+/// `(group, aggregated value, Eq. 4 seed weight)` triples in ascending
+/// group order. One allocation for the whole campaign instead of one
+/// `Vec` per task.
+struct PerTaskArena {
+    offsets: Vec<usize>,
+    entries: Vec<(usize, f64, f64)>,
+}
+
+impl PerTaskArena {
+    fn entries(&self, task: usize) -> &[(usize, f64, f64)] {
+        &self.entries[self.offsets[task]..self.offsets[task + 1]]
+    }
+
+    fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// One truth estimate from a task's group aggregates (Eq. 5 with the
+/// configured update rule).
+fn estimate_truth<F>(
+    update: TruthUpdate,
+    entries: &[(usize, f64, f64)],
+    weight_of: F,
+) -> Option<f64>
+where
+    F: Fn(usize, f64) -> f64,
+{
+    match update {
+        TruthUpdate::WeightedMean => {
+            weighted_truth(entries.iter().map(|&(k, v, seed)| (v, weight_of(k, seed))))
+        }
+        TruthUpdate::WeightedMedian => {
+            let mut pairs: Vec<(f64, f64)> = entries
+                .iter()
+                .map(|&(k, v, seed)| (v, weight_of(k, seed)))
+                .collect();
+            srtd_truth::weighted_median(&mut pairs)
+        }
+    }
+}
 
 /// How the iterative stage updates truths from group aggregates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -138,59 +198,70 @@ impl<G: AccountGrouping> SybilResistantTd<G> {
         );
         let m = data.num_tasks();
         let l = grouping.len();
+        let task_ids: Vec<usize> = (0..m).collect();
 
         // Lines 2–6: per task, aggregate each group's data (Eq. 3) and
-        // compute the size-based seed weight (Eq. 4).
-        // per_task[j]: (group, aggregated value, seed weight).
-        let mut per_task: Vec<Vec<(usize, f64, f64)>> = Vec::with_capacity(m);
-        for j in 0..m {
-            let reports = data.reports_for_task(j);
-            if reports.is_empty() {
-                per_task.push(Vec::new());
-                continue;
+        // compute the size-based seed weight (Eq. 4). Each task gathers
+        // its (group, value) pairs from the CSR index, stable-sorts by
+        // group (preserving report order inside a group) and scans the
+        // runs — O(u log u) per task instead of one bucket `Vec` per
+        // group per task. The per-task vectors are flattened into one
+        // arena below.
+        let reports = data.reports();
+        let aggregation = self.config.aggregation;
+        let build_task = |&j: &usize| -> Vec<(usize, f64, f64)> {
+            let indices = data.task_report_indices(j);
+            if indices.is_empty() {
+                return Vec::new();
             }
-            let reporters = reports.len();
-            let mut by_group: Vec<Vec<f64>> = vec![Vec::new(); l];
-            for r in &reports {
-                by_group[grouping.group_of(r.account)].push(r.value);
-            }
-            let entries = by_group
+            let reporters = indices.len();
+            let mut pairs: Vec<(usize, f64)> = indices
                 .iter()
-                .enumerate()
-                .filter(|(_, vals)| !vals.is_empty())
-                .map(|(k, vals)| {
-                    let aggregated = self.config.aggregation.aggregate(vals);
-                    let seed = initial_group_weight(vals.len(), reporters);
-                    (k, aggregated, seed)
+                .map(|&i| {
+                    let r = &reports[i];
+                    (grouping.group_of(r.account), r.value)
                 })
                 .collect();
-            per_task.push(entries);
-        }
+            pairs.sort_by_key(|&(g, _)| g);
+            let mut entries = Vec::new();
+            let mut vals: Vec<f64> = Vec::new();
+            let mut i = 0;
+            while i < pairs.len() {
+                let group = pairs[i].0;
+                vals.clear();
+                while i < pairs.len() && pairs[i].0 == group {
+                    vals.push(pairs[i].1);
+                    i += 1;
+                }
+                entries.push((
+                    group,
+                    aggregation.aggregate(&vals),
+                    initial_group_weight(vals.len(), reporters),
+                ));
+            }
+            entries
+        };
+        let per_task = {
+            let _span = obs::span("framework.per_task_build");
+            let built = parallel_map_min(&task_ids, PARALLEL_MIN_TASKS, build_task);
+            let mut offsets = Vec::with_capacity(m + 1);
+            offsets.push(0);
+            let mut entries = Vec::with_capacity(built.iter().map(Vec::len).sum());
+            for task_entries in &built {
+                entries.extend_from_slice(task_entries);
+                offsets.push(entries.len());
+            }
+            PerTaskArena { offsets, entries }
+        };
 
-        let estimate =
-            |entries: &[(usize, f64, f64)], weight_of: &dyn Fn(usize, f64) -> f64| match self
-                .config
-                .truth_update
-            {
-                TruthUpdate::WeightedMean => {
-                    weighted_truth(entries.iter().map(|&(k, v, seed)| (v, weight_of(k, seed))))
-                }
-                TruthUpdate::WeightedMedian => {
-                    let mut pairs: Vec<(f64, f64)> = entries
-                        .iter()
-                        .map(|&(k, v, seed)| (v, weight_of(k, seed)))
-                        .collect();
-                    srtd_truth::weighted_median(&mut pairs)
-                }
-            };
+        let update = self.config.truth_update;
 
         // Line 7: initialize truths by Eq. 5 with the seed weights.
-        let mut truths: Vec<Option<f64>> = per_task
-            .iter()
-            .map(|entries| estimate(entries, &|_, seed| seed))
-            .collect();
+        let mut truths: Vec<Option<f64>> = parallel_map_min(&task_ids, PARALLEL_MIN_TASKS, |&j| {
+            estimate_truth(update, per_task.entries(j), |_, seed| seed)
+        });
 
-        if per_task.iter().all(Vec::is_empty) || l == 0 {
+        if per_task.is_empty() || l == 0 {
             return FrameworkResult {
                 truths,
                 grouping,
@@ -202,21 +273,19 @@ impl<G: AccountGrouping> SybilResistantTd<G> {
         }
 
         // Per-task normalization scale: std of the group aggregates.
-        let scales: Vec<f64> = per_task
-            .iter()
-            .map(|entries| {
-                if entries.len() < 2 {
-                    return 1.0;
-                }
-                let mean = entries.iter().map(|&(_, v, _)| v).sum::<f64>() / entries.len() as f64;
-                let var = entries
-                    .iter()
-                    .map(|&(_, v, _)| (v - mean) * (v - mean))
-                    .sum::<f64>()
-                    / entries.len() as f64;
-                var.sqrt().max(1e-9)
-            })
-            .collect();
+        let scales: Vec<f64> = parallel_map_min(&task_ids, PARALLEL_MIN_TASKS, |&j| {
+            let entries = per_task.entries(j);
+            if entries.len() < 2 {
+                return 1.0;
+            }
+            let mean = entries.iter().map(|&(_, v, _)| v).sum::<f64>() / entries.len() as f64;
+            let var = entries
+                .iter()
+                .map(|&(_, v, _)| (v - mean) * (v - mean))
+                .sum::<f64>()
+                / entries.len() as f64;
+            var.sqrt().max(1e-9)
+        });
 
         // Lines 8–15: iterate group weight estimation (CRH-style W over
         // the distances of group aggregates to current truths) and truth
@@ -232,15 +301,44 @@ impl<G: AccountGrouping> SybilResistantTd<G> {
         let mut convergence_trace = Vec::new();
         for iter in 0..criterion.max_iterations {
             iterations = iter + 1;
-            // Group weight update.
-            let mut losses = vec![0.0f64; l];
-            for (j, entries) in per_task.iter().enumerate() {
-                let Some(truth) = truths[j] else { continue };
-                for &(k, value, _) in entries {
-                    let e = (value - truth) / scales[j];
-                    losses[k] += e * e;
+            // Group weight update. For small campaigns the loss accumulates
+            // in one sequential loop; above the gate it runs as a
+            // deterministic chunked reduction whose partials merge in fixed
+            // chunk order, so the float sums are byte-identical to the
+            // sequential loop split at the same chunk boundaries —
+            // regardless of worker count.
+            let losses: Vec<f64> = if m < PARALLEL_MIN_TASKS {
+                let mut losses = vec![0.0f64; l];
+                for &j in &task_ids {
+                    let Some(truth) = truths[j] else { continue };
+                    for &(k, value, _) in per_task.entries(j) {
+                        let e = (value - truth) / scales[j];
+                        losses[k] += e * e;
+                    }
                 }
-            }
+                losses
+            } else {
+                parallel_reduce(
+                    &task_ids,
+                    LOSS_CHUNK_TASKS,
+                    || vec![0.0f64; l],
+                    |mut acc, &j| {
+                        if let Some(truth) = truths[j] {
+                            for &(k, value, _) in per_task.entries(j) {
+                                let e = (value - truth) / scales[j];
+                                acc[k] += e * e;
+                            }
+                        }
+                        acc
+                    },
+                    |mut a, b| {
+                        for (x, y) in a.iter_mut().zip(&b) {
+                            *x += y;
+                        }
+                        a
+                    },
+                )
+            };
             let total: f64 = losses.iter().sum();
             for (w, &loss) in weights.iter_mut().zip(&losses) {
                 *w = (total.max(1e-12) / loss.max(1e-12)).ln().max(0.0);
@@ -249,10 +347,10 @@ impl<G: AccountGrouping> SybilResistantTd<G> {
                 weights.fill(1.0);
             }
             // Truth update.
-            let next: Vec<Option<f64>> = per_task
-                .iter()
-                .map(|entries| estimate(entries, &|k, _| weights[k]))
-                .collect();
+            let weights_ref = &weights;
+            let next: Vec<Option<f64>> = parallel_map_min(&task_ids, PARALLEL_MIN_TASKS, |&j| {
+                estimate_truth(update, per_task.entries(j), |k, _| weights_ref[k])
+            });
             let delta = max_abs_delta(&truths, &next);
             convergence_trace.push(delta);
             obs::event(
@@ -473,7 +571,7 @@ mod tests {
         let data = table_i_attacked();
         let r = SybilResistantTd::new(AgTr::default()).discover(&data, &[]);
         for t in 0..4 {
-            let vals: Vec<f64> = data.reports_for_task(t).iter().map(|r| r.value).collect();
+            let vals: Vec<f64> = data.task_reports(t).map(|r| r.value).collect();
             let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
             let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let v = r.truths[t].unwrap();

@@ -9,9 +9,13 @@
 //! (DTW dissimilarity matrices, k-means assignment, fingerprint feature
 //! extraction).
 
-use srtd_core::{AgFp, AgTr, AgTs, FrameworkResult, SybilResistantTd};
+use srtd_core::{
+    AccountGrouping, AgFp, AgTr, AgTs, FrameworkResult, PerfectGrouping, SybilResistantTd,
+};
 use srtd_runtime::parallel::{max_threads, set_max_threads};
+use srtd_runtime::rng::{Rng, SeedableRng, StdRng};
 use srtd_sensing::{Scenario, ScenarioConfig};
+use srtd_truth::SensingData;
 
 fn run_framework(seed: u64) -> Vec<FrameworkResult> {
     let cfg = ScenarioConfig::paper_default().with_seed(seed);
@@ -40,6 +44,9 @@ fn assert_bitwise_equal(a: &[FrameworkResult], b: &[FrameworkResult], what: &str
             "labels differ: {what}"
         );
         assert_eq!(x.iterations, y.iterations, "iterations differ: {what}");
+        let dx: Vec<u64> = x.convergence_trace.iter().map(|d| d.to_bits()).collect();
+        let dy: Vec<u64> = y.convergence_trace.iter().map(|d| d.to_bits()).collect();
+        assert_eq!(dx, dy, "convergence trace bits differ: {what}");
     }
 }
 
@@ -60,6 +67,60 @@ fn same_seed_is_byte_identical_across_runs_and_thread_counts() {
 
     assert_bitwise_equal(&first, &sequential, "default pool vs 1 thread");
     assert_bitwise_equal(&first, &four_way, "default pool vs 4 threads");
+}
+
+/// A campaign big enough to take every parallel path in Algorithm 2:
+/// well past the 64-task gate, with ≥200 groups and ≥500 tasks.
+fn big_campaign(seed: u64) -> (SensingData, Vec<usize>) {
+    const ACCOUNTS: usize = 220;
+    const TASKS: usize = 520;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = SensingData::new(TASKS);
+    let mut labels = Vec::with_capacity(ACCOUNTS);
+    for a in 0..ACCOUNTS {
+        // 200 legit singleton groups + the tail collapsed into 2 Sybil
+        // groups → 202 groups total.
+        labels.push(if a < 200 { a } else { 200 + (a - 200) / 10 });
+        for t in 0..TASKS {
+            if rng.gen_range(0f64..1.0) < 0.2 {
+                let value = (t as f64 * 0.31).sin() * 15.0 + rng.gen_range(-2f64..2.0);
+                data.add_report(a, t, value, t as f64 + a as f64 * 1e-3);
+            }
+        }
+    }
+    (data, labels)
+}
+
+/// The large-campaign regime drives the framework through the parallel
+/// per-task build, the chunked loss reduction and the parallel truth
+/// update; all of it must stay byte-identical across worker counts —
+/// truths, group weights and the per-iteration convergence trace alike.
+#[test]
+fn parallel_algorithm2_is_byte_identical_across_thread_counts() {
+    let (data, labels) = big_campaign(11);
+    assert!(data.num_tasks() >= 500);
+    let grouping = PerfectGrouping::new(labels).group(&data, &[]);
+    assert!(
+        grouping.len() >= 200,
+        "want ≥200 groups, got {}",
+        grouping.len()
+    );
+    let framework = SybilResistantTd::new(PerfectGrouping::new(vec![]));
+
+    let prior = max_threads();
+    set_max_threads(1);
+    let sequential = framework.discover_with_grouping(&data, grouping.clone());
+    set_max_threads(4);
+    let four_way = framework.discover_with_grouping(&data, grouping);
+    set_max_threads(prior);
+
+    assert!(sequential.iterations > 0);
+    assert!(!sequential.convergence_trace.is_empty());
+    assert_bitwise_equal(
+        std::slice::from_ref(&sequential),
+        std::slice::from_ref(&four_way),
+        "large campaign, 1 vs 4 threads",
+    );
 }
 
 #[test]

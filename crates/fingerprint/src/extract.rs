@@ -1,7 +1,7 @@
 //! Fingerprint feature extraction (§IV-C).
 
 use crate::capture::SensorCapture;
-use srtd_signal::{stream_features, FeatureConfig};
+use srtd_signal::{stream_features_batch, FeatureConfig};
 
 /// Dimensionality of a fingerprint feature vector:
 /// 20 Table-II features × 4 sensor streams.
@@ -29,9 +29,12 @@ pub fn fingerprint_features(capture: &SensorCapture) -> Vec<f64> {
     let _span = srtd_runtime::obs::span("fingerprint.extract");
     srtd_runtime::obs::counter_add("fingerprint.extract.calls", 1);
     let config = FeatureConfig::new(capture.sample_rate());
+    // All four streams share one capture length, so the batch packs them
+    // into two two-for-one transforms instead of four.
+    let streams = capture.streams();
     let mut features = Vec::with_capacity(FINGERPRINT_DIMENSIONS);
-    for stream in capture.streams() {
-        features.extend(stream_features(&stream, &config).to_vec());
+    for stream in stream_features_batch(&streams, &config) {
+        features.extend(stream.to_vec());
     }
     features
 }

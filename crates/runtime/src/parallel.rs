@@ -89,6 +89,62 @@ where
     out
 }
 
+/// Deterministic parallel reduction: folds `items` chunk by chunk, then
+/// merges the per-chunk partials **in fixed chunk order**.
+///
+/// The chunk boundaries depend only on `items.len()` and `chunk_len` —
+/// never on the worker count — so every fold happens over the same
+/// elements in the same order and every merge happens in the same
+/// left-to-right sequence whether the chunks ran on 1 thread or 64.
+/// Floating-point accumulation is therefore **byte-identical across
+/// thread counts**, which is what lets the framework's loss accumulation
+/// go parallel without breaking the determinism contract.
+///
+/// Note the chunked grouping is *not* the same floating-point order as a
+/// plain sequential fold over `items` (the partials regroup the
+/// additions); callers that gate between this and a sequential fast path
+/// must gate on input size alone, never on the thread count.
+///
+/// * `chunk_len` is clamped to at least 1.
+/// * An empty input returns `init()`.
+/// * Panics in `fold`/`merge` propagate to the caller.
+///
+/// # Examples
+///
+/// ```
+/// use srtd_runtime::parallel::parallel_reduce;
+///
+/// let items: Vec<u64> = (1..=100).collect();
+/// let sum = parallel_reduce(&items, 16, || 0u64, |acc, &x| acc + x, |a, b| a + b);
+/// assert_eq!(sum, 5050);
+/// ```
+pub fn parallel_reduce<T, A, I, F, M>(
+    items: &[T],
+    chunk_len: usize,
+    init: I,
+    fold: F,
+    merge: M,
+) -> A
+where
+    T: Sync,
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(A, &T) -> A + Sync,
+    M: Fn(A, A) -> A,
+{
+    let chunk_len = chunk_len.max(1);
+    if items.is_empty() {
+        return init();
+    }
+    crate::obs::counter_add("runtime.parallel.reduce_calls", 1);
+    let chunks: Vec<&[T]> = items.chunks(chunk_len).collect();
+    let partials = parallel_map(&chunks, |chunk| chunk.iter().fold(init(), &fold));
+    partials
+        .into_iter()
+        .reduce(merge)
+        .expect("non-empty input yields at least one partial")
+}
+
 /// [`parallel_map`] that stays sequential below `min_len` items.
 ///
 /// For per-item work too small to amortize a thread spawn — e.g. the
@@ -232,6 +288,125 @@ mod tests {
         assert_eq!(pairs[0], (0, 1));
         assert_eq!(pairs[5], (2, 3));
         assert!(pairs.iter().all(|&(i, j)| i < j && j < 4));
+    }
+
+    #[test]
+    fn reduce_empty_input_returns_init() {
+        let empty: Vec<u64> = Vec::new();
+        assert_eq!(
+            parallel_reduce(&empty, 8, || 41u64, |a, &x| a + x, |a, b| a + b),
+            41
+        );
+    }
+
+    #[test]
+    fn reduce_single_item() {
+        assert_eq!(
+            parallel_reduce(&[7u64], 8, || 0u64, |a, &x| a + x, |a, b| a + b),
+            7
+        );
+        // chunk_len 0 is clamped to 1 rather than looping forever.
+        assert_eq!(
+            parallel_reduce(&[7u64], 0, || 0u64, |a, &x| a + x, |a, b| a + b),
+            7
+        );
+    }
+
+    #[test]
+    fn reduce_merges_in_fixed_chunk_order() {
+        // A non-commutative merge (list concatenation) exposes the merge
+        // order: the result must be the chunks in input order, regardless
+        // of the worker count.
+        let items: Vec<u32> = (0..10).collect();
+        let expected: Vec<Vec<u32>> = vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7, 8], vec![9]];
+        let concat = |items: &[u32]| {
+            parallel_reduce(
+                items,
+                3,
+                Vec::<Vec<u32>>::new,
+                |mut acc: Vec<Vec<u32>>, &x| {
+                    match acc.last_mut() {
+                        Some(chunk) => chunk.push(x),
+                        None => acc.push(vec![x]),
+                    }
+                    acc
+                },
+                |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                },
+            )
+        };
+        set_max_threads(1);
+        let one = concat(&items);
+        set_max_threads(4);
+        let four = concat(&items);
+        set_max_threads(0);
+        assert_eq!(one, expected);
+        assert_eq!(four, expected);
+    }
+
+    #[test]
+    fn reduce_float_accumulation_is_thread_count_invariant() {
+        // Bit-level check on the exact use case the framework relies on:
+        // chunked f64 partial sums merged in fixed order.
+        let items: Vec<f64> = (0..10_000).map(|i| (i as f64 * 0.73).sin()).collect();
+        let sum =
+            |items: &[f64]| parallel_reduce(items, 64, || 0.0f64, |a, &x| a + x, |a, b| a + b);
+        set_max_threads(1);
+        let one = sum(&items);
+        set_max_threads(5);
+        let five = sum(&items);
+        set_max_threads(0);
+        assert_eq!(one.to_bits(), five.to_bits());
+    }
+
+    #[test]
+    fn reduce_matches_sequential_fold_for_associative_ops() {
+        // Property test: for an exactly associative operation (wrapping
+        // integer add) the chunked reduction equals the plain fold, for
+        // arbitrary inputs and chunk lengths.
+        crate::prop::check(
+            |rng| {
+                use crate::rng::Rng;
+                (
+                    crate::prop::vec_with(rng, 0..200, |r| r.gen_range(0u64..u64::MAX)),
+                    rng.gen_range(1usize..40),
+                )
+            },
+            |(items, chunk_len)| {
+                let sequential = items.iter().fold(0u64, |a, &x| a.wrapping_add(x));
+                let chunked = parallel_reduce(
+                    items,
+                    *chunk_len,
+                    || 0u64,
+                    |a, &x| a.wrapping_add(x),
+                    |a, b| a.wrapping_add(b),
+                );
+                crate::prop_assert!(chunked == sequential);
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn reduce_panics_propagate() {
+        set_max_threads(4);
+        let result = std::panic::catch_unwind(|| {
+            let items: Vec<u64> = (0..100).collect();
+            parallel_reduce(
+                &items,
+                8,
+                || 0u64,
+                |a, &x| {
+                    assert!(x != 57, "boom");
+                    a + x
+                },
+                |a, b| a + b,
+            )
+        });
+        set_max_threads(0);
+        assert!(result.is_err());
     }
 
     #[test]

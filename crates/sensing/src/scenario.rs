@@ -584,8 +584,7 @@ mod tests {
         for t in 0..s.data.num_tasks() {
             let sybil_reports = s
                 .data
-                .reports_for_task(t)
-                .iter()
+                .task_reports(t)
                 .filter(|r| s.is_sybil[r.account])
                 .count();
             assert!(

@@ -1,9 +1,12 @@
 //! Combined feature vectors and feature-matrix standardization.
 
+use crate::fft::{fft_real, fft_real_pair, next_power_of_two};
 use crate::spectral::SpectralFeatures;
 use crate::spectrum::Spectrum;
 use crate::temporal::TemporalFeatures;
 use crate::window::Window;
+use srtd_runtime::parallel::parallel_map_min;
+use std::collections::BTreeMap;
 
 /// Number of features per sensor stream (9 temporal + 11 spectral).
 pub const FEATURES_PER_STREAM: usize = 20;
@@ -100,6 +103,82 @@ pub fn stream_features(signal: &[f64], config: &FeatureConfig) -> StreamFeatures
         temporal: TemporalFeatures::extract(signal),
         spectral: SpectralFeatures::extract(&spectrum, config.brightness_cutoff_hz),
     }
+}
+
+/// Extracts Table-II features for a batch of sensor streams.
+///
+/// Streams whose zero-padded FFT lengths match are packed two at a time
+/// through [`fft_real_pair`] — one complex transform per pair instead of
+/// one per stream — and the resulting jobs run through the deterministic
+/// parallel map. Output order matches input order.
+///
+/// Results are byte-identical regardless of worker-thread count (job
+/// order and chunking depend only on the batch itself). Relative to
+/// per-stream [`stream_features`] the spectral features agree to ~1e-9:
+/// the pair split re-associates a handful of additions, so bits may
+/// differ in the last ulps.
+pub fn stream_features_batch<S: AsRef<[f64]> + Sync>(
+    streams: &[S],
+    config: &FeatureConfig,
+) -> Vec<StreamFeatures> {
+    let _span = srtd_runtime::obs::span("signal.stream_features_batch");
+    srtd_runtime::obs::counter_add("signal.stream_features_batch.calls", 1);
+    srtd_runtime::obs::observe("signal.stream_features_batch.streams", streams.len() as f64);
+    let windowed: Vec<Vec<f64>> = streams
+        .iter()
+        .map(|s| config.window.apply(s.as_ref()))
+        .collect();
+    // Pair up streams with equal padded FFT length; a leftover stream in
+    // any length class takes the plain single-stream transform.
+    let mut by_len: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (i, w) in windowed.iter().enumerate() {
+        by_len
+            .entry(next_power_of_two(w.len()))
+            .or_default()
+            .push(i);
+    }
+    let jobs: Vec<(usize, Option<usize>)> = by_len
+        .values()
+        .flat_map(|indices| {
+            indices
+                .chunks(2)
+                .map(|pair| (pair[0], pair.get(1).copied()))
+        })
+        .collect();
+    let spectra_jobs = parallel_map_min(&jobs, 2, |&(i, j)| match j {
+        Some(j) => {
+            let (fi, fj) = fft_real_pair(&windowed[i], &windowed[j]);
+            (
+                (i, Spectrum::from_fft(&fi, config.sample_rate)),
+                Some((j, Spectrum::from_fft(&fj, config.sample_rate))),
+            )
+        }
+        None => (
+            (
+                i,
+                Spectrum::from_fft(&fft_real(&windowed[i]), config.sample_rate),
+            ),
+            None,
+        ),
+    });
+    let mut spectra: Vec<Option<Spectrum>> = vec![None; streams.len()];
+    for ((i, si), rest) in spectra_jobs {
+        spectra[i] = Some(si);
+        if let Some((j, sj)) = rest {
+            spectra[j] = Some(sj);
+        }
+    }
+    streams
+        .iter()
+        .zip(spectra)
+        .map(|(s, spectrum)| {
+            let spectrum = spectrum.expect("every stream got a spectrum");
+            StreamFeatures {
+                temporal: TemporalFeatures::extract(s.as_ref()),
+                spectral: SpectralFeatures::extract(&spectrum, config.brightness_cutoff_hz),
+            }
+        })
+        .collect()
 }
 
 /// Z-score standardization of a feature matrix, column by column.
@@ -261,6 +340,56 @@ mod tests {
                 Ok(())
             },
         );
+    }
+
+    /// Batched extraction agrees with the per-stream path to high
+    /// precision (the pair split re-associates additions, so exact bits
+    /// may differ) and preserves stream order, for even and odd batch
+    /// sizes and mixed lengths.
+    #[test]
+    fn batch_matches_per_stream_extraction() {
+        let cfg = FeatureConfig::new(100.0);
+        for count in [1usize, 2, 3, 4, 5] {
+            let streams: Vec<Vec<f64>> = (0..count)
+                .map(|s| noisy_signal(s as u64 + 1, 300 + 100 * s))
+                .collect();
+            let batched = stream_features_batch(&streams, &cfg);
+            assert_eq!(batched.len(), count);
+            for (s, f) in streams.iter().zip(&batched) {
+                let single = stream_features(s, &cfg).to_vec();
+                let got = f.to_vec();
+                for (a, b) in got.iter().zip(&single) {
+                    assert!(
+                        (a - b).abs() <= 1e-9 * (1.0 + b.abs()),
+                        "batch {count}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Batched extraction is byte-identical across worker-thread counts.
+    #[test]
+    fn batch_is_thread_count_invariant() {
+        let cfg = FeatureConfig::new(100.0);
+        let streams: Vec<Vec<f64>> = (0..4).map(|s| noisy_signal(s as u64 + 9, 512)).collect();
+        let run = |threads: usize| -> Vec<u64> {
+            srtd_runtime::parallel::set_max_threads(threads);
+            let bits = stream_features_batch(&streams, &cfg)
+                .into_iter()
+                .flat_map(|f| f.to_vec())
+                .map(f64::to_bits)
+                .collect();
+            srtd_runtime::parallel::set_max_threads(0);
+            bits
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let out = stream_features_batch::<Vec<f64>>(&[], &FeatureConfig::new(100.0));
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -1,6 +1,32 @@
 //! Iterative radix-2 Cooley–Tukey fast Fourier transform.
 
 use crate::Complex;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Forward twiddle factors `e^(−2πik/n)` for `k < n/2`, cached per size.
+///
+/// Every stage of a length-`n` transform reads this one table at stride
+/// `n / len`, so the trig evaluations happen once per size per process
+/// instead of once per butterfly. Each table entry is computed directly
+/// from its angle (not by repeated multiplication), and every caller —
+/// whichever thread it runs on — sees the same table, so transforms stay
+/// byte-identical across threads and call orders.
+fn twiddle_table(n: usize) -> Arc<Vec<Complex>> {
+    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<Vec<Complex>>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().expect("twiddle cache poisoned");
+    map.entry(n)
+        .or_insert_with(|| {
+            let step = -2.0 * std::f64::consts::PI / n as f64;
+            Arc::new(
+                (0..n / 2)
+                    .map(|k| Complex::from_angle(step * k as f64))
+                    .collect(),
+            )
+        })
+        .clone()
+}
 
 /// Returns the smallest power of two `>= n` (and `>= 1`).
 pub fn next_power_of_two(n: usize) -> usize {
@@ -45,20 +71,21 @@ fn transform(buf: &mut [Complex], inverse: bool) {
             buf.swap(i, j);
         }
     }
-    // Butterflies.
-    let sign = if inverse { 1.0 } else { -1.0 };
+    // Butterflies, reading each stage's twiddles from the shared table at
+    // stride `n / len` (no per-butterfly phasor accumulation, so stage
+    // twiddles carry full `sin`/`cos` precision at every index).
+    let table = twiddle_table(n);
     let mut len = 2;
     while len <= n {
-        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
-        let wlen = Complex::from_angle(ang);
+        let stride = n / len;
         for start in (0..n).step_by(len) {
-            let mut w = Complex::ONE;
             for k in 0..len / 2 {
+                let tw = table[k * stride];
+                let w = if inverse { tw.conj() } else { tw };
                 let u = buf[start + k];
                 let v = buf[start + k + len / 2] * w;
                 buf[start + k] = u + v;
                 buf[start + k + len / 2] = u - v;
-                w = w * wlen;
             }
         }
         len <<= 1;
@@ -76,6 +103,44 @@ pub fn fft_real(x: &[f64]) -> Vec<Complex> {
     buf.resize(n, Complex::ZERO);
     fft_in_place(&mut buf);
     buf
+}
+
+/// Forward FFTs of two real signals via one complex transform
+/// (the "two-for-one" real FFT).
+///
+/// `x` rides in the real lane and `y` in the imaginary lane of a single
+/// buffer; after one FFT the conjugate-symmetry split
+/// `X[k] = (Z[k] + conj(Z[n−k]))/2`, `Y[k] = (Z[k] − conj(Z[n−k]))/(2i)`
+/// recovers both spectra. Both signals are zero-padded to the next power
+/// of two at or above the longer length, so the returned spectra share
+/// that length. With equal-length inputs each spectrum matches
+/// [`fft_real`] of that signal up to rounding in the split (≲1e-9 for
+/// typical sensor magnitudes); it is *not* bit-identical, but it is
+/// deterministic — the same inputs give the same bits on every run and
+/// thread.
+pub fn fft_real_pair(x: &[f64], y: &[f64]) -> (Vec<Complex>, Vec<Complex>) {
+    srtd_runtime::obs::counter_add("signal.fft.real_pair_calls", 1);
+    let n = next_power_of_two(x.len().max(y.len()));
+    let mut buf = vec![Complex::ZERO; n];
+    for (slot, &v) in buf.iter_mut().zip(x) {
+        slot.re = v;
+    }
+    for (slot, &v) in buf.iter_mut().zip(y) {
+        slot.im = v;
+    }
+    fft_in_place(&mut buf);
+    let mut fx = Vec::with_capacity(n);
+    let mut fy = Vec::with_capacity(n);
+    for k in 0..n {
+        let z = buf[k];
+        let zc = buf[(n - k) % n].conj();
+        let s = (z + zc).scale(0.5);
+        let d = (z - zc).scale(0.5);
+        fx.push(s);
+        // d = i·Y[k], so Y[k] = −i·d.
+        fy.push(Complex::new(d.im, -d.re));
+    }
+    (fx, fy)
 }
 
 #[cfg(test)]
@@ -188,6 +253,82 @@ mod tests {
                 Ok(())
             },
         );
+    }
+
+    /// The two-for-one split matches independent complex-path FFTs to
+    /// high precision, on even and odd input lengths (equal and unequal).
+    #[test]
+    fn real_pair_matches_independent_ffts() {
+        prop::check(
+            |rng| {
+                let lx = rng.gen_range(1usize..130);
+                let ly = if rng.gen_range(0u32..2) == 0 {
+                    lx
+                } else {
+                    rng.gen_range(1usize..130)
+                };
+                (
+                    prop::vec_with(rng, lx..lx + 1, |r| r.gen_range(-1e3f64..1e3)),
+                    prop::vec_with(rng, ly..ly + 1, |r| r.gen_range(-1e3f64..1e3)),
+                )
+            },
+            |(x, y)| {
+                let (fx, fy) = fft_real_pair(x, y);
+                let n = next_power_of_two(x.len().max(y.len()));
+                prop_assert!(fx.len() == n && fy.len() == n);
+                // Reference: each signal padded to the shared length and
+                // run through the plain complex path.
+                let reference = |s: &[f64]| {
+                    let mut buf: Vec<Complex> = s.iter().map(|&v| Complex::real(v)).collect();
+                    buf.resize(n, Complex::ZERO);
+                    fft_in_place(&mut buf);
+                    buf
+                };
+                let scale: f64 = x
+                    .iter()
+                    .chain(y.iter())
+                    .fold(1.0f64, |m, &v| m.max(v.abs()));
+                for (got, want) in fx
+                    .iter()
+                    .zip(reference(x))
+                    .chain(fy.iter().zip(reference(y)))
+                {
+                    prop_assert!(
+                        (*got - want).abs() < 1e-9 * scale * n as f64,
+                        "{got:?} vs {want:?}"
+                    );
+                }
+                Ok(())
+            },
+        );
+    }
+
+    /// The pair split on (x, 0) and (0, y) reproduces each single
+    /// spectrum exactly in structure: zero lane in, zero spectrum out.
+    #[test]
+    fn real_pair_zero_lane_is_zero() {
+        let x = [1.0, -2.0, 3.0, 0.5, -0.25];
+        let (fx, fy) = fft_real_pair(&x, &[]);
+        let single = fft_real(&x);
+        for (a, b) in fx.iter().zip(&single) {
+            assert!((*a - *b).abs() < 1e-12, "{a:?} vs {b:?}");
+        }
+        for z in &fy {
+            assert!(z.abs() < 1e-12);
+        }
+    }
+
+    /// Same inputs give the same bits, run after run.
+    #[test]
+    fn real_pair_is_deterministic() {
+        let x: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin()).collect();
+        let y: Vec<f64> = (0..100).map(|i| (i as f64 * 0.91).cos()).collect();
+        let a = fft_real_pair(&x, &y);
+        let b = fft_real_pair(&x, &y);
+        for (p, q) in a.0.iter().zip(&b.0).chain(a.1.iter().zip(&b.1)) {
+            assert_eq!(p.re.to_bits(), q.re.to_bits());
+            assert_eq!(p.im.to_bits(), q.im.to_bits());
+        }
     }
 
     /// Linearity of the transform.

@@ -40,5 +40,5 @@ pub mod temporal;
 pub mod window;
 
 pub use complex::Complex;
-pub use features::{stream_features, FeatureConfig, StreamFeatures};
+pub use features::{stream_features, stream_features_batch, FeatureConfig, StreamFeatures};
 pub use spectrum::Spectrum;

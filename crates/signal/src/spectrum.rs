@@ -2,6 +2,7 @@
 
 use crate::fft::fft_real;
 use crate::window::Window;
+use crate::Complex;
 
 /// The single-sided magnitude spectrum of a real signal.
 ///
@@ -52,10 +53,27 @@ impl Spectrum {
             "sample rate must be positive, got {sample_rate}"
         );
         let windowed = window.apply(signal);
-        let spec = fft_real(&windowed);
+        Self::from_fft(&fft_real(&windowed), sample_rate)
+    }
+
+    /// Builds the single-sided spectrum from a precomputed full FFT of a
+    /// real signal (e.g. [`fft_real`] output or one half of
+    /// [`crate::fft::fft_real_pair`]). The caller is responsible for any
+    /// windowing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate` is not finite and positive or `spec` is
+    /// empty.
+    pub fn from_fft(spec: &[Complex], sample_rate: f64) -> Self {
+        assert!(
+            sample_rate.is_finite() && sample_rate > 0.0,
+            "sample rate must be positive, got {sample_rate}"
+        );
+        assert!(!spec.is_empty(), "spectrum needs at least one bin");
         let n_fft = spec.len();
         let half = n_fft / 2 + 1;
-        let magnitudes: Vec<f64> = spec[..half].iter().map(|z| z.abs()).collect();
+        let magnitudes: Vec<f64> = spec[..half.min(n_fft)].iter().map(|z| z.abs()).collect();
         Self {
             magnitudes,
             bin_width: sample_rate / n_fft as f64,

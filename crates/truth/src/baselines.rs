@@ -9,18 +9,8 @@ pub struct MeanVote;
 
 impl TruthDiscovery for MeanVote {
     fn discover(&self, data: &SensingData) -> TruthDiscoveryResult {
-        let truths = (0..data.num_tasks())
-            .map(|t| {
-                let reports = data.reports_for_task(t);
-                if reports.is_empty() {
-                    None
-                } else {
-                    Some(reports.iter().map(|r| r.value).sum::<f64>() / reports.len() as f64)
-                }
-            })
-            .collect();
         TruthDiscoveryResult {
-            truths,
+            truths: data.task_means(),
             weights: vec![1.0; data.num_accounts()],
             iterations: 1,
             converged: true,
@@ -41,7 +31,7 @@ impl TruthDiscovery for MedianVote {
     fn discover(&self, data: &SensingData) -> TruthDiscoveryResult {
         let truths = (0..data.num_tasks())
             .map(|t| {
-                let mut vals: Vec<f64> = data.reports_for_task(t).iter().map(|r| r.value).collect();
+                let mut vals: Vec<f64> = data.task_reports(t).map(|r| r.value).collect();
                 if vals.is_empty() {
                     return None;
                 }

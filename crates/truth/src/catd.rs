@@ -131,15 +131,9 @@ impl TruthDiscovery for Catd {
         // `SensingData::centered`): offset-independent arithmetic.
         let (centered, centers) = data.centered();
         let data = &centered;
-        let mut truths: Vec<Option<f64>> = (0..data.num_tasks())
-            .map(|t| {
-                let reports = data.reports_for_task(t);
-                (!reports.is_empty())
-                    .then(|| reports.iter().map(|r| r.value).sum::<f64>() / reports.len() as f64)
-            })
-            .collect();
+        let mut truths: Vec<Option<f64>> = data.task_means();
         let stds = data.task_value_std();
-        let claim_counts: Vec<usize> = (0..n).map(|a| data.account_reports(a).count()).collect();
+        let claim_counts: Vec<usize> = (0..n).map(|a| data.account_reports(a).len()).collect();
         let mut weights = vec![1.0; n];
         let mut iterations = 0;
         let mut converged = false;

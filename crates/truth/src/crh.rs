@@ -68,16 +68,7 @@ impl Crh {
     }
 
     fn initial_truths(data: &SensingData) -> Vec<Option<f64>> {
-        (0..data.num_tasks())
-            .map(|t| {
-                let reports = data.reports_for_task(t);
-                if reports.is_empty() {
-                    None
-                } else {
-                    Some(reports.iter().map(|r| r.value).sum::<f64>() / reports.len() as f64)
-                }
-            })
-            .collect()
+        data.task_means()
     }
 
     fn losses(
@@ -156,11 +147,13 @@ impl TruthDiscovery for Crh {
             for t in 0..data.num_tasks() {
                 if den[t] > 0.0 {
                     next[t] = Some(num[t] / den[t]);
-                } else if !data.reports_for_task(t).is_empty() {
+                } else {
                     // All reporters have zero weight: plain mean.
-                    let reports = data.reports_for_task(t);
-                    next[t] =
-                        Some(reports.iter().map(|r| r.value).sum::<f64>() / reports.len() as f64);
+                    let reports = data.task_reports(t);
+                    if reports.len() > 0 {
+                        let count = reports.len();
+                        next[t] = Some(reports.map(|r| r.value).sum::<f64>() / count as f64);
+                    }
                 }
             }
             // Convergence is judged on the *undamped* residual, then the

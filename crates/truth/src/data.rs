@@ -1,6 +1,8 @@
 //! The account × task report matrix.
 
 use srtd_runtime::json::{Json, ToJson};
+use std::collections::HashSet;
+use std::sync::OnceLock;
 
 /// One sensing report: account `account` claims `value` for task `task`
 /// at time `timestamp` (seconds from the campaign start).
@@ -16,11 +18,53 @@ pub struct Report {
     pub timestamp: f64,
 }
 
+/// A compressed-sparse-row view over the flat report list: `offsets` has
+/// one entry per bucket plus a sentinel, `indices` holds report indices
+/// grouped by bucket in insertion order.
+///
+/// Built in one counting-sort pass (O(reports + buckets)) and cached
+/// lazily; the campaign's read paths hand out `&[usize]` slices into it,
+/// so per-task and per-account iteration never allocates.
+#[derive(Debug, Clone, Default)]
+struct CsrIndex {
+    offsets: Vec<usize>,
+    indices: Vec<usize>,
+}
+
+impl CsrIndex {
+    fn build(buckets: usize, keys: impl Iterator<Item = usize> + Clone) -> Self {
+        let mut offsets = vec![0usize; buckets + 1];
+        for key in keys.clone() {
+            offsets[key + 1] += 1;
+        }
+        for b in 0..buckets {
+            offsets[b + 1] += offsets[b];
+        }
+        let mut cursor = offsets.clone();
+        let mut indices = vec![0usize; offsets[buckets]];
+        for (report, key) in keys.enumerate() {
+            indices[cursor[key]] = report;
+            cursor[key] += 1;
+        }
+        Self { offsets, indices }
+    }
+
+    fn slice(&self, bucket: usize) -> &[usize] {
+        &self.indices[self.offsets[bucket]..self.offsets[bucket + 1]]
+    }
+}
+
 /// All reports of a sensing campaign, indexed both by account and by task.
 ///
 /// Matches the paper's model: `m` tasks, accounts `0..n`, and at most one
 /// report per (account, task) pair ("each account is allowed to submit at
 /// most one data for one task").
+///
+/// Reports live in one flat insertion-ordered `Vec`; the per-task and
+/// per-account views are flat CSR offset+index arrays built lazily on
+/// first read and invalidated on mutation, so the hot read paths
+/// ([`SensingData::task_reports`], [`SensingData::account_reports`]) are
+/// allocation-free index-slice walks.
 ///
 /// # Examples
 ///
@@ -33,14 +77,28 @@ pub struct Report {
 /// data.add_report(1, 1, -74.0, 30.0);
 /// assert_eq!(data.num_accounts(), 2);
 /// assert_eq!(data.tasks_of(0), &[0, 1]);
-/// assert_eq!(data.reports_for_task(1).len(), 2);
+/// assert_eq!(data.task_reports(1).len(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SensingData {
     num_tasks: usize,
+    num_accounts: usize,
     reports: Vec<Report>,
-    by_account: Vec<Vec<usize>>,
-    by_task: Vec<Vec<usize>>,
+    /// Duplicate-report guard: one entry per (account, task) pair. Makes
+    /// `add_report` O(1) instead of O(|T_i|) per insertion.
+    seen: HashSet<(usize, usize)>,
+    by_task: OnceLock<CsrIndex>,
+    by_account: OnceLock<CsrIndex>,
+}
+
+impl PartialEq for SensingData {
+    /// Compares the semantic content — task count, account count and the
+    /// report list. The CSR indexes are derived caches and excluded.
+    fn eq(&self, other: &Self) -> bool {
+        self.num_tasks == other.num_tasks
+            && self.num_accounts == other.num_accounts
+            && self.reports == other.reports
+    }
 }
 
 impl SensingData {
@@ -48,9 +106,7 @@ impl SensingData {
     pub fn new(num_tasks: usize) -> Self {
         Self {
             num_tasks,
-            reports: Vec::new(),
-            by_account: Vec::new(),
-            by_task: vec![Vec::new(); num_tasks],
+            ..Self::default()
         }
     }
 
@@ -61,7 +117,7 @@ impl SensingData {
 
     /// Number of accounts (highest account index seen + 1).
     pub fn num_accounts(&self) -> usize {
-        self.by_account.len()
+        self.num_accounts
     }
 
     /// Total number of reports.
@@ -81,8 +137,9 @@ impl SensingData {
     /// report of the highest-indexed accounts; this keeps account-indexed
     /// structures (fingerprints, owner labels) aligned.
     pub fn reserve_accounts(&mut self, n: usize) {
-        if n > self.by_account.len() {
-            self.by_account.resize_with(n, Vec::new);
+        if n > self.num_accounts {
+            self.num_accounts = n;
+            self.by_account.take();
         }
     }
 
@@ -101,24 +158,30 @@ impl SensingData {
         );
         assert!(value.is_finite(), "report value must be finite");
         assert!(timestamp.is_finite(), "timestamp must be finite");
-        if account >= self.by_account.len() {
-            self.by_account.resize_with(account + 1, Vec::new);
-        }
         assert!(
-            !self.by_account[account]
-                .iter()
-                .any(|&r| self.reports[r].task == task),
+            self.seen.insert((account, task)),
             "account {account} already reported task {task}"
         );
-        let idx = self.reports.len();
+        self.num_accounts = self.num_accounts.max(account + 1);
         self.reports.push(Report {
             account,
             task,
             value,
             timestamp,
         });
-        self.by_account[account].push(idx);
-        self.by_task[task].push(idx);
+        self.by_task.take();
+        self.by_account.take();
+    }
+
+    fn task_csr(&self) -> &CsrIndex {
+        self.by_task
+            .get_or_init(|| CsrIndex::build(self.num_tasks, self.reports.iter().map(|r| r.task)))
+    }
+
+    fn account_csr(&self) -> &CsrIndex {
+        self.by_account.get_or_init(|| {
+            CsrIndex::build(self.num_accounts, self.reports.iter().map(|r| r.account))
+        })
     }
 
     /// All reports in insertion order.
@@ -128,13 +191,17 @@ impl SensingData {
 
     /// The reports account `account` submitted, in insertion order.
     ///
-    /// Accounts that never reported return an empty slice.
-    pub fn account_reports(&self, account: usize) -> impl Iterator<Item = &Report> {
-        self.by_account
-            .get(account)
-            .into_iter()
-            .flatten()
-            .map(|&i| &self.reports[i])
+    /// Accounts that never reported return an empty iterator.
+    pub fn account_reports(
+        &self,
+        account: usize,
+    ) -> impl ExactSizeIterator<Item = &Report> + Clone {
+        let indices = if account < self.num_accounts {
+            self.account_csr().slice(account)
+        } else {
+            &[]
+        };
+        indices.iter().map(|&i| &self.reports[i])
     }
 
     /// The sorted task indices account `account` accomplished (its `T_i`).
@@ -144,17 +211,40 @@ impl SensingData {
         tasks
     }
 
-    /// The reports submitted for `task` (the paper's `U_j` with values).
+    /// Indices (into [`SensingData::reports`]) of the reports submitted
+    /// for `task`, in insertion order — a borrowed slice of the CSR
+    /// index, no allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task >= num_tasks`.
+    pub fn task_report_indices(&self, task: usize) -> &[usize] {
+        assert!(task < self.num_tasks, "task {task} out of range");
+        self.task_csr().slice(task)
+    }
+
+    /// The reports submitted for `task` (the paper's `U_j` with values),
+    /// as a non-allocating iterator over the CSR index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task >= num_tasks`.
+    pub fn task_reports(&self, task: usize) -> impl ExactSizeIterator<Item = &Report> + Clone {
+        self.task_report_indices(task)
+            .iter()
+            .map(|&i| &self.reports[i])
+    }
+
+    /// The reports submitted for `task`, collected into a vector.
+    ///
+    /// Allocating compatibility shim over [`SensingData::task_reports`] —
+    /// hot paths should iterate the CSR slice instead.
     ///
     /// # Panics
     ///
     /// Panics if `task >= num_tasks`.
     pub fn reports_for_task(&self, task: usize) -> Vec<&Report> {
-        assert!(task < self.num_tasks, "task {task} out of range");
-        self.by_task[task]
-            .iter()
-            .map(|&i| &self.reports[i])
-            .collect()
+        self.task_reports(task).collect()
     }
 
     /// The account's reports ordered by timestamp — its trajectory, as
@@ -165,22 +255,39 @@ impl SensingData {
         reports
     }
 
+    /// Per-task mean of claimed values in one flat pass over the report
+    /// list; `None` for tasks with no reports.
+    ///
+    /// The summation order per task matches per-task iteration (additions
+    /// happen in increasing report-index order either way), so the means
+    /// are bit-identical to a grouped computation.
+    pub fn task_means(&self) -> Vec<Option<f64>> {
+        let mut sums = vec![0.0f64; self.num_tasks];
+        let mut counts = vec![0usize; self.num_tasks];
+        for r in &self.reports {
+            sums[r.task] += r.value;
+            counts[r.task] += 1;
+        }
+        (0..self.num_tasks)
+            .map(|t| (counts[t] > 0).then(|| sums[t] / counts[t] as f64))
+            .collect()
+    }
+
     /// Per-task standard deviation of claimed values (used by CRH's loss
     /// normalization); `None` for tasks with no reports.
+    ///
+    /// Two flat passes over the report list — no per-task value buffers.
     pub fn task_value_std(&self) -> Vec<Option<f64>> {
+        let means = self.task_means();
+        let mut sq = vec![0.0f64; self.num_tasks];
+        let mut counts = vec![0usize; self.num_tasks];
+        for r in &self.reports {
+            let mean = means[r.task].expect("reported task has a mean");
+            sq[r.task] += (r.value - mean) * (r.value - mean);
+            counts[r.task] += 1;
+        }
         (0..self.num_tasks)
-            .map(|t| {
-                let vals: Vec<f64> = self.by_task[t]
-                    .iter()
-                    .map(|&i| self.reports[i].value)
-                    .collect();
-                if vals.is_empty() {
-                    return None;
-                }
-                let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-                let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
-                Some(var.sqrt())
-            })
+            .map(|t| (counts[t] > 0).then(|| (sq[t] / counts[t] as f64).sqrt()))
             .collect()
     }
 
@@ -192,18 +299,16 @@ impl SensingData {
     /// independent of a global offset (useful both numerically — dBm
     /// values around −80 waste mantissa on the offset — and for exact
     /// translation equivariance).
+    ///
+    /// One flat pass computes the centers and the residual copy shares
+    /// this campaign's CSR caches (the index structure is position-based
+    /// and value-independent), so no re-indexing or re-validation runs.
     pub fn centered(&self) -> (SensingData, Vec<Option<f64>>) {
-        let centers: Vec<Option<f64>> = (0..self.num_tasks)
-            .map(|t| {
-                let reports = self.reports_for_task(t);
-                (!reports.is_empty())
-                    .then(|| reports.iter().map(|r| r.value).sum::<f64>() / reports.len() as f64)
-            })
-            .collect();
-        let mut centered = SensingData::new(self.num_tasks);
-        for r in &self.reports {
+        let centers = self.task_means();
+        let mut centered = self.clone();
+        for r in &mut centered.reports {
             let c = centers[r.task].expect("reported task has a center");
-            centered.add_report(r.account, r.task, r.value - c, r.timestamp);
+            r.value -= c;
         }
         (centered, centers)
     }
@@ -213,7 +318,7 @@ impl SensingData {
         if self.num_tasks == 0 {
             return 0.0;
         }
-        self.account_reports(account).count() as f64 / self.num_tasks as f64
+        self.account_reports(account).len() as f64 / self.num_tasks as f64
     }
 }
 
@@ -253,8 +358,56 @@ mod tests {
         assert_eq!(d.num_reports(), 3);
         assert_eq!(d.tasks_of(0), vec![1, 2]);
         assert_eq!(d.tasks_of(1), Vec::<usize>::new());
+        assert_eq!(d.task_reports(1).len(), 2);
+        assert_eq!(d.task_reports(0).len(), 0);
         assert_eq!(d.reports_for_task(1).len(), 2);
-        assert_eq!(d.reports_for_task(0).len(), 0);
+    }
+
+    #[test]
+    fn csr_index_survives_interleaved_reads_and_writes() {
+        // Reads build the cache; the next write must invalidate it.
+        let mut d = SensingData::new(2);
+        d.add_report(0, 0, 1.0, 0.0);
+        assert_eq!(d.task_reports(0).len(), 1);
+        assert_eq!(d.account_reports(0).len(), 1);
+        d.add_report(1, 0, 2.0, 1.0);
+        d.add_report(1, 1, 3.0, 2.0);
+        assert_eq!(d.task_reports(0).len(), 2);
+        assert_eq!(d.task_report_indices(1), &[2]);
+        assert_eq!(d.account_reports(1).len(), 2);
+    }
+
+    #[test]
+    fn task_reports_preserve_insertion_order() {
+        let mut d = SensingData::new(1);
+        for (a, v) in [(3usize, 30.0), (0, 0.0), (2, 20.0)] {
+            d.add_report(a, 0, v, 0.0);
+        }
+        let accounts: Vec<usize> = d.task_reports(0).map(|r| r.account).collect();
+        assert_eq!(accounts, vec![3, 0, 2]);
+    }
+
+    #[test]
+    fn reserve_accounts_extends_and_invalidates() {
+        let mut d = SensingData::new(1);
+        d.add_report(0, 0, 1.0, 0.0);
+        assert_eq!(d.account_reports(0).len(), 1); // builds the cache
+        d.reserve_accounts(5);
+        assert_eq!(d.num_accounts(), 5);
+        assert_eq!(d.account_reports(4).len(), 0);
+        assert_eq!(d.account_reports(7).len(), 0); // beyond reserve: empty
+    }
+
+    #[test]
+    fn equality_ignores_index_caches() {
+        let mut a = SensingData::new(2);
+        a.add_report(0, 0, 1.0, 0.0);
+        let mut b = SensingData::new(2);
+        b.add_report(0, 0, 1.0, 0.0);
+        let _ = a.task_reports(0).len(); // a has a built cache, b has not
+        assert_eq!(a, b);
+        b.reserve_accounts(3);
+        assert_ne!(a, b);
     }
 
     #[test]
@@ -285,6 +438,36 @@ mod tests {
         let stds = d.task_value_std();
         assert!((stds[0].unwrap() - 1.0).abs() < 1e-12);
         assert!(stds[1].is_none());
+    }
+
+    #[test]
+    fn task_means_flat_pass_matches_grouped() {
+        let mut d = SensingData::new(3);
+        d.add_report(0, 0, 1.5, 0.0);
+        d.add_report(1, 2, -4.0, 0.0);
+        d.add_report(2, 0, 2.5, 0.0);
+        d.add_report(3, 2, -6.0, 0.0);
+        let means = d.task_means();
+        assert_eq!(means[0], Some((1.5 + 2.5) / 2.0));
+        assert_eq!(means[1], None);
+        assert_eq!(means[2], Some((-4.0 + -6.0) / 2.0));
+    }
+
+    #[test]
+    fn centered_shares_index_structure() {
+        let mut d = SensingData::new(2);
+        d.add_report(0, 0, -80.0, 0.0);
+        d.add_report(1, 0, -82.0, 1.0);
+        d.add_report(1, 1, -70.0, 2.0);
+        let (centered, centers) = d.centered();
+        assert_eq!(centers[0], Some(-81.0));
+        assert_eq!(centers[1], Some(-70.0));
+        assert_eq!(centered.num_accounts(), d.num_accounts());
+        assert_eq!(centered.task_report_indices(0), d.task_report_indices(0));
+        let vals: Vec<f64> = centered.task_reports(0).map(|r| r.value).collect();
+        assert_eq!(vals, vec![1.0, -1.0]);
+        // Residuals keep the original timestamps.
+        assert_eq!(centered.reports()[2].timestamp, 2.0);
     }
 
     #[test]

@@ -88,11 +88,8 @@ impl TruthDiscovery for RobustCrh {
         // Initialize with per-task (unweighted) medians.
         let mut truths: Vec<Option<f64>> = (0..data.num_tasks())
             .map(|t| {
-                let mut pairs: Vec<(f64, f64)> = data
-                    .reports_for_task(t)
-                    .iter()
-                    .map(|r| (r.value, 1.0))
-                    .collect();
+                let mut pairs: Vec<(f64, f64)> =
+                    data.task_reports(t).map(|r| (r.value, 1.0)).collect();
                 weighted_median(&mut pairs)
             })
             .collect();
@@ -123,8 +120,7 @@ impl TruthDiscovery for RobustCrh {
             let next: Vec<Option<f64>> = (0..data.num_tasks())
                 .map(|t| {
                     let mut pairs: Vec<(f64, f64)> = data
-                        .reports_for_task(t)
-                        .iter()
+                        .task_reports(t)
                         .map(|r| (r.value, weights[r.account]))
                         .collect();
                     weighted_median(&mut pairs)
@@ -261,7 +257,7 @@ mod tests {
                 }
                 let r = RobustCrh::default().discover(&d);
                 for t in 0..3 {
-                    let vals: Vec<f64> = d.reports_for_task(t).iter().map(|r| r.value).collect();
+                    let vals: Vec<f64> = d.task_reports(t).map(|r| r.value).collect();
                     if let Some(est) = r.truths[t] {
                         let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
                         let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);

@@ -12,10 +12,18 @@ cargo test -q --offline --workspace
 # Observability smoke: an instrumented run must export JSON that the
 # runtime's own parser accepts (obs-check validates shape and parse).
 obs_json="$(mktemp /tmp/srtd-obs.XXXXXX.json)"
-trap 'rm -f "$obs_json"' EXIT
+bench_json="$(mktemp /tmp/srtd-bench.XXXXXX.json)"
+trap 'rm -f "$obs_json" "$bench_json"' EXIT
 SRTD_OBS=1 SRTD_OBS_JSON="$obs_json" \
   cargo run -q --release --offline --bin srtd -- \
   evaluate --seed 0 --legit 4 --tasks 4 >/dev/null
 cargo run -q --release --offline --bin obs-check -- "$obs_json"
+
+# Bench smoke: the quick pipeline bench must run offline, its framework
+# output must be byte-identical across worker counts (asserted inside the
+# binary), and the exported JSON must match the tracked schema
+# (bench_check fails on drift).
+cargo run -q --release --offline -p srtd-bench --bin bench_pipeline -- "$bench_json" >/dev/null
+cargo run -q --release --offline -p srtd-bench --bin bench_check -- "$bench_json"
 
 echo "verify: OK"

@@ -65,7 +65,8 @@ fn instrumented_pipeline_covers_every_stage_and_exports_valid_json() {
     // Spans must cover extraction → clustering/DTW → grouping → TD loop.
     let span_names: Vec<&str> = report.spans.iter().map(|s| s.name).collect();
     for required in [
-        "signal.stream_features",
+        "signal.stream_features_batch",
+        "framework.per_task_build",
         "cluster.kmeans.fit",
         "cluster.elbow",
         "ag_fp.group",
