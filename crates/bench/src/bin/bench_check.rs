@@ -7,8 +7,8 @@
 use srtd_runtime::json::{parse, Json};
 use std::process::exit;
 
-const SCHEMA: &str = "srtd-bench-pipeline-v1";
-const TOP_LEVEL_KEYS: [&str; 8] = [
+const SCHEMA: &str = "srtd-bench-pipeline-v2";
+const TOP_LEVEL_KEYS: [&str; 9] = [
     "schema",
     "quick",
     "threads_available",
@@ -16,6 +16,7 @@ const TOP_LEVEL_KEYS: [&str; 8] = [
     "cases",
     "speedups",
     "determinism",
+    "dtw_prune",
     "counters",
 ];
 const CASE_KEYS: [&str; 6] = ["group", "name", "median_ns", "min_ns", "max_ns", "batch"];
@@ -84,6 +85,41 @@ fn main() {
             _ => fail("determinism.framework_bit_identical_threads_1_vs_4 must be true"),
         },
         _ => unreachable!(),
+    }
+    let Some(Json::Obj(prune)) = get(&fields, "dtw_prune") else {
+        fail("`dtw_prune` must be an object");
+    };
+    let prune_num = |key: &str| -> f64 {
+        match get(prune, key) {
+            Some(Json::Num(n)) if *n >= 0.0 => *n,
+            _ => fail(&format!("dtw_prune.{key} must be a number >= 0")),
+        }
+    };
+    let pairs = prune_num("pairs");
+    let kim = prune_num("lb_kim_pruned");
+    let keogh = prune_num("lb_keogh_pruned");
+    let abandoned = prune_num("early_abandoned");
+    let full_evals = prune_num("full_evals");
+    if pairs < 1.0 {
+        fail("dtw_prune.pairs must be positive");
+    }
+    if kim + keogh + abandoned + full_evals != pairs {
+        fail("dtw_prune outcome counts must partition the pair count");
+    }
+    if full_evals >= pairs {
+        fail("dtw_prune.full_evals must be strictly below the pair count");
+    }
+    let rate = prune_num("prune_rate");
+    if !(0.0..=1.0).contains(&rate) {
+        fail("dtw_prune.prune_rate must be in [0, 1]");
+    }
+    for key in ["full_median_ns", "pruned_median_ns", "speedup_vs_full"] {
+        if prune_num(key) <= 0.0 {
+            fail(&format!("dtw_prune.{key} must be positive"));
+        }
+    }
+    if !matches!(get(prune, "grouping_identical"), Some(Json::Bool(true))) {
+        fail("dtw_prune.grouping_identical must be true");
     }
     println!("bench-check: OK ({path})");
 }

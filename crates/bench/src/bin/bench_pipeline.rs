@@ -17,7 +17,9 @@
 //! Run with: `cargo run -p srtd-bench --release --bin bench_pipeline`
 
 use srtd_core::aggregate::initial_group_weight;
-use srtd_core::{AccountGrouping, GroupAggregation, Grouping, PerfectGrouping, SybilResistantTd};
+use srtd_core::{
+    AccountGrouping, AgTr, GroupAggregation, Grouping, PerfectGrouping, SybilResistantTd,
+};
 use srtd_runtime::bench::{black_box, Bench, BenchConfig, BenchStats};
 use srtd_runtime::json::{Json, ToJson};
 use srtd_runtime::obs;
@@ -25,8 +27,9 @@ use srtd_runtime::parallel::set_max_threads;
 use srtd_runtime::rng::{Rng, SeedableRng, StdRng};
 use srtd_signal::fft::{fft_real, fft_real_pair};
 use srtd_signal::{stream_features, stream_features_batch, FeatureConfig};
-use srtd_timeseries::Dtw;
+use srtd_timeseries::{Dtw, PrunedPairwise};
 use srtd_truth::{max_abs_delta, ConvergenceCriterion, SensingData};
+use std::time::Duration;
 
 /// Campaign shape: the `exp_large_scale` regime scaled until the
 /// framework's parallel gate (64 tasks) is comfortably passed.
@@ -367,18 +370,99 @@ fn main() {
         vec![("n", dtw_n.to_json()), ("band", 16usize.to_json())],
     ));
 
+    // ---- AG-TR pairwise pruning on the large campaign ----
+    // The pruned and full dissimilarity paths must produce the same
+    // grouping (this is the bench-side guard; the root equivalence test
+    // suite is the exhaustive one), and pruning must have skipped at
+    // least one of the n(n−1)/2 full DTW evaluations to count as a win.
+    let ag_pruned = AgTr::default();
+    let ag_full = AgTr::default().with_pruning(false);
+    let g_pruned = ag_pruned.group(&data, &[]);
+    let g_full = ag_full.group(&data, &[]);
+    let grouping_identical = g_pruned.groups() == g_full.groups();
+    assert!(
+        grouping_identical,
+        "pruned AG-TR grouping must match the full-matrix path"
+    );
+    let trajectories = ag_pruned.trajectories(&data);
+    let (pruned_matrix, prune_stats) =
+        PrunedPairwise::new(ag_pruned.phi()).matrix2_with_stats(&trajectories);
+    assert!(
+        prune_stats.full_evals < prune_stats.pairs,
+        "pruning must skip full DTW evaluations on the large campaign \
+         ({} of {} ran to completion)",
+        prune_stats.full_evals,
+        prune_stats.pairs,
+    );
+    let full_matrix = ag_full.dissimilarity_matrix(&data);
+    for (i, row) in pruned_matrix.iter().enumerate() {
+        for (j, v) in row.iter().enumerate() {
+            if v.is_finite() {
+                assert_eq!(
+                    v.to_bits(),
+                    full_matrix[i][j].to_bits(),
+                    "kept entry ({i},{j}) must be bit-identical"
+                );
+            } else if i != j {
+                assert!(
+                    full_matrix[i][j] >= ag_pruned.phi(),
+                    "pruned a below-φ pair ({i},{j})"
+                );
+            }
+        }
+    }
+
+    // The full matrix costs ~hundreds of ms per call, so the pruning
+    // comparison gets its own smaller quick-mode budget.
+    let prune_cfg = if quick {
+        BenchConfig {
+            warmup_time: Duration::from_millis(10),
+            sample_time: Duration::from_millis(5),
+            samples: 3,
+        }
+    } else {
+        BenchConfig::default()
+    };
+    let mut prune_group = Bench::with_config("dtw_prune", prune_cfg);
+    let prune_params = vec![
+        (
+            "accounts",
+            (LEGIT + ATTACKERS * SYBILS_PER_ATTACKER).to_json(),
+        ),
+        ("pairs", prune_stats.pairs.to_json()),
+    ];
+    let matrix_full = prune_group.run("agtr_matrix/full", || {
+        ag_full.dissimilarity_matrix(black_box(&data))
+    });
+    let matrix_pruned = prune_group.run("agtr_matrix/pruned", || {
+        ag_pruned.dissimilarity_matrix(black_box(&data))
+    });
+    cases.push(stats_json(
+        "dtw_prune",
+        "agtr_matrix/full",
+        matrix_full,
+        prune_params.clone(),
+    ));
+    cases.push(stats_json(
+        "dtw_prune",
+        "agtr_matrix/pruned",
+        matrix_pruned,
+        prune_params,
+    ));
+
     // ---- Obs counters from one instrumented pass over the same paths ----
     obs::set_enabled(true);
     obs::reset();
     let _ = framework.discover_with_grouping(&data, grouping.clone());
     let _ = stream_features_batch(&streams, &feat_cfg);
     let _ = Dtw::new().distance(&a, &b);
+    let _ = ag_pruned.dissimilarity_matrix(&data);
     let report = obs::snapshot();
     obs::set_enabled(false);
     let counters: Vec<(String, u64)> = report.counters;
 
     let doc = Json::obj([
-        ("schema", Json::str("srtd-bench-pipeline-v1")),
+        ("schema", Json::str("srtd-bench-pipeline-v2")),
         ("quick", quick.to_json()),
         ("threads_available", threads_available.to_json()),
         (
@@ -423,6 +507,28 @@ fn main() {
                 "framework_bit_identical_threads_1_vs_4",
                 bit_identical.to_json(),
             )]),
+        ),
+        (
+            "dtw_prune",
+            Json::obj([
+                (
+                    "accounts",
+                    (LEGIT + ATTACKERS * SYBILS_PER_ATTACKER).to_json(),
+                ),
+                ("pairs", prune_stats.pairs.to_json()),
+                ("lb_kim_pruned", prune_stats.lb_kim_pruned.to_json()),
+                ("lb_keogh_pruned", prune_stats.lb_keogh_pruned.to_json()),
+                ("early_abandoned", prune_stats.early_abandoned.to_json()),
+                ("full_evals", prune_stats.full_evals.to_json()),
+                ("prune_rate", prune_stats.prune_rate().to_json()),
+                ("full_median_ns", matrix_full.median_ns.to_json()),
+                ("pruned_median_ns", matrix_pruned.median_ns.to_json()),
+                (
+                    "speedup_vs_full",
+                    (matrix_full.median_ns / matrix_pruned.median_ns).to_json(),
+                ),
+                ("grouping_identical", grouping_identical.to_json()),
+            ]),
         ),
         (
             "counters",

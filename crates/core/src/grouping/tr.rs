@@ -3,7 +3,7 @@
 use crate::grouping::{AccountGrouping, Grouping};
 use srtd_graph::Graph;
 use srtd_runtime::parallel::{parallel_map, triangle_pairs};
-use srtd_timeseries::Dtw;
+use srtd_timeseries::{BandPolicy, Dtw, PrunedPairwise};
 use srtd_truth::SensingData;
 
 /// Account grouping by trajectory dissimilarity.
@@ -48,10 +48,14 @@ pub struct AgTr {
     phi: f64,
     timestamp_unit: f64,
     dtw: Dtw,
+    band: BandPolicy,
+    prune: bool,
 }
 
 impl Default for AgTr {
-    /// `φ = 1` with timestamps in hours and *raw* cumulative DTW cost.
+    /// `φ = 1` with timestamps in hours and *raw* cumulative DTW cost,
+    /// pairwise pruning on, and the adaptive band policy (paper-scale
+    /// trajectories stay unbanded; see [`BandPolicy::adaptive`]).
     ///
     /// The paper's worked example (Fig. 4) tabulates the raw cumulative
     /// cost, under which task-index series of different task sets are at
@@ -64,6 +68,8 @@ impl Default for AgTr {
             phi: 1.0,
             timestamp_unit: 3600.0,
             dtw: Dtw::new().raw(),
+            band: BandPolicy::adaptive(),
+            prune: true,
         }
     }
 }
@@ -108,10 +114,47 @@ impl AgTr {
     }
 
     /// Uses a configured DTW (e.g. raw mode for the Fig. 4 worked example,
-    /// or banded for long trajectories).
+    /// or banded for long trajectories). An explicit band on the DTW
+    /// overrides the [`AgTr::with_band_policy`] rule; a non-raw
+    /// (Eq. 7 path-normalized) DTW disables pairwise pruning, whose
+    /// cutoff lives in raw-cost space.
     pub fn with_dtw(mut self, dtw: Dtw) -> Self {
         self.dtw = dtw;
         self
+    }
+
+    /// Replaces the Sakoe–Chiba band-selection rule used when the DTW
+    /// itself carries no explicit band (default: [`BandPolicy::adaptive`]).
+    pub fn with_band_policy(mut self, band: BandPolicy) -> Self {
+        self.band = band;
+        self
+    }
+
+    /// Enables or disables pairwise pruning (default: enabled). The
+    /// pruned and full paths produce identical groupings — disabling is
+    /// only useful to obtain exact above-φ distances for display, or as
+    /// the reference side of an equivalence check.
+    pub fn with_pruning(mut self, prune: bool) -> Self {
+        self.prune = prune;
+        self
+    }
+
+    /// The band rule both matrix paths share: an explicit band configured
+    /// on the DTW wins, otherwise the policy decides per pair.
+    fn effective_band(&self) -> BandPolicy {
+        match self.dtw.band() {
+            Some(w) => BandPolicy::Fixed(w),
+            None => self.band,
+        }
+    }
+
+    /// The DTW used by the full (unpruned) path for a pair of
+    /// trajectories of `la` and `lb` reports.
+    fn dtw_for(&self, la: usize, lb: usize) -> Dtw {
+        match self.effective_band().band_for(la, lb) {
+            Some(w) => self.dtw.with_band(w),
+            None => self.dtw,
+        }
     }
 
     /// Extracts the `(X_i, Y_i)` trajectory series of every account.
@@ -129,34 +172,59 @@ impl AgTr {
             .collect()
     }
 
-    /// The full pairwise dissimilarity matrix (Fig. 4(c)); diagonal is 0.
+    /// The pairwise dissimilarity matrix (Fig. 4(c)); diagonal is 0.
     /// Accounts with no reports are infinitely far from everyone —
     /// including each other: two inactive accounts share no behavioural
     /// evidence, so they must stay singletons rather than merge at
     /// distance zero.
     ///
-    /// The `n(n−1)/2` DTW evaluations — the dominant cost of AG-TR — run
-    /// through the runtime's scoped-thread [`parallel_map`] over the
-    /// flattened upper triangle; the order-preserving map makes the
-    /// matrix identical for every worker-thread count.
+    /// With pruning enabled (the default, raw-cost DTW only) the
+    /// `n(n−1)/2` evaluations go through [`PrunedPairwise`] with the
+    /// threshold φ as cutoff: every entry `< φ` is bit-identical to the
+    /// full path, while provably-above-φ pairs read `f64::INFINITY`
+    /// without paying for a full DTW — sufficient because only the
+    /// `D_ij < φ` decision feeds the connected-components step. Disable
+    /// via [`AgTr::with_pruning`] to get exact values everywhere.
+    ///
+    /// Either path runs the pair map through the runtime's scoped-thread
+    /// parallel map over the flattened upper triangle; the
+    /// order-preserving map makes the matrix identical for every
+    /// worker-thread count.
     pub fn dissimilarity_matrix(&self, data: &SensingData) -> Vec<Vec<f64>> {
         let _span = srtd_runtime::obs::span("ag_tr.dtw_matrix");
         let trajectories = self.trajectories(data);
         let n = trajectories.len();
-        let pairs = triangle_pairs(n);
-        let distances = parallel_map(&pairs, |&(i, j)| {
-            let (xi, yi) = &trajectories[i];
-            let (xj, yj) = &trajectories[j];
-            if xi.is_empty() || xj.is_empty() {
-                f64::INFINITY
-            } else {
-                self.dtw.distance(xi, xj) + self.dtw.distance(yi, yj)
+        let mut matrix = if self.prune && self.dtw.is_raw() {
+            PrunedPairwise::new(self.phi)
+                .with_band(self.effective_band())
+                .matrix2(&trajectories)
+        } else {
+            let pairs = triangle_pairs(n);
+            let distances = parallel_map(&pairs, |&(i, j)| {
+                let (xi, yi) = &trajectories[i];
+                let (xj, yj) = &trajectories[j];
+                let dtw = self.dtw_for(xi.len(), xj.len());
+                dtw.distance(xi, xj) + dtw.distance(yi, yj)
+            });
+            let mut matrix = vec![vec![0.0; n]; n];
+            for (&(i, j), &d) in pairs.iter().zip(&distances) {
+                matrix[i][j] = d;
+                matrix[j][i] = d;
             }
-        });
-        let mut matrix = vec![vec![0.0; n]; n];
-        for (&(i, j), &d) in pairs.iter().zip(&distances) {
-            matrix[i][j] = d;
-            matrix[j][i] = d;
+            matrix
+        };
+        // Inactive accounts: the engine's empty-vs-empty DTW is 0, but
+        // two accounts that never reported must not merge on the absence
+        // of evidence — force their off-diagonal entries to ∞.
+        for (i, (x, _)) in trajectories.iter().enumerate() {
+            if x.is_empty() {
+                for j in 0..n {
+                    if j != i {
+                        matrix[i][j] = f64::INFINITY;
+                        matrix[j][i] = f64::INFINITY;
+                    }
+                }
+            }
         }
         matrix
     }
@@ -238,11 +306,12 @@ mod tests {
     fn dissimilarity_matrix_structure() {
         let d = table_iii_data();
         let m = AgTr::default().dissimilarity_matrix(&d);
-        // Symmetric with zero diagonal.
+        // Symmetric with zero diagonal (pruned above-φ entries are ∞, so
+        // compare bits rather than differences).
         for (i, row) in m.iter().enumerate() {
             assert_eq!(row[i], 0.0);
             for (j, v) in row.iter().enumerate() {
-                assert!((v - m[j][i]).abs() < 1e-12);
+                assert_eq!(v.to_bits(), m[j][i].to_bits());
             }
         }
         // Sybil pairs are much closer than any legit pair.
@@ -304,6 +373,58 @@ mod tests {
         let g = AgTr::default().group(&d, &[]);
         assert_ne!(g.group_of(1), g.group_of(2));
         assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn pruned_path_matches_full_on_ragged_trajectories() {
+        // Table III trajectories are ragged (lengths 4, 2, 3, 3, 3, 3):
+        // LB_Keogh would panic on unequal lengths, so the engine must fall
+        // back to LB_Kim for those pairs — this is the regression test for
+        // the AG-TR call site.
+        let d = table_iii_data();
+        let pruned = AgTr::default();
+        let full = AgTr::default().with_pruning(false);
+        let gp = pruned.group(&d, &[]);
+        let gf = full.group(&d, &[]);
+        assert_eq!(gp.groups(), gf.groups());
+        let phi = pruned.phi();
+        let mp = pruned.dissimilarity_matrix(&d);
+        let mf = full.dissimilarity_matrix(&d);
+        for i in 0..mp.len() {
+            for j in 0..mp.len() {
+                if mp[i][j].is_infinite() {
+                    assert!(mf[i][j] >= phi, "pruned a below-φ pair ({i},{j})");
+                } else {
+                    assert_eq!(mp[i][j].to_bits(), mf[i][j].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_dtw_band_overrides_the_policy() {
+        // A user-fixed band must apply identically on both paths.
+        let d = table_iii_data();
+        let banded = Dtw::new().raw().with_band(1);
+        let pruned = AgTr::default().with_dtw(banded);
+        let full = pruned.with_pruning(false);
+        assert_eq!(pruned.group(&d, &[]).groups(), full.group(&d, &[]).groups());
+    }
+
+    #[test]
+    fn normalized_dtw_falls_back_to_the_full_path() {
+        // Eq. 7 path-normalized distances are not raw cumulative costs, so
+        // the raw-space pruning cutoff does not apply; grouping must still
+        // work (via the unpruned path) with a threshold in that space.
+        let d = table_iii_data();
+        let ag = AgTr::new(0.5).with_dtw(Dtw::new());
+        let m = ag.dissimilarity_matrix(&d);
+        // No pruning: every active-pair entry is finite.
+        for i in 0..6 {
+            for j in 0..6 {
+                assert!(m[i][j].is_finite(), "({i},{j}) = {}", m[i][j]);
+            }
+        }
     }
 
     #[test]

@@ -30,6 +30,23 @@
 //! the runtime test-suite pins it byte-identical across 1- and 4-thread
 //! runs. Span durations and gauges are wall-clock facts and are excluded.
 //!
+//! # Well-known metric names
+//!
+//! Instrumented crates register under dotted prefixes; the DTW family in
+//! particular follows a fixed vocabulary that downstream golden-file
+//! tests pin:
+//!
+//! * `timeseries.dtw.calls` / `timeseries.dtw.bounded_calls` — dynamic
+//!   programs started (plain / upper-bounded),
+//! * `timeseries.dtw.cells` — DP cells actually visited (banded and
+//!   early-abandoned runs visit fewer),
+//! * `timeseries.dtw.early_abandoned` — bounded DPs that abandoned
+//!   mid-way,
+//! * `timeseries.dtw.lb_kim_pruned` / `timeseries.dtw.lb_keogh_pruned` /
+//!   `timeseries.dtw.pair_early_abandoned` / `timeseries.dtw.full_evals`
+//!   — the pruned-pairwise cascade's per-pair outcome partition (the
+//!   four always sum to the pair count of the matrices built).
+//!
 //! # Examples
 //!
 //! ```

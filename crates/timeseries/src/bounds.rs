@@ -7,7 +7,123 @@
 //! exceeds `φ` can be skipped without running the `O(m·n)` dynamic
 //! program.
 
+#[cfg(test)]
 use crate::Dtw;
+use std::collections::VecDeque;
+
+/// Precomputed Sakoe–Chiba envelope of one series: running min/max over a
+/// centered window of half-width `band`.
+///
+/// The envelope is what makes an LB_Keogh *cascade* cheap: it depends only
+/// on the reference series and the band, so a pairwise driver computes one
+/// envelope per series up front and reuses it against every query
+/// ([`lb_keogh_env`] is then `O(n)` per pair with no window scan). Built
+/// with the monotonic-deque sliding min/max, so construction is `O(n)`
+/// regardless of the band width.
+///
+/// # Examples
+///
+/// ```
+/// use srtd_timeseries::{lb_keogh, lb_keogh_env, Envelope};
+///
+/// let q = [0.0, 1.0, 2.0, 1.0];
+/// let r = [1.0, 1.0, 1.0, 1.0];
+/// let env = Envelope::new(&r, 1);
+/// assert_eq!(lb_keogh_env(&q, &env), lb_keogh(&q, &r, 1));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    upper: Vec<f64>,
+    lower: Vec<f64>,
+    band: usize,
+}
+
+impl Envelope {
+    /// The envelope of `series` for Sakoe–Chiba half-width `band`
+    /// (clamped to the series length — wider adds nothing).
+    pub fn new(series: &[f64], band: usize) -> Self {
+        let n = series.len();
+        let w = band.min(n.saturating_sub(1));
+        let mut upper = Vec::with_capacity(n);
+        let mut lower = Vec::with_capacity(n);
+        // Monotonic deques of indices: `maxq` decreasing, `minq`
+        // increasing; the front is always the window extremum.
+        let mut maxq: VecDeque<usize> = VecDeque::new();
+        let mut minq: VecDeque<usize> = VecDeque::new();
+        let mut next = 0usize;
+        for i in 0..n {
+            while next <= (i + w).min(n - 1) {
+                while maxq.back().is_some_and(|&k| series[k] <= series[next]) {
+                    maxq.pop_back();
+                }
+                maxq.push_back(next);
+                while minq.back().is_some_and(|&k| series[k] >= series[next]) {
+                    minq.pop_back();
+                }
+                minq.push_back(next);
+                next += 1;
+            }
+            let lo = i.saturating_sub(w);
+            while maxq.front().is_some_and(|&k| k < lo) {
+                maxq.pop_front();
+            }
+            while minq.front().is_some_and(|&k| k < lo) {
+                minq.pop_front();
+            }
+            upper.push(series[maxq[0]]);
+            lower.push(series[minq[0]]);
+        }
+        Self {
+            upper,
+            lower,
+            band: w,
+        }
+    }
+
+    /// Number of points (same as the underlying series).
+    pub fn len(&self) -> usize {
+        self.upper.len()
+    }
+
+    /// `true` for the envelope of an empty series.
+    pub fn is_empty(&self) -> bool {
+        self.upper.is_empty()
+    }
+
+    /// The clamped band half-width this envelope was built for.
+    pub fn band(&self) -> usize {
+        self.band
+    }
+}
+
+/// LB_Keogh against a precomputed [`Envelope`]: the squared distance from
+/// `query` to the envelope, a lower bound on the **banded** raw DTW cost
+/// with the envelope's window (and on unbanded DTW only when the window
+/// spans the whole reference).
+///
+/// # Panics
+///
+/// Panics if `query.len() != env.len()` — the classic LB_Keogh setting
+/// requires equal lengths; callers with ragged series fall back to
+/// [`lb_kim`] (which is length-agnostic) instead.
+pub fn lb_keogh_env(query: &[f64], env: &Envelope) -> f64 {
+    assert_eq!(
+        query.len(),
+        env.len(),
+        "LB_Keogh requires equal-length series"
+    );
+    let mut bound = 0.0;
+    for (i, &q) in query.iter().enumerate() {
+        let upper = env.upper[i];
+        let lower = env.lower[i];
+        if q > upper {
+            bound += (q - upper).powi(2);
+        } else if q < lower {
+            bound += (lower - q).powi(2);
+        }
+    }
+    bound
+}
 
 /// LB_Kim (simplified): every warping path aligns the first points and
 /// the last points, so their squared distances always contribute.
@@ -72,51 +188,23 @@ pub fn lb_keogh(query: &[f64], reference: &[f64], w: usize) -> f64 {
         reference.len(),
         "LB_Keogh requires equal-length series"
     );
-    let n = query.len();
-    if n == 0 {
-        return 0.0;
-    }
-    let mut bound = 0.0;
-    for (i, &q) in query.iter().enumerate() {
-        let lo = i.saturating_sub(w);
-        let hi = (i + w).min(n - 1);
-        let mut upper = f64::NEG_INFINITY;
-        let mut lower = f64::INFINITY;
-        for &r in &reference[lo..=hi] {
-            upper = upper.max(r);
-            lower = lower.min(r);
-        }
-        if q > upper {
-            bound += (q - upper).powi(2);
-        } else if q < lower {
-            bound += (lower - q).powi(2);
-        }
-    }
-    bound
+    lb_keogh_env(query, &Envelope::new(reference, w))
 }
 
-/// Computes the full pairwise raw-DTW dissimilarity matrix with LB_Kim
-/// pruning: pairs whose lower bound already exceeds `cutoff` are reported
-/// as `f64::INFINITY` without running the dynamic program.
+/// Computes the pairwise raw unbanded-DTW dissimilarity matrix with lower
+/// bound pruning: pairs whose LB_Kim/LB_Keogh bound already exceeds
+/// `cutoff`, or whose dynamic program provably overshoots it, are
+/// reported as `f64::INFINITY`; every pair at or below the cutoff carries
+/// its exact distance.
 ///
-/// This is the batched form AG-TR uses; the returned matrix is symmetric
-/// with a zero diagonal.
+/// This is a convenience wrapper over the full
+/// [`PrunedPairwise`](crate::PrunedPairwise) engine (which AG-TR uses
+/// directly with banding and Eq. 8 two-channel sums); the returned matrix
+/// is symmetric with a zero diagonal.
 pub fn pruned_raw_dtw_matrix(series: &[Vec<f64>], cutoff: f64) -> Vec<Vec<f64>> {
-    let n = series.len();
-    let dtw = Dtw::new().raw();
-    let mut matrix = vec![vec![0.0; n]; n];
-    for i in 0..n {
-        for j in i + 1..n {
-            let d = if lb_kim(&series[i], &series[j]) > cutoff {
-                f64::INFINITY
-            } else {
-                dtw.distance(&series[i], &series[j])
-            };
-            matrix[i][j] = d;
-            matrix[j][i] = d;
-        }
-    }
-    matrix
+    crate::PrunedPairwise::new(cutoff)
+        .with_band(crate::BandPolicy::None)
+        .matrix(series)
 }
 
 #[cfg(test)]
@@ -208,6 +296,97 @@ mod tests {
                 Ok(())
             },
         );
+    }
+
+    /// The full bound chain, in its *correct* order: for equal-length
+    /// series and any window `w`,
+    ///
+    /// ```text
+    /// lb_kim ≤ full raw DTW ≤ banded raw DTW(w)    and
+    /// lb_keogh(w) ≤ banded raw DTW(w)
+    /// ```
+    ///
+    /// Note the directions: a band *restricts* warping, so the banded
+    /// minimum can only be ≥ the unconstrained one, and LB_Keogh bounds
+    /// the *banded* cost (it only bounds full DTW when the window spans
+    /// the series). Neither of `lb_kim`/`lb_keogh` dominates the other —
+    /// the cascade orders them by evaluation cost (`O(1)` vs `O(n)`), not
+    /// by tightness.
+    #[test]
+    fn bound_chain_orders_correctly() {
+        prop::check(
+            |rng| {
+                (
+                    prop::vec_with(rng, 0..25, |r| {
+                        (r.gen_range(-50f64..50.0), r.gen_range(-50f64..50.0))
+                    }),
+                    rng.gen_range(0usize..6),
+                )
+            },
+            |(data, w)| {
+                let w = *w;
+                let a: Vec<f64> = data.iter().map(|d| d.0).collect();
+                let b: Vec<f64> = data.iter().map(|d| d.1).collect();
+                let full = Dtw::new().raw().distance(&a, &b);
+                let banded = Dtw::new().raw().with_band(w).distance(&a, &b);
+                let kim = lb_kim(&a, &b);
+                let keogh = lb_keogh(&a, &b, w);
+                let tol = 1e-9 * banded.max(1.0);
+                if full.is_finite() {
+                    prop_assert!(kim <= full + tol, "kim {kim} > full {full}");
+                    prop_assert!(full <= banded + tol, "full {full} > banded {banded}");
+                    prop_assert!(keogh <= banded + tol, "keogh {keogh} > banded {banded}");
+                    // The wide-window envelope bounds even unbanded DTW.
+                    let keogh_wide = lb_keogh(&a, &b, a.len().max(1) - 1);
+                    prop_assert!(keogh_wide <= full + tol);
+                } else {
+                    // Both empty: every quantity degenerates consistently.
+                    prop_assert_eq!(a.len(), 0);
+                }
+                Ok(())
+            },
+        );
+    }
+
+    /// The deque-built envelope equals the naive windowed min/max scan.
+    #[test]
+    fn envelope_matches_naive_window_scan() {
+        prop::check(
+            |rng| {
+                (
+                    prop::vec_with(rng, 0..40, |r| r.gen_range(-10f64..10.0)),
+                    rng.gen_range(0usize..45),
+                )
+            },
+            |(series, w)| {
+                let env = Envelope::new(series, *w);
+                prop_assert_eq!(env.len(), series.len());
+                for i in 0..series.len() {
+                    let lo = i.saturating_sub(*w);
+                    let hi = (i + *w).min(series.len() - 1);
+                    let upper = series[lo..=hi].iter().cloned().fold(f64::MIN, f64::max);
+                    let lower = series[lo..=hi].iter().cloned().fold(f64::MAX, f64::min);
+                    prop_assert_eq!(env.upper[i], upper);
+                    prop_assert_eq!(env.lower[i], lower);
+                }
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn envelope_of_empty_series_is_empty() {
+        let env = Envelope::new(&[], 3);
+        assert!(env.is_empty());
+        assert_eq!(env.band(), 0);
+        assert_eq!(lb_keogh_env(&[], &env), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn lb_keogh_env_rejects_ragged_queries() {
+        let env = Envelope::new(&[1.0, 2.0], 1);
+        lb_keogh_env(&[1.0, 2.0, 3.0], &env);
     }
 
     /// Pruning never changes finite entries below the cutoff.

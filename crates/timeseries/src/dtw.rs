@@ -23,6 +23,19 @@ pub struct Dtw {
     raw: bool,
 }
 
+/// What one run of the shared dynamic program produced.
+struct DpOutcome {
+    /// Cumulative squared cost `r(m, n)` (infinite when abandoned or no
+    /// feasible path exists).
+    total: f64,
+    /// Length `K` of the best warping path reaching `(m, n)`.
+    steps: usize,
+    /// Band cells actually evaluated before finishing or abandoning.
+    visited: u64,
+    /// `true` when every reachable cell of some row exceeded the budget.
+    abandoned: bool,
+}
+
 impl Dtw {
     /// Unconstrained DTW with Eq. 7 normalization.
     pub fn new() -> Self {
@@ -33,6 +46,17 @@ impl Dtw {
     pub fn with_band(mut self, w: usize) -> Self {
         self.band = Some(w);
         self
+    }
+
+    /// The configured Sakoe–Chiba half-width, if any.
+    pub fn band(&self) -> Option<usize> {
+        self.band
+    }
+
+    /// `true` when distances are reported as the raw cumulative cost
+    /// rather than the Eq. 7 normalized form.
+    pub fn is_raw(&self) -> bool {
+        self.raw
     }
 
     /// Returns the raw cumulative squared cost `r(m, n)` instead of the
@@ -63,6 +87,61 @@ impl Dtw {
         // hot to count per cell.
         srtd_runtime::obs::counter_add("timeseries.dtw.calls", 1);
         srtd_runtime::obs::counter_add("timeseries.dtw.cells", (m * n) as u64);
+        self.finish(self.dp(a, b, f64::INFINITY))
+    }
+
+    /// [`Dtw::distance`], early-abandoned against an upper bound `ub` on
+    /// the **raw cumulative cost** `r(m, n)`.
+    ///
+    /// The dynamic program abandons as soon as every reachable band cell
+    /// of a row exceeds `ub` — the cumulative cost is non-decreasing along
+    /// any warping path, so the final cost then provably exceeds `ub` too
+    /// — and reports `f64::INFINITY`. Whenever the true raw cost is `≤ ub`
+    /// the optimal path keeps at least one cell per row within budget, the
+    /// program runs to completion over the identical cell sequence, and
+    /// the result is **bit-identical** to [`Dtw::distance`].
+    ///
+    /// `ub` is always in raw-cost space, even for a normalized (non-raw)
+    /// `Dtw` — callers converting a normalized threshold must over-
+    /// approximate (e.g. `ub = t² · (m + n − 1)` bounds any path length).
+    /// A negative `ub` abandons on the first row unless the series are
+    /// degenerate. Degenerate inputs follow the [`Dtw::distance`]
+    /// conventions regardless of `ub`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use srtd_timeseries::Dtw;
+    ///
+    /// let dtw = Dtw::new().raw();
+    /// let a = [0.0, 1.0, 2.0];
+    /// let b = [5.0, 6.0, 7.0];
+    /// let exact = dtw.distance(&a, &b);
+    /// assert_eq!(dtw.distance_upper_bounded(&a, &b, exact), exact);
+    /// assert_eq!(dtw.distance_upper_bounded(&a, &b, 1.0), f64::INFINITY);
+    /// ```
+    pub fn distance_upper_bounded(&self, a: &[f64], b: &[f64], ub: f64) -> f64 {
+        match (a.len(), b.len()) {
+            (0, 0) => return 0.0,
+            (0, _) | (_, 0) => return f64::INFINITY,
+            _ => {}
+        }
+        srtd_runtime::obs::counter_add("timeseries.dtw.bounded_calls", 1);
+        let out = self.dp(a, b, ub);
+        srtd_runtime::obs::counter_add("timeseries.dtw.cells", out.visited);
+        if out.abandoned {
+            srtd_runtime::obs::counter_add("timeseries.dtw.early_abandoned", 1);
+            return f64::INFINITY;
+        }
+        self.finish(out)
+    }
+
+    /// The shared dynamic program: rolling-row cumulative cost with an
+    /// optional Sakoe–Chiba band and a per-row abandon check against `ub`
+    /// (pass `f64::INFINITY` to disable it — the check can then never
+    /// fire, so [`Dtw::distance`] pays nothing for sharing this loop).
+    fn dp(&self, a: &[f64], b: &[f64], ub: f64) -> DpOutcome {
+        let (m, n) = (a.len(), b.len());
         // Effective band half-width: must be at least |m-n| for feasibility.
         let w = self
             .band
@@ -77,12 +156,16 @@ impl Dtw {
         let mut cur_cost = vec![INF; n + 1];
         let mut cur_steps = vec![0usize; n + 1];
         prev_cost[0] = 0.0;
+        let mut visited = 0u64;
 
         for i in 1..=m {
             cur_cost.fill(INF);
             cur_cost[0] = INF;
             let lo = i.saturating_sub(w).max(1);
-            let hi = if w == usize::MAX { n } else { (i + w).min(n) };
+            // `w >= n` covers the whole row (and sidesteps `i + w`
+            // overflow for huge explicit bands).
+            let hi = if w >= n { n } else { (i + w).min(n) };
+            let mut row_min = INF;
             for j in lo..=hi {
                 let d = a[i - 1] - b[j - 1];
                 let cost = d * d;
@@ -105,19 +188,40 @@ impl Dtw {
                     cur_cost[j] = best + cost;
                     cur_steps[j] = steps + 1;
                 }
+                if cur_cost[j] < row_min {
+                    row_min = cur_cost[j];
+                }
+            }
+            visited += (hi + 1 - lo) as u64;
+            if row_min > ub {
+                return DpOutcome {
+                    total: INF,
+                    steps: 0,
+                    visited,
+                    abandoned: true,
+                };
             }
             std::mem::swap(&mut prev_cost, &mut cur_cost);
             std::mem::swap(&mut prev_steps, &mut cur_steps);
         }
-        let total = prev_cost[n];
-        let k = prev_steps[n];
-        if !total.is_finite() || k == 0 {
+        DpOutcome {
+            total: prev_cost[n],
+            steps: prev_steps[n],
+            visited,
+            abandoned: false,
+        }
+    }
+
+    /// Applies the Eq. 7 normalization (or not, in raw mode) to a
+    /// completed DP run.
+    fn finish(&self, out: DpOutcome) -> f64 {
+        if !out.total.is_finite() || out.steps == 0 {
             return f64::INFINITY;
         }
         if self.raw {
-            total
+            out.total
         } else {
-            (total / k as f64).sqrt()
+            (out.total / out.steps as f64).sqrt()
         }
     }
 }
@@ -276,6 +380,82 @@ mod tests {
                     .flat_map(|x| b.iter().map(move |y| (x - y).abs()))
                     .fold(0.0, f64::max);
                 prop_assert!(d <= max_gap + 1e-9);
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn upper_bounded_degenerate_conventions_ignore_the_budget() {
+        for ub in [f64::INFINITY, 1.0, 0.0, -1.0] {
+            let dtw = Dtw::new().raw();
+            assert_eq!(dtw.distance_upper_bounded(&[], &[], ub), 0.0);
+            assert_eq!(dtw.distance_upper_bounded(&[], &[1.0], ub), f64::INFINITY);
+            assert_eq!(dtw.distance_upper_bounded(&[1.0], &[], ub), f64::INFINITY);
+        }
+        // Length-1 series: exact within budget, infinite beyond it.
+        let dtw = Dtw::new().raw();
+        assert_eq!(dtw.distance_upper_bounded(&[2.0], &[5.0], 9.0), 9.0);
+        assert_eq!(
+            dtw.distance_upper_bounded(&[2.0], &[5.0], 8.9),
+            f64::INFINITY
+        );
+        assert_eq!(dtw.distance_upper_bounded(&[2.0], &[2.0], 0.0), 0.0);
+    }
+
+    #[test]
+    fn upper_bounded_huge_explicit_band_does_not_overflow() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 2.5, 3.0];
+        let dtw = Dtw::new().raw().with_band(usize::MAX - 1);
+        assert_eq!(
+            dtw.distance_upper_bounded(&a, &b, f64::INFINITY),
+            Dtw::new().raw().distance(&a, &b)
+        );
+    }
+
+    /// The early-abandoning DP is bit-identical to the plain one whenever
+    /// the true raw cost fits the budget, and only ever reports `∞`
+    /// (never a wrong finite value) when it does not — in raw and
+    /// normalized mode, banded and not, including empty/len-1 series.
+    #[test]
+    fn upper_bounded_is_exact_within_budget() {
+        prop::check(
+            |rng| {
+                (
+                    vals(rng, 0..20),
+                    vals(rng, 0..20),
+                    rng.gen_range(0usize..4), // 0 ⇒ unbanded
+                    rng.gen_range(0f64..1.5),
+                )
+            },
+            |(a, b, band, ub_frac)| {
+                for dtw in [Dtw::new().raw(), Dtw::new()] {
+                    let dtw = if *band == 0 {
+                        dtw
+                    } else {
+                        dtw.with_band(band - 1)
+                    };
+                    let exact = dtw.distance(a, b);
+                    let raw_exact = Dtw { raw: true, ..dtw }.distance(a, b);
+                    // A budget at least the true raw cost: bit-identical.
+                    if raw_exact.is_finite() {
+                        let got = dtw.distance_upper_bounded(a, b, raw_exact);
+                        prop_assert!(
+                            got.to_bits() == exact.to_bits(),
+                            "within budget must be exact: {got} vs {exact}"
+                        );
+                    }
+                    // An arbitrary budget: either the exact value (and the
+                    // raw cost really fit) or ∞ (and it really did not).
+                    let ub = raw_exact * ub_frac;
+                    let got = dtw.distance_upper_bounded(a, b, ub);
+                    if got.is_finite() || exact.is_infinite() {
+                        prop_assert!(got.to_bits() == exact.to_bits());
+                    } else {
+                        prop_assert!(raw_exact > ub, "abandoned though {raw_exact} <= {ub}");
+                    }
+                }
                 Ok(())
             },
         );

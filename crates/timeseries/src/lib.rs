@@ -34,8 +34,10 @@
 
 mod bounds;
 mod dtw;
+mod pruned;
 mod series;
 
-pub use bounds::{lb_keogh, lb_kim, pruned_raw_dtw_matrix};
+pub use bounds::{lb_keogh, lb_keogh_env, lb_kim, pruned_raw_dtw_matrix, Envelope};
 pub use dtw::{dtw, Dtw};
+pub use pruned::{BandPolicy, PruneStats, PrunedPairwise};
 pub use series::{z_normalize, TimeSeriesPair};

@@ -1,0 +1,559 @@
+//! Pruned pairwise DTW: an LB_Kim → LB_Keogh cascade over precomputed
+//! envelopes, falling through to the early-abandoning banded dynamic
+//! program.
+//!
+//! AG-TR keeps a pair of accounts only when their Eq. 8 dissimilarity
+//! falls below the threshold `φ`, and the connected-components step that
+//! follows consumes **only that decision** plus the exact distance of
+//! kept pairs. A pruned pairwise driver can therefore report any
+//! provably-above-φ pair as `f64::INFINITY` without ever computing its
+//! distance, as long as
+//!
+//! * no pair with true distance `< φ` is ever pruned (every kept pair
+//!   carries a value bit-identical to the unpruned path), and
+//! * every pruned pair truly has distance `> φ`.
+//!
+//! Both hold by construction: the cascade only skips a pair when a lower
+//! bound on its distance exceeds the cutoff, and the fall-through DP
+//! ([`Dtw::distance_upper_bounded`]) only abandons when the cumulative
+//! cost provably overshoots the remaining budget. The engine is therefore
+//! **decision-equivalent** to the full matrix, which the workspace pins
+//! with property tests here and an AG-TR equivalence suite at the root.
+//!
+//! Stages are ordered by evaluation cost, not bound tightness (neither
+//! LB dominates the other): `O(1)` LB_Kim, `O(n)` LB_Keogh against
+//! envelopes computed once per series, then the `O(n·w)` banded DP.
+
+use crate::bounds::{lb_keogh_env, lb_kim, Envelope};
+use crate::Dtw;
+use srtd_runtime::obs;
+use srtd_runtime::parallel::{parallel_map_min, triangle_pairs};
+
+/// Below this many pairs the engine stays sequential — pruned pairs cost
+/// nanoseconds, so a thread scope would dominate. The gate depends only
+/// on the input size, never the machine, so output is identical either
+/// way (and [`parallel_map_min`]'s chunking is deterministic regardless).
+const MIN_PARALLEL_PAIRS: usize = 256;
+
+/// Sequential-fallback gate for the per-series envelope precomputation.
+const MIN_PARALLEL_SERIES: usize = 64;
+
+/// How the Sakoe–Chiba half-width is chosen for a pair of series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BandPolicy {
+    /// Unconstrained warping (exact classic DTW).
+    None,
+    /// A fixed half-width for every pair (widened to `|m − n|` by the DP
+    /// when infeasible).
+    Fixed(usize),
+    /// Band grows with the longer series: below `min_len` points the pair
+    /// is unbanded (paper-scale series keep their exact semantics), from
+    /// there on the half-width is `max(min_band, len / divisor)`.
+    Adaptive {
+        /// Series shorter than this warp unconstrained.
+        min_len: usize,
+        /// Floor for the adaptive half-width.
+        min_band: usize,
+        /// Half-width is `len / divisor` (≥ `min_band`).
+        divisor: usize,
+    },
+}
+
+impl BandPolicy {
+    /// The default adaptive rule: unbanded below 64 points, then
+    /// `max(16, len/8)` — roughly the 10%-of-length guidance from the
+    /// DTW-banding literature, with a generous floor so warp flexibility
+    /// never collapses on mid-size series.
+    pub fn adaptive() -> Self {
+        Self::Adaptive {
+            min_len: 64,
+            min_band: 16,
+            divisor: 8,
+        }
+    }
+
+    /// The half-width for a pair with lengths `la`, `lb` (`None` =
+    /// unconstrained).
+    pub fn band_for(&self, la: usize, lb: usize) -> Option<usize> {
+        match *self {
+            Self::None => None,
+            Self::Fixed(w) => Some(w),
+            Self::Adaptive {
+                min_len,
+                min_band,
+                divisor,
+            } => {
+                let len = la.max(lb);
+                if len < min_len {
+                    None
+                } else {
+                    Some(min_band.max(len / divisor.max(1)))
+                }
+            }
+        }
+    }
+}
+
+/// Where each pair of one pruned matrix computation ended up. The four
+/// categories partition the pair set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Unordered pairs considered, `n·(n−1)/2`.
+    pub pairs: u64,
+    /// Pairs discarded by the `O(1)` first/last-point bound.
+    pub lb_kim_pruned: u64,
+    /// Pairs discarded by the envelope bound (equal lengths only).
+    pub lb_keogh_pruned: u64,
+    /// Pairs whose dynamic program abandoned mid-way.
+    pub early_abandoned: u64,
+    /// Pairs whose dynamic program ran to completion (the only ones that
+    /// paid the full `O(n·w)` cost).
+    pub full_evals: u64,
+}
+
+impl PruneStats {
+    /// Fraction of pairs that never completed a dynamic program.
+    pub fn prune_rate(&self) -> f64 {
+        if self.pairs == 0 {
+            0.0
+        } else {
+            1.0 - self.full_evals as f64 / self.pairs as f64
+        }
+    }
+}
+
+/// Per-pair outcome; `Exact` carries the bit-exact summed distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum PairOutcome {
+    PrunedKim,
+    PrunedKeogh,
+    Abandoned,
+    Exact(f64),
+}
+
+/// Pruned pairwise raw-DTW matrix driver.
+///
+/// Distances are **raw cumulative costs** (the cutoff lives in the same
+/// space); multi-channel variants sum the per-channel distances before
+/// comparing against the cutoff, which is exactly AG-TR's Eq. 8 shape.
+/// The returned matrices are symmetric with a zero diagonal; pruned
+/// entries read `f64::INFINITY`.
+///
+/// # Examples
+///
+/// ```
+/// use srtd_timeseries::{Dtw, PrunedPairwise};
+///
+/// let series = vec![vec![0.0, 0.1], vec![0.0, 0.2], vec![90.0, 91.0]];
+/// let m = PrunedPairwise::new(1.0).matrix(&series);
+/// // The close pair keeps its exact distance...
+/// assert_eq!(m[0][1], Dtw::new().raw().distance(&series[0], &series[1]));
+/// // ...the far pairs are pruned without a full DTW evaluation.
+/// assert_eq!(m[0][2], f64::INFINITY);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrunedPairwise {
+    cutoff: f64,
+    band: BandPolicy,
+}
+
+impl PrunedPairwise {
+    /// An engine keeping pairs with summed raw distance `≤ cutoff` exact.
+    ///
+    /// An infinite cutoff disables pruning entirely (every pair runs the
+    /// full dynamic program); the default band policy is
+    /// [`BandPolicy::adaptive`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cutoff` is NaN or negative.
+    pub fn new(cutoff: f64) -> Self {
+        assert!(
+            !cutoff.is_nan() && cutoff >= 0.0,
+            "cutoff must be non-negative"
+        );
+        Self {
+            cutoff,
+            band: BandPolicy::adaptive(),
+        }
+    }
+
+    /// Replaces the band policy.
+    pub fn with_band(mut self, band: BandPolicy) -> Self {
+        self.band = band;
+        self
+    }
+
+    /// The pruning cutoff in raw-cost space.
+    pub fn cutoff(&self) -> f64 {
+        self.cutoff
+    }
+
+    /// The band policy.
+    pub fn band(&self) -> BandPolicy {
+        self.band
+    }
+
+    /// The DTW configuration the exact fall-through uses for a pair.
+    fn dtw_for(&self, la: usize, lb: usize) -> Dtw {
+        let dtw = Dtw::new().raw();
+        match self.band.band_for(la, lb) {
+            Some(w) => dtw.with_band(w),
+            None => dtw,
+        }
+    }
+
+    /// Envelope of one series at its own (equal-length-pair) band. For an
+    /// unbanded pair the window must span the whole series, otherwise
+    /// LB_Keogh would not bound unconstrained DTW.
+    fn envelope_for(&self, series: &[f64]) -> Envelope {
+        let w = self
+            .band
+            .band_for(series.len(), series.len())
+            .unwrap_or_else(|| series.len().saturating_sub(1));
+        Envelope::new(series, w)
+    }
+
+    /// Runs the cascade for one pair of multi-channel items (`a[c]`
+    /// against `b[c]`, distances summed across channels).
+    fn decide(
+        &self,
+        a: &[&[f64]],
+        b: &[&[f64]],
+        env_a: &[&Envelope],
+        env_b: &[&Envelope],
+    ) -> PairOutcome {
+        let channels = a.len();
+        // Stage 1 — LB_Kim, O(1) per channel.
+        let mut kim = [0.0f64; 2];
+        debug_assert!(channels <= kim.len());
+        let mut kim_sum = 0.0;
+        for c in 0..channels {
+            kim[c] = lb_kim(a[c], b[c]);
+            kim_sum += kim[c];
+        }
+        if kim_sum > self.cutoff {
+            return PairOutcome::PrunedKim;
+        }
+
+        // Stage 2 — LB_Keogh against the precomputed envelopes, O(n) per
+        // channel. Only sound for equal lengths; ragged pairs fall back
+        // to LB_Kim alone (no panic — see the AG-TR regression tests).
+        let equal_lengths = (0..channels).all(|c| a[c].len() == b[c].len());
+        if equal_lengths {
+            let mut bound_sum = 0.0;
+            for c in 0..channels {
+                let keogh = f64::max(lb_keogh_env(a[c], env_b[c]), lb_keogh_env(b[c], env_a[c]));
+                // Each of kim/keogh lower-bounds the channel distance, so
+                // the larger one does too.
+                bound_sum += f64::max(kim[c], keogh);
+            }
+            if bound_sum > self.cutoff {
+                return PairOutcome::PrunedKeogh;
+            }
+        }
+
+        // Stage 3 — early-abandoning banded DP, channel by channel. Each
+        // channel's budget is what the cutoff leaves after the exact
+        // distances so far and the LB_Kim floor of the channels still to
+        // come; a kept pair (true sum ≤ cutoff) always fits every budget,
+        // so its channels all run to completion bit-identically.
+        let mut exact_sum = 0.0;
+        for c in 0..channels {
+            let rest: f64 = kim[c + 1..channels].iter().sum();
+            let ub = if self.cutoff.is_finite() {
+                self.cutoff - exact_sum - rest
+            } else {
+                f64::INFINITY
+            };
+            let d = self
+                .dtw_for(a[c].len(), b[c].len())
+                .distance_upper_bounded(a[c], b[c], ub);
+            if d == f64::INFINITY && ub.is_finite() {
+                return PairOutcome::Abandoned;
+            }
+            exact_sum += d;
+        }
+        PairOutcome::Exact(exact_sum)
+    }
+
+    /// Assembles the symmetric matrix, tallies [`PruneStats`], and
+    /// records the `timeseries.dtw.*` pruning counters (tallied on the
+    /// caller thread from the ordered outcome list, so the export is
+    /// deterministic for every worker count).
+    fn assemble(
+        n: usize,
+        pairs: &[(usize, usize)],
+        outcomes: &[PairOutcome],
+    ) -> (Vec<Vec<f64>>, PruneStats) {
+        let mut matrix = vec![vec![0.0; n]; n];
+        let mut stats = PruneStats {
+            pairs: pairs.len() as u64,
+            ..PruneStats::default()
+        };
+        for (&(i, j), outcome) in pairs.iter().zip(outcomes) {
+            let d = match outcome {
+                PairOutcome::PrunedKim => {
+                    stats.lb_kim_pruned += 1;
+                    f64::INFINITY
+                }
+                PairOutcome::PrunedKeogh => {
+                    stats.lb_keogh_pruned += 1;
+                    f64::INFINITY
+                }
+                PairOutcome::Abandoned => {
+                    stats.early_abandoned += 1;
+                    f64::INFINITY
+                }
+                PairOutcome::Exact(d) => {
+                    stats.full_evals += 1;
+                    *d
+                }
+            };
+            matrix[i][j] = d;
+            matrix[j][i] = d;
+        }
+        obs::counter_add("timeseries.dtw.lb_kim_pruned", stats.lb_kim_pruned);
+        obs::counter_add("timeseries.dtw.lb_keogh_pruned", stats.lb_keogh_pruned);
+        obs::counter_add("timeseries.dtw.pair_early_abandoned", stats.early_abandoned);
+        obs::counter_add("timeseries.dtw.full_evals", stats.full_evals);
+        (matrix, stats)
+    }
+
+    /// Pruned pairwise matrix over single-channel series, with the
+    /// per-stage [`PruneStats`].
+    pub fn matrix_with_stats(&self, series: &[Vec<f64>]) -> (Vec<Vec<f64>>, PruneStats) {
+        let _span = obs::span("timeseries.pruned_pairwise");
+        let envelopes = parallel_map_min(series, MIN_PARALLEL_SERIES, |s| self.envelope_for(s));
+        let pairs = triangle_pairs(series.len());
+        let outcomes = parallel_map_min(&pairs, MIN_PARALLEL_PAIRS, |&(i, j)| {
+            self.decide(
+                &[&series[i]],
+                &[&series[j]],
+                &[&envelopes[i]],
+                &[&envelopes[j]],
+            )
+        });
+        Self::assemble(series.len(), &pairs, &outcomes)
+    }
+
+    /// [`PrunedPairwise::matrix_with_stats`] without the stats.
+    pub fn matrix(&self, series: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        self.matrix_with_stats(series).0
+    }
+
+    /// Pruned pairwise matrix over two-channel items, each entry the
+    /// **sum** of the per-channel raw distances — AG-TR's Eq. 8
+    /// `DTW(X_i, X_j) + DTW(Y_i, Y_j)` — with the per-stage
+    /// [`PruneStats`].
+    pub fn matrix2_with_stats(
+        &self,
+        items: &[(Vec<f64>, Vec<f64>)],
+    ) -> (Vec<Vec<f64>>, PruneStats) {
+        let _span = obs::span("timeseries.pruned_pairwise");
+        let envelopes = parallel_map_min(items, MIN_PARALLEL_SERIES, |(x, y)| {
+            (self.envelope_for(x), self.envelope_for(y))
+        });
+        let pairs = triangle_pairs(items.len());
+        let outcomes = parallel_map_min(&pairs, MIN_PARALLEL_PAIRS, |&(i, j)| {
+            self.decide(
+                &[&items[i].0, &items[i].1],
+                &[&items[j].0, &items[j].1],
+                &[&envelopes[i].0, &envelopes[i].1],
+                &[&envelopes[j].0, &envelopes[j].1],
+            )
+        });
+        Self::assemble(items.len(), &pairs, &outcomes)
+    }
+
+    /// [`PrunedPairwise::matrix2_with_stats`] without the stats.
+    pub fn matrix2(&self, items: &[(Vec<f64>, Vec<f64>)]) -> Vec<Vec<f64>> {
+        self.matrix2_with_stats(items).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srtd_runtime::parallel::set_max_threads;
+    use srtd_runtime::rng::Rng;
+    use srtd_runtime::{prop, prop_assert, prop_assert_eq};
+
+    fn full_matrix2(items: &[(Vec<f64>, Vec<f64>)], band: BandPolicy) -> Vec<Vec<f64>> {
+        let n = items.len();
+        let mut m = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in i + 1..n {
+                let dx = {
+                    let dtw = match band.band_for(items[i].0.len(), items[j].0.len()) {
+                        Some(w) => Dtw::new().raw().with_band(w),
+                        None => Dtw::new().raw(),
+                    };
+                    dtw.distance(&items[i].0, &items[j].0) + dtw.distance(&items[i].1, &items[j].1)
+                };
+                m[i][j] = dx;
+                m[j][i] = dx;
+            }
+        }
+        m
+    }
+
+    /// The decision-equivalence contract, as a property over random
+    /// campaigns (ragged lengths included), cutoffs and band policies:
+    /// kept pairs are bit-identical to the full path, pruned pairs truly
+    /// sit above the cutoff.
+    #[test]
+    fn pruned_matrix2_is_decision_equivalent_to_full() {
+        prop::check(
+            |rng| {
+                let items = prop::vec_with(rng, 2..8, |r| {
+                    let len = r.gen_range(0usize..10);
+                    (
+                        (0..len)
+                            .map(|_| r.gen_range(-5f64..5.0))
+                            .collect::<Vec<f64>>(),
+                        (0..len)
+                            .map(|_| r.gen_range(-5f64..5.0))
+                            .collect::<Vec<f64>>(),
+                    )
+                });
+                let cutoff = rng.gen_range(0f64..200.0);
+                let band = match rng.gen_range(0usize..3) {
+                    0 => BandPolicy::None,
+                    1 => BandPolicy::Fixed(rng.gen_range(0usize..4)),
+                    _ => BandPolicy::adaptive(),
+                };
+                (items, cutoff, band)
+            },
+            |(items, cutoff, band)| {
+                let engine = PrunedPairwise::new(*cutoff).with_band(*band);
+                let (pruned, stats) = engine.matrix2_with_stats(items);
+                let full = full_matrix2(items, *band);
+                let mut accounted = 0;
+                for i in 0..items.len() {
+                    for j in i + 1..items.len() {
+                        accounted += 1;
+                        if full[i][j] <= *cutoff {
+                            prop_assert!(
+                                pruned[i][j].to_bits() == full[i][j].to_bits(),
+                                "kept pair ({i},{j}) drifted: {} vs {}",
+                                pruned[i][j],
+                                full[i][j]
+                            );
+                        } else if pruned[i][j].is_infinite() {
+                            // Pruned: the full value really is above cutoff
+                            // (checked by the branch condition already).
+                        } else {
+                            // Completed above-cutoff pairs keep exactness.
+                            prop_assert!(pruned[i][j].to_bits() == full[i][j].to_bits());
+                        }
+                    }
+                }
+                prop_assert_eq!(stats.pairs, accounted as u64);
+                prop_assert_eq!(
+                    stats.pairs,
+                    stats.lb_kim_pruned
+                        + stats.lb_keogh_pruned
+                        + stats.early_abandoned
+                        + stats.full_evals
+                );
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn infinite_cutoff_never_prunes() {
+        let items: Vec<(Vec<f64>, Vec<f64>)> = (0..5)
+            .map(|i| {
+                let base = i as f64 * 100.0;
+                (vec![base, base + 1.0], vec![base, base + 2.0])
+            })
+            .collect();
+        let engine = PrunedPairwise::new(f64::INFINITY);
+        let (m, stats) = engine.matrix2_with_stats(&items);
+        assert_eq!(stats.lb_kim_pruned, 0);
+        assert_eq!(stats.lb_keogh_pruned, 0);
+        assert_eq!(stats.early_abandoned, 0);
+        assert_eq!(stats.full_evals, stats.pairs);
+        assert_eq!(stats.prune_rate(), 0.0);
+        assert!(m[0][1].is_finite());
+    }
+
+    #[test]
+    fn sparse_cutoff_prunes_far_pairs() {
+        let items: Vec<(Vec<f64>, Vec<f64>)> = (0..6)
+            .map(|i| {
+                let base = i as f64 * 50.0;
+                (vec![base, base + 1.0, base], vec![base, base, base])
+            })
+            .collect();
+        let (m, stats) = PrunedPairwise::new(1.0).matrix2_with_stats(&items);
+        assert!(stats.lb_kim_pruned > 0, "{stats:?}");
+        assert!(stats.full_evals < stats.pairs);
+        assert!(stats.prune_rate() > 0.0);
+        assert_eq!(m[0][5], f64::INFINITY);
+        assert_eq!(m[0][0], 0.0);
+    }
+
+    #[test]
+    fn ragged_items_fall_back_to_kim_without_panicking() {
+        // Different lengths per item: LB_Keogh would panic if consulted.
+        let items = vec![
+            (vec![0.0, 1.0, 2.0, 3.0], vec![0.0, 0.1, 0.2, 0.3]),
+            (vec![0.0, 1.0], vec![0.0, 0.1]),
+            (vec![500.0], vec![500.0]),
+            (Vec::new(), Vec::new()),
+        ];
+        let (m, stats) = PrunedPairwise::new(10.0).matrix2_with_stats(&items);
+        assert_eq!(stats.lb_keogh_pruned, 0, "ragged pairs must skip keogh");
+        // The far singleton is kim-pruned, the near ragged pair kept.
+        assert!(m[0][1].is_finite());
+        assert_eq!(m[0][2], f64::INFINITY);
+        // Empty-vs-nonempty pairs follow the DTW convention (infinitely
+        // far); empty-vs-empty would be distance 0 — callers that want
+        // inactive items apart must mask that themselves (AG-TR does).
+        assert_eq!(m[0][3], f64::INFINITY);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_matrix_or_stats() {
+        let items: Vec<(Vec<f64>, Vec<f64>)> = (0..40)
+            .map(|i| {
+                let base = (i % 7) as f64 * 3.0;
+                (
+                    (0..12).map(|t| base + (t as f64 * 0.4).sin()).collect(),
+                    (0..12).map(|t| base + t as f64 * 0.01).collect(),
+                )
+            })
+            .collect();
+        let engine = PrunedPairwise::new(2.0);
+        set_max_threads(1);
+        let (m1, s1) = engine.matrix2_with_stats(&items);
+        set_max_threads(4);
+        let (m4, s4) = engine.matrix2_with_stats(&items);
+        set_max_threads(0);
+        assert_eq!(s1, s4);
+        for (r1, r4) in m1.iter().zip(&m4) {
+            for (a, b) in r1.iter().zip(r4) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn band_policy_rules() {
+        assert_eq!(BandPolicy::None.band_for(10, 500), None);
+        assert_eq!(BandPolicy::Fixed(3).band_for(10, 500), Some(3));
+        let adaptive = BandPolicy::adaptive();
+        assert_eq!(adaptive.band_for(10, 20), None, "short series unbanded");
+        assert_eq!(adaptive.band_for(64, 64), Some(16), "floor applies");
+        assert_eq!(adaptive.band_for(100, 400), Some(50), "len/8 of the longer");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn nan_cutoff_rejected() {
+        PrunedPairwise::new(f64::NAN);
+    }
+}

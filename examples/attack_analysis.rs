@@ -90,7 +90,8 @@ fn main() {
     );
 
     println!("== Fig. 4: AG-TR trajectory dissimilarity (Eqs. 7-8) ==\n");
-    let ag_tr = AgTr::default();
+    // Unpruned: the table below prints exact above-φ distances.
+    let ag_tr = AgTr::default().with_pruning(false);
     let dissimilarity = ag_tr.dissimilarity_matrix(&attacked);
     print!("      ");
     for n in NAMES {

@@ -9,6 +9,11 @@ cargo fmt --all --check
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 
+# Pruned vs full AG-TR equivalence: the pruned pairwise-DTW path must
+# produce byte-identical groupings and audit reports, at 1 and 4 worker
+# threads (run explicitly so a failure is attributable at a glance).
+cargo test -q --offline --test ag_tr_equivalence
+
 # Observability smoke: an instrumented run must export JSON that the
 # runtime's own parser accepts (obs-check validates shape and parse).
 obs_json="$(mktemp /tmp/srtd-obs.XXXXXX.json)"
