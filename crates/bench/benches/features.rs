@@ -4,7 +4,7 @@ use srtd_fingerprint::{catalog, fingerprint_features, CaptureConfig};
 use srtd_runtime::bench::{black_box, Bench};
 use srtd_runtime::rng::SeedableRng;
 use srtd_runtime::rng::StdRng;
-use srtd_signal::{stream_features, FeatureConfig};
+use srtd_signal::{stream_features, stream_features_batch, FeatureConfig};
 
 fn main() {
     let mut group = Bench::new("features");
@@ -15,6 +15,19 @@ fn main() {
     let cfg = FeatureConfig::new(100.0);
     group.run("stream_features_600", || {
         stream_features(black_box(&signal), &cfg)
+    });
+
+    // The same work as four per-stream calls, but batched: paired FFTs
+    // plus fused in-job extraction (the fingerprint pipeline's shape).
+    let streams: Vec<Vec<f64>> = (0..4)
+        .map(|s| {
+            (0..600)
+                .map(|i| 9.81 + 0.03 * (i as f64 * (0.6 + s as f64 * 0.17)).sin())
+                .collect()
+        })
+        .collect();
+    group.run("stream_features_batch_4x600", || {
+        stream_features_batch(black_box(&streams), &cfg)
     });
 
     // Full fingerprint: capture synthesis + 4 × 20 features.

@@ -7,8 +7,8 @@
 use srtd_runtime::json::{parse, Json};
 use std::process::exit;
 
-const SCHEMA: &str = "srtd-bench-pipeline-v2";
-const TOP_LEVEL_KEYS: [&str; 9] = [
+const SCHEMA: &str = "srtd-bench-pipeline-v3";
+const TOP_LEVEL_KEYS: [&str; 10] = [
     "schema",
     "quick",
     "threads_available",
@@ -17,6 +17,7 @@ const TOP_LEVEL_KEYS: [&str; 9] = [
     "speedups",
     "determinism",
     "dtw_prune",
+    "feature_fusion",
     "counters",
 ];
 const CASE_KEYS: [&str; 6] = ["group", "name", "median_ns", "min_ns", "max_ns", "batch"];
@@ -120,6 +121,39 @@ fn main() {
     }
     if !matches!(get(prune, "grouping_identical"), Some(Json::Bool(true))) {
         fail("dtw_prune.grouping_identical must be true");
+    }
+    let Some(Json::Obj(fusion)) = get(&fields, "feature_fusion") else {
+        fail("`feature_fusion` must be an object");
+    };
+    let fusion_num = |key: &str| -> f64 {
+        match get(fusion, key) {
+            Some(Json::Num(n)) if *n >= 0.0 => *n,
+            _ => fail(&format!("feature_fusion.{key} must be a number >= 0")),
+        }
+    };
+    let passes_before = fusion_num("passes_before_per_stream");
+    let passes_after = fusion_num("passes_after_per_stream");
+    if passes_after < 1.0 || passes_after >= passes_before {
+        fail("feature_fusion pass counts must satisfy 1 <= after < before");
+    }
+    for key in ["seed_median_ns", "per_stream_median_ns", "fused_median_ns"] {
+        if fusion_num(key) <= 0.0 {
+            fail(&format!("feature_fusion.{key} must be positive"));
+        }
+    }
+    if fusion_num("fused_vs_seed_speedup") <= 1.0 {
+        fail("feature_fusion.fused_vs_seed_speedup must exceed 1.0");
+    }
+    for key in [
+        "window_cache_hits",
+        "window_cache_misses",
+        "fused_calls",
+        "peak_pairs",
+    ] {
+        fusion_num(key);
+    }
+    if !matches!(get(fusion, "note"), Some(Json::Str(_))) {
+        fail("feature_fusion.note must be a string");
     }
     println!("bench-check: OK ({path})");
 }

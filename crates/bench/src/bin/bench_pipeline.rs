@@ -11,8 +11,10 @@
 //! Besides wall-clock numbers the export records input sizes, the worker
 //! thread count, speedup ratios (parallel vs. sequential dispatch, CSR
 //! arena vs. the legacy nested-`Vec` reference, paired vs. per-stream
-//! FFT), obs counters from one instrumented pass, and a framework
-//! bit-identity check across thread counts.
+//! FFT, fused vs. seed feature extraction), a `feature_fusion` section
+//! with pass counts and fusion-related counters, obs counters from one
+//! instrumented pass, and a framework bit-identity check across thread
+//! counts.
 //!
 //! Run with: `cargo run -p srtd-bench --release --bin bench_pipeline`
 
@@ -176,6 +178,147 @@ fn legacy_discover(data: &SensingData, grouping: &Grouping) -> (Vec<Option<f64>>
     (truths, weights, iterations)
 }
 
+/// The pre-fusion Table-II extraction path: per-call cosine windowing,
+/// one FFT per stream, and one or more passes per feature — the exact
+/// shape the fused kernels replaced. Kept in the bench (like
+/// [`legacy_discover`]) so the fused-vs-seed speedup is measured on this
+/// host rather than asserted from history.
+mod seed_features {
+    use srtd_signal::fft::fft_real;
+    use srtd_signal::spectral::{
+        brightness, rolloff, roughness, SpectralFeatures, ROLLOFF_FRACTION,
+    };
+    use srtd_signal::stats;
+    use srtd_signal::temporal::{non_negative_fraction, zero_crossing_rate, TemporalFeatures};
+    use srtd_signal::{FeatureConfig, Spectrum, StreamFeatures};
+
+    fn windowed(signal: &[f64], config: &FeatureConfig) -> Vec<f64> {
+        let n = signal.len();
+        signal
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x * config.window.coefficient(i, n))
+            .collect()
+    }
+
+    fn temporal(signal: &[f64]) -> TemporalFeatures {
+        let (max, min) = if signal.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (
+                signal.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                signal.iter().cloned().fold(f64::INFINITY, f64::min),
+            )
+        };
+        TemporalFeatures {
+            mean: stats::mean(signal),
+            std_dev: stats::std_dev(signal),
+            skewness: stats::skewness(signal),
+            kurtosis: stats::kurtosis(signal),
+            rms: stats::rms(signal),
+            max,
+            min,
+            zcr: zero_crossing_rate(signal),
+            non_negative_fraction: non_negative_fraction(signal),
+        }
+    }
+
+    fn flatness(body: &[f64]) -> f64 {
+        let n = body.len() as f64;
+        let arith = body.iter().sum::<f64>() / n;
+        if arith <= 0.0 || body.iter().any(|&m| m <= 0.0) {
+            return 0.0;
+        }
+        let log_geo = body.iter().map(|&m| m.ln()).sum::<f64>() / n;
+        (log_geo.exp() / arith).clamp(0.0, 1.0)
+    }
+
+    fn irregularity(body: &[f64]) -> f64 {
+        let denom: f64 = body.iter().map(|&m| m * m).sum();
+        if denom <= 0.0 || body.len() < 2 {
+            return 0.0;
+        }
+        let num: f64 = body.windows(2).map(|w| (w[0] - w[1]).powi(2)).sum();
+        num / denom
+    }
+
+    fn entropy(body: &[f64], total: f64) -> f64 {
+        if body.len() < 2 {
+            return 0.0;
+        }
+        let h: f64 = body
+            .iter()
+            .filter(|&&m| m > 0.0)
+            .map(|&m| {
+                let p = m / total;
+                -p * p.ln()
+            })
+            .sum();
+        (h / (body.len() as f64).ln()).clamp(0.0, 1.0)
+    }
+
+    fn spectral(spectrum: &Spectrum, cutoff_hz: f64) -> SpectralFeatures {
+        let mags = spectrum.magnitudes();
+        let body = if mags.len() > 1 { &mags[1..] } else { &[][..] };
+        let total: f64 = body.iter().sum();
+        if body.is_empty() || total <= 0.0 {
+            return SpectralFeatures::default();
+        }
+        let freq = |k: usize| spectrum.frequency(k + 1);
+        let centroid: f64 = body
+            .iter()
+            .enumerate()
+            .map(|(k, &m)| freq(k) * m)
+            .sum::<f64>()
+            / total;
+        let var: f64 = body
+            .iter()
+            .enumerate()
+            .map(|(k, &m)| (freq(k) - centroid).powi(2) * m)
+            .sum::<f64>()
+            / total;
+        let spread = var.sqrt();
+        let (skewness, kurtosis) = if spread > 0.0 {
+            let m3: f64 = body
+                .iter()
+                .enumerate()
+                .map(|(k, &m)| (freq(k) - centroid).powi(3) * m)
+                .sum::<f64>()
+                / total;
+            let m4: f64 = body
+                .iter()
+                .enumerate()
+                .map(|(k, &m)| (freq(k) - centroid).powi(4) * m)
+                .sum::<f64>()
+                / total;
+            (m3 / spread.powi(3), m4 / spread.powi(4))
+        } else {
+            (0.0, 0.0)
+        };
+        SpectralFeatures {
+            centroid,
+            spread,
+            skewness,
+            kurtosis,
+            flatness: flatness(body),
+            irregularity: irregularity(body),
+            entropy: entropy(body, total),
+            rolloff: rolloff(spectrum, ROLLOFF_FRACTION),
+            brightness: brightness(spectrum, cutoff_hz),
+            rms: stats::rms(body),
+            roughness: roughness(spectrum),
+        }
+    }
+
+    pub fn extract(signal: &[f64], config: &FeatureConfig) -> StreamFeatures {
+        let spectrum = Spectrum::from_fft(&fft_real(&windowed(signal, config)), config.sample_rate);
+        StreamFeatures {
+            temporal: temporal(signal),
+            spectral: spectral(&spectrum, config.brightness_cutoff_hz),
+        }
+    }
+}
+
 fn result_bits(truths: &[Option<f64>], weights: &[f64], trace: &[f64]) -> Vec<u64> {
     truths
         .iter()
@@ -321,26 +464,54 @@ fn main() {
         })
         .collect();
     let feat_cfg = FeatureConfig::new(100.0);
+
+    // The seed reference must agree with the fused library path before
+    // either is timed (the fused kernels preserve accumulation order, so
+    // the agreement is in practice bit-exact; 1e-9 is the contract).
+    for s in &streams {
+        let fused = stream_features(s, &feat_cfg).to_vec();
+        let seeded = seed_features::extract(s, &feat_cfg).to_vec();
+        for (a, b) in fused.iter().zip(&seeded) {
+            assert!(
+                (a - b).abs() <= 1e-9 * (1.0 + b.abs()),
+                "fused vs seed extraction drifted: {a} vs {b}"
+            );
+        }
+    }
+
+    let feat_seed = group.run("features/seed/4x600", || {
+        streams
+            .iter()
+            .map(|s| seed_features::extract(black_box(s), &feat_cfg))
+            .collect::<Vec<_>>()
+    });
     let feat_single = group.run("features/per_stream/4x600", || {
         streams
             .iter()
             .map(|s| stream_features(black_box(s), &feat_cfg))
             .collect::<Vec<_>>()
     });
-    let feat_batch = group.run("features/batched/4x600", || {
+    let feat_batch = group.run("features/fused/4x600", || {
         stream_features_batch(black_box(&streams), &feat_cfg)
     });
+    let feat_params = vec![("streams", 4usize.to_json()), ("len", 600usize.to_json())];
+    cases.push(stats_json(
+        "features",
+        "seed/4x600",
+        feat_seed,
+        feat_params.clone(),
+    ));
     cases.push(stats_json(
         "features",
         "per_stream/4x600",
         feat_single,
-        vec![("streams", 4usize.to_json()), ("len", 600usize.to_json())],
+        feat_params.clone(),
     ));
     cases.push(stats_json(
         "features",
-        "batched/4x600",
+        "fused/4x600",
         feat_batch,
-        vec![("streams", 4usize.to_json()), ("len", 600usize.to_json())],
+        feat_params,
     ));
 
     // ---- DTW ----
@@ -460,9 +631,16 @@ fn main() {
     let report = obs::snapshot();
     obs::set_enabled(false);
     let counters: Vec<(String, u64)> = report.counters;
+    let counter = |name: &str| -> u64 {
+        counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    };
 
     let doc = Json::obj([
-        ("schema", Json::str("srtd-bench-pipeline-v2")),
+        ("schema", Json::str("srtd-bench-pipeline-v3")),
         ("quick", quick.to_json()),
         ("threads_available", threads_available.to_json()),
         (
@@ -496,8 +674,53 @@ fn main() {
                     (fft_single.median_ns / fft_paired.median_ns).to_json(),
                 ),
                 (
-                    "features_batched_vs_per_stream",
+                    "features_per_stream_vs_seed",
+                    (feat_seed.median_ns / feat_single.median_ns).to_json(),
+                ),
+                (
+                    "features_fused_vs_seed",
+                    (feat_seed.median_ns / feat_batch.median_ns).to_json(),
+                ),
+                (
+                    "features_fused_vs_per_stream",
                     (feat_single.median_ns / feat_batch.median_ns).to_json(),
+                ),
+            ]),
+        ),
+        (
+            "feature_fusion",
+            Json::obj([
+                ("passes_before_per_stream", 24usize.to_json()),
+                ("passes_after_per_stream", 4usize.to_json()),
+                ("seed_median_ns", feat_seed.median_ns.to_json()),
+                ("per_stream_median_ns", feat_single.median_ns.to_json()),
+                ("fused_median_ns", feat_batch.median_ns.to_json()),
+                (
+                    "fused_vs_seed_speedup",
+                    (feat_seed.median_ns / feat_batch.median_ns).to_json(),
+                ),
+                (
+                    "window_cache_hits",
+                    counter("signal.window.cache_hits").to_json(),
+                ),
+                (
+                    "window_cache_misses",
+                    counter("signal.window.cache_misses").to_json(),
+                ),
+                (
+                    "fused_calls",
+                    counter("signal.features.fused_calls").to_json(),
+                ),
+                (
+                    "peak_pairs",
+                    counter("signal.spectral.peak_pairs").to_json(),
+                ),
+                (
+                    "note",
+                    Json::str(
+                        "single-core container: medians measure the algorithmic win \
+                         (fewer passes, cached windows, paired FFTs), not parallel scaling",
+                    ),
                 ),
             ]),
         ),

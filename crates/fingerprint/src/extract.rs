@@ -34,7 +34,7 @@ pub fn fingerprint_features(capture: &SensorCapture) -> Vec<f64> {
     let streams = capture.streams();
     let mut features = Vec::with_capacity(FINGERPRINT_DIMENSIONS);
     for stream in stream_features_batch(&streams, &config) {
-        features.extend(stream.to_vec());
+        stream.extend_into(&mut features);
     }
     features
 }

@@ -77,9 +77,57 @@ pub struct StreamFeatures {
 impl StreamFeatures {
     /// Concatenated feature vector in Table-II order (length 20).
     pub fn to_vec(self) -> Vec<f64> {
-        let mut v = self.temporal.to_vec();
-        v.extend(self.spectral.to_vec());
+        let mut v = Vec::with_capacity(FEATURES_PER_STREAM);
+        self.extend_into(&mut v);
         v
+    }
+
+    /// Appends the 20 features to `out` in Table-II order, without the
+    /// intermediate allocations of [`StreamFeatures::to_vec`] — campaign
+    /// fingerprinting concatenates one of these per axis stream.
+    pub fn extend_into(self, out: &mut Vec<f64>) {
+        let t = self.temporal;
+        let s = self.spectral;
+        out.extend_from_slice(&[
+            t.mean,
+            t.std_dev,
+            t.skewness,
+            t.kurtosis,
+            t.rms,
+            t.max,
+            t.min,
+            t.zcr,
+            t.non_negative_fraction,
+            s.centroid,
+            s.spread,
+            s.skewness,
+            s.kurtosis,
+            s.flatness,
+            s.irregularity,
+            s.entropy,
+            s.rolloff,
+            s.brightness,
+            s.rms,
+            s.roughness,
+        ]);
+    }
+}
+
+/// Fused per-stream extraction from a precomputed spectrum: the temporal
+/// half in two [`crate::stats::Moments`] passes over the signal, the
+/// spectral half in two passes over the magnitude body plus one shared
+/// peak scan. Both entry points ([`stream_features`] and the batch jobs)
+/// funnel through here, so the `signal.features.fused_calls` counter
+/// counts every Table-II extraction in the process.
+fn extract_from_spectrum(
+    signal: &[f64],
+    spectrum: &Spectrum,
+    config: &FeatureConfig,
+) -> StreamFeatures {
+    srtd_runtime::obs::counter_add("signal.features.fused_calls", 1);
+    StreamFeatures {
+        temporal: TemporalFeatures::extract(signal),
+        spectral: SpectralFeatures::extract(spectrum, config.brightness_cutoff_hz),
     }
 }
 
@@ -99,24 +147,27 @@ pub fn stream_features(signal: &[f64], config: &FeatureConfig) -> StreamFeatures
     srtd_runtime::obs::counter_add("signal.stream_features.calls", 1);
     srtd_runtime::obs::observe("signal.stream_features.len", signal.len() as f64);
     let spectrum = Spectrum::from_signal(signal, config.sample_rate, config.window);
-    StreamFeatures {
-        temporal: TemporalFeatures::extract(signal),
-        spectral: SpectralFeatures::extract(&spectrum, config.brightness_cutoff_hz),
-    }
+    extract_from_spectrum(signal, &spectrum, config)
 }
 
 /// Extracts Table-II features for a batch of sensor streams.
 ///
 /// Streams whose zero-padded FFT lengths match are packed two at a time
 /// through [`fft_real_pair`] — one complex transform per pair instead of
-/// one per stream — and the resulting jobs run through the deterministic
-/// parallel map. Output order matches input order.
+/// one per stream — and each job runs the *whole* per-stream pipeline:
+/// FFT, then fused temporal + spectral extraction, all inside the
+/// deterministic parallel map. Before the fused kernels, extraction was a
+/// sequential tail after the parallel FFTs and dominated the batch;
+/// now the only sequential work is windowing and job assembly. Output
+/// order matches input order.
 ///
 /// Results are byte-identical regardless of worker-thread count (job
-/// order and chunking depend only on the batch itself). Relative to
+/// order and chunking depend only on the batch itself, and each stream's
+/// features are computed entirely within its own job). Relative to
 /// per-stream [`stream_features`] the spectral features agree to ~1e-9:
 /// the pair split re-associates a handful of additions, so bits may
-/// differ in the last ulps.
+/// differ in the last ulps. The temporal features never pass through the
+/// FFT, so their bits match the per-stream path exactly.
 pub fn stream_features_batch<S: AsRef<[f64]> + Sync>(
     streams: &[S],
     config: &FeatureConfig,
@@ -145,39 +196,40 @@ pub fn stream_features_batch<S: AsRef<[f64]> + Sync>(
                 .map(|pair| (pair[0], pair.get(1).copied()))
         })
         .collect();
-    let spectra_jobs = parallel_map_min(&jobs, 2, |&(i, j)| match j {
-        Some(j) => {
-            let (fi, fj) = fft_real_pair(&windowed[i], &windowed[j]);
+    let extracted = parallel_map_min(&jobs, 2, |&(i, j)| {
+        let finish = |idx: usize, spectrum: Spectrum| {
             (
-                (i, Spectrum::from_fft(&fi, config.sample_rate)),
-                Some((j, Spectrum::from_fft(&fj, config.sample_rate))),
+                idx,
+                extract_from_spectrum(streams[idx].as_ref(), &spectrum, config),
             )
-        }
-        None => (
-            (
-                i,
-                Spectrum::from_fft(&fft_real(&windowed[i]), config.sample_rate),
+        };
+        match j {
+            Some(j) => {
+                let (fi, fj) = fft_real_pair(&windowed[i], &windowed[j]);
+                (
+                    finish(i, Spectrum::from_fft(&fi, config.sample_rate)),
+                    Some(finish(j, Spectrum::from_fft(&fj, config.sample_rate))),
+                )
+            }
+            None => (
+                finish(
+                    i,
+                    Spectrum::from_fft(&fft_real(&windowed[i]), config.sample_rate),
+                ),
+                None,
             ),
-            None,
-        ),
+        }
     });
-    let mut spectra: Vec<Option<Spectrum>> = vec![None; streams.len()];
-    for ((i, si), rest) in spectra_jobs {
-        spectra[i] = Some(si);
-        if let Some((j, sj)) = rest {
-            spectra[j] = Some(sj);
+    let mut features: Vec<Option<StreamFeatures>> = vec![None; streams.len()];
+    for ((i, fi), rest) in extracted {
+        features[i] = Some(fi);
+        if let Some((j, fj)) = rest {
+            features[j] = Some(fj);
         }
     }
-    streams
-        .iter()
-        .zip(spectra)
-        .map(|(s, spectrum)| {
-            let spectrum = spectrum.expect("every stream got a spectrum");
-            StreamFeatures {
-                temporal: TemporalFeatures::extract(s.as_ref()),
-                spectral: SpectralFeatures::extract(&spectrum, config.brightness_cutoff_hz),
-            }
-        })
+    features
+        .into_iter()
+        .map(|f| f.expect("every stream got features"))
         .collect()
 }
 
@@ -192,6 +244,12 @@ pub fn stream_features_batch<S: AsRef<[f64]> + Sync>(
 /// Returns the standardized matrix together with per-column `(mean, std)`
 /// so new vectors can be projected consistently.
 ///
+/// Statistics are accumulated row-major — one cache-friendly sweep over
+/// the matrix per statistic instead of `dim` strided column walks. Each
+/// column's additions still happen in row order from `Iterator::sum`'s
+/// `-0.0` identity, so the output is bit-identical to the
+/// column-at-a-time formulation.
+///
 /// # Panics
 ///
 /// Panics if rows have inconsistent lengths.
@@ -205,12 +263,24 @@ pub fn standardize(rows: &[Vec<f64>]) -> (Vec<Vec<f64>>, Vec<(f64, f64)>) {
         "feature rows must have equal lengths"
     );
     let n = rows.len() as f64;
-    let mut params = Vec::with_capacity(dim);
-    for j in 0..dim {
-        let mean = rows.iter().map(|r| r[j]).sum::<f64>() / n;
-        let var = rows.iter().map(|r| (r[j] - mean).powi(2)).sum::<f64>() / n;
-        params.push((mean, var.sqrt()));
+    let mut sums = vec![-0.0f64; dim];
+    for r in rows {
+        for (s, &x) in sums.iter_mut().zip(r) {
+            *s += x;
+        }
     }
+    let means: Vec<f64> = sums.iter().map(|s| s / n).collect();
+    let mut vars = vec![-0.0f64; dim];
+    for r in rows {
+        for ((v, &x), &m) in vars.iter_mut().zip(r).zip(&means) {
+            *v += (x - m).powi(2);
+        }
+    }
+    let params: Vec<(f64, f64)> = means
+        .iter()
+        .zip(&vars)
+        .map(|(&m, &v)| (m, (v / n).sqrt()))
+        .collect();
     let standardized = rows
         .iter()
         .map(|r| {
@@ -321,6 +391,78 @@ mod tests {
     }
 
     #[test]
+    fn extend_into_matches_to_vec() {
+        let f = stream_features(&noisy_signal(3, 400), &FeatureConfig::new(100.0));
+        let mut buf = vec![-1.0];
+        f.extend_into(&mut buf);
+        assert_eq!(buf.len(), 1 + FEATURES_PER_STREAM);
+        assert_eq!(&buf[1..], f.to_vec().as_slice());
+    }
+
+    /// The column-at-a-time standardize the row-major version replaced,
+    /// kept verbatim so the bit-identity test below pins the rewrite.
+    fn reference_standardize(rows: &[Vec<f64>]) -> (Vec<Vec<f64>>, Vec<(f64, f64)>) {
+        let Some(first) = rows.first() else {
+            return (Vec::new(), Vec::new());
+        };
+        let dim = first.len();
+        let n = rows.len() as f64;
+        let mut params = Vec::with_capacity(dim);
+        for j in 0..dim {
+            let mean = rows.iter().map(|r| r[j]).sum::<f64>() / n;
+            let var = rows.iter().map(|r| (r[j] - mean).powi(2)).sum::<f64>() / n;
+            params.push((mean, var.sqrt()));
+        }
+        let standardized = rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .zip(&params)
+                    .map(|(&x, &(m, s))| if s > 0.0 { (x - m) / s } else { 0.0 })
+                    .collect()
+            })
+            .collect();
+        (standardized, params)
+    }
+
+    /// Row-major standardization is bit-identical to the column-major
+    /// shape it replaced, including constant and single-row matrices.
+    #[test]
+    fn row_major_standardize_is_bit_identical_to_column_major() {
+        let degenerate: [&[&[f64]]; 3] = [
+            &[&[5.0, -2.0, 0.0]],
+            &[&[1.0, 7.0], &[1.0, 7.0], &[1.0, 7.0]],
+            &[&[0.0], &[-0.0]],
+        ];
+        for rows in degenerate {
+            let rows: Vec<Vec<f64>> = rows.iter().map(|r| r.to_vec()).collect();
+            assert_eq!(standardize(&rows), reference_standardize(&rows));
+        }
+        prop::check(
+            |rng| {
+                let dim = rng.gen_range(1usize..8);
+                prop::vec_with(rng, 1..40, |r| {
+                    (0..dim)
+                        .map(|_| r.gen_range(-1e3f64..1e3))
+                        .collect::<Vec<f64>>()
+                })
+            },
+            |rows| {
+                let (got_rows, got_params) = standardize(rows);
+                let (want_rows, want_params) = reference_standardize(rows);
+                for (g, w) in got_rows.iter().flatten().zip(want_rows.iter().flatten()) {
+                    prop_assert!(g.to_bits() == w.to_bits(), "{g} vs {w}");
+                }
+                for ((gm, gs), (wm, ws)) in got_params.iter().zip(&want_params) {
+                    prop_assert!(gm.to_bits() == wm.to_bits(), "{gm} vs {wm}");
+                    prop_assert!(gs.to_bits() == ws.to_bits(), "{gs} vs {ws}");
+                }
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
     fn standardized_columns_are_centered() {
         prop::check(
             |rng| {
@@ -344,8 +486,9 @@ mod tests {
 
     /// Batched extraction agrees with the per-stream path to high
     /// precision (the pair split re-associates additions, so exact bits
-    /// may differ) and preserves stream order, for even and odd batch
-    /// sizes and mixed lengths.
+    /// may differ in the spectral half) and preserves stream order, for
+    /// even and odd batch sizes and mixed lengths. The temporal half
+    /// never passes through the FFT, so its bits must match exactly.
     #[test]
     fn batch_matches_per_stream_extraction() {
         let cfg = FeatureConfig::new(100.0);
@@ -356,9 +499,10 @@ mod tests {
             let batched = stream_features_batch(&streams, &cfg);
             assert_eq!(batched.len(), count);
             for (s, f) in streams.iter().zip(&batched) {
-                let single = stream_features(s, &cfg).to_vec();
+                let single = stream_features(s, &cfg);
+                assert_eq!(f.temporal, single.temporal, "batch {count}");
                 let got = f.to_vec();
-                for (a, b) in got.iter().zip(&single) {
+                for (a, b) in got.iter().zip(&single.to_vec()) {
                     assert!(
                         (a - b).abs() <= 1e-9 * (1.0 + b.abs()),
                         "batch {count}: {a} vs {b}"
@@ -368,22 +512,33 @@ mod tests {
         }
     }
 
-    /// Batched extraction is byte-identical across worker-thread counts.
+    /// Batched extraction is byte-identical across worker-thread counts,
+    /// including an odd batch of mixed-length streams (exercising both
+    /// the paired and leftover single-FFT job shapes).
     #[test]
     fn batch_is_thread_count_invariant() {
         let cfg = FeatureConfig::new(100.0);
-        let streams: Vec<Vec<f64>> = (0..4).map(|s| noisy_signal(s as u64 + 9, 512)).collect();
-        let run = |threads: usize| -> Vec<u64> {
-            srtd_runtime::parallel::set_max_threads(threads);
-            let bits = stream_features_batch(&streams, &cfg)
-                .into_iter()
-                .flat_map(|f| f.to_vec())
-                .map(f64::to_bits)
-                .collect();
-            srtd_runtime::parallel::set_max_threads(0);
-            bits
-        };
-        assert_eq!(run(1), run(4));
+        let batches: [Vec<Vec<f64>>; 2] = [
+            (0..4).map(|s| noisy_signal(s as u64 + 9, 512)).collect(),
+            (0..5)
+                .map(|s| noisy_signal(s as u64 + 17, 300 + 100 * s))
+                .collect(),
+        ];
+        for streams in &batches {
+            let run = |threads: usize| -> Vec<u64> {
+                srtd_runtime::parallel::set_max_threads(threads);
+                let bits = stream_features_batch(streams, &cfg)
+                    .into_iter()
+                    .flat_map(|f| f.to_vec())
+                    .map(f64::to_bits)
+                    .collect();
+                srtd_runtime::parallel::set_max_threads(0);
+                bits
+            };
+            let single = run(1);
+            assert_eq!(single, run(3));
+            assert_eq!(single, run(4));
+        }
     }
 
     #[test]

@@ -144,11 +144,21 @@ impl Spectrum {
     /// Used by the spectral-roughness feature, which evaluates the
     /// Plomp–Levelt dissonance between all pairs of peaks.
     pub fn peaks(&self, threshold_ratio: f64) -> Vec<Peak> {
+        self.peaks_with_max(threshold_ratio, None)
+    }
+
+    /// [`Spectrum::peaks`] with an optionally precomputed maximum non-DC
+    /// magnitude, so callers that already scanned the body (the fused
+    /// spectral-feature kernel) do not pay a second max fold.
+    ///
+    /// `max` must equal `m[1..].iter().cloned().fold(0.0, f64::max)` when
+    /// provided; passing `None` computes it here.
+    pub fn peaks_with_max(&self, threshold_ratio: f64, max: Option<f64>) -> Vec<Peak> {
         let m = &self.magnitudes;
         if m.len() < 3 {
             return Vec::new();
         }
-        let max = m[1..].iter().cloned().fold(0.0, f64::max);
+        let max = max.unwrap_or_else(|| m[1..].iter().cloned().fold(0.0, f64::max));
         let thr = max * threshold_ratio.clamp(0.0, 1.0);
         let mut peaks = Vec::new();
         for k in 1..m.len() - 1 {
@@ -204,6 +214,22 @@ mod tests {
         assert!((peaks[0].frequency - 12.0).abs() < 1e-9);
         assert!((peaks[1].frequency - 40.0).abs() < 1e-9);
         assert!(peaks[0].magnitude > peaks[1].magnitude);
+    }
+
+    #[test]
+    fn peaks_with_precomputed_max_matches_plain_peaks() {
+        let n = 256;
+        let x: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64;
+                (2.0 * std::f64::consts::PI * 12.0 * t).sin()
+                    + 0.8 * (2.0 * std::f64::consts::PI * 40.0 * t).sin()
+            })
+            .collect();
+        let spec = Spectrum::from_signal(&x, n as f64, Window::Rectangular);
+        let max = spec.magnitudes()[1..].iter().cloned().fold(0.0, f64::max);
+        assert_eq!(spec.peaks(0.1), spec.peaks_with_max(0.1, Some(max)));
+        assert_eq!(spec.peaks(0.5), spec.peaks_with_max(0.5, Some(max)));
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! Window functions applied before spectral analysis.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 /// The window applied to a signal frame before the FFT.
 ///
 /// Fingerprint captures are short stationary recordings, so a [`Window::Hann`]
 /// window (the default) suppresses the spectral leakage that would otherwise
 /// swamp the subtle per-chip resonance differences AG-FP relies on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Window {
     /// No windowing (all-ones).
     Rectangular,
@@ -33,13 +36,43 @@ impl Window {
     }
 
     /// Applies the window to a signal, returning the windowed copy.
+    ///
+    /// Coefficient tables are cached per `(window, length)` — exactly like
+    /// the FFT's per-size twiddle tables — so repeated same-length captures
+    /// (the fingerprint pipeline's common case: every stream of a campaign
+    /// shares one capture length) stop paying one cosine per sample per
+    /// call. Each cached entry is computed by [`Window::coefficient`], so
+    /// the windowed signal is bit-identical to the uncached path.
     pub fn apply(self, xs: &[f64]) -> Vec<f64> {
         let n = xs.len();
-        xs.iter()
-            .enumerate()
-            .map(|(i, &x)| x * self.coefficient(i, n))
-            .collect()
+        if self == Window::Rectangular || n < 2 {
+            // All coefficients are exactly 1.0; skip the table.
+            return xs.to_vec();
+        }
+        let table = coefficient_table(self, n);
+        xs.iter().zip(table.iter()).map(|(&x, &c)| x * c).collect()
     }
+}
+
+/// Cached window coefficient tables, keyed by `(window, frame length)`.
+///
+/// A miss computes the table under the cache lock, so for any key exactly
+/// one miss is ever recorded no matter how many threads race for it — the
+/// `signal.window.cache_{hits,misses}` counters stay deterministic across
+/// worker-thread counts.
+fn coefficient_table(window: Window, n: usize) -> Arc<Vec<f64>> {
+    type Cache = Mutex<HashMap<(Window, usize), Arc<Vec<f64>>>>;
+    static CACHE: OnceLock<Cache> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().expect("window coefficient cache poisoned");
+    if let Some(table) = map.get(&(window, n)) {
+        srtd_runtime::obs::counter_add("signal.window.cache_hits", 1);
+        return table.clone();
+    }
+    srtd_runtime::obs::counter_add("signal.window.cache_misses", 1);
+    let table = Arc::new((0..n).map(|i| window.coefficient(i, n)).collect::<Vec<_>>());
+    map.insert((window, n), table.clone());
+    table
 }
 
 #[cfg(test)]
@@ -73,6 +106,28 @@ mod tests {
             for i in 0..32 {
                 let c = w.coefficient(i, 32);
                 assert!((0.0..=1.0).contains(&c), "{w:?} at {i}: {c}");
+            }
+        }
+    }
+
+    /// The cached table path produces the same bits as multiplying by
+    /// per-call coefficients, for every window and several lengths
+    /// (including repeats, which exercise the hit path).
+    #[test]
+    fn cached_apply_matches_per_coefficient_apply() {
+        for w in [Window::Rectangular, Window::Hann, Window::Hamming] {
+            for n in [2usize, 3, 17, 64, 64, 601] {
+                let xs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() * 3.0).collect();
+                let cached = w.apply(&xs);
+                let reference: Vec<f64> = xs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &x)| x * w.coefficient(i, n))
+                    .collect();
+                assert_eq!(cached.len(), reference.len());
+                for (a, b) in cached.iter().zip(&reference) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{w:?} len {n}");
+                }
             }
         }
     }

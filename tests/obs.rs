@@ -87,6 +87,21 @@ fn instrumented_pipeline_covers_every_stage_and_exports_valid_json() {
         .counters
         .iter()
         .any(|(name, count)| name == "timeseries.dtw.cells" && *count > 0));
+
+    // Fused Table-II extraction and the window-coefficient cache are
+    // visible: every stream extraction funnels through the fused kernel,
+    // and the campaign's shared capture length means the cache misses
+    // once per length and hits on every later windowing.
+    let counter = |name: &str| {
+        report
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    assert!(counter("signal.features.fused_calls") > 0);
+    assert!(counter("signal.window.cache_misses") >= 1);
+    assert!(counter("signal.window.cache_hits") > counter("signal.window.cache_misses"));
     let iteration_events = report
         .events
         .iter()
