@@ -7,14 +7,15 @@
 use srtd_runtime::json::{parse, Json};
 use std::process::exit;
 
-const SCHEMA: &str = "srtd-bench-pipeline-v3";
-const TOP_LEVEL_KEYS: [&str; 10] = [
+const SCHEMA: &str = "srtd-bench-pipeline-v4";
+const TOP_LEVEL_KEYS: [&str; 11] = [
     "schema",
     "quick",
     "threads_available",
     "input",
     "cases",
     "speedups",
+    "epochs",
     "determinism",
     "dtw_prune",
     "feature_fusion",
@@ -51,10 +52,10 @@ fn main() {
         Some(other) => fail(&format!("schema must be \"{SCHEMA}\", got {other:?}")),
         None => unreachable!(),
     }
-    match get(&fields, "threads_available") {
-        Some(Json::Num(n)) if *n >= 1.0 => {}
+    let threads_available = match get(&fields, "threads_available") {
+        Some(Json::Num(n)) if *n >= 1.0 => *n,
         _ => fail("threads_available must be a number >= 1"),
-    }
+    };
     let Some(Json::Arr(cases)) = get(&fields, "cases") else {
         fail("cases must be an array");
     };
@@ -79,6 +80,68 @@ fn main() {
         if !matches!(get(&fields, section), Some(Json::Obj(_))) {
             fail(&format!("`{section}` must be an object"));
         }
+    }
+    let Some(Json::Obj(speedups)) = get(&fields, "speedups") else {
+        unreachable!();
+    };
+    // Parallel speedups are honest claims only when the host actually has
+    // more than one core; the flag records which world the numbers came
+    // from, and the >1.0 assertion is gated on it.
+    let meaningful = match get(speedups, "parallel_speedups_meaningful") {
+        Some(Json::Bool(b)) => *b,
+        _ => fail("speedups.parallel_speedups_meaningful must be a bool"),
+    };
+    if meaningful != (threads_available > 1.0) {
+        fail("speedups.parallel_speedups_meaningful must match threads_available > 1");
+    }
+    match get(speedups, "framework_par4_vs_seq") {
+        Some(Json::Num(n)) if *n > 0.0 => {
+            if meaningful && *n <= 1.0 {
+                fail("speedups.framework_par4_vs_seq must exceed 1.0 on a multi-core host");
+            }
+        }
+        _ => fail("speedups.framework_par4_vs_seq must be a positive number"),
+    }
+    if !meaningful {
+        println!(
+            "bench-check: single-core host, skipping parallel-speedup assertions \
+             (framework_par4_vs_seq recorded for context only)"
+        );
+    }
+    let Some(Json::Obj(epochs)) = get(&fields, "epochs") else {
+        fail("`epochs` must be an object");
+    };
+    let epoch_num = |key: &str| -> f64 {
+        match get(epochs, key) {
+            Some(Json::Num(n)) if *n >= 0.0 => *n,
+            _ => fail(&format!("epochs.{key} must be a number >= 0")),
+        }
+    };
+    let cold_iters = epoch_num("cold_iterations");
+    let warm_iters = epoch_num("warm_iterations");
+    if !matches!(get(epochs, "warm_started"), Some(Json::Bool(true))) {
+        fail("epochs.warm_started must be true");
+    }
+    if warm_iters > 2.0 {
+        fail("epochs.warm_iterations must be <= 2 (steady-state contract)");
+    }
+    if warm_iters >= cold_iters {
+        fail("epochs.warm_iterations must be strictly below cold_iterations");
+    }
+    for key in [
+        "cold_median_ns",
+        "warm_median_ns",
+        "warm_speedup",
+        "fold_median_ns",
+        "rebuild_median_ns",
+        "fold_speedup_vs_rebuild",
+    ] {
+        if epoch_num(key) <= 0.0 {
+            fail(&format!("epochs.{key} must be positive"));
+        }
+    }
+    if epoch_num("fold_batch_reports") < 1.0 {
+        fail("epochs.fold_batch_reports must be positive");
     }
     match get(&fields, "determinism") {
         Some(Json::Obj(d)) => match get(d, "framework_bit_identical_threads_1_vs_4") {

@@ -141,6 +141,23 @@ pub trait AccountGrouping {
     fn name(&self) -> &'static str;
 }
 
+/// The no-defense baseline: every account is its own group, reducing the
+/// framework to plain account-level truth discovery. Unlike
+/// [`PerfectGrouping`] it has no fixed label set, so it adapts as accounts
+/// join a campaign mid-stream.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SingletonGrouping;
+
+impl AccountGrouping for SingletonGrouping {
+    fn group(&self, data: &SensingData, _fingerprints: &[Vec<f64>]) -> Grouping {
+        Grouping::singletons(data.num_accounts())
+    }
+
+    fn name(&self) -> &'static str {
+        "Singletons"
+    }
+}
+
 /// An oracle grouping that returns a fixed partition — used to evaluate
 /// the framework's ceiling (perfect grouping) and as a test double.
 #[derive(Debug, Clone)]

@@ -1,0 +1,499 @@
+//! The incremental epoch engine: batch → stream.
+//!
+//! Production MCS is a stream — reports arrive continuously while truths
+//! must stay servable. This module turns the one-shot pipeline into an
+//! epoch loop:
+//!
+//! 1. [`EpochEngine::ingest`] validates each report and parks it in a
+//!    per-shard buffer (shard = account mod shard count) without touching
+//!    the live campaign;
+//! 2. [`EpochEngine::run_epoch`] drains the shards in deterministic order
+//!    (shard ascending, FIFO within a shard), folds the batch into the
+//!    generation-stamped CSR index of [`SensingData`], re-runs grouping
+//!    plus Algorithm 2 — warm-seeded from the previous epoch's group
+//!    weights — and publishes an immutable [`EpochSnapshot`];
+//! 3. readers hold an [`EpochReader`] and see the previous snapshot,
+//!    untouched, until the swap: publication is one `Arc` store under a
+//!    mutex, never a rebuild in place.
+//!
+//! The heavy per-epoch work (per-task arena build, loss reduction, truth
+//! updates) runs on the runtime's scoped worker pool inside
+//! `discover_warm`; the engine itself adds no threads. Everything stays
+//! deterministic: the same ingest sequence produces byte-identical
+//! snapshots regardless of worker count.
+
+use srtd_core::{AccountGrouping, SybilResistantTd};
+use srtd_runtime::json::{Json, ToJson};
+use srtd_runtime::obs;
+use srtd_truth::{Report, SensingData};
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Epoch engine policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochConfig {
+    /// Ingest buffer shards; accounts map to shards by `account % shards`.
+    /// Zero is clamped to one.
+    pub num_shards: usize,
+    /// Seed each epoch's Algorithm 2 run with the previous epoch's group
+    /// weights (falls back to the cold Eq. 4 prior whenever the grouping
+    /// changed shape).
+    pub warm_start: bool,
+}
+
+impl Default for EpochConfig {
+    fn default() -> Self {
+        Self {
+            num_shards: 4,
+            warm_start: true,
+        }
+    }
+}
+
+/// Why the epoch engine refused a report at ingest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IngestError {
+    /// The task index is outside the campaign.
+    UnknownTask {
+        /// The offending task index.
+        task: usize,
+        /// Tasks in the campaign.
+        num_tasks: usize,
+    },
+    /// The value is NaN or infinite.
+    NonFiniteValue,
+    /// The timestamp is NaN or infinite.
+    NonFiniteTimestamp,
+    /// The account already reported this task — folded or still buffered.
+    DuplicateReport,
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::UnknownTask { task, num_tasks } => {
+                write!(f, "task {task} is outside the {num_tasks}-task campaign")
+            }
+            IngestError::NonFiniteValue => write!(f, "value is not finite"),
+            IngestError::NonFiniteTimestamp => write!(f, "timestamp is not finite"),
+            IngestError::DuplicateReport => {
+                write!(f, "account already reported this task")
+            }
+        }
+    }
+}
+
+impl Error for IngestError {}
+
+/// One epoch's published output: the truths and grouping readers serve
+/// while the next epoch computes. Immutable by construction — a new epoch
+/// publishes a new snapshot, it never mutates an old one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochSnapshot {
+    /// Epoch counter; 0 is the empty pre-first-epoch snapshot.
+    pub epoch: u64,
+    /// The data plane's generation stamp at publication.
+    pub generation: u64,
+    /// Tasks in the campaign.
+    pub num_tasks: usize,
+    /// Accounts known to the data plane.
+    pub num_accounts: usize,
+    /// Reports folded in so far (all epochs).
+    pub num_reports: usize,
+    /// Reports folded in by this epoch alone.
+    pub folded: usize,
+    /// Estimated truth per task; `None` for unreported tasks.
+    pub truths: Vec<Option<f64>>,
+    /// Group label per account.
+    pub labels: Vec<usize>,
+    /// Final per-group weights.
+    pub group_weights: Vec<f64>,
+    /// Iterations Algorithm 2 took this epoch.
+    pub iterations: usize,
+    /// Whether the convergence criterion fired before the cap.
+    pub converged: bool,
+    /// Whether this epoch ran warm-seeded.
+    pub warm_started: bool,
+}
+
+impl EpochSnapshot {
+    fn empty(num_tasks: usize) -> Self {
+        Self {
+            epoch: 0,
+            generation: 0,
+            num_tasks,
+            num_accounts: 0,
+            num_reports: 0,
+            folded: 0,
+            truths: vec![None; num_tasks],
+            labels: Vec::new(),
+            group_weights: Vec::new(),
+            iterations: 0,
+            converged: true,
+            warm_started: false,
+        }
+    }
+
+    /// Number of account groups this epoch discovered.
+    pub fn num_groups(&self) -> usize {
+        self.group_weights.len()
+    }
+}
+
+impl ToJson for EpochSnapshot {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("epoch", self.epoch.to_json()),
+            ("generation", self.generation.to_json()),
+            ("num_tasks", self.num_tasks.to_json()),
+            ("num_accounts", self.num_accounts.to_json()),
+            ("num_reports", self.num_reports.to_json()),
+            ("folded", self.folded.to_json()),
+            ("truths", self.truths.to_json()),
+            ("labels", self.labels.to_json()),
+            ("group_weights", self.group_weights.to_json()),
+            ("iterations", self.iterations.to_json()),
+            ("converged", self.converged.to_json()),
+            ("warm_started", self.warm_started.to_json()),
+        ])
+    }
+}
+
+/// A cheap cross-thread handle to the latest published snapshot.
+#[derive(Debug, Clone)]
+pub struct EpochReader {
+    published: Arc<Mutex<Arc<EpochSnapshot>>>,
+}
+
+impl EpochReader {
+    /// The latest published snapshot. The lock guards only one `Arc`
+    /// clone, so readers never wait on an epoch computation.
+    pub fn latest(&self) -> Arc<EpochSnapshot> {
+        Arc::clone(&self.published.lock().expect("snapshot lock poisoned"))
+    }
+}
+
+/// The epoch-driven incremental service loop around one campaign.
+#[derive(Debug)]
+pub struct EpochEngine<G> {
+    framework: SybilResistantTd<G>,
+    config: EpochConfig,
+    data: SensingData,
+    fingerprints: Vec<Vec<f64>>,
+    shards: Vec<Vec<Report>>,
+    pending: HashSet<(usize, usize)>,
+    rejected: u64,
+    epoch: u64,
+    prev_weights: Option<Vec<f64>>,
+    published: Arc<Mutex<Arc<EpochSnapshot>>>,
+}
+
+impl<G: AccountGrouping> EpochEngine<G> {
+    /// Creates an engine over an empty `num_tasks`-task campaign and
+    /// publishes the epoch-0 empty snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_tasks == 0`.
+    pub fn new(framework: SybilResistantTd<G>, num_tasks: usize, config: EpochConfig) -> Self {
+        assert!(num_tasks > 0, "a campaign needs at least one task");
+        let shards = config.num_shards.max(1);
+        Self {
+            framework,
+            config,
+            data: SensingData::new(num_tasks),
+            fingerprints: Vec::new(),
+            shards: vec![Vec::new(); shards],
+            pending: HashSet::new(),
+            rejected: 0,
+            epoch: 0,
+            prev_weights: None,
+            published: Arc::new(Mutex::new(Arc::new(EpochSnapshot::empty(num_tasks)))),
+        }
+    }
+
+    /// Registers account fingerprints for fingerprint-based grouping
+    /// methods (one feature vector per account index, replacing any
+    /// previous registration). Methods that don't use fingerprints can
+    /// skip this entirely.
+    pub fn set_fingerprints(&mut self, fingerprints: Vec<Vec<f64>>) {
+        self.fingerprints = fingerprints;
+    }
+
+    /// Validates one report and parks it in its account's shard buffer;
+    /// it joins the campaign at the next [`Self::run_epoch`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-campaign tasks, non-finite values or timestamps,
+    /// and duplicates against both folded and still-buffered reports.
+    /// Rejected reports are counted and otherwise ignored.
+    pub fn ingest(
+        &mut self,
+        account: usize,
+        task: usize,
+        value: f64,
+        timestamp: f64,
+    ) -> Result<(), IngestError> {
+        let outcome = self.validate(account, task, value, timestamp);
+        match outcome {
+            Ok(()) => {
+                self.pending.insert((account, task));
+                let shard = account % self.shards.len();
+                self.shards[shard].push(Report {
+                    account,
+                    task,
+                    value,
+                    timestamp,
+                });
+                obs::counter_add("server.epoch.ingested", 1);
+                Ok(())
+            }
+            Err(e) => {
+                self.rejected += 1;
+                Err(e)
+            }
+        }
+    }
+
+    fn validate(
+        &self,
+        account: usize,
+        task: usize,
+        value: f64,
+        timestamp: f64,
+    ) -> Result<(), IngestError> {
+        if task >= self.data.num_tasks() {
+            return Err(IngestError::UnknownTask {
+                task,
+                num_tasks: self.data.num_tasks(),
+            });
+        }
+        if !value.is_finite() {
+            return Err(IngestError::NonFiniteValue);
+        }
+        if !timestamp.is_finite() {
+            return Err(IngestError::NonFiniteTimestamp);
+        }
+        if self.data.has_report(account, task) || self.pending.contains(&(account, task)) {
+            return Err(IngestError::DuplicateReport);
+        }
+        Ok(())
+    }
+
+    /// Reports buffered for the next epoch.
+    pub fn pending_reports(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Reports rejected at ingest so far.
+    pub fn rejected_reports(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Epochs run so far.
+    pub fn epochs_run(&self) -> u64 {
+        self.epoch
+    }
+
+    /// A read-only view of the folded campaign data.
+    pub fn data(&self) -> &SensingData {
+        &self.data
+    }
+
+    /// A cross-thread reader of the latest published snapshot.
+    pub fn reader(&self) -> EpochReader {
+        EpochReader {
+            published: Arc::clone(&self.published),
+        }
+    }
+
+    /// The latest published snapshot.
+    pub fn latest(&self) -> Arc<EpochSnapshot> {
+        Arc::clone(&self.published.lock().expect("snapshot lock poisoned"))
+    }
+
+    /// Runs one epoch: drains the shard buffers in deterministic order
+    /// (shard ascending, FIFO within a shard), folds the batch into the
+    /// incremental CSR index, re-runs grouping + Algorithm 2 (warm-seeded
+    /// when configured), and publishes the new snapshot. An epoch with an
+    /// empty buffer is the steady-state case: no fold, but discovery
+    /// re-runs and re-publishes.
+    pub fn run_epoch(&mut self) -> Arc<EpochSnapshot> {
+        let _span = obs::span("server.epoch");
+
+        // Drain: shard order then arrival order is a deterministic
+        // function of the ingest sequence alone.
+        let mut batch = Vec::with_capacity(self.pending.len());
+        for shard in &mut self.shards {
+            batch.append(shard);
+        }
+        self.pending.clear();
+        let folded = batch.len();
+        if folded > 0 {
+            let max_account = batch.iter().map(|r| r.account).max().expect("non-empty");
+            if max_account >= self.data.num_accounts() {
+                self.data.reserve_accounts(max_account + 1);
+            }
+            self.data.fold_batch(&batch);
+            obs::counter_add("server.epoch.folded", folded as u64);
+        }
+
+        let warm = if self.config.warm_start {
+            self.prev_weights.as_deref()
+        } else {
+            None
+        };
+        let result = self
+            .framework
+            .discover_warm(&self.data, &self.fingerprints, warm);
+        obs::counter_add("server.epoch.iterations", result.iterations as u64);
+
+        self.epoch += 1;
+        self.prev_weights = Some(result.group_weights.clone());
+        let snapshot = Arc::new(EpochSnapshot {
+            epoch: self.epoch,
+            generation: self.data.generation(),
+            num_tasks: self.data.num_tasks(),
+            num_accounts: self.data.num_accounts(),
+            num_reports: self.data.num_reports(),
+            folded,
+            truths: result.truths,
+            labels: result.grouping.labels().to_vec(),
+            group_weights: result.group_weights,
+            iterations: result.iterations,
+            converged: result.converged,
+            warm_started: result.warm_started,
+        });
+        *self.published.lock().expect("snapshot lock poisoned") = Arc::clone(&snapshot);
+        obs::counter_add("server.epoch.snapshot_swaps", 1);
+        snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srtd_core::SingletonGrouping;
+
+    fn engine(num_shards: usize) -> EpochEngine<SingletonGrouping> {
+        EpochEngine::new(
+            SybilResistantTd::new(SingletonGrouping),
+            4,
+            EpochConfig {
+                num_shards,
+                warm_start: true,
+            },
+        )
+    }
+
+    #[test]
+    fn epoch_zero_is_an_empty_snapshot() {
+        let e = engine(4);
+        let snap = e.latest();
+        assert_eq!(snap.epoch, 0);
+        assert_eq!(snap.truths, vec![None; 4]);
+        assert!(snap.converged);
+    }
+
+    #[test]
+    fn ingest_validates_and_folds_at_the_epoch_boundary() {
+        let mut e = engine(2);
+        e.ingest(0, 0, -70.0, 1.0).expect("valid");
+        e.ingest(1, 0, -74.0, 2.0).expect("valid");
+        assert_eq!(
+            e.ingest(0, 0, -71.0, 3.0),
+            Err(IngestError::DuplicateReport),
+            "duplicate against the pending buffer"
+        );
+        assert!(matches!(
+            e.ingest(0, 9, -70.0, 1.0),
+            Err(IngestError::UnknownTask { task: 9, .. })
+        ));
+        assert_eq!(
+            e.ingest(2, 1, f64::NAN, 1.0),
+            Err(IngestError::NonFiniteValue)
+        );
+        assert_eq!(e.pending_reports(), 2);
+        assert_eq!(e.rejected_reports(), 3);
+        assert_eq!(e.data().num_reports(), 0, "nothing folded before the epoch");
+
+        let snap = e.run_epoch();
+        assert_eq!(snap.epoch, 1);
+        assert_eq!(snap.folded, 2);
+        assert_eq!(snap.num_reports, 2);
+        let truth = snap.truths[0].expect("task 0 was reported");
+        assert!((truth + 72.0).abs() < 0.5, "truth {truth} far from -72");
+        assert_eq!(
+            e.ingest(0, 0, -71.0, 3.0),
+            Err(IngestError::DuplicateReport),
+            "duplicate against folded data"
+        );
+    }
+
+    #[test]
+    fn drain_order_is_deterministic_across_shard_counts_with_one_shard_per_account() {
+        // Same ingest sequence, different shard counts: the folded data
+        // may order reports differently across shards, but per-task and
+        // per-account views are insertion-ordered within each account, so
+        // the discovered truths agree bitwise.
+        let mut a = engine(1);
+        let mut b = engine(4);
+        for e in [&mut a, &mut b] {
+            e.ingest(2, 0, -70.0, 1.0).unwrap();
+            e.ingest(0, 0, -74.0, 2.0).unwrap();
+            e.ingest(1, 1, -60.0, 3.0).unwrap();
+        }
+        let sa = a.run_epoch();
+        let sb = b.run_epoch();
+        assert_eq!(sa.truths, sb.truths);
+        assert_eq!(sa.num_reports, sb.num_reports);
+    }
+
+    #[test]
+    fn steady_state_epochs_warm_start_and_republish() {
+        let mut e = engine(4);
+        e.ingest(0, 0, -70.0, 1.0).unwrap();
+        e.ingest(1, 0, -74.0, 2.0).unwrap();
+        e.ingest(1, 1, -61.0, 3.0).unwrap();
+        let first = e.run_epoch();
+        assert!(!first.warm_started, "epoch 1 has no seed");
+
+        let reader = e.reader();
+        let second = e.run_epoch();
+        assert!(second.warm_started);
+        assert_eq!(second.folded, 0);
+        assert_eq!(second.generation, first.generation, "no fold, no bump");
+        // The warm epoch takes one refinement step from the seed, so it
+        // moves no truth by more than the convergence tolerance.
+        for (a, b) in second.truths.iter().zip(&first.truths) {
+            match (a, b) {
+                (Some(a), Some(b)) => assert!((a - b).abs() <= 1e-6, "{a} vs {b}"),
+                (a, b) => assert_eq!(a, b),
+            }
+        }
+        assert!(
+            second.iterations <= 2,
+            "steady state: {}",
+            second.iterations
+        );
+        assert_eq!(reader.latest().epoch, 2, "reader sees the swap");
+    }
+
+    #[test]
+    fn new_accounts_grow_the_campaign_mid_stream() {
+        let mut e = engine(4);
+        e.ingest(0, 0, -70.0, 1.0).unwrap();
+        e.run_epoch();
+        e.ingest(7, 0, -72.0, 2.0).unwrap();
+        let snap = e.run_epoch();
+        assert_eq!(snap.num_accounts, 8);
+        assert_eq!(snap.labels.len(), 8);
+        assert!(
+            !snap.warm_started,
+            "grouping changed shape, seed must be dropped"
+        );
+    }
+}

@@ -20,6 +20,11 @@
 //! * [`Platform::aggregate`] / [`Platform::aggregate_resistant`] — plain
 //!   or Sybil-resistant truth discovery over everything accepted so far.
 //!
+//! For the streaming regime — reports arriving continuously while truths
+//! stay servable — [`EpochEngine`] wraps the same pipeline in an
+//! incremental epoch loop: buffered ingest, fold at epoch boundaries,
+//! warm-started re-discovery, immutable published snapshots.
+//!
 //! # Examples
 //!
 //! ```
@@ -40,9 +45,11 @@
 #![warn(missing_docs)]
 
 mod audit;
+mod epoch;
 mod error;
 mod service;
 
 pub use audit::{AuditReport, SuspectGroup};
+pub use epoch::{EpochConfig, EpochEngine, EpochReader, EpochSnapshot, IngestError};
 pub use error::{EnrollError, SubmitError};
 pub use service::{AccountId, Platform, PlatformConfig};

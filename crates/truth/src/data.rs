@@ -25,6 +25,14 @@ pub struct Report {
 /// Built in one counting-sort pass (O(reports + buckets)) and cached
 /// lazily; the campaign's read paths hand out `&[usize]` slices into it,
 /// so per-task and per-account iteration never allocates.
+///
+/// The index is **incremental**: [`CsrIndex::fold`] merges a batch of
+/// appended reports into the existing arrays in place (one run shift per
+/// bucket, new indices appended at the end of their bucket's run), which
+/// is what lets a long-running campaign admit new reports without
+/// rebuilding from scratch. A fold produces arrays bit-identical to a
+/// [`CsrIndex::build`] over the concatenated key stream, because both
+/// group indices by bucket in ascending flat-index order.
 #[derive(Debug, Clone, Default)]
 struct CsrIndex {
     offsets: Vec<usize>,
@@ -52,6 +60,77 @@ impl CsrIndex {
     fn slice(&self, bucket: usize) -> &[usize] {
         &self.indices[self.offsets[bucket]..self.offsets[bucket + 1]]
     }
+
+    /// Extends the bucket space to `buckets`, appending empty trailing
+    /// runs (new accounts enter mid-campaign with no reports yet).
+    fn grow_buckets(&mut self, buckets: usize) {
+        let total = *self.offsets.last().expect("built index has a sentinel");
+        if self.offsets.len() < buckets + 1 {
+            self.offsets.resize(buckets + 1, total);
+        }
+    }
+
+    /// Folds a batch of appended reports into the index in place.
+    ///
+    /// `keys` are the bucket keys of the new reports, whose flat indices
+    /// are `base..base + keys.len()` (they were appended to the report
+    /// list, so every new flat index is larger than every existing one —
+    /// appending at the end of each bucket run preserves the grouped
+    /// insertion order [`CsrIndex::build`] produces).
+    ///
+    /// Runs shift right by the number of insertions below them; buckets
+    /// are relocated from the highest down, so every `copy_within` lands
+    /// on vacated (or self-overlapping, which `copy_within` handles)
+    /// space. O(buckets + existing + batch), no reallocation beyond the
+    /// `indices` growth itself.
+    fn fold(&mut self, buckets: usize, keys: impl Iterator<Item = usize> + Clone, base: usize) {
+        self.grow_buckets(buckets);
+        debug_assert_eq!(self.offsets.len(), buckets + 1);
+        let mut added = vec![0usize; buckets];
+        let mut batch_len = 0usize;
+        for key in keys.clone() {
+            added[key] += 1;
+            batch_len += 1;
+        }
+        if batch_len == 0 {
+            return;
+        }
+        let old_total = self.indices.len();
+        self.indices.resize(old_total + batch_len, 0);
+        // prefix[b] = insertions into buckets strictly below b = how far
+        // bucket b's run shifts right.
+        let mut prefix = vec![0usize; buckets + 1];
+        for b in 0..buckets {
+            prefix[b + 1] = prefix[b] + added[b];
+        }
+        for b in (0..buckets).rev() {
+            let old_start = self.offsets[b];
+            let old_end = self.offsets[b + 1];
+            if prefix[b] > 0 && old_end > old_start {
+                self.indices
+                    .copy_within(old_start..old_end, old_start + prefix[b]);
+            }
+            self.offsets[b + 1] = old_end + prefix[b + 1];
+        }
+        // Each bucket's new indices occupy the tail of its shifted run;
+        // walking the batch in order keeps them ascending.
+        let mut cursor: Vec<usize> = (0..buckets)
+            .map(|b| self.offsets[b + 1] - added[b])
+            .collect();
+        for (i, key) in keys.enumerate() {
+            self.indices[cursor[key]] = base + i;
+            cursor[key] += 1;
+        }
+    }
+}
+
+/// Derived per-task statistics, cached until the next mutation: claim
+/// means and standard deviations in one shared computation (the std pass
+/// needs the means anyway).
+#[derive(Debug, Clone)]
+struct TaskStats {
+    means: Vec<Option<f64>>,
+    stds: Vec<Option<f64>>,
 }
 
 /// All reports of a sensing campaign, indexed both by account and by task.
@@ -62,9 +141,20 @@ impl CsrIndex {
 ///
 /// Reports live in one flat insertion-ordered `Vec`; the per-task and
 /// per-account views are flat CSR offset+index arrays built lazily on
-/// first read and invalidated on mutation, so the hot read paths
-/// ([`SensingData::task_reports`], [`SensingData::account_reports`]) are
-/// allocation-free index-slice walks.
+/// first read, so the hot read paths ([`SensingData::task_reports`],
+/// [`SensingData::account_reports`]) are allocation-free index-slice
+/// walks.
+///
+/// The campaign is **generation-stamped and incremental**: every
+/// mutation bumps [`SensingData::generation`] and folds the new reports
+/// into any already-built CSR arrays in place (per-bucket run merge)
+/// instead of discarding them, so a long-running service can admit
+/// report batches mid-campaign ([`SensingData::fold_batch`]) without
+/// ever paying a from-scratch re-index. Derived value statistics
+/// ([`SensingData::task_means`], [`SensingData::task_value_std`]) are
+/// cached per generation and invalidated by the bump. The folded index
+/// and statistics are bit-identical to a from-scratch rebuild over the
+/// same report list (regression-pinned by `tests/incremental_fold.rs`).
 ///
 /// # Examples
 ///
@@ -87,8 +177,12 @@ pub struct SensingData {
     /// Duplicate-report guard: one entry per (account, task) pair. Makes
     /// `add_report` O(1) instead of O(|T_i|) per insertion.
     seen: HashSet<(usize, usize)>,
+    /// Mutation counter: bumped by every content change so derived
+    /// structures (epoch snapshots, caches) can tell stale from fresh.
+    generation: u64,
     by_task: OnceLock<CsrIndex>,
     by_account: OnceLock<CsrIndex>,
+    stats: OnceLock<TaskStats>,
 }
 
 impl PartialEq for SensingData {
@@ -130,20 +224,46 @@ impl SensingData {
         self.reports.is_empty()
     }
 
+    /// The campaign's generation stamp: starts at 0 and increases with
+    /// every mutation ([`SensingData::add_report`],
+    /// [`SensingData::fold_batch`], [`SensingData::reserve_accounts`]).
+    ///
+    /// Derived structures — epoch snapshots, external caches — record the
+    /// generation they were computed at and compare against the current
+    /// one to tell stale from fresh.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Returns `true` if `account` has already reported `task` — the O(1)
+    /// probe ingestion paths use to reject duplicates gracefully instead
+    /// of tripping [`SensingData::add_report`]'s panic.
+    pub fn has_report(&self, account: usize, task: usize) -> bool {
+        self.seen.contains(&(account, task))
+    }
+
     /// Ensures the campaign tracks at least `n` accounts, adding trailing
     /// report-less accounts if needed.
     ///
     /// Filtering operations (e.g. budgeted selection) may drop every
     /// report of the highest-indexed accounts; this keeps account-indexed
-    /// structures (fingerprints, owner labels) aligned.
+    /// structures (fingerprints, owner labels) aligned. An already-built
+    /// account index grows in place (empty trailing runs).
     pub fn reserve_accounts(&mut self, n: usize) {
         if n > self.num_accounts {
             self.num_accounts = n;
-            self.by_account.take();
+            if let Some(csr) = self.by_account.get_mut() {
+                csr.grow_buckets(n);
+            }
+            self.generation += 1;
         }
     }
 
     /// Adds a report.
+    ///
+    /// Equivalent to [`SensingData::fold_batch`] with a single-report
+    /// batch: already-built indexes are updated in place, never
+    /// discarded.
     ///
     /// # Panics
     ///
@@ -151,26 +271,63 @@ impl SensingData {
     /// finite, or if the account already reported this task (the paper's
     /// one-report-per-task rule).
     pub fn add_report(&mut self, account: usize, task: usize, value: f64, timestamp: f64) {
-        assert!(
-            task < self.num_tasks,
-            "task {task} out of range for {} tasks",
-            self.num_tasks
-        );
-        assert!(value.is_finite(), "report value must be finite");
-        assert!(timestamp.is_finite(), "timestamp must be finite");
-        assert!(
-            self.seen.insert((account, task)),
-            "account {account} already reported task {task}"
-        );
-        self.num_accounts = self.num_accounts.max(account + 1);
-        self.reports.push(Report {
+        self.fold_batch(&[Report {
             account,
             task,
             value,
             timestamp,
-        });
-        self.by_task.take();
-        self.by_account.take();
+        }]);
+    }
+
+    /// Folds a batch of new reports (and any new accounts they introduce)
+    /// into the campaign incrementally.
+    ///
+    /// Reports append to the flat list in batch order; already-built CSR
+    /// indexes are merged in place — one run shift per bucket plus the
+    /// new indices at each run's tail — rather than rebuilt, so the
+    /// resulting arrays are bit-identical to a from-scratch rebuild over
+    /// the same report list while existing accessors stay warm. The
+    /// derived statistics cache is invalidated and the generation bumps
+    /// once per non-empty batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`SensingData::add_report`]
+    /// (out-of-range task, non-finite value/timestamp, duplicate
+    /// (account, task) pair — including duplicates within the batch).
+    /// Callers that need graceful rejection validate first with
+    /// [`SensingData::has_report`] and friends.
+    pub fn fold_batch(&mut self, batch: &[Report]) {
+        if batch.is_empty() {
+            return;
+        }
+        let base = self.reports.len();
+        for r in batch {
+            assert!(
+                r.task < self.num_tasks,
+                "task {} out of range for {} tasks",
+                r.task,
+                self.num_tasks
+            );
+            assert!(r.value.is_finite(), "report value must be finite");
+            assert!(r.timestamp.is_finite(), "timestamp must be finite");
+            assert!(
+                self.seen.insert((r.account, r.task)),
+                "account {} already reported task {}",
+                r.account,
+                r.task
+            );
+            self.num_accounts = self.num_accounts.max(r.account + 1);
+            self.reports.push(*r);
+        }
+        if let Some(csr) = self.by_task.get_mut() {
+            csr.fold(self.num_tasks, batch.iter().map(|r| r.task), base);
+        }
+        if let Some(csr) = self.by_account.get_mut() {
+            csr.fold(self.num_accounts, batch.iter().map(|r| r.account), base);
+        }
+        self.stats.take();
+        self.generation += 1;
     }
 
     fn task_csr(&self) -> &CsrIndex {
@@ -223,6 +380,18 @@ impl SensingData {
         self.task_csr().slice(task)
     }
 
+    /// Indices (into [`SensingData::reports`]) of the reports account
+    /// `account` submitted, in insertion order — the per-account
+    /// counterpart of [`SensingData::task_report_indices`]. Accounts
+    /// beyond the tracked range return an empty slice.
+    pub fn account_report_indices(&self, account: usize) -> &[usize] {
+        if account < self.num_accounts {
+            self.account_csr().slice(account)
+        } else {
+            &[]
+        }
+    }
+
     /// The reports submitted for `task` (the paper's `U_j` with values),
     /// as a non-allocating iterator over the CSR index.
     ///
@@ -255,40 +424,50 @@ impl SensingData {
         reports
     }
 
+    /// Computes (or returns the cached) derived per-task statistics. The
+    /// cache is taken by every mutation, so a fresh generation recomputes
+    /// on first read — the generation bump *is* the invalidation.
+    fn task_stats(&self) -> &TaskStats {
+        self.stats.get_or_init(|| {
+            let mut sums = vec![0.0f64; self.num_tasks];
+            let mut counts = vec![0usize; self.num_tasks];
+            for r in &self.reports {
+                sums[r.task] += r.value;
+                counts[r.task] += 1;
+            }
+            let means: Vec<Option<f64>> = (0..self.num_tasks)
+                .map(|t| (counts[t] > 0).then(|| sums[t] / counts[t] as f64))
+                .collect();
+            let mut sq = vec![0.0f64; self.num_tasks];
+            for r in &self.reports {
+                let mean = means[r.task].expect("reported task has a mean");
+                sq[r.task] += (r.value - mean) * (r.value - mean);
+            }
+            let stds = (0..self.num_tasks)
+                .map(|t| (counts[t] > 0).then(|| (sq[t] / counts[t] as f64).sqrt()))
+                .collect();
+            TaskStats { means, stds }
+        })
+    }
+
     /// Per-task mean of claimed values in one flat pass over the report
     /// list; `None` for tasks with no reports.
     ///
     /// The summation order per task matches per-task iteration (additions
     /// happen in increasing report-index order either way), so the means
-    /// are bit-identical to a grouped computation.
+    /// are bit-identical to a grouped computation. Cached until the next
+    /// mutation.
     pub fn task_means(&self) -> Vec<Option<f64>> {
-        let mut sums = vec![0.0f64; self.num_tasks];
-        let mut counts = vec![0usize; self.num_tasks];
-        for r in &self.reports {
-            sums[r.task] += r.value;
-            counts[r.task] += 1;
-        }
-        (0..self.num_tasks)
-            .map(|t| (counts[t] > 0).then(|| sums[t] / counts[t] as f64))
-            .collect()
+        self.task_stats().means.clone()
     }
 
     /// Per-task standard deviation of claimed values (used by CRH's loss
     /// normalization); `None` for tasks with no reports.
     ///
-    /// Two flat passes over the report list — no per-task value buffers.
+    /// Flat passes over the report list — no per-task value buffers.
+    /// Cached until the next mutation.
     pub fn task_value_std(&self) -> Vec<Option<f64>> {
-        let means = self.task_means();
-        let mut sq = vec![0.0f64; self.num_tasks];
-        let mut counts = vec![0usize; self.num_tasks];
-        for r in &self.reports {
-            let mean = means[r.task].expect("reported task has a mean");
-            sq[r.task] += (r.value - mean) * (r.value - mean);
-            counts[r.task] += 1;
-        }
-        (0..self.num_tasks)
-            .map(|t| (counts[t] > 0).then(|| (sq[t] / counts[t] as f64).sqrt()))
-            .collect()
+        self.task_stats().stds.clone()
     }
 
     /// Splits the campaign into per-task centers (the claim means) and a
@@ -303,6 +482,8 @@ impl SensingData {
     /// One flat pass computes the centers and the residual copy shares
     /// this campaign's CSR caches (the index structure is position-based
     /// and value-independent), so no re-indexing or re-validation runs.
+    /// The value-dependent statistics cache is dropped from the copy —
+    /// residuals have their own means/stds.
     pub fn centered(&self) -> (SensingData, Vec<Option<f64>>) {
         let centers = self.task_means();
         let mut centered = self.clone();
@@ -310,6 +491,7 @@ impl SensingData {
             let c = centers[r.task].expect("reported task has a center");
             r.value -= c;
         }
+        centered.stats.take();
         (centered, centers)
     }
 
@@ -490,5 +672,142 @@ mod tests {
     fn nan_value_panics() {
         let mut d = SensingData::new(1);
         d.add_report(0, 0, f64::NAN, 0.0);
+    }
+
+    /// A fixed mixed-shape batch: several accounts, shared tasks, one
+    /// account appearing for the first time mid-batch.
+    fn fold_fixture() -> Vec<Report> {
+        vec![
+            Report {
+                account: 1,
+                task: 0,
+                value: 4.0,
+                timestamp: 5.0,
+            },
+            Report {
+                account: 6,
+                task: 2,
+                value: -2.0,
+                timestamp: 6.0,
+            },
+            Report {
+                account: 0,
+                task: 0,
+                value: 9.0,
+                timestamp: 7.0,
+            },
+            Report {
+                account: 6,
+                task: 0,
+                value: 1.0,
+                timestamp: 8.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn fold_into_warm_index_matches_from_scratch_rebuild() {
+        // `warm` reads (and therefore builds) both CSR indexes before the
+        // fold; `cold` sees the same reports in the same order but builds
+        // its indexes only after the fact. Every slice must agree.
+        let mut warm = SensingData::new(3);
+        warm.add_report(2, 1, 5.0, 10.0);
+        warm.add_report(0, 1, 6.0, 11.0);
+        warm.add_report(0, 2, 7.0, 12.0);
+        let _ = warm.task_reports(1).len();
+        let _ = warm.account_reports(0).len();
+        let _ = warm.task_means();
+
+        let mut cold = SensingData::new(3);
+        cold.add_report(2, 1, 5.0, 10.0);
+        cold.add_report(0, 1, 6.0, 11.0);
+        cold.add_report(0, 2, 7.0, 12.0);
+
+        warm.fold_batch(&fold_fixture());
+        for r in fold_fixture() {
+            cold.add_report(r.account, r.task, r.value, r.timestamp);
+        }
+
+        assert_eq!(warm, cold);
+        assert_eq!(warm.num_accounts(), cold.num_accounts());
+        for t in 0..3 {
+            assert_eq!(warm.task_report_indices(t), cold.task_report_indices(t));
+        }
+        for a in 0..warm.num_accounts() {
+            assert_eq!(
+                warm.account_report_indices(a),
+                cold.account_report_indices(a)
+            );
+        }
+        assert_eq!(warm.task_means(), cold.task_means());
+        assert_eq!(warm.task_value_std(), cold.task_value_std());
+        assert_eq!(warm.centered().0, cold.centered().0);
+    }
+
+    #[test]
+    fn fold_bumps_generation_and_empty_batch_is_a_noop() {
+        let mut d = SensingData::new(2);
+        let g0 = d.generation();
+        d.fold_batch(&[]);
+        assert_eq!(d.generation(), g0, "empty fold must not invalidate");
+        d.add_report(0, 0, 1.0, 0.0);
+        assert!(d.generation() > g0);
+        let g1 = d.generation();
+        d.reserve_accounts(8);
+        assert!(d.generation() > g1);
+    }
+
+    #[test]
+    fn fold_refreshes_value_dependent_stats() {
+        let mut d = SensingData::new(1);
+        d.add_report(0, 0, 2.0, 0.0);
+        assert_eq!(d.task_means()[0], Some(2.0)); // caches the stats
+        d.fold_batch(&[Report {
+            account: 1,
+            task: 0,
+            value: 4.0,
+            timestamp: 1.0,
+        }]);
+        assert_eq!(d.task_means()[0], Some(3.0));
+    }
+
+    #[test]
+    fn has_report_probes_without_building_indexes() {
+        let mut d = SensingData::new(2);
+        d.add_report(3, 1, 1.0, 0.0);
+        assert!(d.has_report(3, 1));
+        assert!(!d.has_report(3, 0));
+        assert!(!d.has_report(0, 1));
+    }
+
+    #[test]
+    fn centered_copy_recomputes_its_own_stats() {
+        let mut d = SensingData::new(1);
+        d.add_report(0, 0, 10.0, 0.0);
+        d.add_report(1, 0, 14.0, 1.0);
+        let _ = d.task_means(); // warm the parent's stats cache
+        let (centered, _) = d.centered();
+        assert_eq!(centered.task_means()[0], Some(0.0));
+        assert!((centered.task_value_std()[0].unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "already reported")]
+    fn fold_batch_rejects_duplicates_within_the_batch() {
+        let mut d = SensingData::new(1);
+        d.fold_batch(&[
+            Report {
+                account: 0,
+                task: 0,
+                value: 1.0,
+                timestamp: 0.0,
+            },
+            Report {
+                account: 0,
+                task: 0,
+                value: 2.0,
+                timestamp: 1.0,
+            },
+        ]);
     }
 }

@@ -31,4 +31,10 @@ cargo run -q --release --offline --bin obs-check -- "$obs_json"
 cargo run -q --release --offline -p srtd-bench --bin bench_pipeline -- "$bench_json" >/dev/null
 cargo run -q --release --offline -p srtd-bench --bin bench_check -- "$bench_json"
 
+# Server smoke: spawn srtd-server on an ephemeral loopback port, POST a
+# report batch, run two epochs (the second must warm-start in ≤2
+# iterations), GET truths/groups/metrics as well-formed JSON, and shut
+# down cleanly (server-check drives the sequence and checks exit status).
+cargo run -q --release --offline --bin server-check -- target/release/srtd-server
+
 echo "verify: OK"

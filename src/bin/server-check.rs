@@ -1,0 +1,184 @@
+//! `server-check` — end-to-end smoke test of `srtd-server`, used by
+//! `scripts/verify.sh`.
+//!
+//! ```text
+//! server-check <path-to-srtd-server>
+//! ```
+//!
+//! Spawns the server on an ephemeral loopback port and drives the whole
+//! epoch lifecycle over real HTTP: health check, a mixed ingest batch
+//! (valid reports plus a deliberate duplicate), two epochs — asserting
+//! the second, steady-state epoch warm-starts and converges in ≤2
+//! iterations — then truths/groups/metrics reads (every response must be
+//! well-formed JSON) and a clean shutdown with exit status 0.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, ExitCode, Stdio};
+
+use sybil_td::runtime::json::{parse, Json};
+
+fn main() -> ExitCode {
+    let Some(server_path) = std::env::args().nth(1) else {
+        eprintln!("usage: server-check <path-to-srtd-server>");
+        return ExitCode::FAILURE;
+    };
+    match run(&server_path) {
+        Ok(()) => {
+            println!("server-check: ok");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("server-check: FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(server_path: &str) -> Result<(), String> {
+    let mut child = Command::new(server_path)
+        .args(["--port", "0", "--tasks", "4", "--method", "singletons"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("cannot spawn {server_path}: {e}"))?;
+    let result = drive(&mut child);
+    if result.is_err() {
+        let _ = child.kill();
+    }
+    let status = child
+        .wait()
+        .map_err(|e| format!("waiting for server: {e}"))?;
+    result?;
+    if !status.success() {
+        return Err(format!("server exited with {status}"));
+    }
+    Ok(())
+}
+
+fn drive(child: &mut Child) -> Result<(), String> {
+    // The server announces its ephemeral port on stdout before accepting.
+    let stdout = child.stdout.take().ok_or("no stdout pipe")?;
+    let mut first_line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut first_line)
+        .map_err(|e| e.to_string())?;
+    let addr = first_line
+        .trim()
+        .strip_prefix("listening on ")
+        .ok_or_else(|| format!("unexpected announcement {first_line:?}"))?
+        .to_string();
+
+    // Liveness.
+    let health = request(&addr, "GET", "/healthz", None)?;
+    expect_num(&health, "epoch", 0.0)?;
+
+    // A mixed batch: four valid reports, one duplicate to be rejected.
+    let batch = r#"{"reports":[
+        {"account":0,"task":0,"value":-70.0,"timestamp":1.0},
+        {"account":1,"task":0,"value":-74.0,"timestamp":2.0},
+        {"account":1,"task":1,"value":-61.0,"timestamp":3.0},
+        {"account":2,"task":0,"value":-71.0,"timestamp":4.0},
+        {"account":0,"task":0,"value":-99.0,"timestamp":5.0}
+    ]}"#;
+    let ingest = request(&addr, "POST", "/ingest", Some(batch))?;
+    expect_num(&ingest, "accepted", 4.0)?;
+    expect_num(&ingest, "rejected", 1.0)?;
+
+    // Epoch 1: cold.
+    let first = request(&addr, "POST", "/epoch", None)?;
+    expect_num(&first, "epoch", 1.0)?;
+    expect_num(&first, "folded", 4.0)?;
+    if field(&first, "warm_started") != Some(&Json::Bool(false)) {
+        return Err("epoch 1 must run cold".into());
+    }
+
+    // Epoch 2: unchanged reports — the steady-state warm-start contract.
+    let second = request(&addr, "POST", "/epoch", None)?;
+    expect_num(&second, "epoch", 2.0)?;
+    expect_num(&second, "folded", 0.0)?;
+    if field(&second, "warm_started") != Some(&Json::Bool(true)) {
+        return Err("epoch 2 must warm-start".into());
+    }
+    match field(&second, "iterations") {
+        Some(Json::Num(n)) if *n <= 2.0 => {}
+        other => return Err(format!("warm epoch took {other:?} iterations, want ≤2")),
+    }
+
+    // Published snapshot: well-formed, the right shape.
+    let truths = request(&addr, "GET", "/truths", None)?;
+    expect_num(&truths, "num_reports", 4.0)?;
+    match field(&truths, "truths") {
+        Some(Json::Arr(ts)) if ts.len() == 4 => {
+            if !matches!(ts[0], Json::Num(v) if (-75.0..=-70.0).contains(&v)) {
+                return Err(format!("task 0 truth {:?} outside the report hull", ts[0]));
+            }
+        }
+        other => return Err(format!("bad truths array: {other:?}")),
+    }
+
+    let groups = request(&addr, "GET", "/groups", None)?;
+    expect_num(&groups, "num_groups", 3.0)?;
+
+    // Metrics: the obs export must carry the epoch-loop counters.
+    let metrics_raw = request_raw(&addr, "GET", "/metrics", None)?;
+    for name in [
+        "server.epoch.ingested",
+        "server.epoch.folded",
+        "server.epoch.iterations",
+        "server.epoch.snapshot_swaps",
+    ] {
+        if !metrics_raw.contains(name) {
+            return Err(format!("metrics export is missing `{name}`"));
+        }
+    }
+    parse(&metrics_raw).map_err(|e| format!("metrics is not valid JSON: {e}"))?;
+
+    let bye = request(&addr, "POST", "/shutdown", None)?;
+    if field(&bye, "status") != Some(&Json::str("shutting down")) {
+        return Err("shutdown not acknowledged".into());
+    }
+    Ok(())
+}
+
+/// One HTTP request; the response body must parse as JSON.
+fn request(addr: &str, verb: &str, path: &str, body: Option<&str>) -> Result<Json, String> {
+    let raw = request_raw(addr, verb, path, body)?;
+    parse(&raw).map_err(|e| format!("{verb} {path}: invalid JSON response: {e}"))
+}
+
+fn request_raw(addr: &str, verb: &str, path: &str, body: Option<&str>) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
+    let body = body.unwrap_or("");
+    let req = format!(
+        "{verb} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(req.as_bytes())
+        .map_err(|e| e.to_string())?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| e.to_string())?;
+    let (head, payload) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("{verb} {path}: malformed response"))?;
+    let status = head.split_whitespace().nth(1).unwrap_or("");
+    if status != "200" {
+        return Err(format!("{verb} {path}: status {status}, body {payload}"));
+    }
+    Ok(payload.to_string())
+}
+
+fn field<'a>(doc: &'a Json, name: &str) -> Option<&'a Json> {
+    let Json::Obj(fields) = doc else { return None };
+    fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+fn expect_num(doc: &Json, name: &str, want: f64) -> Result<(), String> {
+    match field(doc, name) {
+        Some(Json::Num(x)) if *x == want => Ok(()),
+        other => Err(format!("field `{name}`: want {want}, got {other:?}")),
+    }
+}

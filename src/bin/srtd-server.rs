@@ -1,0 +1,380 @@
+//! `srtd-server` — the campaign-as-a-service front end.
+//!
+//! A std-only HTTP/1.1 server (bare `TcpListener`, the workspace's own
+//! JSON wire format) over the platform's [`EpochEngine`]: reports stream
+//! in over `POST /ingest`, an epoch boundary is an explicit `POST /epoch`,
+//! and readers fetch the latest published snapshot while the next epoch
+//! computes. The PR-2 observability layer doubles as the metrics endpoint.
+//!
+//! ```text
+//! srtd-server [--port N] [--tasks N] [--method ag-tr|ag-ts|singletons] [--shards N]
+//! ```
+//!
+//! Endpoints:
+//!
+//! * `GET  /healthz`  — liveness plus the current epoch counter
+//! * `POST /ingest`   — `{"reports":[{"account":A,"task":T,"value":V,"timestamp":S},…]}`;
+//!   each report is validated and buffered, the response counts
+//!   acceptances and rejections (with reasons)
+//! * `POST /epoch`    — drain the buffers, fold, re-run grouping +
+//!   warm-started Algorithm 2, publish; returns the new snapshot
+//! * `GET  /truths`   — the latest published snapshot (epoch, truths, …)
+//! * `GET  /groups`   — the latest grouping: labels and group weights
+//! * `GET  /metrics`  — the obs registry's deterministic JSON export
+//! * `POST /shutdown` — acknowledge and exit cleanly
+//!
+//! Requests are handled sequentially on the accept thread: the engine is
+//! deterministic, and the serving story is snapshot handoff, not request
+//! parallelism — the heavy lifting inside an epoch already runs on the
+//! runtime's scoped worker pool.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::ExitCode;
+
+use sybil_td::core::{AgTr, AgTs, SingletonGrouping, SybilResistantTd};
+use sybil_td::platform::{EpochConfig, EpochEngine, EpochSnapshot, IngestError};
+use sybil_td::runtime::json::{parse, Json, ToJson};
+use sybil_td::runtime::obs;
+
+const USAGE: &str = "\
+srtd-server — epoch-driven truth discovery service
+
+USAGE:
+  srtd-server [--port N] [--tasks N] [--method ag-tr|ag-ts|singletons] [--shards N]
+
+--port 0 (the default) binds an ephemeral loopback port; the chosen port
+is announced on stdout as `listening on 127.0.0.1:PORT`.";
+
+/// The grouping-method dispatch: one engine variant per supported method,
+/// so the generic `EpochEngine<G>` stays monomorphic behind one enum.
+enum Engine {
+    AgTr(EpochEngine<AgTr>),
+    AgTs(EpochEngine<AgTs>),
+    Singletons(EpochEngine<SingletonGrouping>),
+}
+
+impl Engine {
+    fn new(method: &str, num_tasks: usize, config: EpochConfig) -> Result<Self, String> {
+        Ok(match method {
+            "ag-tr" => Engine::AgTr(EpochEngine::new(
+                SybilResistantTd::new(AgTr::default()),
+                num_tasks,
+                config,
+            )),
+            "ag-ts" => Engine::AgTs(EpochEngine::new(
+                SybilResistantTd::new(AgTs::default()),
+                num_tasks,
+                config,
+            )),
+            "singletons" => Engine::Singletons(EpochEngine::new(
+                SybilResistantTd::new(SingletonGrouping),
+                num_tasks,
+                config,
+            )),
+            other => return Err(format!("unknown grouping method `{other}`")),
+        })
+    }
+
+    fn ingest(
+        &mut self,
+        account: usize,
+        task: usize,
+        value: f64,
+        timestamp: f64,
+    ) -> Result<(), IngestError> {
+        match self {
+            Engine::AgTr(e) => e.ingest(account, task, value, timestamp),
+            Engine::AgTs(e) => e.ingest(account, task, value, timestamp),
+            Engine::Singletons(e) => e.ingest(account, task, value, timestamp),
+        }
+    }
+
+    fn run_epoch(&mut self) -> std::sync::Arc<EpochSnapshot> {
+        match self {
+            Engine::AgTr(e) => e.run_epoch(),
+            Engine::AgTs(e) => e.run_epoch(),
+            Engine::Singletons(e) => e.run_epoch(),
+        }
+    }
+
+    fn latest(&self) -> std::sync::Arc<EpochSnapshot> {
+        match self {
+            Engine::AgTr(e) => e.latest(),
+            Engine::AgTs(e) => e.latest(),
+            Engine::Singletons(e) => e.latest(),
+        }
+    }
+
+    fn pending_reports(&self) -> usize {
+        match self {
+            Engine::AgTr(e) => e.pending_reports(),
+            Engine::AgTs(e) => e.pending_reports(),
+            Engine::Singletons(e) => e.pending_reports(),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    let flags = parse_flags(args)?;
+    let port: u16 = flag_parse(&flags, "port", 0)?;
+    let tasks: usize = flag_parse(&flags, "tasks", 64)?;
+    let shards: usize = flag_parse(&flags, "shards", 4)?;
+    let method = flags.get("method").map_or("ag-tr", String::as_str);
+    if tasks == 0 {
+        return Err("--tasks must be at least 1".into());
+    }
+
+    let mut engine = Engine::new(
+        method,
+        tasks,
+        EpochConfig {
+            num_shards: shards,
+            warm_start: true,
+        },
+    )?;
+    obs::set_enabled(true);
+
+    let listener = TcpListener::bind(("127.0.0.1", port))
+        .map_err(|e| format!("cannot bind 127.0.0.1:{port}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    println!("listening on {addr}");
+    std::io::stdout().flush().ok();
+
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("accept error: {e}");
+                continue;
+            }
+        };
+        match handle_connection(stream, &mut engine) {
+            Ok(keep_serving) => {
+                if !keep_serving {
+                    break;
+                }
+            }
+            Err(e) => eprintln!("connection error: {e}"),
+        }
+    }
+    Ok(())
+}
+
+/// Handles one request on `stream`; `Ok(false)` means a clean shutdown
+/// was requested.
+fn handle_connection(stream: TcpStream, engine: &mut Engine) -> Result<bool, String> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader
+        .read_line(&mut request_line)
+        .map_err(|e| e.to_string())?;
+    let mut parts = request_line.split_whitespace();
+    let (Some(verb), Some(path)) = (parts.next(), parts.next()) else {
+        return respond(
+            reader.into_inner(),
+            400,
+            &error_json("malformed request line"),
+        )
+        .map(|()| true);
+    };
+    let (verb, path) = (verb.to_string(), path.to_string());
+
+    // Headers: only Content-Length matters for this wire format.
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| "bad Content-Length".to_string())?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| e.to_string())?;
+    let body = String::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let stream = reader.into_inner();
+
+    match (verb.as_str(), path.as_str()) {
+        ("GET", "/healthz") => {
+            let snap = engine.latest();
+            let doc = Json::obj([
+                ("status", Json::str("ok")),
+                ("epoch", snap.epoch.to_json()),
+                ("pending", engine.pending_reports().to_json()),
+            ]);
+            respond(stream, 200, &doc.render())?;
+        }
+        ("POST", "/ingest") => match ingest_batch(engine, &body) {
+            Ok(doc) => respond(stream, 200, &doc.render())?,
+            Err(e) => respond(stream, 400, &error_json(&e))?,
+        },
+        ("POST", "/epoch") => {
+            let snap = engine.run_epoch();
+            respond(stream, 200, &snap.to_json().render())?;
+        }
+        ("GET", "/truths") => {
+            respond(stream, 200, &engine.latest().to_json().render())?;
+        }
+        ("GET", "/groups") => {
+            let snap = engine.latest();
+            let doc = Json::obj([
+                ("epoch", snap.epoch.to_json()),
+                ("num_groups", snap.num_groups().to_json()),
+                ("labels", snap.labels.to_json()),
+                ("group_weights", snap.group_weights.to_json()),
+            ]);
+            respond(stream, 200, &doc.render())?;
+        }
+        ("GET", "/metrics") => {
+            respond(stream, 200, &obs::snapshot().deterministic_json())?;
+        }
+        ("POST", "/shutdown") => {
+            respond(
+                stream,
+                200,
+                &Json::obj([("status", Json::str("shutting down"))]).render(),
+            )?;
+            return Ok(false);
+        }
+        _ => respond(stream, 404, &error_json(&format!("no route {verb} {path}")))?,
+    }
+    Ok(true)
+}
+
+/// Parses an ingest body and feeds each report to the engine. Invalid
+/// JSON is a request-level error; per-report rejections are part of a
+/// successful response.
+fn ingest_batch(engine: &mut Engine, body: &str) -> Result<Json, String> {
+    let doc = parse(body).map_err(|e| e.to_string())?;
+    let Json::Obj(fields) = &doc else {
+        return Err("expected a JSON object".into());
+    };
+    let reports = fields
+        .iter()
+        .find(|(k, _)| k == "reports")
+        .map(|(_, v)| v)
+        .ok_or_else(|| "missing `reports` array".to_string())?;
+    let Json::Arr(reports) = reports else {
+        return Err("`reports` must be an array".into());
+    };
+    let mut accepted = 0usize;
+    let mut rejections = Vec::new();
+    for (i, report) in reports.iter().enumerate() {
+        let (account, task, value, timestamp) = report_fields(report)
+            .ok_or_else(|| format!("report {i}: need account, task, value, timestamp"))?;
+        match engine.ingest(account, task, value, timestamp) {
+            Ok(()) => accepted += 1,
+            Err(e) => rejections.push(Json::obj([
+                ("index", i.to_json()),
+                ("reason", Json::str(e.to_string())),
+            ])),
+        }
+    }
+    Ok(Json::obj([
+        ("accepted", accepted.to_json()),
+        ("rejected", rejections.len().to_json()),
+        ("rejections", Json::Arr(rejections)),
+        ("pending", engine.pending_reports().to_json()),
+    ]))
+}
+
+fn report_fields(report: &Json) -> Option<(usize, usize, f64, f64)> {
+    let Json::Obj(fields) = report else {
+        return None;
+    };
+    let num = |name: &str| -> Option<f64> {
+        fields.iter().find_map(|(k, v)| match v {
+            Json::Num(x) if k == name => Some(*x),
+            _ => None,
+        })
+    };
+    let index = |name: &str| -> Option<usize> {
+        let x = num(name)?;
+        (x.fract() == 0.0 && x >= 0.0).then_some(x as usize)
+    };
+    Some((
+        index("account")?,
+        index("task")?,
+        num("value")?,
+        num("timestamp")?,
+    ))
+}
+
+fn error_json(message: &str) -> String {
+    Json::obj([("error", Json::str(message))]).render()
+}
+
+fn respond(mut stream: TcpStream, status: u16, body: &str) -> Result<(), String> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        _ => "Error",
+    };
+    let response = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(response.as_bytes())
+        .and_then(|()| stream.flush())
+        .map_err(|e| e.to_string())
+}
+
+/// Flags that take no value; their presence alone is the signal.
+const BOOLEAN_FLAGS: &[&str] = &[];
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got `{flag}`"));
+        };
+        if BOOLEAN_FLAGS.contains(&name) {
+            flags.insert(name.to_string(), String::from("1"));
+            continue;
+        }
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn flag_parse<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("--{name}: cannot parse `{raw}`")),
+        None => Ok(default),
+    }
+}

@@ -1,0 +1,104 @@
+//! Golden export for the epoch-loop counters: a full ingest → fold →
+//! discover → publish cycle must surface the `server.epoch.*` counters
+//! and the `server.epoch` span, and their deterministic JSON export must
+//! be byte-identical across worker-thread counts.
+//!
+//! This file holds a single test on purpose: the obs registry is
+//! process-wide, and a second concurrently running test would bleed
+//! metrics into the snapshot.
+
+use sybil_td::core::{SingletonGrouping, SybilResistantTd};
+use sybil_td::platform::{EpochConfig, EpochEngine};
+use sybil_td::runtime::obs;
+use sybil_td::runtime::parallel::set_max_threads;
+
+const TASKS: usize = 8;
+
+/// One full lifecycle: 20 accepted reports, one rejected duplicate, two
+/// epochs (cold, then steady-state warm).
+fn run_lifecycle() -> EpochEngine<SingletonGrouping> {
+    let mut engine = EpochEngine::new(
+        SybilResistantTd::new(SingletonGrouping),
+        TASKS,
+        EpochConfig::default(),
+    );
+    for a in 0..5usize {
+        for t in 0..4usize {
+            engine
+                .ingest(a, t, -70.0 + a as f64 + t as f64, (a * 10 + t) as f64)
+                .expect("valid report");
+        }
+    }
+    engine
+        .ingest(0, 0, -99.0, 50.0)
+        .expect_err("duplicate must be rejected");
+    engine.run_epoch();
+    engine.run_epoch();
+    engine
+}
+
+fn counter(report: &obs::Report, name: &str) -> u64 {
+    report
+        .counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map_or(0, |(_, v)| *v)
+}
+
+#[test]
+fn epoch_counters_export_deterministically_and_track_the_lifecycle() {
+    let mut exports = Vec::new();
+    let mut reports = Vec::new();
+    let mut engines = Vec::new();
+    for threads in [1usize, 4] {
+        set_max_threads(threads);
+        obs::set_enabled(true);
+        obs::reset();
+        let engine = run_lifecycle();
+        let report = obs::snapshot();
+        obs::set_enabled(false);
+        exports.push(report.deterministic_json());
+        reports.push(report);
+        engines.push(engine);
+    }
+    set_max_threads(0);
+    assert_eq!(
+        exports[0], exports[1],
+        "deterministic export must not depend on the worker count"
+    );
+
+    // The counters mirror the lifecycle exactly: 20 accepted ingests, all
+    // 20 folded in epoch 1 (epoch 2 folds nothing), one snapshot swap per
+    // epoch, and at least one Algorithm 2 iteration per epoch.
+    let report = &reports[0];
+    assert_eq!(counter(report, "server.epoch.ingested"), 20);
+    assert_eq!(counter(report, "server.epoch.folded"), 20);
+    assert_eq!(counter(report, "server.epoch.snapshot_swaps"), 2);
+    assert!(counter(report, "server.epoch.iterations") >= 2);
+    for name in [
+        "server.epoch.ingested",
+        "server.epoch.folded",
+        "server.epoch.iterations",
+        "server.epoch.snapshot_swaps",
+    ] {
+        assert!(
+            exports[0].contains(name),
+            "deterministic export must name `{name}`"
+        );
+    }
+    assert!(
+        exports[0].contains("server.epoch"),
+        "deterministic export must carry the epoch span"
+    );
+
+    // The engines themselves ended in the published steady state: the
+    // second epoch warm-started on unchanged data.
+    for engine in &engines {
+        let snap = engine.latest();
+        assert_eq!(snap.epoch, 2);
+        assert_eq!(snap.num_reports, 20);
+        assert!(snap.warm_started, "steady-state epoch must warm-start");
+        assert!(snap.iterations <= 2);
+        assert_eq!(engine.rejected_reports(), 1);
+    }
+}
