@@ -7,8 +7,8 @@
 use srtd_runtime::json::{parse, Json};
 use std::process::exit;
 
-const SCHEMA: &str = "srtd-bench-pipeline-v4";
-const TOP_LEVEL_KEYS: [&str; 11] = [
+const SCHEMA: &str = "srtd-bench-pipeline-v5";
+const TOP_LEVEL_KEYS: [&str; 12] = [
     "schema",
     "quick",
     "threads_available",
@@ -19,6 +19,7 @@ const TOP_LEVEL_KEYS: [&str; 11] = [
     "determinism",
     "dtw_prune",
     "feature_fusion",
+    "obs_overhead",
     "counters",
 ];
 const CASE_KEYS: [&str; 6] = ["group", "name", "median_ns", "min_ns", "max_ns", "batch"];
@@ -217,6 +218,38 @@ fn main() {
     }
     if !matches!(get(fusion, "note"), Some(Json::Str(_))) {
         fail("feature_fusion.note must be a string");
+    }
+    let Some(Json::Obj(obs)) = get(&fields, "obs_overhead") else {
+        fail("`obs_overhead` must be an object");
+    };
+    let obs_num = |key: &str| -> f64 {
+        match get(obs, key) {
+            Some(Json::Num(n)) if *n >= 0.0 => *n,
+            _ => fail(&format!("obs_overhead.{key} must be a number >= 0")),
+        }
+    };
+    if obs_num("ops_per_sample") < 1.0 {
+        fail("obs_overhead.ops_per_sample must be positive");
+    }
+    // The disabled path is one relaxed atomic load per call: anywhere
+    // near 1µs/op would mean the gate regressed into lock or allocation
+    // territory. 1000ns is a deliberately loose ceiling that still
+    // catches that class of regression on slow CI hosts.
+    for key in [
+        "counter_add_disabled_ns_per_op",
+        "span_disabled_ns_per_op",
+        "observe_disabled_ns_per_op",
+    ] {
+        let ns = obs_num(key);
+        if ns >= 1000.0 {
+            fail(&format!(
+                "obs_overhead.{key} is {ns} ns/op; the disabled path must stay \
+                 far below 1000 ns"
+            ));
+        }
+    }
+    if !matches!(get(obs, "note"), Some(Json::Str(_))) {
+        fail("obs_overhead.note must be a string");
     }
     println!("bench-check: OK ({path})");
 }

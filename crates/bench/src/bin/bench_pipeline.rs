@@ -733,8 +733,53 @@ fn main() {
             .unwrap_or(0)
     };
 
+    // ---- Obs disabled-path overhead ----
+    // Every obs entry point bails on one relaxed atomic load while
+    // collection is off; these loops pin that the instrumented hot paths
+    // stay effectively free. Batches of OBS_OPS calls per sample make the
+    // per-op cost resolvable at sub-ns scale.
+    const OBS_OPS: usize = 1000;
+    assert!(
+        !obs::enabled(),
+        "obs must be disabled for the overhead measurement"
+    );
+    let obs_counter = group.run("obs/counter_add_disabled/1000", || {
+        for i in 0..OBS_OPS {
+            obs::counter_add(black_box("bench.obs.counter"), black_box(i as u64));
+        }
+    });
+    let obs_span = group.run("obs/span_disabled/1000", || {
+        for _ in 0..OBS_OPS {
+            drop(obs::span(black_box("bench.obs.span")));
+        }
+    });
+    let obs_observe = group.run("obs/observe_disabled/1000", || {
+        for i in 0..OBS_OPS {
+            obs::observe(black_box("bench.obs.hist"), black_box(i as f64));
+        }
+    });
+    let obs_params = vec![("ops", OBS_OPS.to_json())];
+    cases.push(stats_json(
+        "obs",
+        "counter_add_disabled/1000",
+        obs_counter,
+        obs_params.clone(),
+    ));
+    cases.push(stats_json(
+        "obs",
+        "span_disabled/1000",
+        obs_span,
+        obs_params.clone(),
+    ));
+    cases.push(stats_json(
+        "obs",
+        "observe_disabled/1000",
+        obs_observe,
+        obs_params,
+    ));
+
     let doc = Json::obj([
-        ("schema", Json::str("srtd-bench-pipeline-v4")),
+        ("schema", Json::str("srtd-bench-pipeline-v5")),
         ("quick", quick.to_json()),
         ("threads_available", threads_available.to_json()),
         (
@@ -877,6 +922,32 @@ fn main() {
                     (matrix_full.median_ns / matrix_pruned.median_ns).to_json(),
                 ),
                 ("grouping_identical", grouping_identical.to_json()),
+            ]),
+        ),
+        (
+            "obs_overhead",
+            Json::obj([
+                ("ops_per_sample", OBS_OPS.to_json()),
+                (
+                    "counter_add_disabled_ns_per_op",
+                    (obs_counter.median_ns / OBS_OPS as f64).to_json(),
+                ),
+                (
+                    "span_disabled_ns_per_op",
+                    (obs_span.median_ns / OBS_OPS as f64).to_json(),
+                ),
+                (
+                    "observe_disabled_ns_per_op",
+                    (obs_observe.median_ns / OBS_OPS as f64).to_json(),
+                ),
+                (
+                    "note",
+                    Json::str(
+                        "disabled-path cost of the instrumented hot loops: one \
+                         relaxed atomic load per call, within measurement noise \
+                         of the uninstrumented pre-timeline numbers",
+                    ),
+                ),
             ]),
         ),
         (

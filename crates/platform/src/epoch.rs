@@ -116,6 +116,10 @@ pub struct EpochSnapshot {
     pub converged: bool,
     /// Whether this epoch ran warm-seeded.
     pub warm_started: bool,
+    /// Wall-clock nanoseconds the epoch took (drain through publish).
+    /// A measurement, not part of the deterministic output; 0 for the
+    /// epoch-0 empty snapshot.
+    pub duration_ns: u64,
 }
 
 impl EpochSnapshot {
@@ -133,6 +137,7 @@ impl EpochSnapshot {
             iterations: 0,
             converged: true,
             warm_started: false,
+            duration_ns: 0,
         }
     }
 
@@ -157,6 +162,7 @@ impl ToJson for EpochSnapshot {
             ("iterations", self.iterations.to_json()),
             ("converged", self.converged.to_json()),
             ("warm_started", self.warm_started.to_json()),
+            ("duration_ns", self.duration_ns.to_json()),
         ])
     }
 }
@@ -321,54 +327,77 @@ impl<G: AccountGrouping> EpochEngine<G> {
     /// when configured), and publishes the new snapshot. An epoch with an
     /// empty buffer is the steady-state case: no fold, but discovery
     /// re-runs and re-publishes.
+    ///
+    /// Each epoch is one telemetry window (`epoch-<n>`): the engine
+    /// brackets the run with `obs::window_begin`/`window_end`, so the
+    /// retained timeline holds one delta report per epoch with a trace
+    /// tree attributing the `epoch.fold` / `epoch.discover` / `epoch.swap`
+    /// stages under the `server.epoch` span.
     pub fn run_epoch(&mut self) -> Arc<EpochSnapshot> {
-        let _span = obs::span("server.epoch");
+        obs::window_begin();
+        let started = std::time::Instant::now();
+        let snapshot = {
+            let _span = obs::span("server.epoch");
 
-        // Drain: shard order then arrival order is a deterministic
-        // function of the ingest sequence alone.
-        let mut batch = Vec::with_capacity(self.pending.len());
-        for shard in &mut self.shards {
-            batch.append(shard);
-        }
-        self.pending.clear();
-        let folded = batch.len();
-        if folded > 0 {
-            let max_account = batch.iter().map(|r| r.account).max().expect("non-empty");
-            if max_account >= self.data.num_accounts() {
-                self.data.reserve_accounts(max_account + 1);
+            // Drain: shard order then arrival order is a deterministic
+            // function of the ingest sequence alone.
+            let mut batch = Vec::with_capacity(self.pending.len());
+            for shard in &mut self.shards {
+                batch.append(shard);
             }
-            self.data.fold_batch(&batch);
-            obs::counter_add("server.epoch.folded", folded as u64);
-        }
+            self.pending.clear();
+            let folded = batch.len();
+            {
+                let _fold = obs::span("epoch.fold");
+                if folded > 0 {
+                    let max_account = batch.iter().map(|r| r.account).max().expect("non-empty");
+                    if max_account >= self.data.num_accounts() {
+                        self.data.reserve_accounts(max_account + 1);
+                    }
+                    self.data.fold_batch(&batch);
+                    obs::counter_add("server.epoch.folded", folded as u64);
+                }
+            }
 
-        let warm = if self.config.warm_start {
-            self.prev_weights.as_deref()
-        } else {
-            None
+            let warm = if self.config.warm_start {
+                self.prev_weights.as_deref()
+            } else {
+                None
+            };
+            let result = {
+                let _discover = obs::span("epoch.discover");
+                self.framework
+                    .discover_warm(&self.data, &self.fingerprints, warm)
+            };
+            obs::counter_add("server.epoch.iterations", result.iterations as u64);
+
+            let _swap = obs::span("epoch.swap");
+            self.epoch += 1;
+            self.prev_weights = Some(result.group_weights.clone());
+            let snapshot = Arc::new(EpochSnapshot {
+                epoch: self.epoch,
+                generation: self.data.generation(),
+                num_tasks: self.data.num_tasks(),
+                num_accounts: self.data.num_accounts(),
+                num_reports: self.data.num_reports(),
+                folded,
+                truths: result.truths,
+                labels: result.grouping.labels().to_vec(),
+                group_weights: result.group_weights,
+                iterations: result.iterations,
+                converged: result.converged,
+                warm_started: result.warm_started,
+                duration_ns: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            });
+            *self.published.lock().expect("snapshot lock poisoned") = Arc::clone(&snapshot);
+            obs::counter_add("server.epoch.snapshot_swaps", 1);
+            snapshot
         };
-        let result = self
-            .framework
-            .discover_warm(&self.data, &self.fingerprints, warm);
-        obs::counter_add("server.epoch.iterations", result.iterations as u64);
-
-        self.epoch += 1;
-        self.prev_weights = Some(result.group_weights.clone());
-        let snapshot = Arc::new(EpochSnapshot {
-            epoch: self.epoch,
-            generation: self.data.generation(),
-            num_tasks: self.data.num_tasks(),
-            num_accounts: self.data.num_accounts(),
-            num_reports: self.data.num_reports(),
-            folded,
-            truths: result.truths,
-            labels: result.grouping.labels().to_vec(),
-            group_weights: result.group_weights,
-            iterations: result.iterations,
-            converged: result.converged,
-            warm_started: result.warm_started,
-        });
-        *self.published.lock().expect("snapshot lock poisoned") = Arc::clone(&snapshot);
-        obs::counter_add("server.epoch.snapshot_swaps", 1);
+        // Wall-clock facts go to gauges, never histograms: histogram
+        // buckets are part of the deterministic export.
+        obs::gauge_set("epoch.duration_ns", snapshot.duration_ns as f64);
+        obs::gauge_set("server.ingest.backlog", self.pending.len() as f64);
+        obs::window_end(&format!("epoch-{}", self.epoch));
         snapshot
     }
 }

@@ -64,15 +64,18 @@
 //! obs::set_enabled(false);
 //! ```
 
+mod history;
+pub mod prom;
 mod report;
 mod span;
 mod store;
 
+pub use history::{TraceNode, WindowRecord};
 pub use report::{EventSnapshot, HistogramSnapshot, Report, SpanSnapshot};
-pub use span::Span;
+pub use span::{Span, TraceSuppressGuard};
 
 use crate::json::Json;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 
 const STATE_UNSET: u8 = 0;
 const STATE_OFF: u8 = 1;
@@ -150,6 +153,17 @@ pub fn span(name: &'static str) -> Span {
     Span::start(name)
 }
 
+/// Suppresses trace-tree recording on the current thread until the
+/// returned guard drops (flat span aggregates still record).
+///
+/// `parallel_map` wraps its inline single-worker fallback in this so
+/// spans inside item closures stay out of the window's trace tree at
+/// every worker count alike — on worker threads they are excluded by the
+/// opener-thread rule already.
+pub fn suppress_trace() -> TraceSuppressGuard {
+    TraceSuppressGuard::new()
+}
+
 /// Appends a structured one-shot event.
 ///
 /// Field order is preserved in the export. Events should only be emitted
@@ -176,8 +190,92 @@ pub fn snapshot() -> Report {
     store::with(|s| Report::from_store(s))
 }
 
+/// Ring-buffer capacity for completed windows: 0 = unresolved (consult
+/// `SRTD_OBS_HISTORY` on first use, default 64).
+static HISTORY_CAPACITY: AtomicUsize = AtomicUsize::new(0);
+
+const DEFAULT_HISTORY_CAPACITY: usize = 64;
+
+fn history_capacity() -> usize {
+    match HISTORY_CAPACITY.load(Ordering::Relaxed) {
+        0 => {
+            let n = std::env::var("SRTD_OBS_HISTORY")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(DEFAULT_HISTORY_CAPACITY);
+            HISTORY_CAPACITY.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
+}
+
+/// Sets how many completed windows [`history`] retains (clamped to ≥ 1),
+/// overriding the `SRTD_OBS_HISTORY` environment variable. Passing 0
+/// resets to the environment/default resolution. Shrinking takes effect
+/// at the next [`window_end`].
+pub fn set_history_capacity(n: usize) {
+    HISTORY_CAPACITY.store(n, Ordering::Relaxed);
+}
+
+/// Opens a telemetry window on the current thread: trace-tree collection
+/// starts for spans dropped on this thread, and the next [`window_end`]
+/// will close it. A window already open is discarded and replaced (its
+/// trace is lost; counters are safe — deltas are computed against the
+/// previous *completed* window, not against `window_begin`). A no-op
+/// while collection is disabled.
+pub fn window_begin() {
+    if !enabled() {
+        return;
+    }
+    let opener = std::thread::current().id();
+    store::with(|s| {
+        s.window.open = Some(store::OpenWindow {
+            opener,
+            trace: store::TraceBuild::default(),
+        });
+    });
+}
+
+/// Closes the open window: computes the delta [`Report`] against the
+/// previous window boundary (counters, histogram buckets, events; gauges
+/// report their current value; flat span aggregates are replaced by the
+/// trace tree), advances the boundary, and retains the record in the
+/// history ring buffer. Returns `None` when no window is open (including
+/// whenever collection is disabled).
+pub fn window_end(label: &str) -> Option<WindowRecord> {
+    if !enabled() {
+        return None;
+    }
+    let capacity = history_capacity();
+    store::with(|s| history::end_window(s, label, capacity))
+}
+
+/// Returns the last `n` completed windows, oldest first (fewer when the
+/// ring holds fewer).
+pub fn history(n: usize) -> Vec<WindowRecord> {
+    store::with(|s| {
+        let len = s.window.history.len();
+        s.window
+            .history
+            .iter()
+            .skip(len.saturating_sub(n))
+            .cloned()
+            .collect()
+    })
+}
+
+/// Returns the most recently completed window, if any.
+pub fn latest_window() -> Option<WindowRecord> {
+    store::with(|s| s.window.history.back().cloned())
+}
+
 /// Writes the current [`snapshot`] as JSON to the path named by the
-/// `SRTD_OBS_JSON` environment variable, if set.
+/// `SRTD_OBS_JSON` environment variable, if set. Since the timeline
+/// landed, the export also carries a `history` array of the retained
+/// windows ([`WindowRecord`] JSON), so offline runs get the same
+/// timeline the server serves at `/metrics/history`.
 ///
 /// Returns the path written to, or `None` when the variable is unset.
 /// Collection does not need to be [`enabled`] — an empty report is still
@@ -188,7 +286,20 @@ pub fn export_json_if_requested() -> std::io::Result<Option<std::path::PathBuf>>
         return Ok(None);
     };
     let path = std::path::PathBuf::from(path);
-    std::fs::write(&path, crate::json::ToJson::to_json(&snapshot()).render())?;
+    let (report, windows) = store::with(|s| {
+        (
+            Report::from_store(s),
+            s.window.history.iter().cloned().collect::<Vec<_>>(),
+        )
+    });
+    let Json::Obj(mut fields) = crate::json::ToJson::to_json(&report) else {
+        unreachable!("a report always renders as a JSON object");
+    };
+    fields.push((
+        "history".to_string(),
+        Json::arr(windows.iter().map(crate::json::ToJson::to_json)),
+    ));
+    std::fs::write(&path, Json::Obj(fields).render())?;
     Ok(Some(path))
 }
 
@@ -292,6 +403,99 @@ mod tests {
             r.spans.iter().find(|s| s.name == "worker").unwrap().count,
             4
         );
+    }
+
+    #[test]
+    fn windows_capture_deltas_trace_trees_and_evict() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        set_history_capacity(2);
+        // Emitted before any window: charged to window 1's delta, since
+        // deltas are taken against the previous *completed* boundary.
+        counter_add("w.pre", 5);
+        window_begin();
+        {
+            let _outer = span("stage.outer");
+            let _inner = span("stage.inner");
+        }
+        counter_add("w.items", 2);
+        let w1 = window_end("first").expect("window 1");
+        assert_eq!(w1.index, 1);
+        assert_eq!(w1.label, "first");
+        assert_eq!(
+            w1.report.counters,
+            vec![("w.items".to_string(), 2), ("w.pre".to_string(), 5)]
+        );
+        assert_eq!(w1.stage_names(), vec!["stage.outer", "stage.inner"]);
+        assert_eq!(w1.trace[0].children[0].count, 1);
+
+        window_begin();
+        counter_add("w.items", 3);
+        let w2 = window_end("second").expect("window 2");
+        assert_eq!(w2.report.counters, vec![("w.items".to_string(), 3)]);
+
+        // Empty window: no deltas, no stages.
+        window_begin();
+        let w3 = window_end("third").expect("window 3");
+        assert!(w3.report.counters.is_empty());
+        assert!(w3.trace.is_empty());
+
+        // Window deltas tile the timeline: per-window counts sum to the
+        // cumulative registry value.
+        let total: u64 = history(10)
+            .iter()
+            .chain([&w1])
+            .flat_map(|w| &w.report.counters)
+            .filter(|(name, _)| name == "w.items")
+            .map(|(_, v)| *v)
+            .sum();
+        let cumulative = snapshot()
+            .counters
+            .iter()
+            .find(|(name, _)| name == "w.items")
+            .map(|(_, v)| *v);
+        assert_eq!(Some(total), cumulative);
+
+        // Capacity 2: window 1 was evicted from the ring.
+        let retained = history(10);
+        assert_eq!(
+            retained.iter().map(|w| w.index).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+        assert_eq!(history(1).len(), 1);
+        assert_eq!(latest_window().expect("latest").index, 3);
+        assert!(window_end("no window open").is_none());
+
+        set_history_capacity(0);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn suppressed_and_worker_thread_spans_stay_out_of_trace() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        window_begin();
+        drop(span("kept"));
+        {
+            let _hide = suppress_trace();
+            drop(span("hidden"));
+        }
+        std::thread::scope(|scope| {
+            scope.spawn(|| drop(span("worker")));
+        });
+        let w = window_end("w").expect("window");
+        assert_eq!(w.stage_names(), vec!["kept"]);
+        // Flat aggregates still record every span.
+        let r = snapshot();
+        set_enabled(false);
+        for name in ["kept", "hidden", "worker"] {
+            assert!(
+                r.spans.iter().any(|s| s.name == name),
+                "flat aggregate for {name} missing"
+            );
+        }
     }
 
     #[test]

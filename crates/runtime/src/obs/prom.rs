@@ -1,0 +1,237 @@
+//! Prometheus-style text exposition of a [`Report`], plus a minimal
+//! parser used by the round-trip test and by scrape tooling.
+//!
+//! Rendering rules (pinned by the round-trip test and DESIGN.md §9):
+//!
+//! * every metric name is prefixed `srtd_` and mangled — each character
+//!   outside `[a-zA-Z0-9_]` becomes `_` (so `server.epoch.ingested`
+//!   exports as `srtd_server_epoch_ingested`),
+//! * counters gain the conventional `_total` suffix,
+//! * gauges export under their mangled name unchanged,
+//! * histograms export the conventional cumulative series:
+//!   `<name>_bucket{le="<bound>"}` per bucket, a `{le="+Inf"}` bucket,
+//!   then `<name>_sum` and `<name>_count`,
+//! * spans export as two counters, `srtd_span_<name>_count` and
+//!   `srtd_span_<name>_duration_ns_total`,
+//! * events have no Prometheus shape and are skipped.
+//!
+//! The output is plain `text/plain; version=0.0.4` exposition: a
+//! `# TYPE` comment per family followed by its samples.
+
+use super::report::Report;
+use crate::json::Json;
+use std::fmt::Write as _;
+
+/// Mangles a dotted metric name into a Prometheus-legal one: characters
+/// outside `[a-zA-Z0-9_]` become `_`.
+pub fn mangle(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Formats a sample value the way the exposition format expects
+/// (shortest-round-trip decimal; non-finite values are unreachable here
+/// because histogram sums and gauges come from finite arithmetic).
+fn fmt_value(v: f64) -> String {
+    if v.is_finite() {
+        Json::Num(v).render()
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Renders `report` as Prometheus text exposition.
+pub fn render(report: &Report) -> String {
+    let mut out = String::new();
+    for (name, value) in &report.counters {
+        let m = format!("srtd_{}_total", mangle(name));
+        writeln!(out, "# TYPE {m} counter").expect("string write");
+        writeln!(out, "{m} {value}").expect("string write");
+    }
+    for (name, value) in &report.gauges {
+        let m = format!("srtd_{}", mangle(name));
+        writeln!(out, "# TYPE {m} gauge").expect("string write");
+        writeln!(out, "{m} {}", fmt_value(*value)).expect("string write");
+    }
+    for h in &report.histograms {
+        let m = format!("srtd_{}", mangle(&h.name));
+        writeln!(out, "# TYPE {m} histogram").expect("string write");
+        let mut cumulative = 0u64;
+        for &(bound, count) in &h.buckets {
+            cumulative += count;
+            if bound.is_finite() {
+                writeln!(
+                    out,
+                    "{m}_bucket{{le=\"{}\"}} {cumulative}",
+                    fmt_value(bound)
+                )
+                .expect("string write");
+            }
+        }
+        writeln!(out, "{m}_bucket{{le=\"+Inf\"}} {}", h.count).expect("string write");
+        writeln!(out, "{m}_sum {}", fmt_value(h.sum)).expect("string write");
+        writeln!(out, "{m}_count {}", h.count).expect("string write");
+    }
+    for s in &report.spans {
+        let m = format!("srtd_span_{}", mangle(s.name));
+        writeln!(out, "# TYPE {m}_count counter").expect("string write");
+        writeln!(out, "{m}_count {}", s.count).expect("string write");
+        writeln!(out, "# TYPE {m}_duration_ns_total counter").expect("string write");
+        writeln!(out, "{m}_duration_ns_total {}", s.total_ns).expect("string write");
+    }
+    out
+}
+
+/// One parsed exposition sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (already mangled, as exported).
+    pub name: String,
+    /// Label pairs inside `{...}`, in document order; empty when absent.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Parses Prometheus text exposition into its samples.
+///
+/// Accepts the subset [`render`] emits: `# ...` comment lines and
+/// `name[{k="v",...}] value` sample lines. Rejects structurally invalid
+/// lines with a description, so the round-trip test catches any drift in
+/// the renderer.
+pub fn parse(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name_part, value_part) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value separator: {line:?}", lineno + 1))?;
+        let (name, labels) = match name_part.split_once('{') {
+            None => (name_part.to_string(), Vec::new()),
+            Some((name, rest)) => {
+                let body = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {}: unterminated labels: {line:?}", lineno + 1))?;
+                let mut labels = Vec::new();
+                for pair in body.split(',').filter(|p| !p.is_empty()) {
+                    let (k, v) = pair
+                        .split_once('=')
+                        .ok_or_else(|| format!("line {}: bad label {pair:?}", lineno + 1))?;
+                    let v = v
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .ok_or_else(|| format!("line {}: unquoted label {pair:?}", lineno + 1))?;
+                    labels.push((k.to_string(), v.to_string()));
+                }
+                (name.to_string(), labels)
+            }
+        };
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            || name.starts_with(|c: char| c.is_ascii_digit())
+        {
+            return Err(format!("line {}: illegal metric name {name:?}", lineno + 1));
+        }
+        let value = if value_part == "+Inf" {
+            f64::INFINITY
+        } else {
+            value_part
+                .parse::<f64>()
+                .map_err(|e| format!("line {}: bad value {value_part:?}: {e}", lineno + 1))?
+        };
+        samples.push(Sample {
+            name,
+            labels,
+            value,
+        });
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::{EventSnapshot, HistogramSnapshot, SpanSnapshot};
+
+    #[test]
+    fn mangle_replaces_non_alphanumerics() {
+        assert_eq!(mangle("server.epoch.ingested"), "server_epoch_ingested");
+        assert_eq!(mangle("http/request-us"), "http_request_us");
+        assert_eq!(mangle("already_ok_9"), "already_ok_9");
+    }
+
+    #[test]
+    fn render_parse_round_trips_every_family() {
+        let report = Report {
+            counters: vec![("server.epoch.ingested".into(), 20)],
+            gauges: vec![("epoch.duration_ns".into(), 1500.0)],
+            histograms: vec![HistogramSnapshot {
+                name: "server.http.request_us".into(),
+                count: 3,
+                sum: 42.5,
+                buckets: vec![(10.0, 2), (f64::INFINITY, 1)],
+            }],
+            spans: vec![SpanSnapshot {
+                name: "server.epoch",
+                count: 2,
+                total_ns: 9000,
+                min_ns: 4000,
+                max_ns: 5000,
+            }],
+            events: vec![EventSnapshot {
+                name: "skipped".into(),
+                fields: vec![],
+            }],
+        };
+        let text = render(&report);
+        let samples = parse(&text).expect("renderer output must parse");
+        let get = |name: &str| -> &Sample {
+            samples
+                .iter()
+                .find(|s| s.name == name && s.labels.is_empty())
+                .unwrap_or_else(|| panic!("missing sample {name}\n{text}"))
+        };
+        assert_eq!(get("srtd_server_epoch_ingested_total").value, 20.0);
+        assert_eq!(get("srtd_epoch_duration_ns").value, 1500.0);
+        assert_eq!(get("srtd_server_http_request_us_sum").value, 42.5);
+        assert_eq!(get("srtd_server_http_request_us_count").value, 3.0);
+        assert_eq!(get("srtd_span_server_epoch_count").value, 2.0);
+        assert_eq!(
+            get("srtd_span_server_epoch_duration_ns_total").value,
+            9000.0
+        );
+        // Cumulative buckets: the finite bucket holds 2, +Inf the total 3.
+        let buckets: Vec<&Sample> = samples
+            .iter()
+            .filter(|s| s.name == "srtd_server_http_request_us_bucket")
+            .collect();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].labels, vec![("le".into(), "10".into())]);
+        assert_eq!(buckets[0].value, 2.0);
+        assert_eq!(buckets[1].labels, vec![("le".into(), "+Inf".into())]);
+        assert_eq!(buckets[1].value, 3.0);
+        // Events are not exported.
+        assert!(!text.contains("skipped"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse("no_value").is_err());
+        assert!(parse("name{unterminated 1").is_err());
+        assert!(parse("name{k=v} 1").is_err());
+        assert!(parse("bad-name 1").is_err());
+        assert!(parse("name nan-ish").is_err());
+    }
+}

@@ -18,6 +18,37 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(f64, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`0 < q <= 1`) by linear interpolation
+    /// inside the bucket holding the target rank, between the previous
+    /// non-empty finite bound (or 0) and the bucket's own bound. With
+    /// 1–2–5 decade buckets the estimate is within one bucket width of
+    /// the true value; the raw bucket counts remain the deterministic
+    /// source of truth. Ranks landing in the overflow bucket report its
+    /// lower edge — all the histogram knows. `None` when empty.
+    pub fn quantile_est(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        let mut lower = 0.0;
+        for &(bound, c) in &self.buckets {
+            let before = cumulative;
+            cumulative += c;
+            if cumulative >= target {
+                if !bound.is_finite() {
+                    return Some(lower);
+                }
+                let frac = (target - before) as f64 / c as f64;
+                return Some(lower + (bound - lower) * frac);
+            }
+            lower = bound;
+        }
+        None
+    }
+}
+
 /// One span aggregate in a [`Report`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanSnapshot {
@@ -126,7 +157,7 @@ impl Report {
     pub fn deterministic_json(&self) -> String {
         Json::obj([
             ("counters", counters_json(&self.counters)),
-            ("histograms", histograms_json(&self.histograms)),
+            ("histograms", histograms_json(&self.histograms, false)),
             ("events", events_json(&self.events)),
         ])
         .render()
@@ -195,10 +226,16 @@ impl Report {
                 } else {
                     0.0
                 };
+                let est = |q| h.quantile_est(q).unwrap_or(0.0);
                 writeln!(
                     out,
-                    "  {:width$}  count {}  sum {}  mean {mean:.3}",
-                    h.name, h.count, h.sum
+                    "  {:width$}  count {}  sum {}  mean {mean:.3}  ~p50 {:.3}  ~p90 {:.3}  ~p99 {:.3}",
+                    h.name,
+                    h.count,
+                    h.sum,
+                    est(0.50),
+                    est(0.90),
+                    est(0.99)
                 )
                 .expect("string write");
             }
@@ -218,7 +255,7 @@ impl Report {
     }
 }
 
-fn counters_json(counters: &[(String, u64)]) -> Json {
+pub(super) fn counters_json(counters: &[(String, u64)]) -> Json {
     Json::Obj(
         counters
             .iter()
@@ -227,7 +264,10 @@ fn counters_json(counters: &[(String, u64)]) -> Json {
     )
 }
 
-fn histograms_json(histograms: &[HistogramSnapshot]) -> Json {
+/// `with_estimates` adds interpolated `~p50/p90/p99` fields to each
+/// histogram; the deterministic export leaves them out (they are derived,
+/// floating-point data — the raw bucket counts are the contract).
+pub(super) fn histograms_json(histograms: &[HistogramSnapshot], with_estimates: bool) -> Json {
     Json::Obj(
         histograms
             .iter()
@@ -241,20 +281,20 @@ fn histograms_json(histograms: &[HistogramSnapshot]) -> Json {
                     };
                     Json::arr([le, count.to_json()])
                 }));
-                (
-                    h.name.clone(),
-                    Json::obj([
-                        ("count", h.count.to_json()),
-                        ("sum", h.sum.to_json()),
-                        ("buckets", buckets),
-                    ]),
-                )
+                let mut fields = vec![("count", h.count.to_json()), ("sum", h.sum.to_json())];
+                if with_estimates {
+                    for (key, q) in [("p50_est", 0.50), ("p90_est", 0.90), ("p99_est", 0.99)] {
+                        fields.push((key, h.quantile_est(q).unwrap_or(0.0).to_json()));
+                    }
+                }
+                fields.push(("buckets", buckets));
+                (h.name.clone(), Json::obj(fields))
             })
             .collect(),
     )
 }
 
-fn events_json(events: &[EventSnapshot]) -> Json {
+pub(super) fn events_json(events: &[EventSnapshot]) -> Json {
     Json::arr(events.iter().map(|e| {
         Json::obj([
             ("name", Json::str(e.name.as_str())),
@@ -300,7 +340,7 @@ impl ToJson for Report {
                         .collect(),
                 ),
             ),
-            ("histograms", histograms_json(&self.histograms)),
+            ("histograms", histograms_json(&self.histograms, true)),
             ("spans", spans),
             ("events", events_json(&self.events)),
         ])
@@ -352,7 +392,9 @@ mod tests {
             rendered,
             concat!(
                 r#"{"counters":{"c.one":7},"gauges":{"g.one":1.5},"#,
-                r#""histograms":{"h.one":{"count":2,"sum":30,"buckets":[[10,1],[null,1]]}},"#,
+                r#""histograms":{"h.one":{"count":2,"sum":30,"#,
+                r#""p50_est":10,"p90_est":10,"p99_est":10,"#,
+                r#""buckets":[[10,1],[null,1]]}},"#,
                 r#""spans":{"s.one":{"count":3,"total_ns":3000,"min_ns":500,"max_ns":2000}},"#,
                 r#""events":[{"name":"e.one","fields":{"k":4}}]}"#
             )
@@ -360,13 +402,44 @@ mod tests {
     }
 
     #[test]
-    fn deterministic_json_excludes_gauges_and_spans() {
+    fn deterministic_json_excludes_gauges_spans_and_estimates() {
         let d = sample().deterministic_json();
         assert!(d.contains("counters"));
         assert!(d.contains("histograms"));
         assert!(d.contains("events"));
         assert!(!d.contains("gauges"));
         assert!(!d.contains("total_ns"));
+        assert!(!d.contains("p50_est"));
+    }
+
+    #[test]
+    fn quantile_estimates_interpolate_within_buckets() {
+        // 10 values <= 10, 10 values in (10, 20].
+        let h = HistogramSnapshot {
+            name: "h".into(),
+            count: 20,
+            sum: 0.0,
+            buckets: vec![(10.0, 10), (20.0, 10)],
+        };
+        assert_eq!(h.quantile_est(0.5), Some(10.0));
+        assert_eq!(h.quantile_est(0.75), Some(15.0));
+        assert_eq!(h.quantile_est(1.0), Some(20.0));
+        // Overflow bucket reports its lower edge.
+        let o = HistogramSnapshot {
+            name: "o".into(),
+            count: 2,
+            sum: 0.0,
+            buckets: vec![(5.0, 1), (f64::INFINITY, 1)],
+        };
+        assert_eq!(o.quantile_est(0.99), Some(5.0));
+        // Empty histograms have no quantiles.
+        let e = HistogramSnapshot {
+            name: "e".into(),
+            count: 0,
+            sum: 0.0,
+            buckets: vec![],
+        };
+        assert_eq!(e.quantile_est(0.5), None);
     }
 
     #[test]

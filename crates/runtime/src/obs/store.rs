@@ -1,7 +1,8 @@
 //! The process-wide telemetry store behind the `obs` entry points.
 
+use super::history::WindowRecord;
 use crate::json::Json;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Mutex, OnceLock};
 
 /// Histogram bucket upper bounds: 1–2–5 per decade from 1 to 5·10⁹.
@@ -71,6 +72,41 @@ pub(crate) struct Event {
     pub(crate) fields: Vec<(String, Json)>,
 }
 
+/// One node of a trace tree while its window is still open. Children are
+/// keyed (and therefore exported) by name, so the structure depends only
+/// on which stages ran — never on emission interleaving.
+#[derive(Debug, Default)]
+pub(crate) struct TraceBuild {
+    pub(crate) count: u64,
+    pub(crate) total_ns: u64,
+    pub(crate) children: BTreeMap<&'static str, TraceBuild>,
+}
+
+/// The currently-open telemetry window: trace collection is scoped to the
+/// thread that opened it (worker-thread spans stay out of the tree, which
+/// is what keeps node structure and counts worker-count-independent).
+#[derive(Debug)]
+pub(crate) struct OpenWindow {
+    pub(crate) opener: std::thread::ThreadId,
+    /// Root container; its children are the window's top-level stages.
+    pub(crate) trace: TraceBuild,
+}
+
+/// Window bookkeeping: the baseline the next delta is computed against
+/// (the registry state at the previous `window_end`, or empty after a
+/// reset), the open window if any, and the bounded ring of completed
+/// windows.
+#[derive(Debug, Default)]
+pub(crate) struct WindowState {
+    pub(crate) base_counters: BTreeMap<String, u64>,
+    pub(crate) base_histograms: BTreeMap<String, Histogram>,
+    pub(crate) base_events: usize,
+    pub(crate) open: Option<OpenWindow>,
+    pub(crate) history: VecDeque<WindowRecord>,
+    /// Windows completed so far; doubles as the 1-based window index.
+    pub(crate) ended: u64,
+}
+
 /// Everything collected so far. `BTreeMap` keys give the exports a
 /// deterministic (sorted) order regardless of emission interleaving.
 #[derive(Debug, Default)]
@@ -80,6 +116,7 @@ pub(crate) struct Store {
     pub(crate) histograms: BTreeMap<String, Histogram>,
     pub(crate) spans: BTreeMap<&'static str, SpanStats>,
     pub(crate) events: Vec<Event>,
+    pub(crate) window: WindowState,
 }
 
 static STORE: OnceLock<Mutex<Store>> = OnceLock::new();

@@ -67,6 +67,11 @@ where
     let workers = max_threads().min(items.len());
     crate::obs::gauge_set("runtime.parallel.workers", workers.max(1) as f64);
     if workers <= 1 {
+        // Trace-tree parity with the threaded branch: there the item
+        // closures run on worker threads, whose spans never enter the
+        // window trace; suppress recording here so the inline fallback
+        // excludes exactly the same spans at 1 worker.
+        let _flat_only = crate::obs::suppress_trace();
         return items.iter().map(f).collect();
     }
     let chunk_len = items.len().div_ceil(workers);

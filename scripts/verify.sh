@@ -15,7 +15,8 @@ cargo test -q --offline --workspace
 cargo test -q --offline --test ag_tr_equivalence
 
 # Observability smoke: an instrumented run must export JSON that the
-# runtime's own parser accepts (obs-check validates shape and parse).
+# runtime's own parser accepts (obs-check validates shape and parse,
+# including the retained telemetry windows under `history`).
 obs_json="$(mktemp /tmp/srtd-obs.XXXXXX.json)"
 bench_json="$(mktemp /tmp/srtd-bench.XXXXXX.json)"
 trap 'rm -f "$obs_json" "$bench_json"' EXIT
@@ -33,8 +34,12 @@ cargo run -q --release --offline -p srtd-bench --bin bench_check -- "$bench_json
 
 # Server smoke: spawn srtd-server on an ephemeral loopback port, POST a
 # report batch, run two epochs (the second must warm-start in ≤2
-# iterations), GET truths/groups/metrics as well-formed JSON, and shut
-# down cleanly (server-check drives the sequence and checks exit status).
+# iterations), GET truths/groups/metrics as well-formed JSON, scrape the
+# telemetry timeline (/metrics/history?n=2 must return two windows whose
+# epoch-counter deltas sum to the cumulative /metrics values, /trace must
+# name the fold/discover/swap stages, /metrics?format=prom must expose
+# the counter families), and shut down cleanly (server-check drives the
+# sequence and checks exit status).
 cargo run -q --release --offline --bin server-check -- target/release/srtd-server
 
 echo "verify: OK"

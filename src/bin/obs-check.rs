@@ -3,9 +3,11 @@
 //! Reads the file named by its single argument, parses it with the
 //! runtime's strict JSON parser and asserts the shape a
 //! [`sybil_td::runtime::obs::Report`] export promises: a top-level object
-//! with `counters`, `gauges`, `histograms`, `spans` and `events` keys.
-//! Exits non-zero (with a message on stderr) on any violation, so
-//! `scripts/verify.sh` can use it as an offline smoke check.
+//! with `counters`, `gauges`, `histograms`, `spans`, `events` and
+//! `history` keys — `history` being an array of completed telemetry
+//! windows, each an object carrying at least `window`, `label` and
+//! `trace`. Exits non-zero (with a message on stderr) on any violation,
+//! so `scripts/verify.sh` can use it as an offline smoke check.
 
 use std::process::ExitCode;
 use sybil_td::runtime::json::{parse, Json};
@@ -34,9 +36,34 @@ fn run() -> Result<String, String> {
     let Json::Obj(fields) = tree else {
         return Err(format!("{path}: top level is not an object"));
     };
-    for key in ["counters", "gauges", "histograms", "spans", "events"] {
+    for key in [
+        "counters",
+        "gauges",
+        "histograms",
+        "spans",
+        "events",
+        "history",
+    ] {
         if !fields.iter().any(|(k, _)| k == key) {
             return Err(format!("{path}: missing `{key}` section"));
+        }
+    }
+    let history = fields
+        .iter()
+        .find(|(k, _)| k == "history")
+        .map(|(_, v)| v)
+        .expect("presence checked above");
+    let Json::Arr(windows) = history else {
+        return Err(format!("{path}: `history` is not an array"));
+    };
+    for (i, window) in windows.iter().enumerate() {
+        let Json::Obj(entries) = window else {
+            return Err(format!("{path}: history[{i}] is not an object"));
+        };
+        for key in ["window", "label", "counters", "trace"] {
+            if !entries.iter().any(|(k, _)| k == key) {
+                return Err(format!("{path}: history[{i}] is missing `{key}`"));
+            }
         }
     }
     let count_of = |key: &str| {
@@ -51,10 +78,11 @@ fn run() -> Result<String, String> {
             .unwrap_or(0)
     };
     Ok(format!(
-        "ok: {path} ({} counters, {} histograms, {} spans, {} events)",
+        "ok: {path} ({} counters, {} histograms, {} spans, {} events, {} windows)",
         count_of("counters"),
         count_of("histograms"),
         count_of("spans"),
         count_of("events"),
+        windows.len(),
     ))
 }

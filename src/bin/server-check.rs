@@ -10,7 +10,11 @@
 //! (valid reports plus a deliberate duplicate), two epochs — asserting
 //! the second, steady-state epoch warm-starts and converges in ≤2
 //! iterations — then truths/groups/metrics reads (every response must be
-//! well-formed JSON) and a clean shutdown with exit status 0.
+//! well-formed JSON), the telemetry timeline (`/metrics/history?n=2`
+//! returns two windows whose epoch-counter deltas sum to the cumulative
+//! `/metrics` values; `/trace` names the fold/discover/swap stages;
+//! `?format=prom` exposes the counter families), and a clean shutdown
+//! with exit status 0.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -69,9 +73,12 @@ fn drive(child: &mut Child) -> Result<(), String> {
         .ok_or_else(|| format!("unexpected announcement {first_line:?}"))?
         .to_string();
 
-    // Liveness.
+    // Liveness — and not yet ready: nothing published before epoch 1.
     let health = request(&addr, "GET", "/healthz", None)?;
     expect_num(&health, "epoch", 0.0)?;
+    if field(&health, "ready") != Some(&Json::Bool(false)) {
+        return Err("healthz must report ready=false before the first epoch".into());
+    }
 
     // A mixed batch: four valid reports, one duplicate to be rejected.
     let batch = r#"{"reports":[
@@ -120,6 +127,17 @@ fn drive(child: &mut Child) -> Result<(), String> {
     let groups = request(&addr, "GET", "/groups", None)?;
     expect_num(&groups, "num_groups", 3.0)?;
 
+    // Readiness after two epochs: published snapshot, measured duration.
+    let health = request(&addr, "GET", "/healthz", None)?;
+    expect_num(&health, "epoch", 2.0)?;
+    if field(&health, "ready") != Some(&Json::Bool(true)) {
+        return Err("healthz must report ready=true after an epoch".into());
+    }
+    match field(&health, "last_epoch_duration_ns") {
+        Some(Json::Num(ns)) if *ns > 0.0 => {}
+        other => return Err(format!("bad last_epoch_duration_ns: {other:?}")),
+    }
+
     // Metrics: the obs export must carry the epoch-loop counters.
     let metrics_raw = request_raw(&addr, "GET", "/metrics", None)?;
     for name in [
@@ -127,12 +145,73 @@ fn drive(child: &mut Child) -> Result<(), String> {
         "server.epoch.folded",
         "server.epoch.iterations",
         "server.epoch.snapshot_swaps",
+        "server.http.requests",
+        "server.http.status.2xx",
     ] {
         if !metrics_raw.contains(name) {
             return Err(format!("metrics export is missing `{name}`"));
         }
     }
-    parse(&metrics_raw).map_err(|e| format!("metrics is not valid JSON: {e}"))?;
+    let metrics = parse(&metrics_raw).map_err(|e| format!("metrics is not valid JSON: {e}"))?;
+
+    // Timeline: two epochs → two retained windows whose epoch-counter
+    // deltas sum to the cumulative /metrics values (the HTTP counters
+    // keep moving between windows, so only the epoch family tiles).
+    let history = request(&addr, "GET", "/metrics/history?n=2", None)?;
+    expect_num(&history, "count", 2.0)?;
+    let Some(Json::Arr(windows)) = field(&history, "windows") else {
+        return Err("history response is missing `windows`".into());
+    };
+    if windows.len() != 2 {
+        return Err(format!("want 2 history windows, got {}", windows.len()));
+    }
+    for name in [
+        "server.epoch.ingested",
+        "server.epoch.folded",
+        "server.epoch.iterations",
+        "server.epoch.snapshot_swaps",
+    ] {
+        let delta_sum: f64 = windows
+            .iter()
+            .map(|w| {
+                field(w, "counters")
+                    .and_then(|c| field(c, name))
+                    .map_or(0.0, |v| if let Json::Num(x) = v { *x } else { 0.0 })
+            })
+            .sum();
+        let cumulative = field(&metrics, "counters")
+            .and_then(|c| field(c, name))
+            .map_or(0.0, |v| if let Json::Num(x) = v { *x } else { 0.0 });
+        if delta_sum != cumulative {
+            return Err(format!(
+                "`{name}`: window deltas sum to {delta_sum}, cumulative is {cumulative}"
+            ));
+        }
+    }
+
+    // Trace: the latest epoch's tree attributes the pipeline stages.
+    let trace_raw = request_raw(&addr, "GET", "/trace", None)?;
+    let trace = parse(&trace_raw).map_err(|e| format!("trace is not valid JSON: {e}"))?;
+    if field(&trace, "trace").is_none() {
+        return Err("trace response is missing `trace`".into());
+    }
+    for stage in ["server.epoch", "epoch.fold", "epoch.discover", "epoch.swap"] {
+        if !trace_raw.contains(stage) {
+            return Err(format!("trace is missing stage `{stage}`"));
+        }
+    }
+
+    // Prometheus exposition: text format, counter families present.
+    let prom = request_raw(&addr, "GET", "/metrics?format=prom", None)?;
+    for needle in [
+        "# TYPE srtd_server_epoch_ingested_total counter",
+        "srtd_server_epoch_ingested_total 4",
+        "srtd_server_http_request_us_bucket{le=\"+Inf\"}",
+    ] {
+        if !prom.contains(needle) {
+            return Err(format!("prom exposition is missing `{needle}`:\n{prom}"));
+        }
+    }
 
     let bye = request(&addr, "POST", "/shutdown", None)?;
     if field(&bye, "status") != Some(&Json::str("shutting down")) {

@@ -12,7 +12,8 @@
 //!
 //! Endpoints:
 //!
-//! * `GET  /healthz`  — liveness plus the current epoch counter
+//! * `GET  /healthz`  — readiness: epoch and generation counters, ingest
+//!   backlog, last-epoch duration
 //! * `POST /ingest`   — `{"reports":[{"account":A,"task":T,"value":V,"timestamp":S},…]}`;
 //!   each report is validated and buffered, the response counts
 //!   acceptances and rejections (with reasons)
@@ -20,8 +21,18 @@
 //!   warm-started Algorithm 2, publish; returns the new snapshot
 //! * `GET  /truths`   — the latest published snapshot (epoch, truths, …)
 //! * `GET  /groups`   — the latest grouping: labels and group weights
-//! * `GET  /metrics`  — the obs registry's deterministic JSON export
+//! * `GET  /metrics`  — the obs registry's deterministic JSON export;
+//!   `?format=prom` switches to Prometheus text exposition of the full
+//!   snapshot (gauges and spans included)
+//! * `GET  /metrics/history?n=N` — the last N completed epoch windows
+//!   (delta reports + trace trees), oldest first
+//! * `GET  /trace`    — the latest completed epoch's trace tree
 //! * `POST /shutdown` — acknowledge and exit cleanly
+//!
+//! Every request additionally feeds the obs registry: a
+//! `server.http.requests` counter, per-status-class counters
+//! (`server.http.status.2xx`, …) and a `server.http.request_us` latency
+//! histogram.
 //!
 //! Requests are handled sequentially on the accept thread: the engine is
 //! deterministic, and the serving story is snapshot handoff, not request
@@ -189,8 +200,7 @@ fn handle_connection(stream: TcpStream, engine: &mut Engine) -> Result<bool, Str
     let (Some(verb), Some(path)) = (parts.next(), parts.next()) else {
         return respond(
             reader.into_inner(),
-            400,
-            &error_json("malformed request line"),
+            &Response::json(400, error_json("malformed request line")),
         )
         .map(|()| true);
     };
@@ -219,27 +229,89 @@ fn handle_connection(stream: TcpStream, engine: &mut Engine) -> Result<bool, Str
     let body = String::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
     let stream = reader.into_inner();
 
-    match (verb.as_str(), path.as_str()) {
+    let started = std::time::Instant::now();
+    let (path, query) = split_query(&path);
+    let (response, keep_serving) = route(&verb, path, &query, &body, engine);
+
+    // Per-request telemetry: total + status-class counters and a latency
+    // histogram. Recorded before the write so even a failed send counts.
+    obs::counter_add("server.http.requests", 1);
+    obs::counter_add(
+        &format!("server.http.status.{}xx", response.status / 100),
+        1,
+    );
+    obs::observe(
+        "server.http.request_us",
+        started.elapsed().as_secs_f64() * 1e6,
+    );
+
+    respond(stream, &response)?;
+    Ok(keep_serving)
+}
+
+/// One route's outcome, before it is written to the socket.
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+}
+
+impl Response {
+    fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    fn text(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; version=0.0.4",
+            body,
+        }
+    }
+}
+
+/// Dispatches one parsed request; the bool is `false` after `/shutdown`.
+fn route(
+    verb: &str,
+    path: &str,
+    query: &[(String, String)],
+    body: &str,
+    engine: &mut Engine,
+) -> (Response, bool) {
+    let param = |name: &str| {
+        query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    let response = match (verb, path) {
         ("GET", "/healthz") => {
             let snap = engine.latest();
             let doc = Json::obj([
                 ("status", Json::str("ok")),
+                // Ready once a first snapshot has been published: before
+                // epoch 1 every truth is still `None`.
+                ("ready", (snap.epoch > 0).to_json()),
                 ("epoch", snap.epoch.to_json()),
+                ("generation", snap.generation.to_json()),
                 ("pending", engine.pending_reports().to_json()),
+                ("last_epoch_duration_ns", snap.duration_ns.to_json()),
             ]);
-            respond(stream, 200, &doc.render())?;
+            Response::json(200, doc.render())
         }
-        ("POST", "/ingest") => match ingest_batch(engine, &body) {
-            Ok(doc) => respond(stream, 200, &doc.render())?,
-            Err(e) => respond(stream, 400, &error_json(&e))?,
+        ("POST", "/ingest") => match ingest_batch(engine, body) {
+            Ok(doc) => Response::json(200, doc.render()),
+            Err(e) => Response::json(400, error_json(&e)),
         },
         ("POST", "/epoch") => {
             let snap = engine.run_epoch();
-            respond(stream, 200, &snap.to_json().render())?;
+            Response::json(200, snap.to_json().render())
         }
-        ("GET", "/truths") => {
-            respond(stream, 200, &engine.latest().to_json().render())?;
-        }
+        ("GET", "/truths") => Response::json(200, engine.latest().to_json().render()),
         ("GET", "/groups") => {
             let snap = engine.latest();
             let doc = Json::obj([
@@ -248,22 +320,68 @@ fn handle_connection(stream: TcpStream, engine: &mut Engine) -> Result<bool, Str
                 ("labels", snap.labels.to_json()),
                 ("group_weights", snap.group_weights.to_json()),
             ]);
-            respond(stream, 200, &doc.render())?;
+            Response::json(200, doc.render())
         }
-        ("GET", "/metrics") => {
-            respond(stream, 200, &obs::snapshot().deterministic_json())?;
+        ("GET", "/metrics") => match param("format") {
+            Some("prom") => Response::text(200, obs::prom::render(&obs::snapshot())),
+            Some(other) => Response::json(400, error_json(&format!("unknown format `{other}`"))),
+            None => Response::json(200, obs::snapshot().deterministic_json()),
+        },
+        ("GET", "/metrics/history") => {
+            let n = match param("n").map(str::parse::<usize>) {
+                None => usize::MAX,
+                Some(Ok(n)) => n,
+                Some(Err(_)) => {
+                    return (
+                        Response::json(400, error_json("`n` must be a non-negative integer")),
+                        true,
+                    )
+                }
+            };
+            let windows = obs::history(n);
+            let doc = Json::obj([
+                ("count", windows.len().to_json()),
+                ("windows", Json::arr(windows.iter().map(ToJson::to_json))),
+            ]);
+            Response::json(200, doc.render())
         }
+        ("GET", "/trace") => match obs::latest_window() {
+            Some(w) => {
+                let doc = Json::obj([
+                    ("window", w.index.to_json()),
+                    ("label", Json::str(w.label.as_str())),
+                    ("trace", Json::arr(w.trace.iter().map(ToJson::to_json))),
+                ]);
+                Response::json(200, doc.render())
+            }
+            None => Response::json(404, error_json("no completed epoch window yet")),
+        },
         ("POST", "/shutdown") => {
-            respond(
-                stream,
-                200,
-                &Json::obj([("status", Json::str("shutting down"))]).render(),
-            )?;
-            return Ok(false);
+            let doc = Json::obj([("status", Json::str("shutting down"))]);
+            return (Response::json(200, doc.render()), false);
         }
-        _ => respond(stream, 404, &error_json(&format!("no route {verb} {path}")))?,
+        _ => Response::json(404, error_json(&format!("no route {verb} {path}"))),
+    };
+    (response, true)
+}
+
+/// Splits `/path?k=v&k2=v2` into the path and its query pairs (values
+/// may be empty; no percent-decoding — the wire format never needs it).
+fn split_query(path: &str) -> (&str, Vec<(String, String)>) {
+    match path.split_once('?') {
+        None => (path, Vec::new()),
+        Some((path, query)) => {
+            let pairs = query
+                .split('&')
+                .filter(|pair| !pair.is_empty())
+                .map(|pair| match pair.split_once('=') {
+                    Some((k, v)) => (k.to_string(), v.to_string()),
+                    None => (pair.to_string(), String::new()),
+                })
+                .collect();
+            (path, pairs)
+        }
     }
-    Ok(true)
 }
 
 /// Parses an ingest body and feeds each report to the engine. Invalid
@@ -329,19 +447,22 @@ fn error_json(message: &str) -> String {
     Json::obj([("error", Json::str(message))]).render()
 }
 
-fn respond(mut stream: TcpStream, status: u16, body: &str) -> Result<(), String> {
-    let reason = match status {
+fn respond(mut stream: TcpStream, response: &Response) -> Result<(), String> {
+    let reason = match response.status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
         _ => "Error",
     };
-    let response = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
+    let wire = format!(
+        "HTTP/1.1 {} {reason}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        response.status,
+        response.content_type,
+        response.body.len(),
+        response.body
     );
     stream
-        .write_all(response.as_bytes())
+        .write_all(wire.as_bytes())
         .and_then(|()| stream.flush())
         .map_err(|e| e.to_string())
 }

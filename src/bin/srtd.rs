@@ -38,6 +38,16 @@ fn main() -> ExitCode {
     if flags.contains_key("obs") {
         obs::set_enabled(true);
     }
+    match flag_parse(&flags, "obs-history", 0usize) {
+        // 0 (the default) leaves the SRTD_OBS_HISTORY / built-in default
+        // resolution untouched.
+        Ok(0) => {}
+        Ok(n) => obs::set_history_capacity(n),
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
     let result = match command.as_str() {
         "simulate" => cmd_simulate(&flags),
         "evaluate" => cmd_evaluate(&flags),
@@ -79,6 +89,7 @@ srtd — Sybil-resistant truth discovery for mobile crowdsensing
 USAGE:
   srtd simulate [--seed N] [--legit N] [--tasks N] [--activeness L,A] [--out DIR]
   srtd evaluate [--seed N] [--seeds N] [--activeness L,A] [--from DIR] [--obs]
+                [--obs-history N]
   srtd group    [--seed N] [--method ag-fp|ag-ts|ag-tr|ag-val] [--activeness L,A] [--obs]
   srtd help
 
@@ -90,7 +101,9 @@ group     run one grouping method and print groups plus ARI vs. owners
 
 --obs enables the observability layer (spans, counters, events) and prints
 a report after the run; SRTD_OBS=1 in the environment does the same, and
-SRTD_OBS_JSON=<path> additionally writes the report as JSON.";
+SRTD_OBS_JSON=<path> additionally writes the report as JSON (including the
+retained telemetry windows — evaluate opens one per seed). --obs-history N
+overrides how many windows are retained (default SRTD_OBS_HISTORY or 64).";
 
 /// Flags that take no value; their presence alone is the signal.
 const BOOLEAN_FLAGS: &[&str] = &["obs"];
@@ -308,6 +321,9 @@ fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
     let base = config_from(flags)?;
     let mut totals: Vec<(&'static str, f64)> = Vec::new();
     for seed in 0..seeds.max(1) {
+        // One telemetry window per seed: the exported history then shows
+        // each campaign's cost as a delta, not one cumulative blob.
+        obs::window_begin();
         let s = Scenario::generate(&base.clone().with_seed(base.seed + seed));
         for (i, (name, err)) in evaluate_one(&s.data, &s.fingerprints, &s.ground_truth)
             .into_iter()
@@ -318,6 +334,7 @@ fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
             }
             totals[i].1 += err;
         }
+        obs::window_end(&format!("seed-{}", base.seed + seed));
     }
     println!("method  MAE (avg over {} seed(s))", seeds.max(1));
     for (name, sum) in totals {

@@ -132,9 +132,16 @@ fn obs_flag_prints_report_and_exports_json() {
     for needle in ["spans (wall clock)", "counters", "framework.discover"] {
         assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
     }
-    // The JSON export exists and carries the report sections.
+    // The JSON export exists and carries the report sections, including
+    // the retained telemetry windows (evaluate opens one per seed).
     let json = std::fs::read_to_string(&json_path).expect("SRTD_OBS_JSON written");
-    for needle in ["\"spans\"", "\"counters\"", "framework.iteration"] {
+    for needle in [
+        "\"spans\"",
+        "\"counters\"",
+        "framework.iteration",
+        "\"history\"",
+        "\"label\":\"seed-0\"",
+    ] {
         assert!(json.contains(needle), "missing `{needle}` in export");
     }
     let _ = std::fs::remove_file(&json_path);
