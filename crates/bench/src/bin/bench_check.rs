@@ -7,8 +7,8 @@
 use srtd_runtime::json::{parse, Json};
 use std::process::exit;
 
-const SCHEMA: &str = "srtd-bench-pipeline-v5";
-const TOP_LEVEL_KEYS: [&str; 12] = [
+const SCHEMA: &str = "srtd-bench-pipeline-v6";
+const TOP_LEVEL_KEYS: [&str; 13] = [
     "schema",
     "quick",
     "threads_available",
@@ -18,6 +18,7 @@ const TOP_LEVEL_KEYS: [&str; 12] = [
     "epochs",
     "determinism",
     "dtw_prune",
+    "grouping_scale",
     "feature_fusion",
     "obs_overhead",
     "counters",
@@ -185,6 +186,102 @@ fn main() {
     }
     if !matches!(get(prune, "grouping_identical"), Some(Json::Bool(true))) {
         fail("dtw_prune.grouping_identical must be true");
+    }
+    // Per-signal blocking honesty: the candidate count each signal visits
+    // can never exceed the pairs it was responsible for.
+    for signal in ["ag_ts", "ag_tr"] {
+        let total = prune_num(&format!("{signal}_pairs_total"));
+        let candidate = prune_num(&format!("{signal}_pairs_candidate"));
+        if candidate > total {
+            fail(&format!(
+                "dtw_prune.{signal}_pairs_candidate ({candidate}) exceeds \
+                 {signal}_pairs_total ({total})"
+            ));
+        }
+    }
+    let Some(Json::Obj(scale)) = get(&fields, "grouping_scale") else {
+        fail("`grouping_scale` must be an object");
+    };
+    let scale_num = |key: &str| -> f64 {
+        match get(scale, key) {
+            Some(Json::Num(n)) if *n >= 0.0 => *n,
+            _ => fail(&format!("grouping_scale.{key} must be a number >= 0")),
+        }
+    };
+    let accounts = scale_num("accounts");
+    if accounts < 100_000.0 {
+        fail("grouping_scale.accounts must cover at least 100k accounts");
+    }
+    let pairs_total = scale_num("pairs_total");
+    let pairs_visited = scale_num("pairs_visited");
+    // Two blocked pairwise signals over n(n−1)/2 pairs each.
+    if pairs_total != accounts * (accounts - 1.0) {
+        fail("grouping_scale.pairs_total must be 2 · n(n−1)/2 for the two pairwise signals");
+    }
+    if pairs_visited > pairs_total {
+        fail("grouping_scale.pairs_visited exceeds pairs_total");
+    }
+    let skip_rate = scale_num("blocking_skip_rate");
+    if (skip_rate - (1.0 - pairs_visited / pairs_total)).abs() > 1e-9 {
+        fail("grouping_scale.blocking_skip_rate is inconsistent with the pair counts");
+    }
+    // The sub-quadratic acceptance bar: ≥ 99% of pairwise work skipped.
+    if skip_rate < 0.99 {
+        fail(&format!(
+            "grouping_scale.blocking_skip_rate is {skip_rate}; blocking must \
+             skip at least 99% of the pairwise work at this scale"
+        ));
+    }
+    if scale_num("generate_ms") <= 0.0 {
+        fail("grouping_scale.generate_ms must be positive");
+    }
+    for signal in ["ag_ts", "ag_tr"] {
+        let Some(Json::Obj(sig)) = get(scale, signal) else {
+            fail(&format!("grouping_scale.{signal} must be an object"));
+        };
+        let sig_num = |key: &str| -> f64 {
+            match get(sig, key) {
+                Some(Json::Num(n)) if *n >= 0.0 => *n,
+                _ => fail(&format!(
+                    "grouping_scale.{signal}.{key} must be a number >= 0"
+                )),
+            }
+        };
+        if sig_num("pairs_candidate") > sig_num("pairs_total") {
+            fail(&format!(
+                "grouping_scale.{signal}: candidate pairs exceed the total"
+            ));
+        }
+        if sig_num("pairs_total") != accounts * (accounts - 1.0) / 2.0 {
+            fail(&format!(
+                "grouping_scale.{signal}.pairs_total must be n(n−1)/2"
+            ));
+        }
+        if sig_num("groups") < 1.0 || sig_num("groups") > accounts {
+            fail(&format!("grouping_scale.{signal}.groups out of range"));
+        }
+        if sig_num("wall_ms") <= 0.0 {
+            fail(&format!("grouping_scale.{signal}.wall_ms must be positive"));
+        }
+        sig_num("buckets");
+    }
+    let Some(Json::Obj(fp)) = get(scale, "ag_fp") else {
+        fail("grouping_scale.ag_fp must be an object");
+    };
+    let fp_num = |key: &str| -> f64 {
+        match get(fp, key) {
+            Some(Json::Num(n)) if *n >= 0.0 => *n,
+            _ => fail(&format!("grouping_scale.ag_fp.{key} must be a number >= 0")),
+        }
+    };
+    if fp_num("distance_evals") + fp_num("skipped_by_norm") != fp_num("pairs_total") {
+        fail("grouping_scale.ag_fp: evaluated + skipped must partition the comparison total");
+    }
+    if fp_num("k") < 1.0 || fp_num("wall_ms") <= 0.0 {
+        fail("grouping_scale.ag_fp k/wall_ms out of range");
+    }
+    if !matches!(get(scale, "note"), Some(Json::Str(_))) {
+        fail("grouping_scale.note must be a string");
     }
     let Some(Json::Obj(fusion)) = get(&fields, "feature_fusion") else {
         fail("`feature_fusion` must be an object");

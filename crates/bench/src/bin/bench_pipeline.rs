@@ -22,20 +22,24 @@
 //!
 //! Run with: `cargo run -p srtd-bench --release --bin bench_pipeline`
 
+use srtd_cluster::{KMeans, KMeansConfig};
 use srtd_core::aggregate::initial_group_weight;
+use srtd_core::grouping::blocking;
 use srtd_core::{
-    AccountGrouping, AgTr, GroupAggregation, Grouping, PerfectGrouping, SybilResistantTd,
+    AccountGrouping, AgTr, AgTs, GroupAggregation, Grouping, PerfectGrouping, SybilResistantTd,
 };
 use srtd_runtime::bench::{black_box, Bench, BenchConfig, BenchStats};
 use srtd_runtime::json::{Json, ToJson};
 use srtd_runtime::obs;
 use srtd_runtime::parallel::set_max_threads;
 use srtd_runtime::rng::{Rng, SeedableRng, StdRng};
+use srtd_sensing::{ScaledCampaign, ScaledCampaignConfig};
+use srtd_signal::features::standardize;
 use srtd_signal::fft::{fft_real, fft_real_pair};
 use srtd_signal::{stream_features, stream_features_batch, FeatureConfig};
 use srtd_timeseries::{Dtw, PrunedPairwise};
 use srtd_truth::{max_abs_delta, ConvergenceCriterion, Report, SensingData};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Campaign shape: the `exp_large_scale` regime scaled until the
 /// framework's parallel gate (64 tasks) is comfortably passed.
@@ -625,6 +629,71 @@ fn main() {
         prune_params,
     ));
 
+    // Per-signal candidate counts on the same campaign: how many of the
+    // n(n−1)/2 pairs each blocked signal actually visits (the honesty
+    // columns of the dtw_prune export).
+    let task_sets: Vec<Vec<usize>> = (0..data.num_accounts()).map(|a| data.tasks_of(a)).collect();
+    let ts_block = blocking::ts_candidates(&task_sets, data.num_tasks(), None);
+    let tr_block = blocking::tr_candidates(&trajectories, ag_pruned.phi(), None);
+
+    // ---- Grouping at scale: a 100k-account campaign, all three signals ----
+    // The sub-quadratic claim measured, not asserted: blocked candidate
+    // generation must leave ≥ 99% of the n(n−1)/2 pairs unvisited while
+    // grouping still runs end to end. One timed pass per signal — at this
+    // size the wall-clock is far above timer noise, and a Bench loop would
+    // blow the quick-mode budget `scripts/verify.sh` runs under.
+    let scale_cfg = ScaledCampaignConfig::new(100_000).with_seed(42);
+    let t_gen = Instant::now();
+    let campaign = ScaledCampaign::generate(&scale_cfg);
+    let scale_generate_ms = t_gen.elapsed().as_secs_f64() * 1e3;
+    let sn = campaign.num_accounts();
+    let scale_task_sets: Vec<Vec<usize>> = (0..sn).map(|a| campaign.data.tasks_of(a)).collect();
+    let ts_scale = blocking::ts_candidates(&scale_task_sets, campaign.data.num_tasks(), None);
+    // Eq. 6 scales as T²/m for identical task sets, so the worked-example
+    // ρ = 1 would reject even perfect replicas at m = 2000 (6²/2000 ≈
+    // 0.018): the threshold must scale with the campaign.
+    let ag_ts_scale = AgTs::new(0.01);
+    let t_ts = Instant::now();
+    let g_ts_scale = ag_ts_scale.group(&campaign.data, &[]);
+    let scale_ts_ms = t_ts.elapsed().as_secs_f64() * 1e3;
+    let ag_tr_scale = AgTr::default();
+    let tr_scale = blocking::tr_candidates(
+        &ag_tr_scale.trajectories(&campaign.data),
+        ag_tr_scale.phi(),
+        None,
+    );
+    let t_tr = Instant::now();
+    let g_tr_scale = ag_tr_scale.group(&campaign.data, &[]);
+    let scale_tr_ms = t_tr.elapsed().as_secs_f64() * 1e3;
+    let t_fp = Instant::now();
+    let scale_points = standardize(&campaign.fingerprints).0;
+    let fp_scale = KMeans::new(
+        KMeansConfig::new(campaign.num_devices)
+            .with_restarts(1)
+            .with_max_iterations(25),
+    )
+    .fit(&scale_points);
+    let scale_fp_ms = t_fp.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(fp_scale.assignments.len(), sn);
+    // Both pairwise signals must group the Sybil rings: every ring merges
+    // its five members, so each signal loses at least 4 accounts per ring
+    // relative to all-singletons.
+    let rings = scale_cfg.num_rings;
+    assert!(
+        g_ts_scale.len() <= sn - 4 * rings && g_tr_scale.len() <= sn - 4 * rings,
+        "scaled grouping missed Sybil rings: TS {} TR {} groups of {sn}",
+        g_ts_scale.len(),
+        g_tr_scale.len(),
+    );
+    let scale_pairs_total = ts_scale.total_pairs + tr_scale.total_pairs;
+    let scale_pairs_visited = (ts_scale.pairs.len() + tr_scale.pairs.len()) as u64;
+    let scale_skip_rate = 1.0 - scale_pairs_visited as f64 / scale_pairs_total as f64;
+    assert!(
+        scale_skip_rate >= 0.99,
+        "blocking must skip ≥ 99% of pairwise work at 100k accounts \
+         (visited {scale_pairs_visited} of {scale_pairs_total})"
+    );
+
     // ---- Epochs: cold vs warm-start epoch latency, fold vs rebuild ----
     // The steady-state epoch contract: re-running Algorithm 2 on
     // unchanged data seeded with the previous epoch's weights converges
@@ -779,7 +848,7 @@ fn main() {
     ));
 
     let doc = Json::obj([
-        ("schema", Json::str("srtd-bench-pipeline-v5")),
+        ("schema", Json::str("srtd-bench-pipeline-v6")),
         ("quick", quick.to_json()),
         ("threads_available", threads_available.to_json()),
         (
@@ -922,6 +991,68 @@ fn main() {
                     (matrix_full.median_ns / matrix_pruned.median_ns).to_json(),
                 ),
                 ("grouping_identical", grouping_identical.to_json()),
+                ("ag_ts_pairs_total", ts_block.total_pairs.to_json()),
+                ("ag_ts_pairs_candidate", ts_block.pairs.len().to_json()),
+                ("ag_tr_pairs_total", tr_block.total_pairs.to_json()),
+                ("ag_tr_pairs_candidate", tr_block.pairs.len().to_json()),
+            ]),
+        ),
+        (
+            "grouping_scale",
+            Json::obj([
+                ("accounts", sn.to_json()),
+                ("tasks", campaign.data.num_tasks().to_json()),
+                ("reports", campaign.data.num_reports().to_json()),
+                ("sybil_rings", rings.to_json()),
+                ("pairs_total", scale_pairs_total.to_json()),
+                ("pairs_visited", scale_pairs_visited.to_json()),
+                ("blocking_skip_rate", scale_skip_rate.to_json()),
+                ("generate_ms", scale_generate_ms.to_json()),
+                (
+                    "ag_ts",
+                    Json::obj([
+                        ("rho", ag_ts_scale.rho().to_json()),
+                        ("pairs_total", ts_scale.total_pairs.to_json()),
+                        ("pairs_candidate", ts_scale.pairs.len().to_json()),
+                        ("buckets", ts_scale.buckets.to_json()),
+                        ("groups", g_ts_scale.len().to_json()),
+                        ("wall_ms", scale_ts_ms.to_json()),
+                    ]),
+                ),
+                (
+                    "ag_tr",
+                    Json::obj([
+                        ("phi", ag_tr_scale.phi().to_json()),
+                        ("pairs_total", tr_scale.total_pairs.to_json()),
+                        ("pairs_candidate", tr_scale.pairs.len().to_json()),
+                        ("buckets", tr_scale.buckets.to_json()),
+                        ("groups", g_tr_scale.len().to_json()),
+                        ("wall_ms", scale_tr_ms.to_json()),
+                    ]),
+                ),
+                (
+                    "ag_fp",
+                    Json::obj([
+                        ("k", campaign.num_devices.to_json()),
+                        ("pairs_total", fp_scale.pruning.total().to_json()),
+                        ("distance_evals", fp_scale.pruning.distance_evals.to_json()),
+                        (
+                            "skipped_by_norm",
+                            fp_scale.pruning.skipped_by_norm.to_json(),
+                        ),
+                        ("iterations", fp_scale.iterations.to_json()),
+                        ("wall_ms", scale_fp_ms.to_json()),
+                    ]),
+                ),
+                (
+                    "note",
+                    Json::str(
+                        "one timed pass per signal on a 100k-account synthetic \
+                         campaign; pairwise totals count both blocked signals \
+                         (AG-TS + AG-TR), AG-FP is centroid-based so its pair \
+                         economics are point–centroid comparisons",
+                    ),
+                ),
             ]),
         ),
         (

@@ -73,6 +73,27 @@ impl KMeansConfig {
     }
 }
 
+/// Work accounting of the pruned assignment step: of the
+/// `points × centroids` candidate comparisons, how many paid for a full
+/// squared distance and how many were skipped by the norm bound. The two
+/// always partition the candidate count, and pruning never changes an
+/// assignment — it only skips centroids that provably cannot win.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AssignPruning {
+    /// Point–centroid comparisons that evaluated a full squared distance.
+    pub distance_evals: u64,
+    /// Comparisons skipped because the norm lower bound already met or
+    /// exceeded the best distance so far.
+    pub skipped_by_norm: u64,
+}
+
+impl AssignPruning {
+    /// Total point–centroid comparisons considered.
+    pub fn total(&self) -> u64 {
+        self.distance_evals + self.skipped_by_norm
+    }
+}
+
 /// The outcome of a k-means run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KMeansResult {
@@ -85,6 +106,9 @@ pub struct KMeansResult {
     pub sse: f64,
     /// Lloyd iterations performed by the winning restart.
     pub iterations: usize,
+    /// Assignment-step work accounting, summed over **all** restarts (the
+    /// honest cost of the whole fit, not just the winning run).
+    pub pruning: AssignPruning,
 }
 
 /// Lloyd's k-means with k-means++ seeding and multi-restart.
@@ -124,17 +148,21 @@ impl KMeans {
         let k = self.config.k.min(points.len());
 
         let mut best: Option<KMeansResult> = None;
+        let mut pruning = AssignPruning::default();
         for restart in 0..self.config.restarts {
             let seed = self
                 .config
                 .seed
                 .wrapping_add(0x9e3779b97f4a7c15u64.wrapping_mul(restart as u64 + 1));
             let result = self.fit_once(points, k, seed);
+            pruning.distance_evals += result.pruning.distance_evals;
+            pruning.skipped_by_norm += result.pruning.skipped_by_norm;
             if best.as_ref().is_none_or(|b| result.sse < b.sse) {
                 best = Some(result);
             }
         }
         let mut best = best.expect("at least one restart");
+        best.pruning = pruning;
         srtd_runtime::obs::observe("cluster.kmeans.iterations", best.iterations as f64);
         // Report the requested k even when clamped: pad with duplicates of
         // the final centroid so callers can index `centroids[k-1]`.
@@ -150,19 +178,35 @@ impl KMeans {
         let mut centroids = plus_plus_init(points, k, &mut rng);
         let mut assignments = vec![0usize; points.len()];
         let mut iterations = 0;
+        let mut pruning = AssignPruning::default();
+        // Point norms never change across iterations; centroid norms are
+        // refreshed per update step. Together they feed the reverse-
+        // triangle bound `(‖p‖ − ‖c‖)² ≤ ‖p − c‖²` that lets the
+        // assignment step skip most centroids without a distance
+        // computation — decision-identical because a skipped centroid
+        // provably cannot beat the current best under the strict `<`
+        // update rule.
+        let point_norms: Vec<f64> = points.iter().map(|p| norm(p)).collect();
+        let indices: Vec<usize> = (0..points.len()).collect();
         for iter in 0..self.config.max_iterations.max(1) {
             iterations = iter + 1;
+            let centroid_norms: Vec<f64> = centroids.iter().map(|c| norm(c)).collect();
             // Assignment step: each point's nearest centroid is independent
             // of the others, so it maps over scoped worker threads. The gate
             // keeps small instances (like the elbow sweeps over a handful
             // of fingerprints) on the sequential path, where a per-Lloyd-
             // iteration thread spawn would cost more than the distance
             // computations; either path yields identical assignments.
-            let nearest_all = parallel_map_min(points, PARALLEL_MIN_POINTS, |p| {
-                nearest_centroid(p, &centroids)
+            // Pruning tallies come back per point in input order and are
+            // summed on this thread, so they too are thread-count
+            // independent.
+            let nearest_all = parallel_map_min(&indices, PARALLEL_MIN_POINTS, |&i| {
+                nearest_centroid_pruned(&points[i], point_norms[i], &centroids, &centroid_norms)
             });
             let mut changed = false;
-            for (i, nearest) in nearest_all.into_iter().enumerate() {
+            for (i, (nearest, evals, skipped)) in nearest_all.into_iter().enumerate() {
+                pruning.distance_evals += evals;
+                pruning.skipped_by_norm += skipped;
                 if assignments[i] != nearest {
                     assignments[i] = nearest;
                     changed = true;
@@ -201,21 +245,45 @@ impl KMeans {
             centroids,
             sse,
             iterations,
+            pruning,
         }
     }
 }
 
-fn nearest_centroid(p: &[f64], centroids: &[Vec<f64>]) -> usize {
+/// Euclidean norm of one vector.
+fn norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// The index of the nearest centroid, plus (distance evaluations, norm
+/// skips) for this point. The reverse triangle inequality gives
+/// `|‖p‖ − ‖c‖| ≤ ‖p − c‖`, so `(‖p‖ − ‖c‖)² ≥ best_d` proves centroid
+/// `c` cannot beat the running best (updates need `d < best_d` strictly);
+/// skipping it leaves both the winning index and the tie-breaking
+/// (first minimum wins, centroid order preserved) unchanged.
+fn nearest_centroid_pruned(
+    p: &[f64],
+    p_norm: f64,
+    centroids: &[Vec<f64>],
+    centroid_norms: &[f64],
+) -> (usize, u64, u64) {
     let mut best = 0;
     let mut best_d = f64::INFINITY;
+    let (mut evals, mut skipped) = (0u64, 0u64);
     for (i, c) in centroids.iter().enumerate() {
+        let gap = p_norm - centroid_norms[i];
+        if gap * gap >= best_d {
+            skipped += 1;
+            continue;
+        }
+        evals += 1;
         let d = squared_distance(p, c);
         if d < best_d {
             best_d = d;
             best = i;
         }
     }
-    best
+    (best, evals, skipped)
 }
 
 /// k-means++ seeding: the first center uniform, each next center sampled
@@ -346,6 +414,61 @@ mod tests {
                 Ok(())
             },
         );
+    }
+
+    /// The norm-bound skip must never change which centroid wins — the
+    /// pruned scan is pinned against the naive full scan on random data.
+    #[test]
+    fn pruned_nearest_matches_the_full_scan() {
+        prop::check(
+            |rng| {
+                let dim = rng.gen_range(1usize..5);
+                let point: Vec<f64> = (0..dim).map(|_| rng.gen_range(-10.0..10.0)).collect();
+                let centroids = prop::vec_with(rng, 1..8, |r| {
+                    (0..dim)
+                        .map(|_| r.gen_range(-10f64..10.0))
+                        .collect::<Vec<f64>>()
+                });
+                (point, centroids)
+            },
+            |(point, centroids)| {
+                let mut naive_best = 0;
+                let mut naive_d = f64::INFINITY;
+                for (i, c) in centroids.iter().enumerate() {
+                    let d = squared_distance(point, c);
+                    if d < naive_d {
+                        naive_d = d;
+                        naive_best = i;
+                    }
+                }
+                let norms: Vec<f64> = centroids.iter().map(|c| norm(c)).collect();
+                let (best, evals, skipped) =
+                    nearest_centroid_pruned(point, norm(point), centroids, &norms);
+                prop_assert!(
+                    best == naive_best,
+                    "pruned scan picked {best}, naive {naive_best}"
+                );
+                prop_assert!(evals + skipped == centroids.len() as u64);
+                prop_assert!(
+                    evals >= 1,
+                    "the running best must come from a real distance"
+                );
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn fit_accounts_assignment_work_across_restarts() {
+        let r = KMeans::new(KMeansConfig::new(2).with_restarts(3)).fit(&two_blobs());
+        // 3 restarts × ≥1 iteration × 6 points × 2 centroids comparisons.
+        assert!(r.pruning.total() >= 3 * 6 * 2, "{:?}", r.pruning);
+        assert_eq!(
+            r.pruning.total(),
+            r.pruning.distance_evals + r.pruning.skipped_by_norm
+        );
+        // Well-separated blobs give the bound real work to skip.
+        assert!(r.pruning.skipped_by_norm > 0, "{:?}", r.pruning);
     }
 
     /// Every point is assigned to its nearest centroid at convergence.

@@ -39,7 +39,7 @@ pub mod silhouette;
 
 pub use elbow::{elbow, knee_of, ElbowResult};
 pub use hierarchical::{agglomerative, HierarchicalResult, Linkage};
-pub use kmeans::{KMeans, KMeansConfig, KMeansResult};
+pub use kmeans::{AssignPruning, KMeans, KMeansConfig, KMeansResult};
 pub use linalg::Matrix;
 pub use pca::Pca;
 pub use silhouette::silhouette_score;

@@ -1,0 +1,522 @@
+//! Blocking / candidate generation for the pairwise grouping signals.
+//!
+//! Every grouping method in this crate ends in the same shape: some
+//! pairwise score is thresholded and the surviving pairs become edges of a
+//! components problem. Visiting all `n(n−1)/2` pairs is what makes the
+//! signals quadratic in accounts; this module buckets accounts by cheap
+//! invariants so only *same-or-adjacent-bucket* pairs ever reach a score
+//! computation, while provably generating a **superset** of the pairs the
+//! threshold would keep — blocking can only skip pairs the exhaustive path
+//! would also reject, so grouping decisions stay bit-identical.
+//!
+//! Bucket keys per signal:
+//!
+//! * **AG-TS** ([`ts_candidates`]) — a prefix filter over globally-rare
+//!   tasks. Eq. 6's affinity `A = (T − 2L)(T + L)/m` can only exceed a
+//!   non-negative `ρ` when `T > 2L`, which forces the Jaccard overlap of
+//!   the two task sets above 2/3; in particular any qualifying pair shares
+//!   strictly more than `2a/3` tasks, where `a` is either set's size (see
+//!   the proof on [`ts_candidates`]). Indexing each account under only the
+//!   `⌈a/3⌉` globally-rarest of its tasks therefore still co-buckets every
+//!   qualifying pair — the classic prefix-filtering argument from the
+//!   set-similarity-join literature, made deterministic (no MinHash false
+//!   negatives).
+//! * **AG-TR** ([`tr_candidates`]) — quantized trajectory endpoints, a
+//!   coarsening of LB_Kim. The first-first and last-last alignments lie on
+//!   every DTW warping path, so each squared endpoint difference is itself
+//!   a lower bound on the pair's raw DTW cost; `D < φ` forces every
+//!   endpoint coordinate within `√φ`. Accounts hash to the 4-D cell of
+//!   their `(X_first, X_last, Y_first, Y_last)` endpoints at cell width
+//!   `√φ`, and candidates are same-cell plus adjacent-cell pairs (a ≥ 2
+//!   cell gap on any axis already proves `D ≥ φ`). Inactive accounts have
+//!   no endpoints and stay out of every bucket — exactly the singleton
+//!   treatment the exhaustive path enforces by masking their rows to `∞`.
+//! * **AG-FP** — the fingerprint signal is centroid-based, not pairwise;
+//!   its blocking lives in `srtd-cluster` as a norm-sketch bound on the
+//!   k-means assignment step. The counters recorded here keep the three
+//!   signals comparable under one `grouping.pairs.*` scheme.
+
+use srtd_runtime::obs;
+use std::collections::HashMap;
+
+/// The outcome of one blocking pass: the candidate pairs that must be
+/// scored, plus the bookkeeping the obs layer and benches report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Candidates {
+    /// Candidate pairs `(i, j)` with `i < j`, sorted lexicographically,
+    /// deduplicated. A superset of the pairs the signal's threshold keeps.
+    pub pairs: Vec<(usize, usize)>,
+    /// Non-empty buckets the accounts hashed into.
+    pub buckets: usize,
+    /// Pairs the exhaustive path would visit: `n(n−1)/2` without a dirty
+    /// mask, and only pairs touching a dirty account with one.
+    pub total_pairs: u64,
+}
+
+impl Candidates {
+    /// Pairs blocking skipped (never scored).
+    pub fn skipped(&self) -> u64 {
+        self.total_pairs.saturating_sub(self.pairs.len() as u64)
+    }
+
+    /// An exhaustive (no-blocking) candidate set over `n` accounts,
+    /// optionally restricted to pairs touching a dirty account. Used by
+    /// the fallback paths so the `grouping.pairs.*` counters stay a
+    /// partition (`candidate == total`, nothing skipped).
+    pub fn exhaustive(n: usize, dirty: Option<&[bool]>) -> Self {
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                if dirty.is_none_or(|d| d[i] || d[j]) {
+                    pairs.push((i, j));
+                }
+            }
+        }
+        let total_pairs = pairs.len() as u64;
+        Self {
+            pairs,
+            buckets: usize::from(n > 0),
+            total_pairs,
+        }
+    }
+
+    /// Records the `grouping.pairs.{total,candidate,skipped_by_blocking}`
+    /// counters (global and per-signal) and the `grouping.buckets` gauges
+    /// for this pass. `signal` is the short lowercase name (`ag_ts`,
+    /// `ag_tr`, `ag_fp`).
+    pub fn record(&self, signal: &str) {
+        record_pair_counts(
+            signal,
+            self.total_pairs,
+            self.pairs.len() as u64,
+            self.buckets as u64,
+        );
+    }
+}
+
+/// Shared recording of the blocking counters: `total` pairs the exhaustive
+/// path would visit, of which `candidate` were actually scored; the
+/// remainder were skipped by blocking. Also sets the bucket gauges.
+pub fn record_pair_counts(signal: &str, total: u64, candidate: u64, buckets: u64) {
+    let skipped = total.saturating_sub(candidate);
+    obs::counter_add("grouping.pairs.total", total);
+    obs::counter_add("grouping.pairs.candidate", candidate);
+    obs::counter_add("grouping.pairs.skipped_by_blocking", skipped);
+    obs::counter_add(&format!("grouping.{signal}.pairs.total"), total);
+    obs::counter_add(&format!("grouping.{signal}.pairs.candidate"), candidate);
+    obs::counter_add(
+        &format!("grouping.{signal}.pairs.skipped_by_blocking"),
+        skipped,
+    );
+    obs::gauge_set("grouping.buckets", buckets as f64);
+    obs::gauge_set(&format!("grouping.{signal}.buckets"), buckets as f64);
+}
+
+/// Unordered pairs over `n` accounts that touch at least one dirty
+/// account; `n(n−1)/2` when no mask is given.
+fn total_pairs(n: usize, dirty: Option<&[bool]>) -> u64 {
+    let n = n as u64;
+    let all = n * n.saturating_sub(1) / 2;
+    match dirty {
+        None => all,
+        Some(mask) => {
+            let clean = mask.iter().filter(|&&d| !d).count() as u64;
+            all - clean * clean.saturating_sub(1) / 2
+        }
+    }
+}
+
+/// AG-TS candidate generation by prefix filtering over task rarity.
+///
+/// `task_sets[i]` is account `i`'s sorted accomplished-task list;
+/// `num_tasks` is the campaign's `m`. Sound for thresholds `ρ ≥ 0` (the
+/// caller must fall back to the exhaustive path for negative `ρ`):
+///
+/// Write `a = |S_i|`, `b = |S_j|`, `T = |S_i ∩ S_j|`,
+/// `L = a + b − 2T`. `A > ρ ≥ 0` needs `T − 2L > 0` (the factor
+/// `(T + L)/m` is non-negative), i.e. `5T > 2(a + b)`. Combined with
+/// `T ≤ min(a, b)` this gives `T > 2a/3` *and* `T > 2b/3`: if `b ≥ a`
+/// then `T > 2(a+b)/5 ≥ 4a/5 > 2a/3`; if `b < a` then `b ≥ T > 2(a+b)/5`
+/// forces `b > 2a/3` and so `T > 2(a + 2a/3)/5 = 2a/3`. An integer
+/// overlap `T ≥ ⌊2a/3⌋ + 1` means the pair must share a task among the
+/// first `a − (⌊2a/3⌋ + 1) + 1 = ⌈a/3⌉` elements of either set under any
+/// fixed global task order (pigeonhole). Ordering tasks by ascending
+/// global frequency keeps those prefix buckets small, which is where the
+/// sub-quadratic behaviour comes from.
+///
+/// With a `dirty` mask, only pairs touching a dirty account are emitted
+/// (the incremental re-grouping path); `total_pairs` shrinks accordingly.
+pub fn ts_candidates(
+    task_sets: &[Vec<usize>],
+    num_tasks: usize,
+    dirty: Option<&[bool]>,
+) -> Candidates {
+    let n = task_sets.len();
+    if let Some(mask) = dirty {
+        assert_eq!(mask.len(), n, "dirty mask must cover every account");
+    }
+    let total = total_pairs(n, dirty);
+
+    // Global task frequencies, then a total order: rarest first, ties by
+    // task id (deterministic).
+    let mut freq = vec![0u32; num_tasks];
+    for set in task_sets {
+        for &t in set {
+            freq[t] += 1;
+        }
+    }
+    let mut order: Vec<usize> = (0..num_tasks).collect();
+    order.sort_by_key(|&t| (freq[t], t));
+    let mut rank = vec![0usize; num_tasks];
+    for (r, &t) in order.iter().enumerate() {
+        rank[t] = r;
+    }
+
+    // Index every account under the ⌈a/3⌉ rarest tasks of its set.
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); num_tasks];
+    let mut scratch: Vec<usize> = Vec::new();
+    for (i, set) in task_sets.iter().enumerate() {
+        if set.is_empty() {
+            continue;
+        }
+        scratch.clear();
+        scratch.extend_from_slice(set);
+        scratch.sort_by_key(|&t| rank[t]);
+        let prefix = set.len().div_ceil(3);
+        for &t in &scratch[..prefix] {
+            buckets[t].push(i);
+        }
+    }
+
+    let non_empty = buckets.iter().filter(|b| !b.is_empty()).count();
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for bucket in &buckets {
+        for (x, &i) in bucket.iter().enumerate() {
+            for &j in &bucket[x + 1..] {
+                if dirty.is_none_or(|d| d[i] || d[j]) {
+                    pairs.push((i, j));
+                }
+            }
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    Candidates {
+        pairs,
+        buckets: non_empty,
+        total_pairs: total,
+    }
+}
+
+/// The 4-D endpoint cell of one trajectory at cell width `w`; `None` for
+/// inactive accounts (no reports, no endpoints).
+fn endpoint_cell(x: &[f64], y: &[f64], w: f64) -> Option<[i64; 4]> {
+    let (&x0, &xl) = (x.first()?, x.last()?);
+    let (&y0, &yl) = (y.first()?, y.last()?);
+    let q = |v: f64| (v / w).floor() as i64;
+    Some([q(x0), q(xl), q(y0), q(yl)])
+}
+
+/// AG-TR candidate generation by quantized trajectory endpoints.
+///
+/// `trajectories[i]` is account `i`'s `(X_i, Y_i)` series pair (as
+/// produced by `AgTr::trajectories`); `phi` is the Eq. 8 threshold in raw
+/// DTW-cost space. Soundness: every warping path aligns `X_i[0]` with
+/// `X_j[0]` and the two last points with each other, and all cell costs
+/// are non-negative squared differences, so each of the four squared
+/// endpoint differences individually lower-bounds
+/// `D = DTW(X_i, X_j) + DTW(Y_i, Y_j)` (this also holds for banded DTW,
+/// whose paths still include both corner cells). `D < φ` therefore forces
+/// every endpoint difference below `√φ` — and two values at least two
+/// cells apart at width `√φ` differ by more than `√φ`. Same-cell and
+/// adjacent-cell pairs are thus a superset of every below-φ pair.
+///
+/// Length is used only through its empty/non-empty coarsening: DTW warps
+/// freely across unequal lengths, so a finer length key would not be
+/// sound. Inactive accounts stay out of all buckets and never pair.
+///
+/// # Panics
+///
+/// Panics if `phi` is not finite and positive.
+pub fn tr_candidates(
+    trajectories: &[(Vec<f64>, Vec<f64>)],
+    phi: f64,
+    dirty: Option<&[bool]>,
+) -> Candidates {
+    assert!(
+        phi.is_finite() && phi > 0.0,
+        "endpoint blocking needs a positive finite threshold"
+    );
+    let n = trajectories.len();
+    if let Some(mask) = dirty {
+        assert_eq!(mask.len(), n, "dirty mask must cover every account");
+    }
+    let total = total_pairs(n, dirty);
+    let w = phi.sqrt();
+
+    let mut cells: HashMap<[i64; 4], Vec<usize>> = HashMap::new();
+    for (i, (x, y)) in trajectories.iter().enumerate() {
+        if let Some(key) = endpoint_cell(x, y, w) {
+            cells.entry(key).or_default().push(i);
+        }
+    }
+    // Deterministic traversal order regardless of hash state.
+    let mut keys: Vec<[i64; 4]> = cells.keys().copied().collect();
+    keys.sort_unstable();
+
+    // Each lexicographically positive offset pairs every cell with one
+    // neighbor exactly once; the zero offset covers within-cell pairs.
+    let mut offsets: Vec<[i64; 4]> = Vec::new();
+    for d0 in -1i64..=1 {
+        for d1 in -1i64..=1 {
+            for d2 in -1i64..=1 {
+                for d3 in -1i64..=1 {
+                    let off = [d0, d1, d2, d3];
+                    if off > [0, 0, 0, 0] {
+                        offsets.push(off);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let mut emit = |i: usize, j: usize| {
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        if dirty.is_none_or(|d| d[a] || d[b]) {
+            pairs.push((a, b));
+        }
+    };
+    for key in &keys {
+        let members = &cells[key];
+        for (x, &i) in members.iter().enumerate() {
+            for &j in &members[x + 1..] {
+                emit(i, j);
+            }
+        }
+        for off in &offsets {
+            let neighbor = [
+                key[0] + off[0],
+                key[1] + off[1],
+                key[2] + off[2],
+                key[3] + off[3],
+            ];
+            if let Some(others) = cells.get(&neighbor) {
+                for &i in members {
+                    for &j in others {
+                        emit(i, j);
+                    }
+                }
+            }
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    Candidates {
+        pairs,
+        buckets: keys.len(),
+        total_pairs: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srtd_runtime::rng::{Rng, SeedableRng, StdRng};
+
+    fn contains(c: &Candidates, i: usize, j: usize) -> bool {
+        c.pairs.binary_search(&(i.min(j), i.max(j))).is_ok()
+    }
+
+    /// Eq. 6 for two sorted task sets (test oracle).
+    fn affinity(a: &[usize], b: &[usize], m: f64) -> f64 {
+        let t = a.iter().filter(|x| b.binary_search(x).is_ok()).count();
+        let l = (a.len() - t) + (b.len() - t);
+        (t as f64 - 2.0 * l as f64) * (t + l) as f64 / m
+    }
+
+    #[test]
+    fn ts_candidates_cover_every_above_threshold_pair() {
+        srtd_runtime::prop::check(
+            |rng| {
+                let m = rng.gen_range(3usize..12);
+                let sets = srtd_runtime::prop::vec_with(rng, 2..14, |r| {
+                    let mut s: Vec<usize> =
+                        (0..m).filter(|_| r.gen_range(0f64..1.0) < 0.4).collect();
+                    s.dedup();
+                    s
+                });
+                let rho = rng.gen_range(0f64..2.0);
+                (sets, m, rho)
+            },
+            |(sets, m, rho)| {
+                let c = ts_candidates(sets, *m, None);
+                for i in 0..sets.len() {
+                    for j in i + 1..sets.len() {
+                        let a = affinity(&sets[i], &sets[j], *m as f64);
+                        if a > *rho {
+                            srtd_runtime::prop_assert!(
+                                contains(&c, i, j),
+                                "pair ({i},{j}) with affinity {a} > ρ={rho} was blocked"
+                            );
+                        }
+                    }
+                }
+                srtd_runtime::prop_assert!(c.pairs.len() as u64 + c.skipped() == c.total_pairs);
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn ts_disjoint_rare_sets_are_blocked() {
+        // Two accounts with disjoint sets over many tasks: affinity is
+        // negative, and their rare-task prefixes cannot collide.
+        let sets = vec![vec![0, 1, 2], vec![7, 8, 9]];
+        let c = ts_candidates(&sets, 10, None);
+        assert!(c.pairs.is_empty());
+        assert_eq!(c.total_pairs, 1);
+        assert_eq!(c.skipped(), 1);
+    }
+
+    #[test]
+    fn ts_identical_sets_are_candidates() {
+        let sets = vec![vec![1, 4, 6], vec![1, 4, 6], vec![1, 4, 6]];
+        let c = ts_candidates(&sets, 8, None);
+        assert_eq!(c.pairs, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn ts_empty_sets_never_pair() {
+        let sets = vec![vec![], vec![0, 1], vec![]];
+        let c = ts_candidates(&sets, 4, None);
+        assert!(!contains(&c, 0, 2));
+        assert!(!contains(&c, 0, 1));
+    }
+
+    #[test]
+    fn ts_dirty_mask_restricts_to_touching_pairs() {
+        let sets = vec![vec![0, 1], vec![0, 1], vec![0, 1]];
+        let mut mask = vec![false, false, true];
+        let c = ts_candidates(&sets, 4, Some(&mask));
+        assert_eq!(c.pairs, vec![(0, 2), (1, 2)]);
+        assert_eq!(c.total_pairs, 2);
+        mask = vec![false; 3];
+        let none = ts_candidates(&sets, 4, Some(&mask));
+        assert!(none.pairs.is_empty());
+        assert_eq!(none.total_pairs, 0);
+    }
+
+    #[test]
+    fn tr_candidates_cover_every_below_phi_pair() {
+        use srtd_timeseries::Dtw;
+        srtd_runtime::prop::check(
+            |rng| {
+                let items = srtd_runtime::prop::vec_with(rng, 2..10, |r| {
+                    let len = r.gen_range(0usize..7);
+                    (
+                        (0..len)
+                            .map(|_| r.gen_range(-6f64..6.0))
+                            .collect::<Vec<f64>>(),
+                        (0..len)
+                            .map(|_| r.gen_range(-6f64..6.0))
+                            .collect::<Vec<f64>>(),
+                    )
+                });
+                let phi = rng.gen_range(0.1f64..30.0);
+                (items, phi)
+            },
+            |(items, phi)| {
+                let c = tr_candidates(items, *phi, None);
+                let dtw = Dtw::new().raw();
+                for i in 0..items.len() {
+                    for j in i + 1..items.len() {
+                        if items[i].0.is_empty() || items[j].0.is_empty() {
+                            continue; // inactive accounts stay singletons
+                        }
+                        let d = dtw.distance(&items[i].0, &items[j].0)
+                            + dtw.distance(&items[i].1, &items[j].1);
+                        if d < *phi {
+                            srtd_runtime::prop_assert!(
+                                contains(&c, i, j),
+                                "pair ({i},{j}) with D={d} < φ={phi} was blocked"
+                            );
+                        }
+                    }
+                }
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn tr_adjacent_cells_pair_and_distant_cells_do_not() {
+        // φ = 1 → cell width 1. Endpoints 0.9 vs 1.1 straddle a boundary
+        // (adjacent cells, must pair); 0.0 vs 5.0 are far (blocked).
+        let trajs = vec![
+            (vec![0.9], vec![0.0]),
+            (vec![1.1], vec![0.0]),
+            (vec![5.0], vec![0.0]),
+        ];
+        let c = tr_candidates(&trajs, 1.0, None);
+        assert!(contains(&c, 0, 1));
+        assert!(!contains(&c, 0, 2));
+        assert!(!contains(&c, 1, 2));
+        assert_eq!(c.buckets, 3);
+    }
+
+    #[test]
+    fn tr_inactive_accounts_have_no_candidates() {
+        let trajs = vec![
+            (Vec::new(), Vec::new()),
+            (vec![1.0], vec![1.0]),
+            (Vec::new(), Vec::new()),
+        ];
+        let c = tr_candidates(&trajs, 1.0, None);
+        assert!(c.pairs.is_empty());
+        assert_eq!(c.buckets, 1);
+    }
+
+    #[test]
+    fn tr_dirty_mask_restricts_pairs() {
+        let trajs: Vec<_> = (0..4).map(|_| (vec![1.0, 2.0], vec![0.5, 0.9])).collect();
+        let mask = vec![true, false, false, false];
+        let c = tr_candidates(&trajs, 1.0, Some(&mask));
+        assert_eq!(c.pairs, vec![(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(c.total_pairs, 3);
+    }
+
+    #[test]
+    fn exhaustive_candidates_visit_everything() {
+        let c = Candidates::exhaustive(4, None);
+        assert_eq!(c.pairs.len(), 6);
+        assert_eq!(c.total_pairs, 6);
+        assert_eq!(c.skipped(), 0);
+        let masked = Candidates::exhaustive(4, Some(&[false, true, false, false]));
+        assert_eq!(masked.pairs, vec![(0, 1), (1, 2), (1, 3)]);
+    }
+
+    #[test]
+    fn candidate_order_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let trajs: Vec<(Vec<f64>, Vec<f64>)> = (0..30)
+            .map(|_| {
+                let len = rng.gen_range(1usize..5);
+                (
+                    (0..len).map(|_| rng.gen_range(0f64..4.0)).collect(),
+                    (0..len).map(|_| rng.gen_range(0f64..4.0)).collect(),
+                )
+            })
+            .collect();
+        let a = tr_candidates(&trajs, 2.0, None);
+        let b = tr_candidates(&trajs, 2.0, None);
+        assert_eq!(a, b);
+        assert!(a.pairs.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite threshold")]
+    fn tr_rejects_non_finite_phi() {
+        tr_candidates(&[], f64::INFINITY, None);
+    }
+}

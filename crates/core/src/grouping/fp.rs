@@ -149,6 +149,17 @@ impl AccountGrouping for AgFp {
             let _span = srtd_runtime::obs::span("ag_fp.kmeans");
             KMeans::new(KMeansConfig { k, ..self.kmeans }).fit(&standardized)
         };
+        // AG-FP is centroid-based, not pairwise, so its "pairs" are the
+        // point–centroid comparisons of the final fit (the elbow sweep's
+        // internal fits are a model-selection cost, not assignment work)
+        // and its buckets are the k clusters. Recording them under the
+        // same scheme keeps the three signals comparable in one export.
+        crate::grouping::blocking::record_pair_counts(
+            "ag_fp",
+            result.pruning.total(),
+            result.pruning.distance_evals,
+            k as u64,
+        );
         Grouping::from_labels(&result.assignments)
     }
 

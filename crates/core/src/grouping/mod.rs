@@ -1,11 +1,13 @@
 //! Account grouping: partitioning accounts by suspected physical owner.
 
+pub mod blocking;
 mod combined;
 mod fp;
 mod tr;
 mod ts;
 mod val;
 
+pub use blocking::Candidates;
 pub use combined::{CombineMode, CombinedGrouping};
 pub use fp::{AgFp, FpClustering};
 pub use tr::AgTr;
@@ -139,6 +141,32 @@ pub trait AccountGrouping {
 
     /// Short name for result tables (e.g. `"AG-FP"`).
     fn name(&self) -> &'static str;
+}
+
+/// A grouping method whose decision reduces to a set of pairwise
+/// "same-owner" edges over the accounts, with each edge's validity
+/// depending only on the two endpoint accounts' own data (and the
+/// method's constants) — never on third accounts.
+///
+/// That locality is what makes incremental re-grouping sound: when an
+/// epoch folds new reports into some accounts, every edge between two
+/// *untouched* accounts is still exactly as valid as before, so
+/// `srtd_platform::EpochEngine` can keep those edges and re-examine only
+/// pairs touching a dirty account (see `decision_edges`' `dirty` mask),
+/// merging the result through a persistent union-find instead of
+/// rebuilding components from scratch.
+///
+/// Contract: for any `data`, [`AccountGrouping::group`] must equal the
+/// connected components of `decision_edges(data, None)` over
+/// `0..data.num_accounts()` (isolated accounts become singletons).
+pub trait EdgeGrouping: AccountGrouping {
+    /// The decision edges of this method on `data`.
+    ///
+    /// With `dirty: Some(mask)` (one flag per account) only edges touching
+    /// at least one dirty account are returned; edges between two clean
+    /// accounts are exactly the ones the caller may carry over from the
+    /// previous epoch. `None` returns every decision edge.
+    fn decision_edges(&self, data: &SensingData, dirty: Option<&[bool]>) -> Vec<(usize, usize)>;
 }
 
 /// The no-defense baseline: every account is its own group, reducing the

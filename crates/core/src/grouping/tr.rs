@@ -1,10 +1,17 @@
 //! AG-TR: account grouping by trajectory (Eqs. 7–8).
 
-use crate::grouping::{AccountGrouping, Grouping};
-use srtd_graph::Graph;
+use crate::grouping::{blocking, AccountGrouping, Candidates, EdgeGrouping, Grouping};
+use srtd_graph::UnionFind;
 use srtd_runtime::parallel::{parallel_map, triangle_pairs};
 use srtd_timeseries::{BandPolicy, Dtw, PrunedPairwise};
 use srtd_truth::SensingData;
+
+/// Ceiling for the dense [`AgTr::dissimilarity_matrix`] API: it exists
+/// for the Fig. 4 worked example and equivalence tests, and allocating
+/// n×n floats at campaign scale would be a bug even when every entry is
+/// pruned to ∞ (8 TB at one million accounts). Grouping goes through the
+/// sparse [`AgTr::dissimilarity_edges`] path, which has no such limit.
+const MAX_DENSE_ACCOUNTS: usize = 4096;
 
 /// Account grouping by trajectory dissimilarity.
 ///
@@ -50,6 +57,7 @@ pub struct AgTr {
     dtw: Dtw,
     band: BandPolicy,
     prune: bool,
+    blocking: bool,
 }
 
 impl Default for AgTr {
@@ -70,6 +78,7 @@ impl Default for AgTr {
             dtw: Dtw::new().raw(),
             band: BandPolicy::adaptive(),
             prune: true,
+            blocking: true,
         }
     }
 }
@@ -139,6 +148,16 @@ impl AgTr {
         self
     }
 
+    /// Enables or disables endpoint-cell blocking in front of the LB
+    /// cascade (default on; effective only together with pruning and raw
+    /// DTW, whose cost space the cells quantize). The exhaustive path
+    /// visits all pairs — useful as the oracle in equivalence tests; both
+    /// paths produce identical groupings.
+    pub fn with_blocking(mut self, blocking: bool) -> Self {
+        self.blocking = blocking;
+        self
+    }
+
     /// The band rule both matrix paths share: an explicit band configured
     /// on the DTW wins, otherwise the policy decides per pair.
     fn effective_band(&self) -> BandPolicy {
@@ -194,6 +213,11 @@ impl AgTr {
         let _span = srtd_runtime::obs::span("ag_tr.dtw_matrix");
         let trajectories = self.trajectories(data);
         let n = trajectories.len();
+        assert!(
+            n <= MAX_DENSE_ACCOUNTS,
+            "the dense dissimilarity matrix is capped at {MAX_DENSE_ACCOUNTS} accounts \
+             (got {n}); use dissimilarity_edges at scale"
+        );
         let mut matrix = if self.prune && self.dtw.is_raw() {
             PrunedPairwise::new(self.phi)
                 .with_band(self.effective_band())
@@ -228,33 +252,99 @@ impl AgTr {
         }
         matrix
     }
+
+    /// The sparse decision-edge list: pairs `(i, j, D_ij)` with `i < j`
+    /// and `D_ij < φ`, in lexicographic order, never pairing inactive
+    /// accounts. This is what [`AccountGrouping::group`] connects — the
+    /// dense matrix is never materialized on this path, so it has no size
+    /// cap.
+    ///
+    /// With blocking on (default; requires pruning and raw DTW, whose
+    /// cost space the endpoint cells quantize) only same-or-adjacent
+    /// endpoint-cell pairs from [`blocking::tr_candidates`] enter the LB
+    /// cascade — provably a superset of every below-φ pair. Otherwise all
+    /// active pairs are visited, through the cascade when pruning applies
+    /// and through full DTW when it does not.
+    pub fn dissimilarity_edges(&self, data: &SensingData) -> Vec<(usize, usize, f64)> {
+        self.dissimilarity_edges_masked(data, None)
+    }
+
+    /// [`AgTr::dissimilarity_edges`] restricted to pairs touching a dirty
+    /// account (the incremental re-grouping path); `None` means all pairs.
+    pub fn dissimilarity_edges_masked(
+        &self,
+        data: &SensingData,
+        dirty: Option<&[bool]>,
+    ) -> Vec<(usize, usize, f64)> {
+        let _span = srtd_runtime::obs::span("ag_tr.dtw_edges");
+        let trajectories = self.trajectories(data);
+        let n = trajectories.len();
+        let pruned = self.prune && self.dtw.is_raw();
+        let candidates = if self.blocking && pruned {
+            blocking::tr_candidates(&trajectories, self.phi, dirty)
+        } else {
+            Candidates::exhaustive(n, dirty)
+        };
+        candidates.record("ag_tr");
+        // Inactive accounts must stay singletons: drop their pairs before
+        // any distance work (the blocked path never generates them, and
+        // the dense path forces the same pairs to ∞ after the fact).
+        let pairs: Vec<(usize, usize)> = candidates
+            .pairs
+            .into_iter()
+            .filter(|&(i, j)| !trajectories[i].0.is_empty() && !trajectories[j].0.is_empty())
+            .collect();
+        if pruned {
+            let (edges, _stats) = PrunedPairwise::new(self.phi)
+                .with_band(self.effective_band())
+                .edges2_with_stats(&trajectories, &pairs);
+            edges
+                .into_iter()
+                .filter(|&(_, _, d)| d < self.phi)
+                .collect()
+        } else {
+            let distances = parallel_map(&pairs, |&(i, j)| {
+                let (xi, yi) = &trajectories[i];
+                let (xj, yj) = &trajectories[j];
+                let dtw = self.dtw_for(xi.len(), xj.len());
+                dtw.distance(xi, xj) + dtw.distance(yi, yj)
+            });
+            pairs
+                .iter()
+                .zip(&distances)
+                .filter_map(|(&(i, j), &d)| (d < self.phi).then_some((i, j, d)))
+                .collect()
+        }
+    }
 }
 
 impl AccountGrouping for AgTr {
-    #[allow(clippy::needless_range_loop)] // symmetric matrix fill
     fn group(&self, data: &SensingData, _fingerprints: &[Vec<f64>]) -> Grouping {
         let n = data.num_accounts();
         if n == 0 {
             return Grouping::from_labels(&[]);
         }
         let _span = srtd_runtime::obs::span("ag_tr.group");
-        let matrix = self.dissimilarity_matrix(data);
-        let mut graph = Graph::new(n);
-        let mut edges = 0u64;
-        for i in 0..n {
-            for j in i + 1..n {
-                if matrix[i][j] < self.phi {
-                    graph.add_edge(i, j, matrix[i][j]);
-                    edges += 1;
-                }
-            }
+        let edges = self.dissimilarity_edges(data);
+        let mut uf = UnionFind::new(n);
+        for &(i, j, _) in &edges {
+            uf.union(i, j);
         }
-        srtd_runtime::obs::counter_add("ag_tr.edges", edges);
-        Grouping::new(graph.connected_components().into_groups())
+        srtd_runtime::obs::counter_add("ag_tr.edges", edges.len() as u64);
+        Grouping::new(uf.into_groups())
     }
 
     fn name(&self) -> &'static str {
         "AG-TR"
+    }
+}
+
+impl EdgeGrouping for AgTr {
+    fn decision_edges(&self, data: &SensingData, dirty: Option<&[bool]>) -> Vec<(usize, usize)> {
+        self.dissimilarity_edges_masked(data, dirty)
+            .into_iter()
+            .map(|(i, j, _)| (i, j))
+            .collect()
     }
 }
 
@@ -431,6 +521,75 @@ mod tests {
     fn empty_data_yields_empty_grouping() {
         let g = AgTr::default().group(&SensingData::new(1), &[]);
         assert!(g.is_empty());
+    }
+
+    #[test]
+    fn sparse_edges_match_the_dense_decision() {
+        // The edge list must be exactly the below-φ entries of the dense
+        // matrix (bitwise), blocked or not, pruned or not.
+        let d = table_iii_data();
+        for ag in [
+            AgTr::default(),
+            AgTr::default().with_blocking(false),
+            AgTr::default().with_pruning(false),
+            AgTr::new(0.5).with_dtw(Dtw::new()), // normalized → full path
+        ] {
+            let matrix = ag.dissimilarity_matrix(&d);
+            let mut expected = Vec::new();
+            for i in 0..matrix.len() {
+                for j in i + 1..matrix.len() {
+                    if matrix[i][j] < ag.phi() {
+                        expected.push((i, j, matrix[i][j]));
+                    }
+                }
+            }
+            let edges = ag.dissimilarity_edges(&d);
+            assert_eq!(edges.len(), expected.len(), "{ag:?}");
+            for (got, want) in edges.iter().zip(&expected) {
+                assert_eq!((got.0, got.1), (want.0, want.1), "{ag:?}");
+                assert_eq!(got.2.to_bits(), want.2.to_bits(), "{ag:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_and_exhaustive_edges_agree() {
+        let d = table_iii_data();
+        let blocked = AgTr::default().dissimilarity_edges(&d);
+        let exhaustive = AgTr::default().with_blocking(false).dissimilarity_edges(&d);
+        assert_eq!(blocked, exhaustive);
+        assert_eq!(
+            AgTr::default().group(&d, &[]),
+            AgTr::default().with_blocking(false).group(&d, &[])
+        );
+    }
+
+    #[test]
+    fn masked_edges_only_touch_dirty_accounts() {
+        let d = table_iii_data();
+        // Only the last Sybil account is dirty: of the three Sybil edges,
+        // exactly the two touching account 5 remain.
+        let mask = [false, false, false, false, false, true];
+        let edges = AgTr::default().dissimilarity_edges_masked(&d, Some(&mask));
+        let pairs: Vec<(usize, usize)> = edges.iter().map(|&(i, j, _)| (i, j)).collect();
+        assert_eq!(pairs, vec![(3, 5), (4, 5)]);
+    }
+
+    #[test]
+    fn inactive_accounts_never_appear_in_edges() {
+        let mut d = SensingData::new(1);
+        d.add_report(0, 0, 1.0, 5.0);
+        d.add_report(3, 0, 1.0, 6.0);
+        d.reserve_accounts(4);
+        for ag in [AgTr::default(), AgTr::default().with_blocking(false)] {
+            let edges = ag.dissimilarity_edges(&d);
+            assert!(
+                edges
+                    .iter()
+                    .all(|&(i, j, _)| i != 1 && i != 2 && j != 1 && j != 2),
+                "{edges:?}"
+            );
+        }
     }
 
     #[test]

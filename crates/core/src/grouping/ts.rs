@@ -1,8 +1,16 @@
 //! AG-TS: account grouping by accomplished task set (Eq. 6).
 
-use crate::grouping::{AccountGrouping, Grouping};
-use srtd_graph::Graph;
+use crate::grouping::{blocking, AccountGrouping, Candidates, EdgeGrouping, Grouping};
+use srtd_graph::UnionFind;
 use srtd_truth::SensingData;
+
+/// Ceiling for the dense matrix APIs ([`AgTs::affinity_matrix`],
+/// [`AgTs::task_overlap_matrices`]): they exist for the worked-example
+/// reproduction and ablations, and an n×n `Vec<Vec<f64>>` at campaign
+/// scale would be an allocation bug, not a computation. Grouping itself
+/// goes through the sparse [`AgTs::affinity_edges`] path and has no such
+/// limit.
+const MAX_DENSE_ACCOUNTS: usize = 4096;
 
 /// Account grouping by task-set affinity.
 ///
@@ -43,12 +51,16 @@ use srtd_truth::SensingData;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AgTs {
     rho: f64,
+    blocking: bool,
 }
 
 impl Default for AgTs {
     /// The paper's worked example uses `ρ = 1`.
     fn default() -> Self {
-        Self { rho: 1.0 }
+        Self {
+            rho: 1.0,
+            blocking: true,
+        }
     }
 }
 
@@ -60,7 +72,18 @@ impl AgTs {
     /// Panics if `rho` is not finite.
     pub fn new(rho: f64) -> Self {
         assert!(rho.is_finite(), "threshold must be finite");
-        Self { rho }
+        Self {
+            rho,
+            blocking: true,
+        }
+    }
+
+    /// Enables or disables prefix-filter blocking (default on). The
+    /// exhaustive path visits all `n(n−1)/2` pairs — useful as the oracle
+    /// in equivalence tests; both paths produce identical groupings.
+    pub fn with_blocking(mut self, blocking: bool) -> Self {
+        self.blocking = blocking;
+        self
     }
 
     /// The affinity threshold ρ.
@@ -68,11 +91,56 @@ impl AgTs {
         self.rho
     }
 
+    /// The sparse decision-edge list: pairs `(i, j, A_ij)` with `i < j`
+    /// and `A_ij > ρ`, in lexicographic order. This is what
+    /// [`AccountGrouping::group`] connects — the dense
+    /// [`AgTs::affinity_matrix`] is never materialized on this path.
+    ///
+    /// With blocking on and `ρ ≥ 0`, candidate pairs come from the prefix
+    /// filter in [`blocking::ts_candidates`] (provably a superset of every
+    /// above-threshold pair, see its proof). A negative `ρ` can admit
+    /// pairs with arbitrarily little overlap, which no overlap-based
+    /// blocking can bound, so that case falls back to the exhaustive scan.
+    pub fn affinity_edges(&self, data: &SensingData) -> Vec<(usize, usize, f64)> {
+        self.affinity_edges_masked(data, None)
+    }
+
+    /// [`AgTs::affinity_edges`] restricted to pairs touching a dirty
+    /// account (the incremental re-grouping path); `None` means all pairs.
+    pub fn affinity_edges_masked(
+        &self,
+        data: &SensingData,
+        dirty: Option<&[bool]>,
+    ) -> Vec<(usize, usize, f64)> {
+        let n = data.num_accounts();
+        let m = data.num_tasks().max(1) as f64;
+        let task_sets: Vec<Vec<usize>> = (0..n).map(|a| data.tasks_of(a)).collect();
+        let candidates = if self.blocking && self.rho >= 0.0 {
+            blocking::ts_candidates(&task_sets, data.num_tasks(), dirty)
+        } else {
+            Candidates::exhaustive(n, dirty)
+        };
+        candidates.record("ag_ts");
+        candidates
+            .pairs
+            .iter()
+            .filter_map(|&(i, j)| {
+                let a = affinity(&task_sets[i], &task_sets[j], m);
+                (a > self.rho).then_some((i, j, a))
+            })
+            .collect()
+    }
+
     /// The pairwise task-overlap matrices of Fig. 3(a)/(b): `T_ij` (tasks
     /// both accomplished) and `L_ij` (tasks exactly one accomplished).
     /// Diagonals are 0.
     pub fn task_overlap_matrices(&self, data: &SensingData) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
         let n = data.num_accounts();
+        assert!(
+            n <= MAX_DENSE_ACCOUNTS,
+            "dense overlap matrices are capped at {MAX_DENSE_ACCOUNTS} accounts \
+             (got {n}); use affinity_edges at scale"
+        );
         let task_sets: Vec<Vec<usize>> = (0..n).map(|a| data.tasks_of(a)).collect();
         let mut together = vec![vec![0usize; n]; n];
         let mut alone = vec![vec![0usize; n]; n];
@@ -98,6 +166,11 @@ impl AgTs {
     /// ablations.
     pub fn affinity_matrix(&self, data: &SensingData) -> Vec<Vec<f64>> {
         let n = data.num_accounts();
+        assert!(
+            n <= MAX_DENSE_ACCOUNTS,
+            "the dense affinity matrix is capped at {MAX_DENSE_ACCOUNTS} accounts \
+             (got {n}); use affinity_edges at scale"
+        );
         let m = data.num_tasks().max(1) as f64;
         let task_sets: Vec<Vec<usize>> = (0..n).map(|a| data.tasks_of(a)).collect();
         let mut matrix = vec![vec![0.0; n]; n];
@@ -133,30 +206,32 @@ fn affinity(a: &[usize], b: &[usize], m: f64) -> f64 {
 }
 
 impl AccountGrouping for AgTs {
-    #[allow(clippy::needless_range_loop)] // symmetric matrix fill
     fn group(&self, data: &SensingData, _fingerprints: &[Vec<f64>]) -> Grouping {
         let n = data.num_accounts();
         if n == 0 {
             return Grouping::from_labels(&[]);
         }
         let _span = srtd_runtime::obs::span("ag_ts.group");
-        let matrix = self.affinity_matrix(data);
-        let mut graph = Graph::new(n);
-        let mut edges = 0u64;
-        for i in 0..n {
-            for j in i + 1..n {
-                if matrix[i][j] > self.rho {
-                    graph.add_edge(i, j, matrix[i][j]);
-                    edges += 1;
-                }
-            }
+        let edges = self.affinity_edges(data);
+        let mut uf = UnionFind::new(n);
+        for &(i, j, _) in &edges {
+            uf.union(i, j);
         }
-        srtd_runtime::obs::counter_add("ag_ts.edges", edges);
-        Grouping::new(graph.connected_components().into_groups())
+        srtd_runtime::obs::counter_add("ag_ts.edges", edges.len() as u64);
+        Grouping::new(uf.into_groups())
     }
 
     fn name(&self) -> &'static str {
         "AG-TS"
+    }
+}
+
+impl EdgeGrouping for AgTs {
+    fn decision_edges(&self, data: &SensingData, dirty: Option<&[bool]>) -> Vec<(usize, usize)> {
+        self.affinity_edges_masked(data, dirty)
+            .into_iter()
+            .map(|(i, j, _)| (i, j))
+            .collect()
     }
 }
 
@@ -257,6 +332,41 @@ pub(crate) mod tests {
     fn empty_data_yields_empty_grouping() {
         let g = AgTs::default().group(&SensingData::new(3), &[]);
         assert!(g.is_empty());
+    }
+
+    #[test]
+    fn blocked_edges_match_the_dense_matrix() {
+        let d = table_iii_data();
+        for rho in [1.0, 0.9, 0.0, -2.0] {
+            let ag = AgTs::new(rho);
+            let matrix = ag.affinity_matrix(&d);
+            let mut expected = Vec::new();
+            for i in 0..6 {
+                for j in i + 1..6 {
+                    if matrix[i][j] > rho {
+                        expected.push((i, j, matrix[i][j]));
+                    }
+                }
+            }
+            assert_eq!(ag.affinity_edges(&d), expected, "rho = {rho}");
+            assert_eq!(
+                ag.group(&d, &[]),
+                ag.with_blocking(false).group(&d, &[]),
+                "rho = {rho}"
+            );
+        }
+    }
+
+    #[test]
+    fn masked_edges_only_touch_dirty_accounts() {
+        let d = table_iii_data();
+        let ag = AgTs::default();
+        // Only the last Sybil account is dirty: of the three Sybil edges,
+        // exactly the two touching account 5 remain.
+        let mask = [false, false, false, false, false, true];
+        let edges = ag.affinity_edges_masked(&d, Some(&mask));
+        let pairs: Vec<(usize, usize)> = edges.iter().map(|&(i, j, _)| (i, j)).collect();
+        assert_eq!(pairs, vec![(3, 5), (4, 5)]);
     }
 
     #[test]

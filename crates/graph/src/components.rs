@@ -57,6 +57,19 @@ impl ComponentLabeling {
         Self { labels, members }
     }
 
+    /// Labels the components of `n` nodes connected by an unweighted edge
+    /// list — the batch-rebuild counterpart (and test oracle) of driving a
+    /// [`crate::UnionFind`] incrementally with the same edges.
+    pub fn from_edges<I>(n: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        Self::from_graph(&Graph::from_edges(
+            n,
+            edges.into_iter().map(|(u, v)| (u, v, 1.0)),
+        ))
+    }
+
     /// Number of components.
     pub fn len(&self) -> usize {
         self.members.len()
@@ -115,6 +128,15 @@ mod tests {
         for i in 0..3 {
             assert_eq!(c.members(i), &[i]);
         }
+    }
+
+    #[test]
+    fn from_edges_matches_the_graph_path() {
+        use crate::ComponentLabeling;
+        let g = Graph::from_edges(5, [(0, 3, 1.0), (1, 2, 1.0)]);
+        let via_graph = g.connected_components();
+        let via_edges = ComponentLabeling::from_edges(5, [(0, 3), (1, 2)]);
+        assert_eq!(via_graph, via_edges);
     }
 
     #[test]

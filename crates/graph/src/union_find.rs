@@ -102,8 +102,22 @@ impl UnionFind {
         self.size[r]
     }
 
-    /// Extracts the sets as sorted member lists, ordered by smallest member.
-    pub fn into_groups(mut self) -> Vec<Vec<usize>> {
+    /// Grows the universe to `n` elements, adding `n − len()` fresh
+    /// singleton sets. A no-op when `n ≤ len()` — existing sets are never
+    /// disturbed, which is what lets an epoch engine keep one forest
+    /// alive while accounts keep arriving.
+    pub fn grow(&mut self, n: usize) {
+        for x in self.parent.len()..n {
+            self.parent.push(x);
+            self.size.push(1);
+            self.sets += 1;
+        }
+    }
+
+    /// The sets as sorted member lists, ordered by smallest member — the
+    /// same canonical form as [`UnionFind::into_groups`], without
+    /// consuming the forest (it keeps accepting unions afterwards).
+    pub fn groups(&mut self) -> Vec<Vec<usize>> {
         let n = self.parent.len();
         let mut by_root: Vec<Vec<usize>> = vec![Vec::new(); n];
         for x in 0..n {
@@ -113,6 +127,11 @@ impl UnionFind {
         let mut groups: Vec<Vec<usize>> = by_root.into_iter().filter(|g| !g.is_empty()).collect();
         groups.sort_by_key(|g| g[0]);
         groups
+    }
+
+    /// Extracts the sets as sorted member lists, ordered by smallest member.
+    pub fn into_groups(mut self) -> Vec<Vec<usize>> {
+        self.groups()
     }
 }
 
@@ -160,5 +179,29 @@ mod tests {
         let uf = UnionFind::new(0);
         assert!(uf.is_empty());
         assert_eq!(uf.into_groups(), Vec::<Vec<usize>>::new());
+    }
+
+    #[test]
+    fn grow_adds_singletons_without_disturbing_sets() {
+        let mut uf = UnionFind::new(2);
+        uf.union(0, 1);
+        uf.grow(4);
+        assert_eq!(uf.len(), 4);
+        assert_eq!(uf.set_count(), 3);
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 2));
+        uf.grow(3); // shrinking request is a no-op
+        assert_eq!(uf.len(), 4);
+        uf.union(2, 3);
+        assert_eq!(uf.groups(), vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn groups_does_not_consume_the_forest() {
+        let mut uf = UnionFind::new(3);
+        uf.union(0, 2);
+        assert_eq!(uf.groups(), vec![vec![0, 2], vec![1]]);
+        uf.union(1, 2);
+        assert_eq!(uf.groups(), vec![vec![0, 1, 2]]);
     }
 }

@@ -22,7 +22,8 @@
 //! deterministic: the same ingest sequence produces byte-identical
 //! snapshots regardless of worker count.
 
-use srtd_core::{AccountGrouping, SybilResistantTd};
+use srtd_core::{AccountGrouping, EdgeGrouping, Grouping, SybilResistantTd};
+use srtd_graph::UnionFind;
 use srtd_runtime::json::{Json, ToJson};
 use srtd_runtime::obs;
 use srtd_truth::{Report, SensingData};
@@ -194,6 +195,15 @@ pub struct EpochEngine<G> {
     epoch: u64,
     prev_weights: Option<Vec<f64>>,
     published: Arc<Mutex<Arc<EpochSnapshot>>>,
+    /// Decision edges cached from the last incremental epoch (sorted,
+    /// deduplicated). Only [`Self::run_epoch_incremental`] maintains them.
+    group_edges: Vec<(usize, usize)>,
+    /// The persistent component forest the incremental path merges into.
+    group_uf: UnionFind,
+    /// Data-plane generation at which `group_edges` were last refreshed;
+    /// a mismatch means some other path folded reports in between and the
+    /// cache must be treated as wholly dirty.
+    regroup_generation: u64,
 }
 
 impl<G: AccountGrouping> EpochEngine<G> {
@@ -217,6 +227,9 @@ impl<G: AccountGrouping> EpochEngine<G> {
             epoch: 0,
             prev_weights: None,
             published: Arc::new(Mutex::new(Arc::new(EpochSnapshot::empty(num_tasks)))),
+            group_edges: Vec::new(),
+            group_uf: UnionFind::new(0),
+            regroup_generation: 0,
         }
     }
 
@@ -395,6 +408,147 @@ impl<G: AccountGrouping> EpochEngine<G> {
         };
         // Wall-clock facts go to gauges, never histograms: histogram
         // buckets are part of the deterministic export.
+        obs::gauge_set("epoch.duration_ns", snapshot.duration_ns as f64);
+        obs::gauge_set("server.ingest.backlog", self.pending.len() as f64);
+        obs::window_end(&format!("epoch-{}", self.epoch));
+        snapshot
+    }
+}
+
+impl<G: EdgeGrouping> EpochEngine<G> {
+    /// [`Self::run_epoch`] with incremental re-grouping: instead of
+    /// re-running the grouping method over the whole campaign, the epoch
+    /// re-examines only pairs touching a *dirty* account (one that folded
+    /// reports this epoch, or arrived since the last grouping) and merges
+    /// the surviving edges into a persistent [`UnionFind`].
+    ///
+    /// Soundness rests on the [`EdgeGrouping`] locality contract: an edge
+    /// between two untouched accounts depends only on their unchanged data,
+    /// so it is carried over verbatim. Two regimes:
+    ///
+    /// * **merge** — no cached edge touched a dirty account: the forest
+    ///   grows to the new account count and the fresh edges union in
+    ///   (`epoch.regroup.merged_edges`); nothing is rebuilt.
+    /// * **rebuild** — some cached edge must be re-decided (its endpoints
+    ///   got new reports and may have drifted apart): union-find cannot
+    ///   un-merge, so the forest is rebuilt from kept + fresh edges
+    ///   (`epoch.regroup.rebuilds`). Still cheap — a rebuild is pure
+    ///   union-find over the cached edge list, with **zero** distance
+    ///   evaluations for clean pairs.
+    ///
+    /// Either way the resulting partition is pinned identical to what a
+    /// from-scratch [`AccountGrouping::group`] would produce (the
+    /// `incremental_group` suite enforces this), and the published
+    /// snapshot has the same shape as the batch path's.
+    pub fn run_epoch_incremental(&mut self) -> Arc<EpochSnapshot> {
+        obs::window_begin();
+        let started = std::time::Instant::now();
+        let snapshot = {
+            let _span = obs::span("server.epoch");
+
+            // Drain: shard order then arrival order, as in `run_epoch`.
+            let mut batch = Vec::with_capacity(self.pending.len());
+            for shard in &mut self.shards {
+                batch.append(shard);
+            }
+            self.pending.clear();
+            let folded = batch.len();
+            // If another path (`run_epoch`) folded reports since the last
+            // incremental grouping, the edge cache no longer knows which
+            // accounts changed — treat everything as dirty.
+            let stale = self.data.generation() != self.regroup_generation;
+            {
+                let _fold = obs::span("epoch.fold");
+                if folded > 0 {
+                    let max_account = batch.iter().map(|r| r.account).max().expect("non-empty");
+                    if max_account >= self.data.num_accounts() {
+                        self.data.reserve_accounts(max_account + 1);
+                    }
+                    self.data.fold_batch(&batch);
+                    obs::counter_add("server.epoch.folded", folded as u64);
+                }
+            }
+
+            let grouping = {
+                let _regroup = obs::span("epoch.regroup");
+                let n = self.data.num_accounts();
+                let mut dirty = vec![stale; n];
+                for report in &batch {
+                    dirty[report.account] = true;
+                }
+                // Accounts the forest has never seen (reserve_accounts can
+                // create report-less accounts below the batch maximum) have
+                // no cached decisions either.
+                for flag in dirty.iter_mut().skip(self.group_uf.len()) {
+                    *flag = true;
+                }
+                let dirty_count = dirty.iter().filter(|&&d| d).count() as u64;
+                obs::counter_add("epoch.regroup.dirty_accounts", dirty_count);
+                let (kept, dropped): (Vec<(usize, usize)>, Vec<(usize, usize)>) = self
+                    .group_edges
+                    .iter()
+                    .partition(|&&(i, j)| !dirty[i] && !dirty[j]);
+                let fresh = self
+                    .framework
+                    .grouping_method()
+                    .decision_edges(&self.data, Some(&dirty));
+                if dropped.is_empty() {
+                    self.group_uf.grow(n);
+                    for &(i, j) in &fresh {
+                        self.group_uf.union(i, j);
+                    }
+                    obs::counter_add("epoch.regroup.merged_edges", fresh.len() as u64);
+                } else {
+                    let mut uf = UnionFind::new(n);
+                    for &(i, j) in kept.iter().chain(&fresh) {
+                        uf.union(i, j);
+                    }
+                    self.group_uf = uf;
+                    obs::counter_add("epoch.regroup.rebuilds", 1);
+                }
+                self.group_edges = kept;
+                self.group_edges.extend(fresh);
+                self.group_edges.sort_unstable();
+                self.group_edges.dedup();
+                self.regroup_generation = self.data.generation();
+                obs::gauge_set("epoch.regroup.edges", self.group_edges.len() as f64);
+                Grouping::new(self.group_uf.groups())
+            };
+
+            let warm = if self.config.warm_start {
+                self.prev_weights.as_deref()
+            } else {
+                None
+            };
+            let result = {
+                let _discover = obs::span("epoch.discover");
+                self.framework
+                    .discover_with_grouping_seeded(&self.data, grouping, warm)
+            };
+            obs::counter_add("server.epoch.iterations", result.iterations as u64);
+
+            let _swap = obs::span("epoch.swap");
+            self.epoch += 1;
+            self.prev_weights = Some(result.group_weights.clone());
+            let snapshot = Arc::new(EpochSnapshot {
+                epoch: self.epoch,
+                generation: self.data.generation(),
+                num_tasks: self.data.num_tasks(),
+                num_accounts: self.data.num_accounts(),
+                num_reports: self.data.num_reports(),
+                folded,
+                truths: result.truths,
+                labels: result.grouping.labels().to_vec(),
+                group_weights: result.group_weights,
+                iterations: result.iterations,
+                converged: result.converged,
+                warm_started: result.warm_started,
+                duration_ns: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            });
+            *self.published.lock().expect("snapshot lock poisoned") = Arc::clone(&snapshot);
+            obs::counter_add("server.epoch.snapshot_swaps", 1);
+            snapshot
+        };
         obs::gauge_set("epoch.duration_ns", snapshot.duration_ns as f64);
         obs::gauge_set("server.ingest.backlog", self.pending.len() as f64);
         obs::window_end(&format!("epoch-{}", self.epoch));

@@ -38,6 +38,7 @@
 pub mod attack;
 pub mod mobility;
 pub mod poi;
+pub mod scale;
 pub mod scenario;
 pub mod selection;
 pub mod user;
@@ -45,6 +46,7 @@ pub mod world;
 
 pub use attack::{AttackType, AttackerSpec, EvasionTactic, FabricationStrategy};
 pub use poi::{Poi, PoiMap};
+pub use scale::{ScaledCampaign, ScaledCampaignConfig};
 pub use scenario::{Scenario, ScenarioConfig};
 pub use selection::CoverageSelection;
 pub use user::MeasurementProfile;

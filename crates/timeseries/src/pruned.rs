@@ -313,11 +313,19 @@ impl PrunedPairwise {
             matrix[i][j] = d;
             matrix[j][i] = d;
         }
+        Self::record_counters(&stats);
+        (matrix, stats)
+    }
+
+    /// Records the `timeseries.dtw.*` pruning counters for one pairwise
+    /// computation (always on the caller thread, after the ordered
+    /// outcome tally, so the export is deterministic for every worker
+    /// count).
+    fn record_counters(stats: &PruneStats) {
         obs::counter_add("timeseries.dtw.lb_kim_pruned", stats.lb_kim_pruned);
         obs::counter_add("timeseries.dtw.lb_keogh_pruned", stats.lb_keogh_pruned);
         obs::counter_add("timeseries.dtw.pair_early_abandoned", stats.early_abandoned);
         obs::counter_add("timeseries.dtw.full_evals", stats.full_evals);
-        (matrix, stats)
     }
 
     /// Pruned pairwise matrix over single-channel series, with the
@@ -369,6 +377,73 @@ impl PrunedPairwise {
     /// [`PrunedPairwise::matrix2_with_stats`] without the stats.
     pub fn matrix2(&self, items: &[(Vec<f64>, Vec<f64>)]) -> Vec<Vec<f64>> {
         self.matrix2_with_stats(items).0
+    }
+
+    /// Sparse variant of [`PrunedPairwise::matrix2_with_stats`]: runs the
+    /// cascade over an explicit candidate-pair list instead of the full
+    /// upper triangle, and returns the surviving `(i, j, distance)`
+    /// triples (pairs whose exact summed distance came in at or below the
+    /// cutoff) instead of a dense n×n matrix — nothing quadratic in
+    /// `items.len()` is ever allocated, which is what lets AG-TR group
+    /// 100k+ accounts.
+    ///
+    /// For any pair present in `pairs` the outcome is bit-identical to
+    /// the corresponding dense-matrix entry: same envelopes (computed
+    /// only for items some candidate references), same cascade, same
+    /// budgets. [`PruneStats::pairs`] counts `pairs.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pair index is out of range.
+    pub fn edges2_with_stats(
+        &self,
+        items: &[(Vec<f64>, Vec<f64>)],
+        pairs: &[(usize, usize)],
+    ) -> (Vec<(usize, usize, f64)>, PruneStats) {
+        let _span = obs::span("timeseries.pruned_pairwise");
+        let mut needed = vec![false; items.len()];
+        for &(i, j) in pairs {
+            needed[i] = true;
+            needed[j] = true;
+        }
+        let indices: Vec<usize> = (0..items.len()).collect();
+        let envelopes = parallel_map_min(&indices, MIN_PARALLEL_SERIES, |&i| {
+            if needed[i] {
+                (
+                    self.envelope_for(&items[i].0),
+                    self.envelope_for(&items[i].1),
+                )
+            } else {
+                // Never consulted — blocked-out items pay nothing.
+                (Envelope::new(&[], 0), Envelope::new(&[], 0))
+            }
+        });
+        let outcomes = parallel_map_min(pairs, MIN_PARALLEL_PAIRS, |&(i, j)| {
+            self.decide(
+                &[&items[i].0, &items[i].1],
+                &[&items[j].0, &items[j].1],
+                &[&envelopes[i].0, &envelopes[i].1],
+                &[&envelopes[j].0, &envelopes[j].1],
+            )
+        });
+        let mut edges = Vec::new();
+        let mut stats = PruneStats {
+            pairs: pairs.len() as u64,
+            ..PruneStats::default()
+        };
+        for (&(i, j), outcome) in pairs.iter().zip(&outcomes) {
+            match outcome {
+                PairOutcome::PrunedKim => stats.lb_kim_pruned += 1,
+                PairOutcome::PrunedKeogh => stats.lb_keogh_pruned += 1,
+                PairOutcome::Abandoned => stats.early_abandoned += 1,
+                PairOutcome::Exact(d) => {
+                    stats.full_evals += 1;
+                    edges.push((i, j, *d));
+                }
+            }
+        }
+        Self::record_counters(&stats);
+        (edges, stats)
     }
 }
 
@@ -539,6 +614,57 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn edges2_over_the_full_triangle_matches_matrix2() {
+        use srtd_runtime::rng::SeedableRng;
+        let mut rng = srtd_runtime::rng::StdRng::seed_from_u64(42);
+        let items: Vec<(Vec<f64>, Vec<f64>)> = (0..20)
+            .map(|_| {
+                let len = rng.gen_range(0usize..9);
+                (
+                    (0..len).map(|_| rng.gen_range(-4f64..4.0)).collect(),
+                    (0..len).map(|_| rng.gen_range(-4f64..4.0)).collect(),
+                )
+            })
+            .collect();
+        let engine = PrunedPairwise::new(3.0);
+        let (matrix, mstats) = engine.matrix2_with_stats(&items);
+        let pairs = triangle_pairs(items.len());
+        let (edges, estats) = engine.edges2_with_stats(&items, &pairs);
+        assert_eq!(mstats, estats);
+        // Every finite off-diagonal entry appears as an edge, bitwise.
+        let mut expected = Vec::new();
+        for (i, row) in matrix.iter().enumerate() {
+            for (j, d) in row.iter().enumerate() {
+                if j > i && d.is_finite() {
+                    expected.push((i, j, *d));
+                }
+            }
+        }
+        assert_eq!(edges.len(), expected.len());
+        for (got, want) in edges.iter().zip(&expected) {
+            assert_eq!((got.0, got.1), (want.0, want.1));
+            assert_eq!(got.2.to_bits(), want.2.to_bits());
+        }
+    }
+
+    #[test]
+    fn edges2_visits_only_the_candidate_pairs() {
+        let items = vec![
+            (vec![0.0, 0.1], vec![0.0, 0.1]),
+            (vec![0.0, 0.2], vec![0.0, 0.2]),
+            (vec![0.0, 0.3], vec![0.0, 0.3]),
+        ];
+        let engine = PrunedPairwise::new(5.0);
+        let (edges, stats) = engine.edges2_with_stats(&items, &[(0, 2)]);
+        assert_eq!(stats.pairs, 1);
+        assert_eq!(edges.len(), 1);
+        assert_eq!((edges[0].0, edges[0].1), (0, 2));
+        let (none, empty_stats) = engine.edges2_with_stats(&items, &[]);
+        assert!(none.is_empty());
+        assert_eq!(empty_stats, PruneStats::default());
     }
 
     #[test]

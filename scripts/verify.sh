@@ -14,6 +14,14 @@ cargo test -q --offline --workspace
 # threads (run explicitly so a failure is attributable at a glance).
 cargo test -q --offline --test ag_tr_equivalence
 
+# Blocked vs exhaustive candidate generation: the prefix filter (AG-TS)
+# and endpoint cells (AG-TR) must leave groupings and audit reports
+# bit-identical at 1 and 4 worker threads, and the incremental union-find
+# regrouping in EpochEngine must publish snapshots identical to the
+# batch from-scratch rebuild across multi-epoch arrival schedules.
+cargo test -q --offline --test blocked_equivalence
+cargo test -q --offline --test incremental_group
+
 # Observability smoke: an instrumented run must export JSON that the
 # runtime's own parser accepts (obs-check validates shape and parse,
 # including the retained telemetry windows under `history`).

@@ -71,7 +71,7 @@ fn instrumented_pipeline_covers_every_stage_and_exports_valid_json() {
         "cluster.elbow",
         "ag_fp.group",
         "ag_tr.group",
-        "ag_tr.dtw_matrix",
+        "ag_tr.dtw_edges",
         "framework.discover",
         "framework.td_loop",
         "platform.audit",

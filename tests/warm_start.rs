@@ -12,7 +12,8 @@
 //! settles into a 1–2 ulp limit cycle, so the anchor is the trajectory
 //! iterate, not a zero-delta state.)
 
-use sybil_td::core::{FrameworkConfig, PerfectGrouping, SybilResistantTd};
+use sybil_td::core::{AgTr, FrameworkConfig, PerfectGrouping, SybilResistantTd};
+use sybil_td::platform::{EpochConfig, EpochEngine};
 use sybil_td::runtime::rng::{Rng, SeedableRng, StdRng};
 use sybil_td::truth::{ConvergenceCriterion, SensingData};
 
@@ -117,4 +118,55 @@ fn warm_started_epoch_reaches_the_cold_fixed_point_in_at_most_two_iterations() {
     assert!(!stale.warm_started);
     assert_eq!(stale.iterations, cold.iterations);
     assert_eq!(bits(&stale.truths), bits(&cold.truths));
+}
+
+#[test]
+fn incremental_regrouping_keeps_the_steady_state_warm_path() {
+    // The incremental epoch path must preserve the warm-start contract:
+    // with no new reports the cached edges are all kept (zero fresh
+    // distance evaluations), the grouping shape is unchanged, and the
+    // seeded Algorithm 2 run settles in ≤2 iterations from the previous
+    // epoch's weights.
+    let (data, _) = sybil_replay_campaign(11);
+    let mut engine = EpochEngine::new(
+        SybilResistantTd::new(AgTr::default()),
+        data.num_tasks(),
+        EpochConfig::default(),
+    );
+    for r in data.reports() {
+        engine
+            .ingest(r.account, r.task, r.value, r.timestamp)
+            .expect("ingest");
+    }
+
+    let first = engine.run_epoch_incremental();
+    assert!(!first.warm_started, "epoch 1 has no seed");
+    assert!(
+        first.iterations >= 3,
+        "cold epoch should need several iterations, took {}",
+        first.iterations
+    );
+
+    let second = engine.run_epoch_incremental();
+    assert!(
+        second.warm_started,
+        "steady-state epoch must reuse the seed"
+    );
+    assert!(second.converged);
+    assert!(
+        second.iterations <= 2,
+        "steady-state warm epoch took {} iterations (cold took {})",
+        second.iterations,
+        first.iterations
+    );
+    // Nothing was dirty, so the regrouping is a pure republish.
+    assert_eq!(second.labels, first.labels);
+    assert_eq!(second.num_reports, first.num_reports);
+    for (w, c) in second.truths.iter().zip(&first.truths) {
+        let (w, c) = (w.unwrap(), c.unwrap());
+        assert!(
+            (w - c).abs() <= 1e-6,
+            "steady-state truth moved: {w} vs {c}"
+        );
+    }
 }
