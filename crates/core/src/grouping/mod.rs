@@ -186,6 +186,15 @@ impl AccountGrouping for SingletonGrouping {
     }
 }
 
+impl EdgeGrouping for SingletonGrouping {
+    /// No edges, ever: the connected components of the empty edge set are
+    /// exactly the singletons [`AccountGrouping::group`] returns, so the
+    /// no-defense baseline rides the incremental epoch path for free.
+    fn decision_edges(&self, _data: &SensingData, _dirty: Option<&[bool]>) -> Vec<(usize, usize)> {
+        Vec::new()
+    }
+}
+
 /// An oracle grouping that returns a fixed partition — used to evaluate
 /// the framework's ceiling (perfect grouping) and as a test double.
 #[derive(Debug, Clone)]

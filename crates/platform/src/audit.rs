@@ -24,6 +24,7 @@ pub struct AuditReport {
     min_group_size: usize,
     effective_min_group_size: usize,
     suspects: Vec<SuspectGroup>,
+    convicted: Vec<usize>,
 }
 
 impl AuditReport {
@@ -73,7 +74,24 @@ impl AuditReport {
             min_group_size,
             effective_min_group_size,
             suspects,
+            convicted: Vec::new(),
         }
+    }
+
+    /// Joins stochastic-audit convictions into the report: convicted
+    /// accounts count as suspects regardless of their group's size
+    /// (conviction rests on spot-check evidence, not on clustering).
+    pub fn with_convictions(mut self, mut convicted: Vec<usize>) -> Self {
+        convicted.sort_unstable();
+        convicted.dedup();
+        self.convicted = convicted;
+        self
+    }
+
+    /// Accounts convicted by the stochastic audit (sorted; empty unless
+    /// [`AuditReport::with_convictions`] was applied).
+    pub fn convicted(&self) -> &[usize] {
+        &self.convicted
     }
 
     /// The grouping method that produced this audit.
@@ -107,20 +125,24 @@ impl AuditReport {
         &self.suspects
     }
 
-    /// Returns `true` if `account` sits in any flagged cluster.
+    /// Returns `true` if `account` sits in any flagged cluster or has
+    /// been convicted by the stochastic audit.
     pub fn is_suspect(&self, account: usize) -> bool {
-        self.suspects
-            .iter()
-            .any(|s| s.accounts.binary_search(&account).is_ok())
+        self.convicted.binary_search(&account).is_ok()
+            || self
+                .suspects
+                .iter()
+                .any(|s| s.accounts.binary_search(&account).is_ok())
     }
 
-    /// Fraction of accounts sitting in flagged clusters.
+    /// Fraction of accounts sitting in flagged clusters or convicted
+    /// (counting each account once).
     pub fn suspect_share(&self) -> f64 {
         let n = self.grouping.num_accounts();
         if n == 0 {
             return 0.0;
         }
-        let flagged: usize = self.suspects.iter().map(|s| s.accounts.len()).sum();
+        let flagged = (0..n).filter(|&a| self.is_suspect(a)).count();
         flagged as f64 / n as f64
     }
 }
@@ -168,6 +190,20 @@ mod tests {
         let r3 = report(&[0, 0, 1], 3);
         assert_eq!(r3.min_group_size(), 3);
         assert_eq!(r3.effective_min_group_size(), 3);
+    }
+
+    #[test]
+    fn convictions_join_the_suspect_set() {
+        // Groups: {0,1,2}, {3}, {4}. Account 3 is convicted by audit.
+        let r = report(&[0, 0, 0, 1, 2], 3).with_convictions(vec![3, 3]);
+        assert_eq!(r.convicted(), &[3], "deduplicated");
+        assert!(r.is_suspect(0), "grouping suspect");
+        assert!(r.is_suspect(3), "convicted singleton counts as suspect");
+        assert!(!r.is_suspect(4));
+        assert!((r.suspect_share() - 0.8).abs() < 1e-12);
+        // Overlap is not double counted.
+        let r = report(&[0, 0, 0, 1, 2], 3).with_convictions(vec![0, 3]);
+        assert!((r.suspect_share() - 0.8).abs() < 1e-12);
     }
 
     #[test]

@@ -22,6 +22,8 @@
 //! deterministic: the same ingest sequence produces byte-identical
 //! snapshots regardless of worker count.
 
+use crate::audit::AuditReport;
+use crate::stochastic::{AuditPolicy, StochasticAuditor};
 use srtd_core::{AccountGrouping, EdgeGrouping, Grouping, SybilResistantTd};
 use srtd_graph::UnionFind;
 use srtd_runtime::json::{Json, ToJson};
@@ -117,6 +119,11 @@ pub struct EpochSnapshot {
     pub converged: bool,
     /// Whether this epoch ran warm-seeded.
     pub warm_started: bool,
+    /// Accounts spot-checked by the stochastic audit this epoch (sorted;
+    /// empty when no auditor is configured).
+    pub audited: Vec<usize>,
+    /// All accounts the audit has convicted so far (sorted, cumulative).
+    pub convicted: Vec<usize>,
     /// Wall-clock nanoseconds the epoch took (drain through publish).
     /// A measurement, not part of the deterministic output; 0 for the
     /// epoch-0 empty snapshot.
@@ -138,6 +145,8 @@ impl EpochSnapshot {
             iterations: 0,
             converged: true,
             warm_started: false,
+            audited: Vec::new(),
+            convicted: Vec::new(),
             duration_ns: 0,
         }
     }
@@ -163,6 +172,8 @@ impl ToJson for EpochSnapshot {
             ("iterations", self.iterations.to_json()),
             ("converged", self.converged.to_json()),
             ("warm_started", self.warm_started.to_json()),
+            ("audited", self.audited.to_json()),
+            ("convicted", self.convicted.to_json()),
             ("duration_ns", self.duration_ns.to_json()),
         ])
     }
@@ -204,6 +215,11 @@ pub struct EpochEngine<G> {
     /// a mismatch means some other path folded reports in between and the
     /// cache must be treated as wholly dirty.
     regroup_generation: u64,
+    /// The stochastic audit stage, if configured (see [`Self::set_audit`]).
+    auditor: Option<StochasticAuditor>,
+    /// Trusted reference value per task for audit spot checks; `None`
+    /// marks a task the platform cannot reference-check.
+    audit_reference: Vec<Option<f64>>,
 }
 
 impl<G: AccountGrouping> EpochEngine<G> {
@@ -230,6 +246,50 @@ impl<G: AccountGrouping> EpochEngine<G> {
             group_edges: Vec::new(),
             group_uf: UnionFind::new(0),
             regroup_generation: 0,
+            auditor: None,
+            audit_reference: Vec::new(),
+        }
+    }
+
+    /// Enables the stochastic audit stage: every epoch, `policy` decides
+    /// which accounts get spot-checked against the trusted reference
+    /// registered via [`Self::set_audit_reference`]. Without a reference
+    /// every audit passes trivially.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is invalid (see [`AuditPolicy::validate`]).
+    pub fn set_audit(&mut self, policy: AuditPolicy) {
+        self.auditor = Some(StochasticAuditor::new(policy));
+    }
+
+    /// Registers the trusted per-task reference values audits compare
+    /// reports against (probe-device measurements in production, ground
+    /// truth in simulation). `None` marks an unauditable task.
+    pub fn set_audit_reference(&mut self, reference: Vec<Option<f64>>) {
+        self.audit_reference = reference;
+    }
+
+    /// The stochastic auditor, if the stage is enabled.
+    pub fn auditor(&self) -> Option<&StochasticAuditor> {
+        self.auditor.as_ref()
+    }
+
+    /// Runs the audit stage for the epoch being built (no-op without an
+    /// auditor) and returns `(targets, cumulative convictions)`.
+    fn audit_stage(&mut self, epoch: u64) -> (Vec<usize>, Vec<usize>) {
+        match self.auditor.as_mut() {
+            Some(auditor) => {
+                let _audit = obs::span("epoch.audit");
+                let pass = auditor.audit_epoch(
+                    epoch,
+                    self.data.generation(),
+                    &self.data,
+                    &self.audit_reference,
+                );
+                (pass.targets, auditor.convicted())
+            }
+            None => (Vec::new(), Vec::new()),
         }
     }
 
@@ -334,6 +394,20 @@ impl<G: AccountGrouping> EpochEngine<G> {
         Arc::clone(&self.published.lock().expect("snapshot lock poisoned"))
     }
 
+    /// An operator-facing [`AuditReport`] over the latest snapshot:
+    /// grouping-flagged clusters of at least `min_group_size` accounts,
+    /// joined with every account the stochastic audit has convicted.
+    pub fn audit_report(&self, min_group_size: usize) -> AuditReport {
+        let snap = self.latest();
+        let grouping = Grouping::from_labels(&snap.labels);
+        AuditReport::build(
+            grouping,
+            self.framework.grouping_method().name(),
+            min_group_size,
+        )
+        .with_convictions(snap.convicted.clone())
+    }
+
     /// Runs one epoch: drains the shard buffers in deterministic order
     /// (shard ascending, FIFO within a shard), folds the batch into the
     /// incremental CSR index, re-runs grouping + Algorithm 2 (warm-seeded
@@ -384,6 +458,8 @@ impl<G: AccountGrouping> EpochEngine<G> {
             };
             obs::counter_add("server.epoch.iterations", result.iterations as u64);
 
+            let (audited, convicted) = self.audit_stage(self.epoch + 1);
+
             let _swap = obs::span("epoch.swap");
             self.epoch += 1;
             self.prev_weights = Some(result.group_weights.clone());
@@ -400,6 +476,8 @@ impl<G: AccountGrouping> EpochEngine<G> {
                 iterations: result.iterations,
                 converged: result.converged,
                 warm_started: result.warm_started,
+                audited,
+                convicted,
                 duration_ns: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
             });
             *self.published.lock().expect("snapshot lock poisoned") = Arc::clone(&snapshot);
@@ -484,7 +562,7 @@ impl<G: EdgeGrouping> EpochEngine<G> {
                 }
                 let dirty_count = dirty.iter().filter(|&&d| d).count() as u64;
                 obs::counter_add("epoch.regroup.dirty_accounts", dirty_count);
-                let (kept, dropped): (Vec<(usize, usize)>, Vec<(usize, usize)>) = self
+                let (kept, dropped): (Vec<_>, Vec<_>) = self
                     .group_edges
                     .iter()
                     .partition(|&&(i, j)| !dirty[i] && !dirty[j]);
@@ -527,6 +605,8 @@ impl<G: EdgeGrouping> EpochEngine<G> {
             };
             obs::counter_add("server.epoch.iterations", result.iterations as u64);
 
+            let (audited, convicted) = self.audit_stage(self.epoch + 1);
+
             let _swap = obs::span("epoch.swap");
             self.epoch += 1;
             self.prev_weights = Some(result.group_weights.clone());
@@ -543,6 +623,8 @@ impl<G: EdgeGrouping> EpochEngine<G> {
                 iterations: result.iterations,
                 converged: result.converged,
                 warm_started: result.warm_started,
+                audited,
+                convicted,
                 duration_ns: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
             });
             *self.published.lock().expect("snapshot lock poisoned") = Arc::clone(&snapshot);
@@ -663,6 +745,48 @@ mod tests {
             second.iterations
         );
         assert_eq!(reader.latest().epoch, 2, "reader sees the swap");
+    }
+
+    #[test]
+    fn audit_stage_convicts_a_planted_deviant() {
+        use crate::stochastic::AuditPolicy;
+        let mut e = engine(2);
+        e.set_audit(AuditPolicy {
+            seed: 3,
+            targets_per_epoch: 4, // covers every account each epoch
+            tolerance: 12.0,
+            min_deviant: 2,
+            conviction_failures: 2,
+        });
+        e.set_audit_reference(vec![Some(-75.0), Some(-70.0), Some(-80.0), None]);
+        // Account 0 honest, account 1 wildly deviant on two tasks.
+        e.ingest(0, 0, -74.0, 1.0).unwrap();
+        e.ingest(0, 1, -68.0, 2.0).unwrap();
+        e.ingest(1, 0, -50.0, 3.0).unwrap();
+        e.ingest(1, 1, -50.0, 4.0).unwrap();
+        let first = e.run_epoch();
+        assert_eq!(first.audited, vec![0, 1], "all accounts spot-checked");
+        assert!(first.convicted.is_empty(), "one failure is below k=2");
+        let second = e.run_epoch();
+        assert_eq!(second.convicted, vec![1], "conviction at exactly k");
+        assert!(!e.auditor().unwrap().is_convicted(0));
+        assert_eq!(e.auditor().unwrap().convicted_epoch(1), Some(2));
+        // The operator-facing report carries the conviction even though
+        // singleton grouping flags no clusters.
+        let report = e.audit_report(2);
+        assert!(report.suspects().is_empty());
+        assert_eq!(report.convicted(), &[1]);
+        assert!(report.is_suspect(1));
+        assert!(!report.is_suspect(0));
+    }
+
+    #[test]
+    fn snapshots_without_an_auditor_have_empty_audit_fields() {
+        let mut e = engine(2);
+        e.ingest(0, 0, -70.0, 1.0).unwrap();
+        let snap = e.run_epoch();
+        assert!(snap.audited.is_empty());
+        assert!(snap.convicted.is_empty());
     }
 
     #[test]

@@ -23,7 +23,11 @@
 //! For the streaming regime — reports arriving continuously while truths
 //! stay servable — [`EpochEngine`] wraps the same pipeline in an
 //! incremental epoch loop: buffered ingest, fold at epoch boundaries,
-//! warm-started re-discovery, immutable published snapshots.
+//! warm-started re-discovery, immutable published snapshots. Against
+//! adaptive attackers who evade every behavioural grouping signal, the
+//! engine can additionally run a [`StochasticAuditor`]: deterministic
+//! seed-derived spot checks against trusted reference values with a
+//! k-failure conviction machine (see [`stochastic`]).
 //!
 //! # Examples
 //!
@@ -48,8 +52,10 @@ mod audit;
 mod epoch;
 mod error;
 mod service;
+pub mod stochastic;
 
 pub use audit::{AuditReport, SuspectGroup};
 pub use epoch::{EpochConfig, EpochEngine, EpochReader, EpochSnapshot, IngestError};
 pub use error::{EnrollError, SubmitError};
 pub use service::{AccountId, Platform, PlatformConfig};
+pub use stochastic::{AuditPolicy, EpochAudit, StochasticAuditor};

@@ -1,0 +1,398 @@
+//! Deterministic stochastic auditing (QRES-style spot checks).
+//!
+//! Grouping catches Sybil rings that *behave* alike; an adaptive attacker
+//! can jitter its replays past φ, mimic honest task sets, and camouflage
+//! its values inside the honest envelope — at which point no behavioural
+//! signal fires. The complementary defense is the one QRES calls a
+//! Class-C mitigation: every epoch the platform spot-checks a few
+//! accounts against *trusted reference* measurements (probe devices,
+//! calibrated sensors — ground truth in simulation) and convicts an
+//! account after `k` failed audits.
+//!
+//! Two properties matter and both are pinned by tests:
+//!
+//! * **Deterministic** — target selection is a pure function of
+//!   `(policy seed, epoch, data generation)`, chained through
+//!   [`SplitMix64`], so replays and thread counts cannot change who gets
+//!   audited. No global RNG, no wall clock.
+//! * **Unpredictable across epochs** — the epoch index is folded into the
+//!   seed chain, so an attacker who saw every past audit still cannot
+//!   tell which accounts are audited next (short of knowing the secret
+//!   policy seed).
+//!
+//! Audits compare reports against the trusted reference, *not* against
+//! the published truth estimates: once a ring has captured a task's
+//! estimate, deviation-from-estimate would convict the honest minority
+//! instead of the attacker.
+
+use srtd_runtime::obs;
+use srtd_runtime::rng::{Rng, SplitMix64};
+use srtd_truth::SensingData;
+use std::collections::BTreeSet;
+
+/// Policy knobs for the per-epoch stochastic audit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AuditPolicy {
+    /// Secret seed of the target-selection chain. Everything the auditor
+    /// does is deterministic in it.
+    pub seed: u64,
+    /// Accounts spot-checked per epoch (clamped to the account count).
+    pub targets_per_epoch: usize,
+    /// A report fails its spot check when it deviates from the trusted
+    /// reference by more than this (dBm for the RSSI campaign). Must
+    /// exceed the honest noise envelope — bias σ 1.5 + noise σ ≤ 3.5
+    /// puts honest deviations within ~12 dBm at 3σ-ish tails.
+    pub tolerance: f64,
+    /// Deviant reports an account needs in one epoch for the audit to
+    /// count as failed (≥ 1; 2 filters one-off glitches).
+    pub min_deviant: usize,
+    /// Failed audits before conviction (the `k` of the k-failure
+    /// machine).
+    pub conviction_failures: u32,
+}
+
+impl Default for AuditPolicy {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            targets_per_epoch: 4,
+            tolerance: 12.0,
+            min_deviant: 2,
+            conviction_failures: 2,
+        }
+    }
+}
+
+impl AuditPolicy {
+    /// Replaces the selection seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive tolerance, zero targets, zero
+    /// `min_deviant`, or zero `conviction_failures`.
+    pub fn validate(&self) {
+        assert!(
+            self.tolerance.is_finite() && self.tolerance > 0.0,
+            "audit tolerance must be positive, got {}",
+            self.tolerance
+        );
+        assert!(
+            self.targets_per_epoch > 0,
+            "audits need at least one target"
+        );
+        assert!(self.min_deviant > 0, "min_deviant must be at least 1");
+        assert!(
+            self.conviction_failures > 0,
+            "conviction needs at least one failure"
+        );
+    }
+}
+
+/// Outcome of one epoch's audit pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochAudit {
+    /// Epoch the pass ran in.
+    pub epoch: u64,
+    /// Accounts spot-checked (sorted).
+    pub targets: Vec<usize>,
+    /// Targets whose spot check failed this epoch (sorted).
+    pub failed: Vec<usize>,
+    /// Accounts whose failure count reached `k` this epoch (sorted).
+    pub newly_convicted: Vec<usize>,
+}
+
+/// The per-account k-failure conviction machine plus the deterministic
+/// target selector. One instance lives inside an
+/// [`crate::EpochEngine`]; state persists across epochs.
+#[derive(Debug, Clone)]
+pub struct StochasticAuditor {
+    policy: AuditPolicy,
+    failures: Vec<u32>,
+    convicted_at: Vec<Option<u64>>,
+}
+
+impl StochasticAuditor {
+    /// Creates an auditor with no failure history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is invalid (see [`AuditPolicy::validate`]).
+    pub fn new(policy: AuditPolicy) -> Self {
+        policy.validate();
+        Self {
+            policy,
+            failures: Vec::new(),
+            convicted_at: Vec::new(),
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &AuditPolicy {
+        &self.policy
+    }
+
+    /// Deterministic audit-target selection: a uniform `count`-subset of
+    /// `0..num_accounts`, derived purely from
+    /// `(seed, epoch, generation)` via a chained [`SplitMix64`] (each
+    /// stage's output seeds the next, so adjacent epochs or generations
+    /// produce decorrelated streams). Sorted; single-threaded by
+    /// construction, hence identical under any worker count.
+    pub fn select_targets(
+        seed: u64,
+        epoch: u64,
+        generation: u64,
+        count: usize,
+        num_accounts: usize,
+    ) -> Vec<usize> {
+        if num_accounts == 0 || count == 0 {
+            return Vec::new();
+        }
+        let count = count.min(num_accounts);
+        let mut stage = SplitMix64::new(seed);
+        let mut stage = SplitMix64::new(stage.next_u64() ^ epoch);
+        let mut rng = SplitMix64::new(stage.next_u64() ^ generation);
+        // Floyd's subset sampling: uniform over count-subsets, O(count)
+        // draws, and the BTreeSet yields the sorted order for free.
+        let mut chosen = BTreeSet::new();
+        for j in (num_accounts - count)..num_accounts {
+            let t = rng.next_u64_below(j as u64 + 1) as usize;
+            if !chosen.insert(t) {
+                chosen.insert(j);
+            }
+        }
+        chosen.into_iter().collect()
+    }
+
+    /// The targets this auditor would pick for `(epoch, generation)`.
+    pub fn targets(&self, epoch: u64, generation: u64, num_accounts: usize) -> Vec<usize> {
+        Self::select_targets(
+            self.policy.seed,
+            epoch,
+            generation,
+            self.policy.targets_per_epoch,
+            num_accounts,
+        )
+    }
+
+    /// Runs one audit pass: selects targets, spot-checks each target's
+    /// reports against the trusted `reference` (`None` marks a task the
+    /// platform cannot reference-check), advances the failure counters,
+    /// and convicts accounts crossing `k`. Accounts with no reference-
+    /// checkable reports pass trivially.
+    pub fn audit_epoch(
+        &mut self,
+        epoch: u64,
+        generation: u64,
+        data: &SensingData,
+        reference: &[Option<f64>],
+    ) -> EpochAudit {
+        let n = data.num_accounts();
+        if self.failures.len() < n {
+            self.failures.resize(n, 0);
+            self.convicted_at.resize(n, None);
+        }
+        let targets = self.targets(epoch, generation, n);
+        let mut failed = Vec::new();
+        let mut newly_convicted = Vec::new();
+        for &account in &targets {
+            let deviant = data
+                .account_reports(account)
+                .filter(|r| match reference.get(r.task).copied().flatten() {
+                    Some(truth) => (r.value - truth).abs() > self.policy.tolerance,
+                    None => false,
+                })
+                .count();
+            if deviant >= self.policy.min_deviant {
+                self.failures[account] += 1;
+                failed.push(account);
+                if self.failures[account] == self.policy.conviction_failures
+                    && self.convicted_at[account].is_none()
+                {
+                    self.convicted_at[account] = Some(epoch);
+                    newly_convicted.push(account);
+                }
+            }
+        }
+        obs::counter_add("platform.audit.targets", targets.len() as u64);
+        obs::counter_add("platform.audit.failures", failed.len() as u64);
+        obs::counter_add("platform.audit.convictions", newly_convicted.len() as u64);
+        EpochAudit {
+            epoch,
+            targets,
+            failed,
+            newly_convicted,
+        }
+    }
+
+    /// Failed audits recorded for `account` so far.
+    pub fn failures(&self, account: usize) -> u32 {
+        self.failures.get(account).copied().unwrap_or(0)
+    }
+
+    /// Whether `account` has been convicted.
+    pub fn is_convicted(&self, account: usize) -> bool {
+        self.convicted_at.get(account).is_some_and(|c| c.is_some())
+    }
+
+    /// The epoch `account` was convicted in, if any.
+    pub fn convicted_epoch(&self, account: usize) -> Option<u64> {
+        self.convicted_at.get(account).copied().flatten()
+    }
+
+    /// All convicted accounts, sorted.
+    pub fn convicted(&self) -> Vec<usize> {
+        self.convicted_at
+            .iter()
+            .enumerate()
+            .filter_map(|(a, c)| c.map(|_| a))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data_with(reports: &[(usize, usize, f64)]) -> SensingData {
+        let mut data = SensingData::new(4);
+        for (i, &(account, task, value)) in reports.iter().enumerate() {
+            data.add_report(account, task, value, i as f64);
+        }
+        data
+    }
+
+    #[test]
+    fn selection_is_deterministic_and_sorted() {
+        let a = StochasticAuditor::select_targets(7, 3, 11, 4, 20);
+        let b = StochasticAuditor::select_targets(7, 3, 11, 4, 20);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+        assert!(a.iter().all(|&t| t < 20));
+    }
+
+    #[test]
+    fn different_epochs_generations_and_seeds_decorrelate() {
+        let base = StochasticAuditor::select_targets(7, 3, 11, 4, 1000);
+        assert_ne!(base, StochasticAuditor::select_targets(7, 4, 11, 4, 1000));
+        assert_ne!(base, StochasticAuditor::select_targets(7, 3, 12, 4, 1000));
+        assert_ne!(base, StochasticAuditor::select_targets(8, 3, 11, 4, 1000));
+    }
+
+    #[test]
+    fn selection_clamps_to_population() {
+        assert!(StochasticAuditor::select_targets(1, 1, 1, 4, 0).is_empty());
+        let all = StochasticAuditor::select_targets(1, 1, 1, 10, 3);
+        assert_eq!(all, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn selection_is_roughly_uniform() {
+        // Every account should be audited eventually: over 400 epochs of
+        // 4-of-20 draws each account expects 80 audits; none should be
+        // starved or hammered.
+        let mut hits = [0usize; 20];
+        for epoch in 0..400 {
+            for t in StochasticAuditor::select_targets(99, epoch, 5, 4, 20) {
+                hits[t] += 1;
+            }
+        }
+        for (account, &h) in hits.iter().enumerate() {
+            assert!(
+                (40..=120).contains(&h),
+                "account {account} audited {h} times"
+            );
+        }
+    }
+
+    #[test]
+    fn conviction_fires_at_exactly_k() {
+        let policy = AuditPolicy {
+            conviction_failures: 3,
+            min_deviant: 1,
+            targets_per_epoch: 1,
+            ..AuditPolicy::default()
+        };
+        let mut auditor = StochasticAuditor::new(policy);
+        // One account, always selected, always deviant.
+        let data = data_with(&[(0, 0, -50.0), (0, 1, -50.0)]);
+        let reference = vec![Some(-75.0); 4];
+        for epoch in 1..=2 {
+            let pass = auditor.audit_epoch(epoch, 0, &data, &reference);
+            assert_eq!(pass.failed, vec![0]);
+            assert!(pass.newly_convicted.is_empty(), "k−1 failures convict");
+            assert!(!auditor.is_convicted(0));
+        }
+        let pass = auditor.audit_epoch(3, 0, &data, &reference);
+        assert_eq!(pass.newly_convicted, vec![0], "conviction at exactly k");
+        assert_eq!(auditor.convicted_epoch(0), Some(3));
+        // Further failures do not re-convict.
+        let pass = auditor.audit_epoch(4, 0, &data, &reference);
+        assert!(pass.newly_convicted.is_empty());
+        assert_eq!(auditor.convicted(), vec![0]);
+    }
+
+    #[test]
+    fn honest_reports_never_fail() {
+        let policy = AuditPolicy {
+            min_deviant: 1,
+            targets_per_epoch: 2,
+            ..AuditPolicy::default()
+        };
+        let mut auditor = StochasticAuditor::new(policy);
+        // Two accounts reporting within tolerance of the reference.
+        let data = data_with(&[(0, 0, -73.0), (0, 1, -68.0), (1, 0, -77.0), (1, 2, -80.0)]);
+        let reference = vec![Some(-75.0), Some(-70.0), Some(-76.0), None];
+        for epoch in 1..=50 {
+            let pass = auditor.audit_epoch(epoch, 0, &data, &reference);
+            assert!(pass.failed.is_empty());
+        }
+        assert!(auditor.convicted().is_empty());
+    }
+
+    #[test]
+    fn unreferenced_tasks_cannot_fail_an_account() {
+        let policy = AuditPolicy {
+            min_deviant: 1,
+            targets_per_epoch: 1,
+            ..AuditPolicy::default()
+        };
+        let mut auditor = StochasticAuditor::new(policy);
+        // Wildly deviant values, but only on tasks without a reference.
+        let data = data_with(&[(0, 2, -20.0), (0, 3, -20.0)]);
+        let reference = vec![Some(-75.0), Some(-75.0), None, None];
+        let pass = auditor.audit_epoch(1, 0, &data, &reference);
+        assert_eq!(pass.targets, vec![0]);
+        assert!(pass.failed.is_empty());
+    }
+
+    #[test]
+    fn min_deviant_filters_single_glitches() {
+        let policy = AuditPolicy {
+            min_deviant: 2,
+            targets_per_epoch: 1,
+            ..AuditPolicy::default()
+        };
+        let mut auditor = StochasticAuditor::new(policy);
+        // One deviant report out of three: below the min_deviant bar.
+        let data = data_with(&[(0, 0, -40.0), (0, 1, -71.0), (0, 2, -74.0)]);
+        let reference = vec![Some(-75.0); 4];
+        let pass = auditor.audit_epoch(1, 0, &data, &reference);
+        assert!(pass.failed.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "audit tolerance")]
+    fn bad_tolerance_rejected() {
+        StochasticAuditor::new(AuditPolicy {
+            tolerance: 0.0,
+            ..AuditPolicy::default()
+        });
+    }
+}

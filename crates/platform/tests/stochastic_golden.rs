@@ -1,0 +1,161 @@
+//! Golden and cross-thread tests for deterministic audit-target
+//! selection, plus an exhaustive sweep of the k-failure conviction
+//! machine.
+//!
+//! The golden vectors pin the exact selection function: any change to
+//! the seed chain (SplitMix64 stages over seed → epoch → generation) or
+//! to Floyd's sampling silently reshuffles who gets audited, which
+//! would invalidate recorded experiments. Changing them is allowed but
+//! must be deliberate.
+
+use srtd_platform::{AuditPolicy, StochasticAuditor};
+use srtd_runtime::parallel::{parallel_map, set_max_threads};
+use srtd_truth::SensingData;
+
+/// The exact targets for policy seed 42 over the first six epochs of an
+/// 18-account campaign (4 targets per epoch, data generation 1).
+#[test]
+fn golden_target_sequence_is_pinned() {
+    let golden: [&[usize]; 6] = [
+        &[1, 3, 16, 17],
+        &[4, 9, 12, 14],
+        &[3, 4, 12, 16],
+        &[0, 3, 12, 14],
+        &[0, 4, 8, 13],
+        &[7, 8, 14, 17],
+    ];
+    for (i, want) in golden.iter().enumerate() {
+        let got = StochasticAuditor::select_targets(42, i as u64 + 1, 1, 4, 18);
+        assert_eq!(&got, want, "epoch {}", i + 1);
+    }
+    // The data generation is a separate chain stage: same epoch,
+    // different generation, different targets.
+    assert_eq!(
+        StochasticAuditor::select_targets(42, 1, 2, 4, 18),
+        vec![1, 7, 8, 12]
+    );
+    assert_eq!(
+        StochasticAuditor::select_targets(42, 1, 3, 4, 18),
+        vec![0, 6, 12, 14]
+    );
+}
+
+/// Selection is identical under any worker-thread count — including
+/// when invoked *from inside* the parallel runtime's workers.
+#[test]
+fn selection_is_thread_count_invariant() {
+    let epochs: Vec<u64> = (1..=64).collect();
+    let mut per_count = Vec::new();
+    for threads in [1usize, 4] {
+        set_max_threads(threads);
+        let picks: Vec<Vec<usize>> = parallel_map(&epochs, |&e| {
+            StochasticAuditor::select_targets(7, e, 3, 5, 40)
+        });
+        per_count.push(picks);
+    }
+    set_max_threads(0);
+    assert_eq!(per_count[0], per_count[1], "1-thread vs 4-thread selection");
+    // And the parallel runs match plain sequential evaluation.
+    for (i, &e) in epochs.iter().enumerate() {
+        assert_eq!(
+            per_count[0][i],
+            StochasticAuditor::select_targets(7, e, 3, 5, 40)
+        );
+    }
+}
+
+/// Consecutive epochs are decorrelated: over many epochs no selection
+/// repeats its predecessor, and the mean overlap between consecutive
+/// 4-of-40 draws stays near the hypergeometric expectation (0.4), far
+/// from the 4.0 a stuck or counter-like selector would show.
+#[test]
+fn consecutive_epochs_are_decorrelated() {
+    let mut overlap_sum = 0usize;
+    let mut prev = StochasticAuditor::select_targets(3, 0, 9, 4, 40);
+    for epoch in 1..=500u64 {
+        let cur = StochasticAuditor::select_targets(3, epoch, 9, 4, 40);
+        assert_ne!(cur, prev, "epoch {epoch} repeated its predecessor");
+        overlap_sum += cur.iter().filter(|t| prev.contains(t)).count();
+        prev = cur;
+    }
+    let mean_overlap = overlap_sum as f64 / 500.0;
+    assert!(
+        mean_overlap < 1.0,
+        "consecutive selections overlap too much: {mean_overlap}"
+    );
+}
+
+fn deviant_data(n_accounts: usize) -> SensingData {
+    let mut data = SensingData::new(2);
+    for a in 0..n_accounts {
+        data.add_report(a, 0, -50.0, a as f64);
+        data.add_report(a, 1, -50.0, a as f64 + 0.5);
+    }
+    data
+}
+
+/// The conviction machine fires at exactly `k` failed audits for every
+/// `k`, never before, never twice — swept exhaustively over
+/// `k ∈ 1..=4` with the failure epochs interleaved by passes.
+#[test]
+fn conviction_machine_is_exact_for_every_k() {
+    let reference = vec![Some(-75.0), Some(-75.0)];
+    let clean = vec![None, None];
+    for k in 1..=4u32 {
+        let mut auditor = StochasticAuditor::new(AuditPolicy {
+            conviction_failures: k,
+            min_deviant: 1,
+            targets_per_epoch: 1,
+            ..AuditPolicy::default()
+        });
+        let data = deviant_data(1);
+        let mut failures = 0u32;
+        // Alternate failing audits with reference-free (passing) epochs:
+        // passes must not advance or reset the counter.
+        for epoch in 1..=(2 * k as u64) {
+            let failing_epoch = epoch % 2 == 1;
+            let pass = auditor.audit_epoch(
+                epoch,
+                0,
+                &data,
+                if failing_epoch { &reference } else { &clean },
+            );
+            if failing_epoch {
+                failures += 1;
+            }
+            assert_eq!(auditor.failures(0), failures, "k={k} epoch={epoch}");
+            if failures == k && failing_epoch {
+                assert_eq!(pass.newly_convicted, vec![0], "k={k}: convict at k-th");
+                assert_eq!(auditor.convicted_epoch(0), Some(epoch));
+            } else {
+                assert!(pass.newly_convicted.is_empty(), "k={k} epoch={epoch}");
+            }
+        }
+        assert!(auditor.is_convicted(0));
+        assert_eq!(auditor.convicted(), vec![0]);
+    }
+}
+
+/// Failure counters are per-account and survive population growth: an
+/// account keeps its history when later epochs bring more accounts.
+#[test]
+fn failure_state_survives_population_growth() {
+    let mut auditor = StochasticAuditor::new(AuditPolicy {
+        conviction_failures: 2,
+        min_deviant: 1,
+        targets_per_epoch: 8,
+        ..AuditPolicy::default()
+    });
+    let reference = vec![Some(-75.0), Some(-75.0)];
+    auditor.audit_epoch(1, 0, &deviant_data(2), &reference);
+    assert_eq!(auditor.failures(0), 1);
+    assert!(auditor.convicted().is_empty());
+    // The campaign grows to 6 accounts; the old failure counts persist
+    // and the second failure convicts.
+    let pass = auditor.audit_epoch(2, 1, &deviant_data(6), &reference);
+    assert!(pass.targets.len() >= 2, "enough targets to cover account 0");
+    assert_eq!(auditor.failures(0), 2);
+    assert!(auditor.is_convicted(0));
+    assert!(auditor.is_convicted(1));
+    assert!(!auditor.is_convicted(5), "new accounts start clean");
+}

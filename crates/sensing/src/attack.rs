@@ -18,6 +18,15 @@ pub enum AttackType {
         /// attack to differ from Attack-I; the paper's attacker uses 2).
         devices: usize,
     },
+    /// Adaptive Attack-II variant aimed at AG-FP: the attacker buys
+    /// devices of *distinct models*, so within-attacker fingerprints span
+    /// several hardware clusters instead of clumping into one or two. The
+    /// fleet assigns consecutive catalog models to these devices.
+    MixedDevices {
+        /// Number of distinct-model devices (≥ 2; up to the catalog size
+        /// before models repeat).
+        devices: usize,
+    },
 }
 
 /// What data the Sybil accounts submit.
@@ -46,6 +55,23 @@ pub enum FabricationStrategy {
         delta: f64,
         /// Per-account jitter σ.
         jitter_std: f64,
+    },
+    /// Statistically camouflaged fabrication: the attacker picks a subset
+    /// of its tasks as *targets* and lies only there, shifting the claim
+    /// by `delta`; on every other task the claim is pinned inside the
+    /// honest statistical envelope (truth ± 1.5σ). Against weighted
+    /// aggregation the camouflage buys the accounts near-honest weights
+    /// that they then spend on the targets.
+    Camouflaged {
+        /// Shift applied on target tasks (dBm); should exceed any audit
+        /// tolerance to be worth the effort.
+        delta: f64,
+        /// Noise σ of the camouflage claims; all claims stay within
+        /// ±1.5σ of the (shifted) truth.
+        sigma: f64,
+        /// Fraction of the attacker's task set that is targeted, clamped
+        /// to `(0, 1]`; at least one task is always targeted.
+        target_fraction: f64,
     },
 }
 
@@ -76,6 +102,28 @@ pub enum EvasionTactic {
         /// clamped to `(0, 1]`.
         fraction: f64,
     },
+    /// One physical walk, but every account replays it under a private
+    /// clock offset drawn from `N(0, time_jitter_s)` and with
+    /// `order_flips` adjacent transpositions of the claimed visiting
+    /// order. Aimed at AG-TR: with enough jitter the pairwise DTW
+    /// distance (Eq. 8) exceeds φ and no trajectory edge forms, while
+    /// the attacker still only walks once.
+    JitteredReplay {
+        /// σ of the per-account clock offset, in seconds. At the default
+        /// φ = 1 and hour-unit timestamps, offsets past ~1 600 s break
+        /// edge formation on paper-scale walks.
+        time_jitter_s: f64,
+        /// Adjacent transpositions applied to each account's claimed
+        /// visiting order (0 keeps the true order).
+        order_flips: usize,
+    },
+    /// Each account samples its *own* task set from the honest accounts'
+    /// empirical task distribution instead of sharing the attacker's
+    /// uniform draw. Aimed at AG-TS: the accounts' task sets diverge and
+    /// track exactly the marginals honest accounts produce, so the
+    /// affinity score (Eq. 6) and its rarity-order filter see nothing
+    /// unusual. The attacker walks the union of the sampled sets once.
+    TaskMimicry,
 }
 
 impl FabricationStrategy {
@@ -84,6 +132,17 @@ impl FabricationStrategy {
         Self::Fabricate {
             value: -50.0,
             jitter_std: 0.3,
+        }
+    }
+
+    /// Default camouflaged attacker: lie by −18 dBm on 40 % of the task
+    /// set, camouflage with σ = 2 dBm elsewhere. The −18 dBm shift
+    /// clears the default 12 dBm audit tolerance with margin.
+    pub fn camouflaged_default() -> Self {
+        Self::Camouflaged {
+            delta: -18.0,
+            sigma: 2.0,
+            target_fraction: 0.4,
         }
     }
 }
@@ -124,6 +183,44 @@ impl AttackerSpec {
         }
     }
 
+    /// Adaptive attacker aimed at AG-TR: one walk, fabricated −50 dBm
+    /// claims, per-account replay jitter of `time_jitter_s` seconds plus
+    /// one transposed claim position.
+    pub fn adaptive_jitter(time_jitter_s: f64) -> Self {
+        Self {
+            accounts: 5,
+            attack_type: AttackType::SingleDevice,
+            strategy: FabricationStrategy::paper_default(),
+            evasion: EvasionTactic::JitteredReplay {
+                time_jitter_s,
+                order_flips: 1,
+            },
+        }
+    }
+
+    /// Adaptive attacker aimed at AG-TS + AG-FP: mimicked task sets over
+    /// mixed-model devices, still fabricating −50 dBm.
+    pub fn adaptive_mimicry(devices: usize) -> Self {
+        Self {
+            accounts: 5,
+            attack_type: AttackType::MixedDevices { devices },
+            strategy: FabricationStrategy::paper_default(),
+            evasion: EvasionTactic::TaskMimicry,
+        }
+    }
+
+    /// Fully adaptive attacker: camouflaged values, mimicked task sets,
+    /// mixed-model devices — evades all three grouping signals and value
+    /// outlier filters; only spot-check auditing sees the target lies.
+    pub fn adaptive_full(devices: usize) -> Self {
+        Self {
+            accounts: 5,
+            attack_type: AttackType::MixedDevices { devices },
+            strategy: FabricationStrategy::camouflaged_default(),
+            evasion: EvasionTactic::TaskMimicry,
+        }
+    }
+
     /// Replaces the data strategy.
     pub fn with_strategy(mut self, strategy: FabricationStrategy) -> Self {
         self.strategy = strategy;
@@ -140,7 +237,9 @@ impl AttackerSpec {
     pub fn device_count(&self) -> usize {
         match self.attack_type {
             AttackType::SingleDevice => 1,
-            AttackType::MultiDevice { devices } => devices.max(1),
+            AttackType::MultiDevice { devices } | AttackType::MixedDevices { devices } => {
+                devices.max(1)
+            }
         }
     }
 
@@ -152,16 +251,41 @@ impl AttackerSpec {
     /// declares fewer than 2 devices.
     pub fn validate(&self) {
         assert!(self.accounts > 0, "an attacker needs at least one account");
-        if let AttackType::MultiDevice { devices } = self.attack_type {
-            assert!(
+        match self.attack_type {
+            AttackType::SingleDevice => {}
+            AttackType::MultiDevice { devices } => assert!(
                 devices >= 2,
                 "Attack-II needs at least 2 devices, got {devices}"
-            );
+            ),
+            AttackType::MixedDevices { devices } => assert!(
+                devices >= 2,
+                "a mixed-device attacker needs at least 2 devices, got {devices}"
+            ),
         }
-        if let EvasionTactic::SubsetTasks { fraction } = self.evasion {
-            assert!(
+        match self.evasion {
+            EvasionTactic::SubsetTasks { fraction } => assert!(
                 fraction > 0.0 && fraction <= 1.0,
                 "subset fraction must be in (0,1], got {fraction}"
+            ),
+            EvasionTactic::JitteredReplay { time_jitter_s, .. } => assert!(
+                time_jitter_s.is_finite() && time_jitter_s >= 0.0,
+                "replay jitter must be finite and non-negative, got {time_jitter_s}"
+            ),
+            _ => {}
+        }
+        if let FabricationStrategy::Camouflaged {
+            sigma,
+            target_fraction,
+            ..
+        } = self.strategy
+        {
+            assert!(
+                sigma.is_finite() && sigma > 0.0,
+                "camouflage sigma must be positive, got {sigma}"
+            );
+            assert!(
+                target_fraction > 0.0 && target_fraction <= 1.0,
+                "target fraction must be in (0,1], got {target_fraction}"
             );
         }
     }
@@ -173,6 +297,10 @@ impl ToJson for AttackType {
             AttackType::SingleDevice => Json::obj([("type", Json::str("single_device"))]),
             AttackType::MultiDevice { devices } => Json::obj([
                 ("type", Json::str("multi_device")),
+                ("devices", devices.to_json()),
+            ]),
+            AttackType::MixedDevices { devices } => Json::obj([
+                ("type", Json::str("mixed_devices")),
                 ("devices", devices.to_json()),
             ]),
         }
@@ -196,6 +324,16 @@ impl ToJson for FabricationStrategy {
                 ("delta", delta.to_json()),
                 ("jitter_std", jitter_std.to_json()),
             ]),
+            FabricationStrategy::Camouflaged {
+                delta,
+                sigma,
+                target_fraction,
+            } => Json::obj([
+                ("strategy", Json::str("camouflaged")),
+                ("delta", delta.to_json()),
+                ("sigma", sigma.to_json()),
+                ("target_fraction", target_fraction.to_json()),
+            ]),
         }
     }
 }
@@ -211,6 +349,15 @@ impl ToJson for EvasionTactic {
                 ("tactic", Json::str("subset_tasks")),
                 ("fraction", fraction.to_json()),
             ]),
+            EvasionTactic::JitteredReplay {
+                time_jitter_s,
+                order_flips,
+            } => Json::obj([
+                ("tactic", Json::str("jittered_replay")),
+                ("time_jitter_s", time_jitter_s.to_json()),
+                ("order_flips", order_flips.to_json()),
+            ]),
+            EvasionTactic::TaskMimicry => Json::obj([("tactic", Json::str("task_mimicry"))]),
         }
     }
 }
@@ -281,6 +428,58 @@ mod tests {
         assert_eq!(spec.evasion, EvasionTactic::PerAccountWalks);
         matches!(spec.strategy, FabricationStrategy::Offset { .. });
         spec.validate();
+    }
+
+    #[test]
+    fn adaptive_presets_validate() {
+        let jitter = AttackerSpec::adaptive_jitter(900.0);
+        let mimicry = AttackerSpec::adaptive_mimicry(3);
+        let full = AttackerSpec::adaptive_full(3);
+        jitter.validate();
+        mimicry.validate();
+        full.validate();
+        assert_eq!(mimicry.device_count(), 3);
+        assert!(matches!(
+            full.strategy,
+            FabricationStrategy::Camouflaged { .. }
+        ));
+        assert!(matches!(full.evasion, EvasionTactic::TaskMimicry));
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed-device attacker")]
+    fn single_mixed_device_rejected() {
+        AttackerSpec::adaptive_mimicry(1).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "replay jitter")]
+    fn negative_jitter_rejected() {
+        AttackerSpec::adaptive_jitter(-1.0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "target fraction")]
+    fn bad_target_fraction_rejected() {
+        AttackerSpec::paper_attack_i()
+            .with_strategy(FabricationStrategy::Camouflaged {
+                delta: -18.0,
+                sigma: 2.0,
+                target_fraction: 1.5,
+            })
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "camouflage sigma")]
+    fn zero_camouflage_sigma_rejected() {
+        AttackerSpec::paper_attack_i()
+            .with_strategy(FabricationStrategy::Camouflaged {
+                delta: -18.0,
+                sigma: 0.0,
+                target_fraction: 0.4,
+            })
+            .validate();
     }
 
     #[test]

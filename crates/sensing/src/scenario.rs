@@ -1,6 +1,6 @@
 //! Complete campaign generation reproducing the paper's experimental setup.
 
-use crate::attack::{AttackerSpec, EvasionTactic, FabricationStrategy};
+use crate::attack::{AttackType, AttackerSpec, EvasionTactic, FabricationStrategy};
 use crate::mobility::Walk;
 use crate::poi::PoiMap;
 use crate::user::MeasurementProfile;
@@ -136,6 +136,10 @@ pub struct Scenario {
     pub devices: Vec<usize>,
     /// Whether each account belongs to a Sybil attacker.
     pub is_sybil: Vec<bool>,
+    /// Per-attacker target task lists (sorted). Non-empty only for
+    /// attackers using [`FabricationStrategy::Camouflaged`]; on every
+    /// other task those attackers report inside the honest envelope.
+    pub attack_targets: Vec<Vec<usize>>,
     /// The device fleet (indexed by [`Scenario::devices`]).
     pub fleet: Vec<DeviceInstance>,
     /// The campus map.
@@ -157,8 +161,13 @@ impl Scenario {
         let map = PoiMap::campus(config.num_tasks, config.seed);
         let world = WifiWorld::generate(&map, config.seed);
 
-        let (fleet, legit_pool, attack_i_pool, attack_ii_pool) =
-            manufacture_fleet(config, &mut rng);
+        let Fleet {
+            devices: fleet,
+            legit_pool,
+            attack_i_pool,
+            attack_ii_pool,
+            mixed_pool,
+        } = manufacture_fleet(config, &mut rng);
 
         let mut data = SensingData::new(config.num_tasks);
         // Captures are drawn inline (they consume the scenario RNG) but
@@ -169,6 +178,9 @@ impl Scenario {
         let mut devices = Vec::new();
         let mut is_sybil = Vec::new();
         let mut next_account = 0usize;
+        // Empirical task marginal of the honest population, the
+        // distribution task-mimicry attackers sample from.
+        let mut honest_task_counts = vec![0usize; config.num_tasks];
 
         // Legitimate users: one account, one device, one walk each.
         let mut legit_iter = legit_pool.into_iter();
@@ -179,6 +191,9 @@ impl Scenario {
             let profile = MeasurementProfile::sample(&mut rng);
             let k = config.tasks_per_account(config.legit_activeness);
             let tasks = choose_tasks(config.num_tasks, k, &mut rng);
+            for &t in &tasks {
+                honest_task_counts[t] += 1;
+            }
             let start = rng.gen_range(0.0..CAMPAIGN_WINDOW_S);
             // Legit users visit in their own preferred (shuffled) order.
             let walk = Walk::plan_in_order(&map, &tasks, start, config.walking_speed, &mut rng);
@@ -195,22 +210,58 @@ impl Scenario {
         }
 
         // Sybil attackers: one physical walk; every account reports each
-        // visited POI back to back (the Table III timestamp pattern).
+        // visited POI back to back (the Table III timestamp pattern),
+        // unless the spec's evasion tactic says otherwise.
         let mut a1 = attack_i_pool.into_iter();
         let mut a2 = attack_ii_pool.into_iter();
+        let mut mixed = mixed_pool.into_iter();
+        let mut attack_targets = Vec::with_capacity(config.attackers.len());
         for (a_idx, spec) in config.attackers.iter().enumerate() {
             let owner = config.num_legit + a_idx;
             let device_ids: Vec<usize> = match spec.attack_type {
-                crate::attack::AttackType::SingleDevice => {
+                AttackType::SingleDevice => {
                     vec![a1.next().expect("fleet covers Attack-I attackers")]
                 }
-                crate::attack::AttackType::MultiDevice { devices } => (0..devices)
+                AttackType::MultiDevice { devices } => (0..devices)
                     .map(|_| a2.next().expect("fleet covers Attack-II attackers"))
+                    .collect(),
+                AttackType::MixedDevices { devices } => (0..devices)
+                    .map(|_| mixed.next().expect("fleet covers mixed-device attackers"))
                     .collect(),
             };
             let profile = MeasurementProfile::sample(&mut rng);
             let k = config.tasks_per_account(config.attacker_activeness);
-            let tasks = choose_tasks(config.num_tasks, k, &mut rng);
+            // Mimicry draws each account's task set from the honest
+            // marginal; the attacker walks the union once. Every other
+            // tactic shares one uniform draw across all accounts.
+            let (tasks, account_tasks): (Vec<usize>, Vec<Vec<usize>>) =
+                if matches!(spec.evasion, EvasionTactic::TaskMimicry) {
+                    let per_account: Vec<Vec<usize>> = (0..spec.accounts)
+                        .map(|_| sample_weighted_tasks(&honest_task_counts, k, &mut rng))
+                        .collect();
+                    let mut union: Vec<usize> = per_account.iter().flatten().copied().collect();
+                    union.sort_unstable();
+                    union.dedup();
+                    union.shuffle(&mut rng);
+                    (union, per_account)
+                } else {
+                    (choose_tasks(config.num_tasks, k, &mut rng), Vec::new())
+                };
+            // Camouflaged attackers pick their lie targets up front.
+            let targets: Vec<usize> = match spec.strategy {
+                FabricationStrategy::Camouflaged {
+                    target_fraction, ..
+                } => {
+                    let mut pool = tasks.clone();
+                    pool.shuffle(&mut rng);
+                    let n = ((target_fraction * tasks.len() as f64).ceil() as usize)
+                        .clamp(1, tasks.len());
+                    pool.truncate(n);
+                    pool.sort_unstable();
+                    pool
+                }
+                _ => Vec::new(),
+            };
             let start = rng.gen_range(0.0..CAMPAIGN_WINDOW_S);
             // The attacker walks once, in its own preferred order; all of
             // its accounts will replay this one walk.
@@ -225,7 +276,8 @@ impl Scenario {
                 is_sybil.push(true);
                 next_account += 1;
             }
-            let claim = |honest: f64, rng: &mut StdRng| match spec.strategy {
+            let truths = world.ground_truths();
+            let claim = |task: usize, honest: f64, rng: &mut StdRng| match spec.strategy {
                 FabricationStrategy::Fabricate { value, jitter_std } => {
                     value + normal(rng, 0.0, jitter_std)
                 }
@@ -234,6 +286,17 @@ impl Scenario {
                 }
                 FabricationStrategy::Offset { delta, jitter_std } => {
                     honest + delta + normal(rng, 0.0, jitter_std)
+                }
+                FabricationStrategy::Camouflaged { delta, sigma, .. } => {
+                    // Inside the honest envelope everywhere (truth ± 1.5σ
+                    // hard bound); the lie rides on top only at targets.
+                    let noise = normal(rng, 0.0, sigma).clamp(-1.5 * sigma, 1.5 * sigma);
+                    let lie = if targets.binary_search(&task).is_ok() {
+                        delta
+                    } else {
+                        0.0
+                    };
+                    truths[task] + lie + noise
                 }
             };
             match spec.evasion {
@@ -244,7 +307,7 @@ impl Scenario {
                         // sequential with tens of seconds between them.
                         let mut offset = rng.gen_range(5.0..20.0);
                         for j in 0..spec.accounts {
-                            let value = claim(honest, &mut rng);
+                            let value = claim(visit.task, honest, &mut rng);
                             data.add_report(
                                 account_base + j,
                                 visit.task,
@@ -271,7 +334,7 @@ impl Scenario {
                         );
                         for visit in walk_j.visits() {
                             let honest = world.measure(visit.task, &profile, &mut rng);
-                            let value = claim(honest, &mut rng);
+                            let value = claim(visit.task, honest, &mut rng);
                             let submit = visit.arrival + rng.gen_range(5.0..40.0);
                             data.add_report(account_base + j, visit.task, value, submit);
                         }
@@ -294,7 +357,61 @@ impl Scenario {
                             .clamp(1.0, spec.accounts as f64)
                             as usize;
                         for &j in reporters.iter().take(quota) {
-                            let value = claim(honest, &mut rng);
+                            let value = claim(visit.task, honest, &mut rng);
+                            data.add_report(
+                                account_base + j,
+                                visit.task,
+                                value,
+                                visit.arrival + offset,
+                            );
+                            offset += rng.gen_range(20.0..55.0);
+                        }
+                    }
+                }
+                EvasionTactic::JitteredReplay {
+                    time_jitter_s,
+                    order_flips,
+                } => {
+                    // One walk, measured once per POI; each account
+                    // replays it on a private clock (offset drawn from
+                    // N(0, jitter), floored so no timestamp goes
+                    // negative) with a few transposed claim positions.
+                    let visits = walk.visits();
+                    let honest: Vec<f64> = visits
+                        .iter()
+                        .map(|v| world.measure(v.task, &profile, &mut rng))
+                        .collect();
+                    let floor = -visits.first().map_or(0.0, |v| v.arrival);
+                    for j in 0..spec.accounts {
+                        let offset = normal(&mut rng, 0.0, time_jitter_s).max(floor);
+                        // `order[slot]` = which true visit this account
+                        // claims at time slot `slot`.
+                        let mut order: Vec<usize> = (0..visits.len()).collect();
+                        for _ in 0..order_flips {
+                            if visits.len() >= 2 {
+                                let i = rng.gen_range(0..visits.len() - 1);
+                                order.swap(i, i + 1);
+                            }
+                        }
+                        for (slot, &vi) in order.iter().enumerate() {
+                            let value = claim(visits[vi].task, honest[vi], &mut rng);
+                            let submit = visits[slot].arrival + offset + rng.gen_range(5.0..40.0);
+                            data.add_report(account_base + j, visits[vi].task, value, submit);
+                        }
+                    }
+                }
+                EvasionTactic::TaskMimicry => {
+                    // One walk over the union of the mimicked task sets;
+                    // each account reports only its own draw, back to
+                    // back like the no-evasion attacker.
+                    for visit in walk.visits() {
+                        let honest = world.measure(visit.task, &profile, &mut rng);
+                        let mut offset = rng.gen_range(5.0..20.0);
+                        for (j, tasks) in account_tasks.iter().enumerate() {
+                            if !tasks.contains(&visit.task) {
+                                continue;
+                            }
+                            let value = claim(visit.task, honest, &mut rng);
                             data.add_report(
                                 account_base + j,
                                 visit.task,
@@ -306,6 +423,7 @@ impl Scenario {
                     }
                 }
             }
+            attack_targets.push(targets);
         }
 
         // Per-account fingerprint feature extraction (FFTs over ~600-sample
@@ -319,6 +437,7 @@ impl Scenario {
             owners,
             devices,
             is_sybil,
+            attack_targets,
             fleet,
             map,
         }
@@ -341,14 +460,21 @@ impl Scenario {
     }
 }
 
+/// The manufactured device fleet with its role pools (indices into
+/// `devices`).
+struct Fleet {
+    devices: Vec<DeviceInstance>,
+    legit_pool: Vec<usize>,
+    attack_i_pool: Vec<usize>,
+    attack_ii_pool: Vec<usize>,
+    mixed_pool: Vec<usize>,
+}
+
 /// Manufactures the device fleet and splits it into role pools.
 ///
 /// Follows Table IV for the paper-scale setup and extends it by cycling
 /// through the catalog for larger configurations.
-fn manufacture_fleet(
-    config: &ScenarioConfig,
-    rng: &mut StdRng,
-) -> (Vec<DeviceInstance>, Vec<usize>, Vec<usize>, Vec<usize>) {
+fn manufacture_fleet(config: &ScenarioConfig, rng: &mut StdRng) -> Fleet {
     let catalog = standard_catalog();
     let mut fleet = Vec::new();
     let mut legit_pool = Vec::new();
@@ -383,6 +509,14 @@ fn manufacture_fleet(
             _ => 0,
         })
         .sum();
+    let need_mixed: usize = config
+        .attackers
+        .iter()
+        .map(|a| match a.attack_type {
+            crate::attack::AttackType::MixedDevices { devices } => devices,
+            _ => 0,
+        })
+        .sum();
     let mut model_cycle = 0usize;
     let mut extend = |pool: &mut Vec<usize>, need: usize, fleet: &mut Vec<DeviceInstance>| {
         while pool.len() < need {
@@ -395,7 +529,22 @@ fn manufacture_fleet(
     extend(&mut legit_pool, need_legit, &mut fleet);
     extend(&mut attack_i_pool, need_a1, &mut fleet);
     extend(&mut attack_ii_pool, need_a2, &mut fleet);
-    (fleet, legit_pool, attack_i_pool, attack_ii_pool)
+    // Mixed-device attackers buy devices of *distinct* models: cycle the
+    // catalog from its start so each attacker's consecutive slice spans
+    // as many different models as the catalog holds.
+    let mut mixed_pool = Vec::with_capacity(need_mixed);
+    for i in 0..need_mixed {
+        let entry = &catalog[i % catalog.len()];
+        mixed_pool.push(fleet.len());
+        fleet.push(entry.model.manufacture(rng));
+    }
+    Fleet {
+        devices: fleet,
+        legit_pool,
+        attack_i_pool,
+        attack_ii_pool,
+        mixed_pool,
+    }
 }
 
 /// Chooses `k` distinct tasks uniformly, in random visiting order.
@@ -404,6 +553,36 @@ fn choose_tasks(num_tasks: usize, k: usize, rng: &mut StdRng) -> Vec<usize> {
     all.shuffle(rng);
     all.truncate(k);
     all
+}
+
+/// Chooses up to `k` distinct tasks weighted by the honest population's
+/// task counts (without replacement). Tasks no honest account performs
+/// have weight zero and are only drawn — uniformly — once every weighted
+/// task is exhausted, so a mimicking account's set stays inside the
+/// honest support whenever that support is large enough.
+fn sample_weighted_tasks(counts: &[usize], k: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut avail: Vec<usize> = (0..counts.len()).collect();
+    let mut out = Vec::with_capacity(k);
+    while out.len() < k && !avail.is_empty() {
+        let total: usize = avail.iter().map(|&t| counts[t]).sum();
+        let pick = if total == 0 {
+            rng.gen_range(0..avail.len())
+        } else {
+            let mut x = rng.gen_range(0.0..total as f64);
+            let mut pick = avail.len() - 1;
+            for (i, &t) in avail.iter().enumerate() {
+                let w = counts[t] as f64;
+                if x < w {
+                    pick = i;
+                    break;
+                }
+                x -= w;
+            }
+            pick
+        };
+        out.push(avail.swap_remove(pick));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -624,5 +803,166 @@ mod tests {
     #[should_panic(expected = "legit activeness")]
     fn zero_activeness_rejected() {
         ScenarioConfig::paper_default().with_activeness(0.0, 1.0);
+    }
+
+    #[test]
+    fn jittered_replay_spreads_per_account_clocks() {
+        let cfg = ScenarioConfig::paper_default()
+            .with_seed(31)
+            .with_attackers(vec![AttackerSpec::adaptive_jitter(900.0)]);
+        let s = Scenario::generate(&cfg);
+        let accounts: Vec<usize> = (0..s.num_accounts()).filter(|&a| s.is_sybil[a]).collect();
+        assert_eq!(accounts.len(), 5);
+        // Same task set (one walk)...
+        let mut reference = s.data.tasks_of(accounts[0]);
+        reference.sort_unstable();
+        for &a in &accounts[1..] {
+            let mut t = s.data.tasks_of(a);
+            t.sort_unstable();
+            assert_eq!(t, reference);
+        }
+        // ...but first-report times spread far beyond account-switching
+        // gaps, and no timestamp went negative.
+        let first_times: Vec<f64> = accounts
+            .iter()
+            .map(|&a| {
+                s.data
+                    .account_reports(a)
+                    .map(|r| r.timestamp)
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let lo = first_times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = first_times
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(hi - lo > 120.0, "clocks not spread: {}", hi - lo);
+        for &a in &accounts {
+            for r in s.data.account_reports(a) {
+                assert!(r.timestamp >= 0.0, "negative timestamp {}", r.timestamp);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_jitter_replay_degenerates_to_replay() {
+        let cfg = ScenarioConfig::paper_default()
+            .with_seed(32)
+            .with_attackers(vec![AttackerSpec::adaptive_jitter(0.0).with_evasion(
+                EvasionTactic::JitteredReplay {
+                    time_jitter_s: 0.0,
+                    order_flips: 0,
+                },
+            )]);
+        let s = Scenario::generate(&cfg);
+        let accounts: Vec<usize> = (0..s.num_accounts()).filter(|&a| s.is_sybil[a]).collect();
+        // All accounts report every task within the submit-lag window.
+        for &task in &s.data.tasks_of(accounts[0]) {
+            let times: Vec<f64> = accounts
+                .iter()
+                .flat_map(|&a| {
+                    s.data
+                        .account_reports(a)
+                        .filter(|r| r.task == task)
+                        .map(|r| r.timestamp)
+                })
+                .collect();
+            assert_eq!(times.len(), 5);
+            let lo = times.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            assert!(hi - lo < 40.0, "zero jitter spread {}", hi - lo);
+        }
+    }
+
+    #[test]
+    fn camouflaged_claims_stay_in_envelope_off_target() {
+        let cfg = ScenarioConfig::paper_default()
+            .with_seed(33)
+            .with_attackers(vec![AttackerSpec::paper_attack_i()
+                .with_strategy(FabricationStrategy::camouflaged_default())]);
+        let s = Scenario::generate(&cfg);
+        let targets = &s.attack_targets[0];
+        assert!(!targets.is_empty());
+        for (a, &sybil) in s.is_sybil.iter().enumerate() {
+            if !sybil {
+                continue;
+            }
+            for r in s.data.account_reports(a) {
+                let truth = s.ground_truth[r.task];
+                let dev = r.value - truth;
+                if targets.binary_search(&r.task).is_ok() {
+                    // Lied: shifted by delta ± the camouflage envelope.
+                    assert!(
+                        (-18.0 - 3.0..=-18.0 + 3.0).contains(&dev),
+                        "target deviation {dev}"
+                    );
+                } else {
+                    assert!(dev.abs() <= 3.0 + 1e-9, "off-target deviation {dev}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mimicry_task_sets_diverge_and_track_honest_support() {
+        let cfg = ScenarioConfig::paper_default()
+            .with_seed(34)
+            .with_activeness(0.6, 0.5)
+            .with_attackers(vec![AttackerSpec::adaptive_mimicry(3)]);
+        let s = Scenario::generate(&cfg);
+        let mut honest_support = std::collections::HashSet::new();
+        let accounts: Vec<usize> = (0..s.num_accounts()).filter(|&a| s.is_sybil[a]).collect();
+        for a in 0..s.num_accounts() {
+            if !s.is_sybil[a] {
+                honest_support.extend(s.data.tasks_of(a));
+            }
+        }
+        // Honest support covers enough tasks for the mimicked sets to
+        // stay inside it (8 users × 6 tasks over 10).
+        assert!(honest_support.len() >= 5);
+        let sets: std::collections::HashSet<Vec<usize>> = accounts
+            .iter()
+            .map(|&a| {
+                let mut t = s.data.tasks_of(a);
+                t.sort_unstable();
+                t
+            })
+            .collect();
+        assert!(sets.len() > 1, "mimicry produced identical task sets");
+        for &a in &accounts {
+            for t in s.data.tasks_of(a) {
+                assert!(honest_support.contains(&t), "task {t} outside support");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_devices_span_distinct_models() {
+        let cfg = ScenarioConfig::paper_default()
+            .with_seed(35)
+            .with_attackers(vec![AttackerSpec::adaptive_mimicry(4)]);
+        let s = Scenario::generate(&cfg);
+        let devices: std::collections::HashSet<usize> = (0..s.num_accounts())
+            .filter(|&a| s.is_sybil[a])
+            .map(|a| s.devices[a])
+            .collect();
+        assert_eq!(devices.len(), 4, "accounts must span all mixed devices");
+        let models: std::collections::HashSet<&str> = devices
+            .iter()
+            .map(|&d| s.fleet[d].model_name.as_str())
+            .collect();
+        assert_eq!(models.len(), 4, "mixed devices must be distinct models");
+    }
+
+    #[test]
+    fn legacy_configs_generate_identical_campaigns() {
+        // The adaptive extensions must not perturb the RNG schedule of
+        // pre-existing configurations: the paper campaign at a fixed seed
+        // keeps its exact report matrix.
+        let s = paper_scenario(5);
+        assert_eq!(s.attack_targets, vec![Vec::<usize>::new(); 2]);
+        let t = paper_scenario(5);
+        assert_eq!(s.data, t.data);
     }
 }

@@ -47,7 +47,22 @@ cargo run -q --release --offline -p srtd-bench --bin bench_check -- "$bench_json
 # epoch-counter deltas sum to the cumulative /metrics values, /trace must
 # name the fold/discover/swap stages, /metrics?format=prom must expose
 # the counter families), and shut down cleanly (server-check drives the
-# sequence and checks exit status).
+# sequence and checks exit status). The second phase replays a Sybil-ring
+# ingest schedule over POST /epoch and asserts the HTTP snapshots are
+# bit-identical to an in-process incremental engine.
 cargo run -q --release --offline --bin server-check -- target/release/srtd-server
+
+# Adaptive-adversary audit: a threshold-evading ring (camouflage +
+# replay jitter) must slip past trajectory grouping yet be convicted by
+# the deterministic stochastic audit, bit-identically across worker
+# thread counts (run explicitly so a failure is attributable).
+cargo test -q --offline --test adaptive_audit
+
+# Adaptive matrix smoke: the attack x defense sweep must hold its shape
+# (zero honest FPR, grouping crushes replay rings, the audit backstop
+# dominates on mimicry) in the trimmed --fast configuration; the shape
+# checks are asserted inside the binaries.
+cargo run -q --release --offline -p srtd-bench --bin exp_adaptive -- --fast >/dev/null
+cargo run -q --release --offline -p srtd-bench --bin exp_adaptive_jitter -- --fast >/dev/null
 
 echo "verify: OK"

@@ -15,12 +15,22 @@
 //! `/metrics` values; `/trace` names the fold/discover/swap stages;
 //! `?format=prom` exposes the counter families), and a clean shutdown
 //! with exit status 0.
+//!
+//! A second phase spawns an AG-TR server and mirrors the same ingest
+//! schedule into an in-process batch `EpochEngine::run_epoch`: the
+//! server's incremental re-grouping path must publish snapshots whose
+//! truths, labels, and group weights are identical (the JSON renderer is
+//! shortest-roundtrip, so the comparison is bitwise) across a
+//! multi-epoch drive with a Sybil ring, a mid-stream account, and an
+//! empty steady-state epoch.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::process::{Child, Command, ExitCode, Stdio};
 
-use sybil_td::runtime::json::{parse, Json};
+use sybil_td::core::{AgTr, SybilResistantTd};
+use sybil_td::platform::{EpochConfig, EpochEngine};
+use sybil_td::runtime::json::{parse, Json, ToJson};
 
 fn main() -> ExitCode {
     let Some(server_path) = std::env::args().nth(1) else {
@@ -40,13 +50,32 @@ fn main() -> ExitCode {
 }
 
 fn run(server_path: &str) -> Result<(), String> {
+    with_server(
+        server_path,
+        &["--port", "0", "--tasks", "4", "--method", "singletons"],
+        drive,
+    )?;
+    with_server(
+        server_path,
+        &["--port", "0", "--tasks", "6", "--method", "ag-tr"],
+        drive_incremental_equivalence,
+    )
+}
+
+/// Spawns the server with `args`, hands its announced address to `f`,
+/// and insists on a clean exit.
+fn with_server(
+    server_path: &str,
+    args: &[&str],
+    f: fn(&str) -> Result<(), String>,
+) -> Result<(), String> {
     let mut child = Command::new(server_path)
-        .args(["--port", "0", "--tasks", "4", "--method", "singletons"])
+        .args(args)
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit())
         .spawn()
         .map_err(|e| format!("cannot spawn {server_path}: {e}"))?;
-    let result = drive(&mut child);
+    let result = announced_addr(&mut child).and_then(|addr| f(&addr));
     if result.is_err() {
         let _ = child.kill();
     }
@@ -60,21 +89,23 @@ fn run(server_path: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn drive(child: &mut Child) -> Result<(), String> {
-    // The server announces its ephemeral port on stdout before accepting.
+/// The server announces its ephemeral port on stdout before accepting.
+fn announced_addr(child: &mut Child) -> Result<String, String> {
     let stdout = child.stdout.take().ok_or("no stdout pipe")?;
     let mut first_line = String::new();
     BufReader::new(stdout)
         .read_line(&mut first_line)
         .map_err(|e| e.to_string())?;
-    let addr = first_line
+    Ok(first_line
         .trim()
         .strip_prefix("listening on ")
         .ok_or_else(|| format!("unexpected announcement {first_line:?}"))?
-        .to_string();
+        .to_string())
+}
 
+fn drive(addr: &str) -> Result<(), String> {
     // Liveness — and not yet ready: nothing published before epoch 1.
-    let health = request(&addr, "GET", "/healthz", None)?;
+    let health = request(addr, "GET", "/healthz", None)?;
     expect_num(&health, "epoch", 0.0)?;
     if field(&health, "ready") != Some(&Json::Bool(false)) {
         return Err("healthz must report ready=false before the first epoch".into());
@@ -88,12 +119,12 @@ fn drive(child: &mut Child) -> Result<(), String> {
         {"account":2,"task":0,"value":-71.0,"timestamp":4.0},
         {"account":0,"task":0,"value":-99.0,"timestamp":5.0}
     ]}"#;
-    let ingest = request(&addr, "POST", "/ingest", Some(batch))?;
+    let ingest = request(addr, "POST", "/ingest", Some(batch))?;
     expect_num(&ingest, "accepted", 4.0)?;
     expect_num(&ingest, "rejected", 1.0)?;
 
     // Epoch 1: cold.
-    let first = request(&addr, "POST", "/epoch", None)?;
+    let first = request(addr, "POST", "/epoch", None)?;
     expect_num(&first, "epoch", 1.0)?;
     expect_num(&first, "folded", 4.0)?;
     if field(&first, "warm_started") != Some(&Json::Bool(false)) {
@@ -101,7 +132,7 @@ fn drive(child: &mut Child) -> Result<(), String> {
     }
 
     // Epoch 2: unchanged reports — the steady-state warm-start contract.
-    let second = request(&addr, "POST", "/epoch", None)?;
+    let second = request(addr, "POST", "/epoch", None)?;
     expect_num(&second, "epoch", 2.0)?;
     expect_num(&second, "folded", 0.0)?;
     if field(&second, "warm_started") != Some(&Json::Bool(true)) {
@@ -113,7 +144,7 @@ fn drive(child: &mut Child) -> Result<(), String> {
     }
 
     // Published snapshot: well-formed, the right shape.
-    let truths = request(&addr, "GET", "/truths", None)?;
+    let truths = request(addr, "GET", "/truths", None)?;
     expect_num(&truths, "num_reports", 4.0)?;
     match field(&truths, "truths") {
         Some(Json::Arr(ts)) if ts.len() == 4 => {
@@ -124,11 +155,11 @@ fn drive(child: &mut Child) -> Result<(), String> {
         other => return Err(format!("bad truths array: {other:?}")),
     }
 
-    let groups = request(&addr, "GET", "/groups", None)?;
+    let groups = request(addr, "GET", "/groups", None)?;
     expect_num(&groups, "num_groups", 3.0)?;
 
     // Readiness after two epochs: published snapshot, measured duration.
-    let health = request(&addr, "GET", "/healthz", None)?;
+    let health = request(addr, "GET", "/healthz", None)?;
     expect_num(&health, "epoch", 2.0)?;
     if field(&health, "ready") != Some(&Json::Bool(true)) {
         return Err("healthz must report ready=true after an epoch".into());
@@ -139,7 +170,7 @@ fn drive(child: &mut Child) -> Result<(), String> {
     }
 
     // Metrics: the obs export must carry the epoch-loop counters.
-    let metrics_raw = request_raw(&addr, "GET", "/metrics", None)?;
+    let metrics_raw = request_raw(addr, "GET", "/metrics", None)?;
     for name in [
         "server.epoch.ingested",
         "server.epoch.folded",
@@ -157,7 +188,7 @@ fn drive(child: &mut Child) -> Result<(), String> {
     // Timeline: two epochs → two retained windows whose epoch-counter
     // deltas sum to the cumulative /metrics values (the HTTP counters
     // keep moving between windows, so only the epoch family tiles).
-    let history = request(&addr, "GET", "/metrics/history?n=2", None)?;
+    let history = request(addr, "GET", "/metrics/history?n=2", None)?;
     expect_num(&history, "count", 2.0)?;
     let Some(Json::Arr(windows)) = field(&history, "windows") else {
         return Err("history response is missing `windows`".into());
@@ -190,7 +221,7 @@ fn drive(child: &mut Child) -> Result<(), String> {
     }
 
     // Trace: the latest epoch's tree attributes the pipeline stages.
-    let trace_raw = request_raw(&addr, "GET", "/trace", None)?;
+    let trace_raw = request_raw(addr, "GET", "/trace", None)?;
     let trace = parse(&trace_raw).map_err(|e| format!("trace is not valid JSON: {e}"))?;
     if field(&trace, "trace").is_none() {
         return Err("trace response is missing `trace`".into());
@@ -202,7 +233,7 @@ fn drive(child: &mut Child) -> Result<(), String> {
     }
 
     // Prometheus exposition: text format, counter families present.
-    let prom = request_raw(&addr, "GET", "/metrics?format=prom", None)?;
+    let prom = request_raw(addr, "GET", "/metrics?format=prom", None)?;
     for needle in [
         "# TYPE srtd_server_epoch_ingested_total counter",
         "srtd_server_epoch_ingested_total 4",
@@ -213,7 +244,101 @@ fn drive(child: &mut Child) -> Result<(), String> {
         }
     }
 
-    let bye = request(&addr, "POST", "/shutdown", None)?;
+    let bye = request(addr, "POST", "/shutdown", None)?;
+    if field(&bye, "status") != Some(&Json::str("shutting down")) {
+        return Err("shutdown not acknowledged".into());
+    }
+    Ok(())
+}
+
+/// Phase 2: the server's incremental epoch path must publish snapshots
+/// identical to the batch path. The same ingest schedule feeds the AG-TR
+/// server over HTTP and an in-process batch engine; truths, labels, and
+/// group weights must agree bitwise every epoch. The schedule exercises
+/// all three incremental regimes: a cold first epoch with a Sybil ring
+/// (accounts 0–2 replay one walk 30–65 s apart), a growth epoch adding
+/// account 4 while account 3 folds new reports (forcing the rebuild
+/// regime), and an empty steady-state epoch.
+fn drive_incremental_equivalence(addr: &str) -> Result<(), String> {
+    let mut mirror = EpochEngine::new(
+        SybilResistantTd::new(AgTr::default()),
+        6,
+        EpochConfig::default(),
+    );
+    let epochs: [&[(usize, usize, f64, f64)]; 3] = [
+        &[
+            (0, 0, -70.0, 100.0),
+            (0, 1, -69.0, 160.0),
+            (0, 2, -71.0, 220.0),
+            (1, 0, -70.5, 130.0),
+            (1, 1, -69.5, 190.0),
+            (1, 2, -70.8, 250.0),
+            (2, 0, -70.2, 165.0),
+            (2, 1, -69.2, 225.0),
+            (2, 2, -71.2, 285.0),
+            (3, 2, -64.0, 500.0),
+            (3, 0, -75.0, 560.0),
+        ],
+        &[
+            (3, 5, -66.0, 620.0),
+            (4, 3, -80.0, 700.0),
+            (4, 4, -58.0, 760.0),
+        ],
+        &[],
+    ];
+    for (i, batch) in epochs.iter().enumerate() {
+        if !batch.is_empty() {
+            let reports: Vec<String> = batch
+                .iter()
+                .map(|(a, t, v, ts)| {
+                    format!(r#"{{"account":{a},"task":{t},"value":{v},"timestamp":{ts}}}"#)
+                })
+                .collect();
+            let body = format!(r#"{{"reports":[{}]}}"#, reports.join(","));
+            let ingest = request(addr, "POST", "/ingest", Some(&body))?;
+            expect_num(&ingest, "accepted", batch.len() as f64)?;
+            for &(a, t, v, ts) in batch.iter() {
+                mirror
+                    .ingest(a, t, v, ts)
+                    .map_err(|e| format!("mirror rejected ({a},{t}): {e}"))?;
+            }
+        }
+        let http_snap = request(addr, "POST", "/epoch", None)?;
+        let batch_snap = mirror.run_epoch().to_json();
+        for name in [
+            "epoch",
+            "generation",
+            "num_accounts",
+            "num_reports",
+            "folded",
+            "truths",
+            "labels",
+            "group_weights",
+        ] {
+            if field(&http_snap, name) != field(&batch_snap, name) {
+                return Err(format!(
+                    "epoch {}: incremental `{name}` {:?} != batch {:?}",
+                    i + 1,
+                    field(&http_snap, name),
+                    field(&batch_snap, name)
+                ));
+            }
+        }
+    }
+    // The equivalence is non-trivial: AG-TR groups the replayed ring.
+    let groups = request(addr, "GET", "/groups", None)?;
+    match field(&groups, "labels") {
+        Some(Json::Arr(ls)) if ls.len() == 5 => {
+            if ls[0] != ls[1] || ls[1] != ls[2] {
+                return Err(format!("ring not grouped: {ls:?}"));
+            }
+            if ls[3] == ls[0] || ls[4] == ls[0] {
+                return Err(format!("honest accounts joined the ring: {ls:?}"));
+            }
+        }
+        other => return Err(format!("bad labels: {other:?}")),
+    }
+    let bye = request(addr, "POST", "/shutdown", None)?;
     if field(&bye, "status") != Some(&Json::str("shutting down")) {
         return Err("shutdown not acknowledged".into());
     }

@@ -17,8 +17,10 @@
 //! * `POST /ingest`   — `{"reports":[{"account":A,"task":T,"value":V,"timestamp":S},…]}`;
 //!   each report is validated and buffered, the response counts
 //!   acceptances and rejections (with reasons)
-//! * `POST /epoch`    — drain the buffers, fold, re-run grouping +
-//!   warm-started Algorithm 2, publish; returns the new snapshot
+//! * `POST /epoch`    — drain the buffers, fold, re-group incrementally
+//!   (cached decision edges + persistent union-find; identical to a
+//!   from-scratch rebuild), run warm-started Algorithm 2, publish;
+//!   returns the new snapshot
 //! * `GET  /truths`   — the latest published snapshot (epoch, truths, …)
 //! * `GET  /groups`   — the latest grouping: labels and group weights
 //! * `GET  /metrics`  — the obs registry's deterministic JSON export;
@@ -103,10 +105,16 @@ impl Engine {
     }
 
     fn run_epoch(&mut self) -> std::sync::Arc<EpochSnapshot> {
+        // All three methods are `EdgeGrouping`s, so the server always
+        // takes the incremental re-grouping path: only pairs touching a
+        // dirty account are re-decided, and the published snapshot is
+        // pinned identical to the batch rebuild (server-check drives an
+        // in-process batch engine alongside an HTTP server and compares
+        // every epoch).
         match self {
-            Engine::AgTr(e) => e.run_epoch(),
-            Engine::AgTs(e) => e.run_epoch(),
-            Engine::Singletons(e) => e.run_epoch(),
+            Engine::AgTr(e) => e.run_epoch_incremental(),
+            Engine::AgTs(e) => e.run_epoch_incremental(),
+            Engine::Singletons(e) => e.run_epoch_incremental(),
         }
     }
 
