@@ -7,14 +7,15 @@
 use srtd_runtime::json::{parse, Json};
 use std::process::exit;
 
-const SCHEMA: &str = "srtd-bench-pipeline-v6";
-const TOP_LEVEL_KEYS: [&str; 13] = [
+const SCHEMA: &str = "srtd-bench-pipeline-v7";
+const TOP_LEVEL_KEYS: [&str; 14] = [
     "schema",
     "quick",
     "threads_available",
     "input",
     "cases",
     "speedups",
+    "pool",
     "epochs",
     "determinism",
     "dtw_prune",
@@ -109,6 +110,67 @@ fn main() {
             "bench-check: single-core host, skipping parallel-speedup assertions \
              (framework_par4_vs_seq recorded for context only)"
         );
+    }
+    let Some(Json::Obj(pool)) = get(&fields, "pool") else {
+        fail("`pool` must be an object");
+    };
+    let pool_num = |key: &str| -> f64 {
+        match get(pool, key) {
+            Some(Json::Num(n)) if *n >= 0.0 => *n,
+            _ => fail(&format!("pool.{key} must be a number >= 0")),
+        }
+    };
+    for key in [
+        "dispatch_items",
+        "dispatch_threads",
+        "dispatch_scoped_median_ns",
+        "dispatch_pool_median_ns",
+    ] {
+        if pool_num(key) <= 0.0 {
+            fail(&format!("pool.{key} must be positive"));
+        }
+    }
+    let dispatch_ratio = pool_num("dispatch_pool_vs_scoped");
+    if dispatch_ratio <= 0.0 {
+        fail("pool.dispatch_pool_vs_scoped must be positive");
+    }
+    // The pool's whole point is that unparking beats spawning; but on a
+    // single-core host both benches degenerate toward the sequential
+    // path, so the claim is only asserted where it is meaningful.
+    if meaningful && dispatch_ratio <= 1.0 {
+        fail("pool.dispatch_pool_vs_scoped must exceed 1.0 on a multi-core host");
+    }
+    if pool_num("jobs") < 1.0 {
+        fail("pool.jobs must be at least 1 (the dispatch bench ran on the pool)");
+    }
+    pool_num("wakeups");
+    let checkouts = pool_num("scratch_checkouts");
+    let reuses = pool_num("scratch_reuses");
+    if checkouts < 1.0 {
+        fail("pool.scratch_checkouts must be at least 1 (feature passes use the arena)");
+    }
+    if reuses > checkouts {
+        fail("pool.scratch_reuses cannot exceed scratch_checkouts");
+    }
+    let hit_rate = pool_num("scratch_hit_rate");
+    if !(0.0..=1.0).contains(&hit_rate) {
+        fail("pool.scratch_hit_rate must be in [0, 1]");
+    }
+    if (hit_rate - reuses / checkouts).abs() > 1e-9 {
+        fail("pool.scratch_hit_rate is inconsistent with the checkout counts");
+    }
+    // The counters are sampled after a warmup pass, so a cold arena on
+    // every checkout would mean thread-locals are being torn down between
+    // batches — exactly the regression the persistent pool exists to
+    // prevent.
+    if hit_rate < 0.5 {
+        fail(&format!(
+            "pool.scratch_hit_rate is {hit_rate}; warm arenas must dominate \
+             after warmup"
+        ));
+    }
+    if !matches!(get(pool, "note"), Some(Json::Str(_))) {
+        fail("pool.note must be a string");
     }
     let Some(Json::Obj(epochs)) = get(&fields, "epochs") else {
         fail("`epochs` must be an object");

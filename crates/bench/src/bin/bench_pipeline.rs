@@ -14,7 +14,9 @@
 //! FFT, fused vs. seed feature extraction), a `feature_fusion` section
 //! with pass counts and fusion-related counters, an `epochs` section
 //! (cold vs. warm-started epoch latency and incremental CSR fold vs.
-//! from-scratch rebuild), obs counters from one instrumented pass, and a
+//! from-scratch rebuild), a `pool` section (persistent-pool vs scoped
+//! dispatch cost and the scratch-arena hit rate), obs counters from one
+//! instrumented pass, and a
 //! framework bit-identity check across thread counts. The
 //! `parallel_speedups_meaningful` flag records whether the host had more
 //! than one core; on single-core hosts the parallel ratios are context,
@@ -31,7 +33,8 @@ use srtd_core::{
 use srtd_runtime::bench::{black_box, Bench, BenchConfig, BenchStats};
 use srtd_runtime::json::{Json, ToJson};
 use srtd_runtime::obs;
-use srtd_runtime::parallel::set_max_threads;
+use srtd_runtime::parallel::{parallel_map, set_backend, set_max_threads, Backend};
+use srtd_runtime::pool;
 use srtd_runtime::rng::{Rng, SeedableRng, StdRng};
 use srtd_sensing::{ScaledCampaign, ScaledCampaignConfig};
 use srtd_signal::features::standardize;
@@ -522,6 +525,59 @@ fn main() {
         feat_params,
     ));
 
+    // ---- Pool dispatch: persistent workers vs scoped spawn-per-call ----
+    // Same items, same deterministic chunking, same closure — the only
+    // difference is how workers come to exist (unpark vs spawn), so the
+    // median gap is pure thread-management overhead. Outputs are asserted
+    // bit-identical before either path is timed. The scratch counters
+    // around a fused feature pass record how often the per-thread FFT
+    // arena checkout found warm buffers; warm arenas across batches are
+    // the reason the pool is persistent at all.
+    let dispatch_items: Vec<f64> = (0..256).map(|i| i as f64 * 0.5).collect();
+    let dispatch_job = |&x: &f64| (x * 1.000_001 + 0.25).sqrt();
+    set_max_threads(4);
+    set_backend(Backend::Scoped);
+    let out_scoped = parallel_map(&dispatch_items, dispatch_job);
+    let disp_scoped = group.run("pool/dispatch_scoped/4x256", || {
+        parallel_map(black_box(&dispatch_items), dispatch_job)
+    });
+    set_backend(Backend::Pool);
+    let out_pool = parallel_map(&dispatch_items, dispatch_job);
+    assert!(
+        out_pool
+            .iter()
+            .zip(&out_scoped)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "pool and scoped dispatch must produce identical bits"
+    );
+    let disp_pool = group.run("pool/dispatch_pool/4x256", || {
+        parallel_map(black_box(&dispatch_items), dispatch_job)
+    });
+    let scratch_before = pool::stats();
+    for _ in 0..8 {
+        black_box(stream_features_batch(&streams, &feat_cfg));
+    }
+    let scratch_after = pool::stats();
+    set_max_threads(0);
+    let scratch_checkouts = scratch_after.scratch_checkouts - scratch_before.scratch_checkouts;
+    let scratch_reuses = scratch_after.scratch_reuses - scratch_before.scratch_reuses;
+    let pool_params = vec![
+        ("items", dispatch_items.len().to_json()),
+        ("threads", 4usize.to_json()),
+    ];
+    cases.push(stats_json(
+        "pool",
+        "dispatch_scoped/4x256",
+        disp_scoped,
+        pool_params.clone(),
+    ));
+    cases.push(stats_json(
+        "pool",
+        "dispatch_pool/4x256",
+        disp_pool,
+        pool_params,
+    ));
+
     // ---- DTW ----
     let dtw_n = 200usize;
     let a: Vec<f64> = (0..dtw_n).map(|i| (i as f64 * 0.11).sin() * 5.0).collect();
@@ -848,7 +904,7 @@ fn main() {
     ));
 
     let doc = Json::obj([
-        ("schema", Json::str("srtd-bench-pipeline-v6")),
+        ("schema", Json::str("srtd-bench-pipeline-v7")),
         ("quick", quick.to_json()),
         ("threads_available", threads_available.to_json()),
         (
@@ -903,6 +959,41 @@ fn main() {
                 (
                     "features_fused_vs_per_stream",
                     (feat_single.median_ns / feat_batch.median_ns).to_json(),
+                ),
+                (
+                    "pool_dispatch_vs_scoped",
+                    (disp_scoped.median_ns / disp_pool.median_ns).to_json(),
+                ),
+            ]),
+        ),
+        (
+            "pool",
+            Json::obj([
+                ("dispatch_items", dispatch_items.len().to_json()),
+                ("dispatch_threads", 4usize.to_json()),
+                ("dispatch_scoped_median_ns", disp_scoped.median_ns.to_json()),
+                ("dispatch_pool_median_ns", disp_pool.median_ns.to_json()),
+                (
+                    "dispatch_pool_vs_scoped",
+                    (disp_scoped.median_ns / disp_pool.median_ns).to_json(),
+                ),
+                ("jobs", scratch_after.jobs.to_json()),
+                ("wakeups", scratch_after.wakeups.to_json()),
+                ("scratch_checkouts", scratch_checkouts.to_json()),
+                ("scratch_reuses", scratch_reuses.to_json()),
+                (
+                    "scratch_hit_rate",
+                    (scratch_reuses as f64 / scratch_checkouts.max(1) as f64).to_json(),
+                ),
+                (
+                    "note",
+                    Json::str(
+                        "dispatch benches force 4 workers over 256 items so the \
+                         pool-vs-scoped gap isolates unpark-vs-spawn cost; scratch \
+                         counters cover 8 fused feature passes after warmup, so the \
+                         hit rate shows per-thread FFT arenas surviving across \
+                         batches",
+                    ),
                 ),
             ]),
         ),

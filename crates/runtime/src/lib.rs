@@ -8,10 +8,14 @@
 //! * [`rng`] — a deterministic, seedable PRNG (SplitMix64 seeding feeding
 //!   a xoshiro256++ core) with the uniform/normal/shuffle/choice surface
 //!   the simulators and clustering code need,
-//! * [`parallel`] — scoped-thread data parallelism (order-preserving
+//! * [`parallel`] — deterministic data parallelism (order-preserving
 //!   `parallel_map` over contiguous chunks) used by the hot paths: DTW
 //!   pairwise dissimilarity matrices, k-means assignment and per-account
 //!   fingerprint feature extraction,
+//! * [`pool`] — the persistent worker pool behind [`parallel`]: parked
+//!   `Mutex`+`Condvar` workers woken per batch, replacing the
+//!   spawn-per-call `std::thread::scope` tax (the scoped path remains as
+//!   fallback and test oracle),
 //! * [`prop`] — a minimal deterministic property-test harness (seeded
 //!   generator loop with failure-case reporting) plus the
 //!   [`prop_assert!`]/[`prop_assert_eq!`] macros the test suites use,
@@ -30,12 +34,16 @@
 //! input order, so framework outputs are byte-identical across runs and
 //! across worker-thread counts.
 
-#![forbid(unsafe_code)]
+// Unsafe is denied, not forbidden: `pool` carries the crate's single
+// audited exception (one lifetime transmute behind a completion barrier;
+// see its module docs). Everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bench;
 pub mod json;
 pub mod obs;
 pub mod parallel;
+pub mod pool;
 pub mod prop;
 pub mod rng;

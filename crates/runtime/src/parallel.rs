@@ -1,13 +1,20 @@
-//! Scoped-thread data parallelism with deterministic, order-preserving
-//! results.
+//! Deterministic, order-preserving data parallelism.
 //!
-//! Everything here is built on [`std::thread::scope`]: no thread pool, no
-//! work stealing, no shared mutable state — each call splits its input
-//! into one contiguous chunk per worker, joins the workers and
-//! concatenates their outputs in input order. The result of every
-//! function is therefore **independent of the worker count**, which is
-//! what lets the framework promise byte-identical output on 1 thread and
-//! on 64.
+//! Each call splits its input into one contiguous chunk per worker and
+//! concatenates the chunk outputs in input order, so the result of every
+//! function is **independent of the worker count** — byte-identical on 1
+//! thread and on 64. Two execution backends share that contract:
+//!
+//! * [`Backend::Pool`] (the default) dispatches chunks to the persistent
+//!   worker pool in [`crate::pool`] — parked threads woken per batch, no
+//!   spawn cost, and thread-local scratch that survives across batches;
+//! * [`Backend::Scoped`] spawns a fresh [`std::thread::scope`] per call
+//!   — no shared state whatsoever, kept as the fallback for nested or
+//!   concurrent parallel regions and as the equivalence oracle in tests.
+//!
+//! Chunk boundaries depend only on the input length and [`max_threads`],
+//! never on the backend, so the two produce identical bytes
+//! (`tests/pool_equivalence.rs` pins this).
 //!
 //! The worker count defaults to [`std::thread::available_parallelism`]
 //! and can be overridden process-wide with [`set_max_threads`] (the
@@ -23,9 +30,51 @@
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Process-wide worker cap; 0 means "ask the OS".
 static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Which execution backend runs parallel chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The persistent worker pool ([`crate::pool`]); the default.
+    Pool,
+    /// A fresh `std::thread::scope` per call; fallback and test oracle.
+    Scoped,
+}
+
+/// Backend selector: 0 = unresolved (consult `SRTD_PARALLEL_BACKEND` on
+/// first use), 1 = pool, 2 = scoped.
+static BACKEND: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the execution backend process-wide. Outputs are identical
+/// either way; only dispatch cost changes.
+pub fn set_backend(backend: Backend) {
+    let code = match backend {
+        Backend::Pool => 1,
+        Backend::Scoped => 2,
+    };
+    BACKEND.store(code, Ordering::Relaxed);
+}
+
+/// The current execution backend: the [`set_backend`] override if set,
+/// otherwise `SRTD_PARALLEL_BACKEND=scoped|pool` from the environment,
+/// otherwise [`Backend::Pool`].
+pub fn backend() -> Backend {
+    match BACKEND.load(Ordering::Relaxed) {
+        1 => Backend::Pool,
+        2 => Backend::Scoped,
+        _ => {
+            let resolved = match std::env::var("SRTD_PARALLEL_BACKEND").as_deref() {
+                Ok("scoped") => Backend::Scoped,
+                _ => Backend::Pool,
+            };
+            set_backend(resolved);
+            resolved
+        }
+    }
+}
 
 /// Overrides the worker count used by every function in this module.
 ///
@@ -46,12 +95,15 @@ pub fn max_threads() -> usize {
     }
 }
 
-/// Maps `f` over `items` on up to [`max_threads`] scoped workers,
-/// returning outputs in input order.
+/// Maps `f` over `items` on up to [`max_threads`] workers, returning
+/// outputs in input order.
 ///
 /// Falls back to a sequential loop when only one worker is available or
 /// the input has fewer than two items. Panics in `f` propagate to the
-/// caller.
+/// caller. Chunks run on the persistent pool by default and on scoped
+/// threads when the pool is busy (nested or concurrent parallel regions)
+/// or [`Backend::Scoped`] is selected — the output bytes are identical
+/// either way.
 pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
@@ -75,12 +127,27 @@ where
         return items.iter().map(f).collect();
     }
     let chunk_len = items.len().div_ceil(workers);
+    if backend() == Backend::Pool {
+        if let Some(token) = crate::pool::try_dispatch() {
+            return pool_map(items, chunk_len, &f, token);
+        }
+    }
+    scoped_map(items, chunk_len, &f)
+}
+
+/// The scoped-thread execution path: one spawned thread per chunk,
+/// joined in chunk order.
+fn scoped_map<T, U, F>(items: &[T], chunk_len: usize, f: &F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
     let mut out = Vec::with_capacity(items.len());
     std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks(chunk_len)
             .map(|chunk| {
-                let f = &f;
                 scope.spawn(move || {
                     let _worker_span = crate::obs::span("runtime.parallel.worker");
                     chunk.iter().map(f).collect::<Vec<U>>()
@@ -91,6 +158,42 @@ where
             out.extend(handle.join().expect("parallel_map worker panicked"));
         }
     });
+    out
+}
+
+/// The pool execution path: each chunk is one pool job writing into its
+/// own slot; slots are drained in chunk order, so the concatenation is
+/// byte-identical to [`scoped_map`]. The dispatching thread claims
+/// chunks alongside the pool workers, which is why its per-chunk spans
+/// are trace-suppressed — on the scoped path item closures never run on
+/// the opener thread, and the trace tree must not depend on the backend.
+fn pool_map<T, U, F>(items: &[T], chunk_len: usize, f: &F, token: crate::pool::Dispatch) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let chunks: Vec<&[T]> = items.chunks(chunk_len).collect();
+    let slots: Vec<Mutex<Option<Vec<U>>>> = chunks.iter().map(|_| Mutex::new(None)).collect();
+    crate::pool::run(
+        chunks.len(),
+        &|idx| {
+            let _flat_only = crate::obs::suppress_trace();
+            let _worker_span = crate::obs::span("runtime.parallel.worker");
+            let produced = chunks[idx].iter().map(f).collect::<Vec<U>>();
+            *slots[idx].lock().expect("chunk slot poisoned") = Some(produced);
+        },
+        token,
+    );
+    crate::pool::publish_gauges();
+    let mut out = Vec::with_capacity(items.len());
+    for slot in slots {
+        out.extend(
+            slot.into_inner()
+                .expect("chunk slot poisoned")
+                .expect("every chunk completed"),
+        );
+    }
     out
 }
 

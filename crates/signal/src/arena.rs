@@ -1,0 +1,56 @@
+//! Per-thread spectral scratch arenas.
+//!
+//! The batch feature path runs one FFT job per stream pair; before the
+//! persistent worker pool, each job allocated a complex buffer, two full
+//! split spectra and two magnitude vectors, all dropped at job end. With
+//! pool threads surviving across batches, a `thread_local` arena turns
+//! those into one-time allocations per thread: jobs check the arena out,
+//! overwrite every slot they read (the FFT loaders clear-and-resize, the
+//! magnitude writers clear-and-extend), and leave the capacity behind
+//! for the next job.
+//!
+//! Correctness does not depend on arena contents — every producer fully
+//! overwrites the region it later reads, which the poisoned-arena
+//! property test in `tests/pool_equivalence.rs` pins by interleaving
+//! garbage batches with golden ones. Checkout warmth is reported to
+//! [`srtd_runtime::pool::note_scratch`] so the pool's scratch hit rate
+//! is observable.
+
+use crate::Complex;
+use std::cell::RefCell;
+
+/// Recycled buffers for one thread's spectral jobs.
+pub(crate) struct SpectralScratch {
+    /// Packed complex FFT buffer.
+    pub buf: Vec<Complex>,
+    /// Magnitude storage for the first stream of a job.
+    pub mag_a: Vec<f64>,
+    /// Magnitude storage for the second stream of a pair job.
+    pub mag_b: Vec<f64>,
+    /// Whether this arena has served a job before (reuse accounting).
+    warm: bool,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<SpectralScratch> = const {
+        RefCell::new(SpectralScratch {
+            buf: Vec::new(),
+            mag_a: Vec::new(),
+            mag_b: Vec::new(),
+            warm: false,
+        })
+    };
+}
+
+/// Checks the current thread's arena out for the duration of `f`.
+///
+/// Not re-entrant: `f` must not call `with_scratch` again (the spectral
+/// jobs never nest).
+pub(crate) fn with_scratch<R>(f: impl FnOnce(&mut SpectralScratch) -> R) -> R {
+    SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        srtd_runtime::pool::note_scratch(scratch.warm);
+        scratch.warm = true;
+        f(&mut scratch)
+    })
+}

@@ -1,6 +1,10 @@
 //! Combined feature vectors and feature-matrix standardization.
 
-use crate::fft::{fft_real, fft_real_pair, next_power_of_two};
+use crate::arena::with_scratch;
+use crate::fft::{
+    fft_windowed_real_into, fft_windowed_real_pair_into, next_power_of_two,
+    real_pair_magnitudes_into,
+};
 use crate::spectral::SpectralFeatures;
 use crate::spectrum::Spectrum;
 use crate::temporal::TemporalFeatures;
@@ -146,20 +150,36 @@ pub fn stream_features(signal: &[f64], config: &FeatureConfig) -> StreamFeatures
     let _span = srtd_runtime::obs::span("signal.stream_features");
     srtd_runtime::obs::counter_add("signal.stream_features.calls", 1);
     srtd_runtime::obs::observe("signal.stream_features.len", signal.len() as f64);
-    let spectrum = Spectrum::from_signal(signal, config.sample_rate, config.window);
-    extract_from_spectrum(signal, &spectrum, config)
+    with_scratch(|scratch| {
+        let table = config.window.table(signal.len());
+        fft_windowed_real_into(
+            &mut scratch.buf,
+            signal,
+            table.as_ref().map(|t| t.as_slice()),
+        );
+        let spectrum = Spectrum::from_fft_into(
+            &scratch.buf,
+            config.sample_rate,
+            std::mem::take(&mut scratch.mag_a),
+        );
+        let features = extract_from_spectrum(signal, &spectrum, config);
+        scratch.mag_a = spectrum.into_magnitudes();
+        features
+    })
 }
 
 /// Extracts Table-II features for a batch of sensor streams.
 ///
 /// Streams whose zero-padded FFT lengths match are packed two at a time
-/// through [`fft_real_pair`] — one complex transform per pair instead of
-/// one per stream — and each job runs the *whole* per-stream pipeline:
-/// FFT, then fused temporal + spectral extraction, all inside the
-/// deterministic parallel map. Before the fused kernels, extraction was a
-/// sequential tail after the parallel FFTs and dominated the batch;
-/// now the only sequential work is windowing and job assembly. Output
-/// order matches input order.
+/// through [`fft_windowed_real_pair_into`] — one complex transform per
+/// pair instead of one per stream — and each job runs the *whole*
+/// per-stream pipeline inside the deterministic parallel map: windowing
+/// fused into the FFT's bit-reversal load (reading the raw streams and
+/// the cached coefficient tables directly, no windowed copies), then the
+/// packed spectrum split straight into per-thread arena magnitude
+/// buffers, then fused temporal + spectral extraction. The only
+/// sequential work left is job assembly; the only steady-state
+/// allocations are the outputs. Output order matches input order.
 ///
 /// Results are byte-identical regardless of worker-thread count (job
 /// order and chunking depend only on the batch itself, and each stream's
@@ -175,16 +195,12 @@ pub fn stream_features_batch<S: AsRef<[f64]> + Sync>(
     let _span = srtd_runtime::obs::span("signal.stream_features_batch");
     srtd_runtime::obs::counter_add("signal.stream_features_batch.calls", 1);
     srtd_runtime::obs::observe("signal.stream_features_batch.streams", streams.len() as f64);
-    let windowed: Vec<Vec<f64>> = streams
-        .iter()
-        .map(|s| config.window.apply(s.as_ref()))
-        .collect();
     // Pair up streams with equal padded FFT length; a leftover stream in
     // any length class takes the plain single-stream transform.
     let mut by_len: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-    for (i, w) in windowed.iter().enumerate() {
+    for (i, s) in streams.iter().enumerate() {
         by_len
-            .entry(next_power_of_two(w.len()))
+            .entry(next_power_of_two(s.as_ref().len()))
             .or_default()
             .push(i);
     }
@@ -197,28 +213,47 @@ pub fn stream_features_batch<S: AsRef<[f64]> + Sync>(
         })
         .collect();
     let extracted = parallel_map_min(&jobs, 2, |&(i, j)| {
-        let finish = |idx: usize, spectrum: Spectrum| {
-            (
-                idx,
-                extract_from_spectrum(streams[idx].as_ref(), &spectrum, config),
-            )
-        };
-        match j {
-            Some(j) => {
-                let (fi, fj) = fft_real_pair(&windowed[i], &windowed[j]);
-                (
-                    finish(i, Spectrum::from_fft(&fi, config.sample_rate)),
-                    Some(finish(j, Spectrum::from_fft(&fj, config.sample_rate))),
-                )
+        with_scratch(|scratch| {
+            let xi = streams[i].as_ref();
+            let ti = config.window.table(xi.len());
+            match j {
+                Some(j) => {
+                    let xj = streams[j].as_ref();
+                    let tj = config.window.table(xj.len());
+                    fft_windowed_real_pair_into(
+                        &mut scratch.buf,
+                        xi,
+                        ti.as_ref().map(|t| t.as_slice()),
+                        xj,
+                        tj.as_ref().map(|t| t.as_slice()),
+                    );
+                    real_pair_magnitudes_into(&scratch.buf, &mut scratch.mag_a, &mut scratch.mag_b);
+                    // Same division `from_fft` performs: rate over the
+                    // padded transform length.
+                    let bin_width = config.sample_rate / scratch.buf.len() as f64;
+                    let spec_i =
+                        Spectrum::from_magnitudes(std::mem::take(&mut scratch.mag_a), bin_width);
+                    let fi = (i, extract_from_spectrum(xi, &spec_i, config));
+                    scratch.mag_a = spec_i.into_magnitudes();
+                    let spec_j =
+                        Spectrum::from_magnitudes(std::mem::take(&mut scratch.mag_b), bin_width);
+                    let fj = (j, extract_from_spectrum(xj, &spec_j, config));
+                    scratch.mag_b = spec_j.into_magnitudes();
+                    (fi, Some(fj))
+                }
+                None => {
+                    fft_windowed_real_into(&mut scratch.buf, xi, ti.as_ref().map(|t| t.as_slice()));
+                    let spectrum = Spectrum::from_fft_into(
+                        &scratch.buf,
+                        config.sample_rate,
+                        std::mem::take(&mut scratch.mag_a),
+                    );
+                    let fi = (i, extract_from_spectrum(xi, &spectrum, config));
+                    scratch.mag_a = spectrum.into_magnitudes();
+                    (fi, None)
+                }
             }
-            None => (
-                finish(
-                    i,
-                    Spectrum::from_fft(&fft_real(&windowed[i]), config.sample_rate),
-                ),
-                None,
-            ),
-        }
+        })
     });
     let mut features: Vec<Option<StreamFeatures>> = vec![None; streams.len()];
     for ((i, fi), rest) in extracted {

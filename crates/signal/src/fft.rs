@@ -71,9 +71,20 @@ fn transform(buf: &mut [Complex], inverse: bool) {
             buf.swap(i, j);
         }
     }
-    // Butterflies, reading each stage's twiddles from the shared table at
-    // stride `n / len` (no per-butterfly phasor accumulation, so stage
-    // twiddles carry full `sin`/`cos` precision at every index).
+    butterflies(buf, inverse);
+}
+
+/// The butterfly ladder over an already bit-reversed buffer — shared by
+/// [`transform`] and the fused windowed loaders, so both paths run the
+/// exact same floating-point operations. Twiddles come from the shared
+/// per-size table at stride `n / len` (no per-butterfly phasor
+/// accumulation, so stage twiddles carry full `sin`/`cos` precision at
+/// every index).
+fn butterflies(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    if n <= 1 {
+        return;
+    }
     let table = twiddle_table(n);
     let mut len = 2;
     while len <= n {
@@ -89,6 +100,134 @@ fn transform(buf: &mut [Complex], inverse: bool) {
             }
         }
         len <<= 1;
+    }
+}
+
+/// Loads up to two real streams into `buf` **in bit-reversed order**,
+/// applying the window coefficients during the load: slot `rev(i)` gets
+/// `x[i]·wx[i]` in the real lane and `y[i]·wy[i]` in the imaginary lane,
+/// everything else is zero padding up to `n`.
+///
+/// This fuses the three copies the batch path used to make (windowed
+/// staging per stream, then the pair pack) into one pass that reads the
+/// raw streams directly. Bit-identical to copy-then-permute: `x·w` is
+/// the same multiply wherever it happens, a permutation of zeros is
+/// still zeros, and `None` (all-ones window) multiplies by nothing at
+/// all — matching `Window::apply`'s rectangular short-circuit.
+fn load_bit_reversed(
+    buf: &mut Vec<Complex>,
+    n: usize,
+    x: &[f64],
+    wx: Option<&[f64]>,
+    y: &[f64],
+    wy: Option<&[f64]>,
+) {
+    debug_assert!(n.is_power_of_two() && n >= x.len().max(y.len()));
+    debug_assert!(wx.is_none_or(|w| w.len() == x.len()));
+    debug_assert!(wy.is_none_or(|w| w.len() == y.len()));
+    buf.clear();
+    buf.resize(n, Complex::ZERO);
+    if n <= 1 {
+        if let Some(&v) = x.first() {
+            buf[0].re = v;
+        }
+        if let Some(&v) = y.first() {
+            buf[0].im = v;
+        }
+        return;
+    }
+    let bits = n.trailing_zeros();
+    let rev = |i: usize| i.reverse_bits() >> (usize::BITS - bits);
+    match wx {
+        Some(w) => {
+            for (i, (&v, &c)) in x.iter().zip(w).enumerate() {
+                buf[rev(i)].re = v * c;
+            }
+        }
+        None => {
+            for (i, &v) in x.iter().enumerate() {
+                buf[rev(i)].re = v;
+            }
+        }
+    }
+    match wy {
+        Some(w) => {
+            for (i, (&v, &c)) in y.iter().zip(w).enumerate() {
+                buf[rev(i)].im = v * c;
+            }
+        }
+        None => {
+            for (i, &v) in y.iter().enumerate() {
+                buf[rev(i)].im = v;
+            }
+        }
+    }
+}
+
+/// Forward FFT of one real stream with windowing fused into the
+/// bit-reversal load — the zero-copy replacement for
+/// `Window::apply` → [`fft_real`].
+///
+/// `buf` is recycled storage (cleared and resized to the padded power of
+/// two); `wx` is the stream's cached coefficient table (`None` for the
+/// all-ones rectangular/short-frame case). The spectrum left in `buf` is
+/// bit-identical to the copying path: the load performs the identical
+/// `x[i]·w[i]` multiplies and the butterfly ladder is shared code.
+pub fn fft_windowed_real_into(buf: &mut Vec<Complex>, x: &[f64], wx: Option<&[f64]>) {
+    let n = next_power_of_two(x.len());
+    srtd_runtime::obs::counter_add("signal.fft.calls", 1);
+    srtd_runtime::obs::observe("signal.fft.len", n as f64);
+    load_bit_reversed(buf, n, x, wx, &[], None);
+    butterflies(buf, false);
+}
+
+/// Forward FFTs of two real streams via one complex transform, with
+/// windowing fused into the bit-reversal load — the zero-copy
+/// replacement for `Window::apply` ×2 → [`fft_real_pair`]'s pack.
+///
+/// The packed spectrum is left in `buf` (not split); use
+/// [`real_pair_magnitudes_into`] to read both single-sided magnitude
+/// halves without materializing the full split spectra.
+pub fn fft_windowed_real_pair_into(
+    buf: &mut Vec<Complex>,
+    x: &[f64],
+    wx: Option<&[f64]>,
+    y: &[f64],
+    wy: Option<&[f64]>,
+) {
+    srtd_runtime::obs::counter_add("signal.fft.real_pair_calls", 1);
+    let n = next_power_of_two(x.len().max(y.len()));
+    srtd_runtime::obs::counter_add("signal.fft.calls", 1);
+    srtd_runtime::obs::observe("signal.fft.len", n as f64);
+    load_bit_reversed(buf, n, x, wx, y, wy);
+    butterflies(buf, false);
+}
+
+/// Splits a packed real-pair spectrum (as left in the buffer by
+/// [`fft_windowed_real_pair_into`]) directly into the two single-sided
+/// magnitude arrays, written into recycled storage.
+///
+/// For `k ≤ n/2` this computes the same `X[k] = (Z[k] + conj(Z[n−k]))/2`
+/// and `Y[k] = −i·(Z[k] − conj(Z[n−k]))/2` values as [`fft_real_pair`]
+/// and takes their moduli — identical arithmetic on identical inputs, so
+/// the magnitudes are bit-identical to splitting first; the redundant
+/// upper half is simply never materialized.
+pub fn real_pair_magnitudes_into(buf: &[Complex], mag_x: &mut Vec<f64>, mag_y: &mut Vec<f64>) {
+    let n = buf.len();
+    assert!(n >= 1, "spectrum needs at least one bin");
+    let half = (n / 2 + 1).min(n);
+    mag_x.clear();
+    mag_y.clear();
+    mag_x.reserve(half);
+    mag_y.reserve(half);
+    for k in 0..half {
+        let z = buf[k];
+        let zc = buf[(n - k) % n].conj();
+        let s = (z + zc).scale(0.5);
+        let d = (z - zc).scale(0.5);
+        mag_x.push(s.abs());
+        // d = i·Y[k], so Y[k] = −i·d.
+        mag_y.push(Complex::new(d.im, -d.re).abs());
     }
 }
 
@@ -328,6 +467,82 @@ mod tests {
         for (p, q) in a.0.iter().zip(&b.0).chain(a.1.iter().zip(&b.1)) {
             assert_eq!(p.re.to_bits(), q.re.to_bits());
             assert_eq!(p.im.to_bits(), q.im.to_bits());
+        }
+    }
+
+    /// The fused windowed loader is **bit-identical** to the copying
+    /// path it replaced (`Window::apply` → pack → permute → butterflies),
+    /// for every window, with equal/unequal/empty stream lengths.
+    #[test]
+    fn fused_pair_load_is_bit_identical_to_copying_path() {
+        use crate::window::Window;
+        prop::check(
+            |rng| {
+                let lx = rng.gen_range(0usize..130);
+                let ly = rng.gen_range(0usize..130);
+                (
+                    prop::vec_with(rng, lx..lx + 1, |r| r.gen_range(-1e3f64..1e3)),
+                    prop::vec_with(rng, ly..ly + 1, |r| r.gen_range(-1e3f64..1e3)),
+                    rng.gen_range(0u32..3),
+                )
+            },
+            |(x, y, wsel)| {
+                let window = [Window::Rectangular, Window::Hann, Window::Hamming][*wsel as usize];
+                let (wx, wy) = (window.apply(x), window.apply(y));
+                let (want_x, want_y) = fft_real_pair(&wx, &wy);
+                let mut buf = Vec::new();
+                fft_windowed_real_pair_into(
+                    &mut buf,
+                    x,
+                    window.table(x.len()).as_ref().map(|t| t.as_slice()),
+                    y,
+                    window.table(y.len()).as_ref().map(|t| t.as_slice()),
+                );
+                let (mut mag_x, mut mag_y) = (Vec::new(), Vec::new());
+                real_pair_magnitudes_into(&buf, &mut mag_x, &mut mag_y);
+                let half = (buf.len() / 2 + 1).min(buf.len());
+                prop_assert!(mag_x.len() == half && mag_y.len() == half);
+                for (got, want) in mag_x
+                    .iter()
+                    .zip(&want_x[..half])
+                    .chain(mag_y.iter().zip(&want_y[..half]))
+                {
+                    prop_assert!(
+                        got.to_bits() == want.abs().to_bits(),
+                        "{got} vs {}",
+                        want.abs()
+                    );
+                }
+                // Single-stream fused path against `Window::apply` →
+                // `fft_real`, full-spectrum bits.
+                let mut single = Vec::new();
+                fft_windowed_real_into(
+                    &mut single,
+                    x,
+                    window.table(x.len()).as_ref().map(|t| t.as_slice()),
+                );
+                for (got, want) in single.iter().zip(fft_real(&wx)) {
+                    prop_assert!(got.re.to_bits() == want.re.to_bits());
+                    prop_assert!(got.im.to_bits() == want.im.to_bits());
+                }
+                Ok(())
+            },
+        );
+    }
+
+    /// Recycled buffers carrying garbage from a previous (longer) job do
+    /// not affect the fused transforms: the loaders overwrite every slot.
+    #[test]
+    fn fused_loaders_fully_overwrite_recycled_buffers() {
+        let x: Vec<f64> = (0..50).map(|i| (i as f64 * 0.61).sin()).collect();
+        let mut clean = Vec::new();
+        fft_windowed_real_into(&mut clean, &x, None);
+        let mut dirty = vec![Complex::new(f64::NAN, 1e300); 1024];
+        fft_windowed_real_into(&mut dirty, &x, None);
+        assert_eq!(dirty.len(), clean.len());
+        for (a, b) in dirty.iter().zip(&clean) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
         }
     }
 

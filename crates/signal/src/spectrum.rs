@@ -80,7 +80,44 @@ impl Spectrum {
         }
     }
 
-    /// Builds a spectrum directly from magnitudes (mainly for tests).
+    /// [`Spectrum::from_fft`] writing into recycled magnitude storage:
+    /// `storage` is cleared, refilled with the non-redundant half's
+    /// magnitudes (identical bits to `from_fft`) and owned by the
+    /// returned spectrum — reclaim it afterwards with
+    /// [`Spectrum::into_magnitudes`]. This is what lets the batch
+    /// feature path run allocation-free per stream: magnitude buffers
+    /// cycle through the per-thread scratch arena instead of the heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate` is not finite and positive or `spec` is
+    /// empty.
+    pub fn from_fft_into(spec: &[Complex], sample_rate: f64, mut storage: Vec<f64>) -> Self {
+        assert!(
+            sample_rate.is_finite() && sample_rate > 0.0,
+            "sample rate must be positive, got {sample_rate}"
+        );
+        assert!(!spec.is_empty(), "spectrum needs at least one bin");
+        let n_fft = spec.len();
+        let half = n_fft / 2 + 1;
+        storage.clear();
+        storage.extend(spec[..half.min(n_fft)].iter().map(|z| z.abs()));
+        Self {
+            magnitudes: storage,
+            bin_width: sample_rate / n_fft as f64,
+        }
+    }
+
+    /// Consumes the spectrum and returns its magnitude storage, so
+    /// arena-backed callers can recycle the allocation for the next
+    /// stream.
+    pub fn into_magnitudes(self) -> Vec<f64> {
+        self.magnitudes
+    }
+
+    /// Builds a spectrum directly from magnitudes — used by tests and by
+    /// the batch feature path, whose pair-FFT split writes single-sided
+    /// magnitudes straight into recycled arena storage.
     ///
     /// # Panics
     ///
@@ -250,5 +287,27 @@ mod tests {
     #[should_panic(expected = "sample rate")]
     fn zero_sample_rate_panics() {
         Spectrum::from_signal(&[1.0], 0.0, Window::Hann);
+    }
+
+    /// `from_fft_into` is bit-identical to `from_fft` and fully
+    /// overwrites whatever garbage the recycled storage held, including
+    /// storage longer than the output.
+    #[test]
+    fn from_fft_into_matches_from_fft_and_scrubs_storage() {
+        for n in [1usize, 2, 8, 64] {
+            let spec: Vec<Complex> = (0..n)
+                .map(|k| Complex::new((k as f64 * 0.7).sin() * 5.0, (k as f64 * 1.1).cos()))
+                .collect();
+            let want = Spectrum::from_fft(&spec, 128.0);
+            let dirty = vec![f64::NAN; 500];
+            let got = Spectrum::from_fft_into(&spec, 128.0, dirty);
+            assert_eq!(got.len(), want.len(), "n={n}");
+            assert_eq!(got.bin_width().to_bits(), want.bin_width().to_bits());
+            for (a, b) in got.magnitudes().iter().zip(want.magnitudes()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "n={n}");
+            }
+            let reclaimed = got.into_magnitudes();
+            assert_eq!(reclaimed.len(), want.len());
+        }
     }
 }

@@ -52,6 +52,24 @@ impl Window {
         let table = coefficient_table(self, n);
         xs.iter().zip(table.iter()).map(|(&x, &c)| x * c).collect()
     }
+
+    /// The cached coefficient table for an `n`-sample frame, or `None`
+    /// when every coefficient is exactly `1.0` (rectangular windows and
+    /// frames shorter than 2 samples — the same cases [`Window::apply`]
+    /// short-circuits without touching the cache).
+    ///
+    /// This is the zero-copy sibling of [`Window::apply`]: the fused FFT
+    /// loaders read the table during their bit-reversal pass instead of
+    /// materializing a windowed copy. One call records exactly one
+    /// `signal.window.cache_{hits,misses}` counter tick for table-backed
+    /// windows, exactly like `apply`, so the obs goldens hold on either
+    /// path.
+    pub fn table(self, n: usize) -> Option<Arc<Vec<f64>>> {
+        if self == Window::Rectangular || n < 2 {
+            return None;
+        }
+        Some(coefficient_table(self, n))
+    }
 }
 
 /// Cached window coefficient tables, keyed by `(window, frame length)`.

@@ -22,6 +22,12 @@ cargo test -q --offline --test ag_tr_equivalence
 cargo test -q --offline --test blocked_equivalence
 cargo test -q --offline --test incremental_group
 
+# Pool vs scoped dispatch equivalence: the persistent worker pool must
+# produce byte-identical outputs to the scoped spawn-per-call oracle —
+# framework epochs, feature batches, obs counter streams — at 1 and 4
+# workers, including when recycled scratch arenas start poisoned.
+cargo test -q --offline --test pool_equivalence
+
 # Observability smoke: an instrumented run must export JSON that the
 # runtime's own parser accepts (obs-check validates shape and parse,
 # including the retained telemetry windows under `history`).

@@ -23,6 +23,11 @@
 //! shortest-roundtrip, so the comparison is bitwise) across a
 //! multi-epoch drive with a Sybil ring, a mid-stream account, and an
 //! empty steady-state epoch.
+//!
+//! A third phase spawns a server with `--epoch-interval-ms 20` and
+//! checks the timer contract: an ingested batch is folded into a
+//! published snapshot without any `POST /epoch`, idle ticks do not run
+//! empty epochs, and shutdown joins the ticker cleanly.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -59,6 +64,20 @@ fn run(server_path: &str) -> Result<(), String> {
         server_path,
         &["--port", "0", "--tasks", "6", "--method", "ag-tr"],
         drive_incremental_equivalence,
+    )?;
+    with_server(
+        server_path,
+        &[
+            "--port",
+            "0",
+            "--tasks",
+            "4",
+            "--method",
+            "singletons",
+            "--epoch-interval-ms",
+            "20",
+        ],
+        drive_timer_epochs,
     )
 }
 
@@ -338,6 +357,62 @@ fn drive_incremental_equivalence(addr: &str) -> Result<(), String> {
         }
         other => return Err(format!("bad labels: {other:?}")),
     }
+    let bye = request(addr, "POST", "/shutdown", None)?;
+    if field(&bye, "status") != Some(&Json::str("shutting down")) {
+        return Err("shutdown not acknowledged".into());
+    }
+    Ok(())
+}
+
+/// Phase 3: timer-driven epochs. With `--epoch-interval-ms 20` the
+/// server must publish a snapshot on its own after an ingest (no
+/// explicit `POST /epoch`), must *not* spin epoch numbers while idle
+/// (timer epochs only run when reports are pending), and must still
+/// shut down cleanly with the ticker thread joined.
+fn drive_timer_epochs(addr: &str) -> Result<(), String> {
+    let batch = r#"{"reports":[
+        {"account":0,"task":0,"value":-70.0,"timestamp":1.0},
+        {"account":1,"task":1,"value":-64.0,"timestamp":2.0}
+    ]}"#;
+    let ingest = request(addr, "POST", "/ingest", Some(batch))?;
+    expect_num(&ingest, "accepted", 2.0)?;
+
+    // Poll readiness: the ticker fires every 20 ms, so a snapshot must
+    // appear well within the deadline without any POST /epoch.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let epoch = loop {
+        let health = request(addr, "GET", "/healthz", None)?;
+        if field(&health, "ready") == Some(&Json::Bool(true)) {
+            match field(&health, "epoch") {
+                Some(Json::Num(e)) => break *e,
+                other => return Err(format!("bad epoch field: {other:?}")),
+            }
+        }
+        if std::time::Instant::now() > deadline {
+            return Err("timer never published an epoch".into());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    };
+    if epoch != 1.0 {
+        return Err(format!("want exactly one timer epoch, got {epoch}"));
+    }
+
+    // The published snapshot folded the ingested reports.
+    let truths = request(addr, "GET", "/truths", None)?;
+    expect_num(&truths, "num_reports", 2.0)?;
+
+    // Idle ticks must not run epochs: after a few more intervals the
+    // epoch counter is unchanged, while the tick counter kept moving.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let health = request(addr, "GET", "/healthz", None)?;
+    expect_num(&health, "epoch", 1.0)?;
+    let metrics = request_raw(addr, "GET", "/metrics", None)?;
+    for name in ["server.epoch.timer_ticks", "server.epoch.timer_epochs"] {
+        if !metrics.contains(name) {
+            return Err(format!("metrics export is missing `{name}`"));
+        }
+    }
+
     let bye = request(addr, "POST", "/shutdown", None)?;
     if field(&bye, "status") != Some(&Json::str("shutting down")) {
         return Err("shutdown not acknowledged".into());

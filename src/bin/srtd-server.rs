@@ -8,6 +8,7 @@
 //!
 //! ```text
 //! srtd-server [--port N] [--tasks N] [--method ag-tr|ag-ts|singletons] [--shards N]
+//!             [--epoch-interval-ms N]
 //! ```
 //!
 //! Endpoints:
@@ -39,12 +40,22 @@
 //! Requests are handled sequentially on the accept thread: the engine is
 //! deterministic, and the serving story is snapshot handoff, not request
 //! parallelism — the heavy lifting inside an epoch already runs on the
-//! runtime's scoped worker pool.
+//! runtime's persistent worker pool.
+//!
+//! With `--epoch-interval-ms N` a ticker thread drives epochs on a
+//! timer: every `N` milliseconds it takes the engine lock and, if any
+//! reports are pending, runs the same incremental epoch `POST /epoch`
+//! would (explicit `POST /epoch` keeps working alongside the timer —
+//! both paths serialize on the engine mutex). Ticks and timer-driven
+//! epochs are counted in `server.epoch.timer_{ticks,epochs}`. The
+//! shutdown route stops the ticker and joins it before the process
+//! exits, so a timer-driven server still shuts down cleanly.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::process::ExitCode;
+use std::sync::{Arc, Condvar, Mutex};
 
 use sybil_td::core::{AgTr, AgTs, SingletonGrouping, SybilResistantTd};
 use sybil_td::platform::{EpochConfig, EpochEngine, EpochSnapshot, IngestError};
@@ -56,9 +67,13 @@ srtd-server — epoch-driven truth discovery service
 
 USAGE:
   srtd-server [--port N] [--tasks N] [--method ag-tr|ag-ts|singletons] [--shards N]
+              [--epoch-interval-ms N]
 
 --port 0 (the default) binds an ephemeral loopback port; the chosen port
-is announced on stdout as `listening on 127.0.0.1:PORT`.";
+is announced on stdout as `listening on 127.0.0.1:PORT`.
+--epoch-interval-ms N runs an epoch every N ms whenever reports are
+pending (0, the default, disables the timer; epochs then run only on
+POST /epoch).";
 
 /// The grouping-method dispatch: one engine variant per supported method,
 /// so the generic `EpochEngine<G>` stays monomorphic behind one enum.
@@ -155,12 +170,13 @@ fn run(args: &[String]) -> Result<(), String> {
     let port: u16 = flag_parse(&flags, "port", 0)?;
     let tasks: usize = flag_parse(&flags, "tasks", 64)?;
     let shards: usize = flag_parse(&flags, "shards", 4)?;
+    let epoch_interval_ms: u64 = flag_parse(&flags, "epoch-interval-ms", 0)?;
     let method = flags.get("method").map_or("ag-tr", String::as_str);
     if tasks == 0 {
         return Err("--tasks must be at least 1".into());
     }
 
-    let mut engine = Engine::new(
+    let engine = Engine::new(
         method,
         tasks,
         EpochConfig {
@@ -176,6 +192,15 @@ fn run(args: &[String]) -> Result<(), String> {
     println!("listening on {addr}");
     std::io::stdout().flush().ok();
 
+    // The accept loop and the (optional) epoch ticker share the engine
+    // behind one mutex; requests stay effectively sequential, the timer
+    // just interleaves whole epochs between them.
+    let engine = Arc::new(Mutex::new(engine));
+    let stop = Arc::new((Mutex::new(false), Condvar::new()));
+    let ticker = (epoch_interval_ms > 0)
+        .then(|| spawn_epoch_ticker(epoch_interval_ms, &engine, &stop))
+        .transpose()?;
+
     for stream in listener.incoming() {
         let stream = match stream {
             Ok(s) => s,
@@ -184,7 +209,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 continue;
             }
         };
-        match handle_connection(stream, &mut engine) {
+        match handle_connection(stream, &engine) {
             Ok(keep_serving) => {
                 if !keep_serving {
                     break;
@@ -193,12 +218,67 @@ fn run(args: &[String]) -> Result<(), String> {
             Err(e) => eprintln!("connection error: {e}"),
         }
     }
+
+    // Clean shutdown: wake the ticker, tell it to stop, wait for any
+    // in-flight timer epoch to finish.
+    let (flag, wake) = &*stop;
+    *flag.lock().expect("stop flag poisoned") = true;
+    wake.notify_all();
+    if let Some(handle) = ticker {
+        handle
+            .join()
+            .map_err(|_| "epoch ticker panicked".to_string())?;
+    }
     Ok(())
+}
+
+/// Spawns the timer thread behind `--epoch-interval-ms`: every interval
+/// it runs one incremental epoch if (and only if) reports are pending,
+/// so an idle server does not spin epoch numbers. The `stop` pair wakes
+/// it immediately on shutdown.
+fn spawn_epoch_ticker(
+    interval_ms: u64,
+    engine: &Arc<Mutex<Engine>>,
+    stop: &Arc<(Mutex<bool>, Condvar)>,
+) -> Result<std::thread::JoinHandle<()>, String> {
+    let engine = Arc::clone(engine);
+    let stop = Arc::clone(stop);
+    let interval = std::time::Duration::from_millis(interval_ms);
+    std::thread::Builder::new()
+        .name("srtd-epoch-timer".into())
+        .spawn(move || {
+            let (flag, wake) = &*stop;
+            let mut stopped = flag.lock().expect("stop flag poisoned");
+            loop {
+                let (guard, timeout) = wake
+                    .wait_timeout(stopped, interval)
+                    .expect("stop flag poisoned");
+                stopped = guard;
+                if *stopped {
+                    return;
+                }
+                if timeout.timed_out() {
+                    // Drop the stop lock while the epoch runs so shutdown
+                    // is never blocked behind engine work.
+                    drop(stopped);
+                    obs::counter_add("server.epoch.timer_ticks", 1);
+                    {
+                        let mut engine = engine.lock().expect("engine poisoned");
+                        if engine.pending_reports() > 0 {
+                            engine.run_epoch();
+                            obs::counter_add("server.epoch.timer_epochs", 1);
+                        }
+                    }
+                    stopped = flag.lock().expect("stop flag poisoned");
+                }
+            }
+        })
+        .map_err(|e| format!("cannot spawn epoch ticker: {e}"))
 }
 
 /// Handles one request on `stream`; `Ok(false)` means a clean shutdown
 /// was requested.
-fn handle_connection(stream: TcpStream, engine: &mut Engine) -> Result<bool, String> {
+fn handle_connection(stream: TcpStream, engine: &Mutex<Engine>) -> Result<bool, String> {
     let mut reader = BufReader::new(stream);
     let mut request_line = String::new();
     reader
@@ -239,7 +319,10 @@ fn handle_connection(stream: TcpStream, engine: &mut Engine) -> Result<bool, Str
 
     let started = std::time::Instant::now();
     let (path, query) = split_query(&path);
-    let (response, keep_serving) = route(&verb, path, &query, &body, engine);
+    let (response, keep_serving) = {
+        let mut engine = engine.lock().expect("engine poisoned");
+        route(&verb, path, &query, &body, &mut engine)
+    };
 
     // Per-request telemetry: total + status-class counters and a latency
     // histogram. Recorded before the write so even a failed send counts.

@@ -177,6 +177,31 @@ fn random_campaigns_group_identically() {
     );
 }
 
+/// The blocking second key on its motivating workload: a scaled campaign
+/// where *every* account reports exactly `tasks_per_account` tasks, so
+/// set-size keys alone prune nothing. The pair key must (a) keep AG-TS
+/// groups identical to the exhaustive path and (b) visit well under a
+/// tenth of the `n(n−1)/2` pairs the exhaustive scan would score.
+#[test]
+fn scaled_fixed_size_campaign_groups_identically_with_sparse_candidates() {
+    use sybil_td::core::grouping::blocking::ts_candidates;
+    use sybil_td::sensing::{ScaledCampaign, ScaledCampaignConfig};
+
+    let campaign = ScaledCampaign::generate(&ScaledCampaignConfig::new(3_000).with_seed(9));
+    let data = &campaign.data;
+    assert_blocked_equivalent(data, 0.0);
+
+    let n = data.num_accounts();
+    let task_sets: Vec<Vec<usize>> = (0..n).map(|a| data.tasks_of(a)).collect();
+    let c = ts_candidates(&task_sets, data.num_tasks(), None);
+    assert!(
+        c.pairs.len() as u64 * 10 <= c.total_pairs,
+        "{} candidates out of {} pairs — expected ≥10× reduction",
+        c.pairs.len(),
+        c.total_pairs
+    );
+}
+
 #[test]
 fn audit_reports_match_between_blocked_and_exhaustive_paths() {
     let scenario = Scenario::generate(&ScenarioConfig::paper_default().with_seed(5));

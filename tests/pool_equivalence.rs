@@ -1,0 +1,213 @@
+//! Pool-vs-scoped execution equivalence.
+//!
+//! The persistent worker pool replaced spawn-per-call scoped threads as
+//! the default `parallel_map` backend. The contract that makes the swap
+//! safe: chunk boundaries and output assembly depend only on the input
+//! and `max_threads`, never on which backend (or which pool thread) ran
+//! a chunk — so outputs must be **byte-identical** between the two
+//! backends at every worker count, panics must propagate the same way,
+//! and thread-local scratch must never leak state between jobs.
+
+use sybil_td::runtime::parallel::{
+    parallel_map, parallel_reduce, set_backend, set_max_threads, Backend,
+};
+use sybil_td::runtime::rng::{Rng, SeedableRng, StdRng};
+use sybil_td::runtime::{pool, prop, prop_assert};
+use sybil_td::signal::{stream_features_batch, FeatureConfig};
+
+/// Runs `f` under the given backend and worker count, restoring the
+/// defaults afterwards.
+fn with_exec<T>(backend: Backend, threads: usize, f: impl FnOnce() -> T) -> T {
+    set_backend(backend);
+    set_max_threads(threads);
+    let out = f();
+    set_max_threads(0);
+    set_backend(Backend::Pool);
+    out
+}
+
+#[test]
+fn map_outputs_are_byte_identical_across_backends_and_worker_counts() {
+    let items: Vec<f64> = (0..10_007)
+        .map(|i| (i as f64 * 0.137).sin() * 1e3)
+        .collect();
+    let f = |&x: &f64| (x.abs() + 1.0).ln() * x.mul_add(0.25, -3.0);
+    let reference: Vec<u64> = with_exec(Backend::Scoped, 1, || parallel_map(&items, f))
+        .into_iter()
+        .map(f64::to_bits)
+        .collect();
+    for backend in [Backend::Pool, Backend::Scoped] {
+        for threads in [1usize, 2, 4] {
+            let got: Vec<u64> = with_exec(backend, threads, || parallel_map(&items, f))
+                .into_iter()
+                .map(f64::to_bits)
+                .collect();
+            assert_eq!(got, reference, "{backend:?} at {threads} workers");
+        }
+    }
+}
+
+#[test]
+fn reduce_merges_identically_across_backends() {
+    let items: Vec<f64> = (0..8_191).map(|i| (i as f64 * 0.91).cos()).collect();
+    let sum = |items: &[f64]| {
+        parallel_reduce(items, 64, || 0.0f64, |acc, &x| acc + x, |a, b| a + b).to_bits()
+    };
+    let reference = with_exec(Backend::Scoped, 1, || sum(&items));
+    for backend in [Backend::Pool, Backend::Scoped] {
+        for threads in [1usize, 2, 4] {
+            assert_eq!(
+                with_exec(backend, threads, || sum(&items)),
+                reference,
+                "{backend:?} at {threads} workers"
+            );
+        }
+    }
+}
+
+/// A real pipeline stage through both backends: the feature batch runs
+/// its FFT jobs inside `parallel_map`, with per-thread scratch arenas on
+/// the pool path — bits must not depend on any of it.
+#[test]
+fn feature_batch_is_backend_invariant() {
+    let cfg = FeatureConfig::new(100.0);
+    let streams: Vec<Vec<f64>> = (0..6)
+        .map(|s| {
+            (0..300 + 70 * s)
+                .map(|i| (i as f64 * 0.21 + s as f64).sin() * 9.81)
+                .collect()
+        })
+        .collect();
+    let run = |backend, threads| {
+        with_exec(backend, threads, || {
+            stream_features_batch(&streams, &cfg)
+                .into_iter()
+                .flat_map(|f| f.to_vec())
+                .map(f64::to_bits)
+                .collect::<Vec<u64>>()
+        })
+    };
+    let reference = run(Backend::Scoped, 1);
+    for backend in [Backend::Pool, Backend::Scoped] {
+        for threads in [1usize, 2, 4] {
+            assert_eq!(run(backend, threads), reference, "{backend:?}/{threads}");
+        }
+    }
+}
+
+#[test]
+fn pool_panics_propagate_like_scoped_joins() {
+    for backend in [Backend::Pool, Backend::Scoped] {
+        let outcome = std::panic::catch_unwind(|| {
+            with_exec(backend, 4, || {
+                let items: Vec<u64> = (0..100).collect();
+                parallel_map(&items, |&x| {
+                    assert!(x != 57, "boom");
+                    x
+                })
+            })
+        });
+        assert!(outcome.is_err(), "{backend:?} must propagate job panics");
+        set_max_threads(0);
+        set_backend(Backend::Pool);
+    }
+    // The pool must survive a panicked batch: the next dispatch works.
+    let items: Vec<u64> = (0..100).collect();
+    let ok = with_exec(Backend::Pool, 4, || parallel_map(&items, |&x| x + 1));
+    assert_eq!(ok[99], 100);
+}
+
+/// Nested parallel regions: an outer pool batch whose jobs call
+/// `parallel_map` again. The inner calls find the dispatch token taken
+/// and fall back to scoped threads — outputs must match a flat run.
+#[test]
+fn nested_parallel_map_inside_pool_jobs_is_identical() {
+    let outer: Vec<u64> = (0..16).collect();
+    let run = |backend, threads| {
+        with_exec(backend, threads, || {
+            parallel_map(&outer, |&o| {
+                let inner: Vec<u64> = (0..50).map(|i| o * 100 + i).collect();
+                parallel_map(&inner, |&x| x.wrapping_mul(2654435761))
+            })
+        })
+    };
+    let reference = run(Backend::Scoped, 1);
+    for threads in [1usize, 2, 4] {
+        assert_eq!(run(Backend::Pool, threads), reference);
+    }
+}
+
+/// Poisoned-arena property test: jobs that deliberately leave garbage in
+/// thread-local scratch must not affect any later job's output. The
+/// feature batch checks its arenas out per job and overwrites every slot
+/// it reads, so a batch interleaved with "poisoning" batches must still
+/// be byte-identical to a clean run.
+#[test]
+fn scratch_arenas_never_leak_state_between_jobs() {
+    let cfg = FeatureConfig::new(100.0);
+    prop::check(
+        |rng| {
+            let count = rng.gen_range(1usize..7);
+            let streams: Vec<Vec<f64>> = (0..count)
+                .map(|_| {
+                    let len = rng.gen_range(2usize..400);
+                    (0..len).map(|_| rng.gen_range(-50f64..50.0)).collect()
+                })
+                .collect();
+            (streams, rng.gen_range(0u64..u64::MAX))
+        },
+        |(streams, poison_seed)| {
+            let clean = with_exec(Backend::Scoped, 1, || {
+                stream_features_batch(streams, &cfg)
+                    .into_iter()
+                    .flat_map(|f| f.to_vec())
+                    .map(f64::to_bits)
+                    .collect::<Vec<u64>>()
+            });
+            // Poison: run a batch of garbage streams (NaN/huge values,
+            // mismatched lengths) through the pool so every worker's
+            // arena holds stale bins, then re-run the real batch.
+            let mut rng = StdRng::seed_from_u64(*poison_seed);
+            let garbage: Vec<Vec<f64>> = (0..4)
+                .map(|_| {
+                    let len = rng.gen_range(1usize..700);
+                    (0..len)
+                        .map(|i| {
+                            if i % 97 == 13 {
+                                f64::NAN
+                            } else {
+                                rng.gen_range(-1e12f64..1e12)
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let got = with_exec(Backend::Pool, 4, || {
+                let _ = stream_features_batch(&garbage, &cfg);
+                stream_features_batch(streams, &cfg)
+                    .into_iter()
+                    .flat_map(|f| f.to_vec())
+                    .map(f64::to_bits)
+                    .collect::<Vec<u64>>()
+            });
+            prop_assert!(got == clean, "poisoned arena changed feature bits");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn pool_stats_move_when_the_pool_dispatches() {
+    // Dispatch straight through the pool API (not `parallel_map`) so the
+    // assertion cannot race other tests toggling the backend flag.
+    let token = loop {
+        if let Some(t) = pool::try_dispatch() {
+            break t;
+        }
+        std::thread::yield_now();
+    };
+    let before = pool::stats();
+    pool::run(5, &|_| {}, token);
+    let after = pool::stats();
+    assert_eq!(after.jobs, before.jobs + 5, "{before:?} -> {after:?}");
+}
